@@ -1,0 +1,192 @@
+// Shared support for the experiment harness: aligned table printing, paper-reference
+// annotation, and workload builders (the paper's 1 MB name-server database).
+//
+// Every binary in bench/ regenerates one table of the paper's evaluation (see
+// DESIGN.md Section 4 for the experiment index and EXPERIMENTS.md for recorded
+// results). Numbers labelled "sim" are simulated MicroVAX-era milliseconds from the
+// calibrated cost model; "wall" numbers are host wall-clock.
+#ifndef SMALLDB_BENCH_BENCH_COMMON_H_
+#define SMALLDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nameserver/name_server.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb::bench {
+
+// --- table printing ---
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) {
+        rule += "+";
+      }
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " ";
+      if (c + 1 < widths.size()) {
+        line += "|";
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string Ms(double micros) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f ms", micros / 1000.0);
+  return buffer;
+}
+
+inline std::string Secs(double micros) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f s", micros / 1e6);
+  return buffer;
+}
+
+inline std::string Num(double v, const char* suffix = "") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%s", v, suffix);
+  return buffer;
+}
+
+inline std::string Count(std::uint64_t v) { return std::to_string(v); }
+
+// --- workloads ---
+
+struct NameServerFixture {
+  std::unique_ptr<SimEnv> env;
+  std::unique_ptr<ns::NameServer> server;
+  std::vector<std::string> paths;  // every bound name, for enquiry sampling
+};
+
+// Opens a name server in a fresh simulated environment and populates it to roughly
+// `target_bytes` of in-memory database (the paper's is 1 MB), using three-component
+// paths and ~100-byte values. Deterministic from `seed`.
+inline NameServerFixture BuildNameServer(std::size_t target_bytes, std::uint64_t seed = 42,
+                                         std::size_t value_size = 100) {
+  NameServerFixture fixture;
+  SimEnvOptions env_options;
+  fixture.env = std::make_unique<SimEnv>(env_options);
+
+  ns::NameServerOptions options;
+  options.db.vfs = &fixture.env->fs();
+  options.db.dir = "ns";
+  options.db.clock = &fixture.env->clock();
+  options.cost = &fixture.env->cost_model();
+  options.replica_id = "bench";
+  auto opened = ns::NameServer::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "fixture open failed: %s\n", opened.status().ToString().c_str());
+    std::abort();
+  }
+  fixture.server = std::move(*opened);
+
+  Rng rng(seed);
+  int i = 0;
+  while (fixture.server->tree().approximate_bytes() < target_bytes) {
+    std::string path = "org/dept" + std::to_string(i % 40) + "/member" + std::to_string(i);
+    Status status = fixture.server->Set(path, rng.NextString(value_size));
+    if (!status.ok()) {
+      std::fprintf(stderr, "fixture populate failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+    fixture.paths.push_back(std::move(path));
+    ++i;
+  }
+  return fixture;
+}
+
+// A plain key-value Application for engine-level benches (mirrors the test app).
+struct BenchKvRecord {
+  std::string key;
+  std::string value;
+  SDB_PICKLE_FIELDS(BenchKvRecord, key, value)
+};
+
+class BenchKvApp final : public Application {
+ public:
+  explicit BenchKvApp(const CostModel* cost = nullptr) : cost_(cost) {}
+
+  Status ResetState() override {
+    state.clear();
+    return OkStatus();
+  }
+  Result<Bytes> SerializeState() override {
+    PickleWriter writer;
+    writer.Write(state);
+    return std::move(writer).FinishEnvelope("BenchKvApp.state", cost_);
+  }
+  Status DeserializeState(ByteSpan data) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader,
+                         PickleReader::FromEnvelope(data, "BenchKvApp.state", cost_));
+    return reader.Read(state);
+  }
+  Status ApplyUpdate(ByteSpan record) override {
+    SDB_ASSIGN_OR_RETURN(BenchKvRecord update, PickleRead<BenchKvRecord>(record, cost_));
+    state.insert_or_assign(std::move(update.key), std::move(update.value));
+    return OkStatus();
+  }
+
+  std::function<Result<Bytes>()> PreparePut(std::string key, std::string value) {
+    return [this, key = std::move(key), value = std::move(value)]() -> Result<Bytes> {
+      return PickleWrite(BenchKvRecord{key, value}, cost_);
+    };
+  }
+
+  std::map<std::string, std::string> state;
+
+ private:
+  const CostModel* cost_;
+};
+
+}  // namespace sdb::bench
+
+#endif  // SMALLDB_BENCH_BENCH_COMMON_H_

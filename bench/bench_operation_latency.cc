@@ -1,0 +1,71 @@
+// E1 — Operation latency on the paper's 1 MB name-server database.
+//
+// Paper (Section 5): "A typical simple enquiry operation takes 5 msecs ... A typical
+// update takes 54 msecs", both excluding network costs.
+#include "bench/bench_common.h"
+
+namespace sdb::bench {
+namespace {
+
+void Run() {
+  Banner("E1: operation latency (local, 1 MB database)",
+         "simple enquiry ~5 ms; update ~54 ms (MicroVAX II)");
+
+  NameServerFixture fixture = BuildNameServer(1 << 20);
+  ns::NameServer& server = *fixture.server;
+  SimClock& clock = fixture.env->clock();
+  Rng rng(7);
+
+  // Simple enquiries: average over a sample of bound names.
+  constexpr int kEnquiries = 200;
+  Micros enquiry_start = clock.NowMicros();
+  for (int i = 0; i < kEnquiries; ++i) {
+    const std::string& path = fixture.paths[rng.NextBelow(fixture.paths.size())];
+    Result<std::string> value = server.Lookup(path);
+    if (!value.ok()) {
+      std::fprintf(stderr, "lookup failed: %s\n", value.status().ToString().c_str());
+      return;
+    }
+  }
+  double enquiry_micros =
+      static_cast<double>(clock.NowMicros() - enquiry_start) / kEnquiries;
+
+  // Browsing (List) enquiries.
+  Micros list_start = clock.NowMicros();
+  constexpr int kLists = 50;
+  for (int i = 0; i < kLists; ++i) {
+    (void)*server.List("org/dept" + std::to_string(rng.NextBelow(40)));
+  }
+  double list_micros = static_cast<double>(clock.NowMicros() - list_start) / kLists;
+
+  // Updates at the paper's record size (~300-byte values, three-component names).
+  constexpr int kUpdates = 100;
+  Micros update_start = clock.NowMicros();
+  for (int i = 0; i < kUpdates; ++i) {
+    Status status = server.Set("org/dept" + std::to_string(i % 40) + "/update" +
+                                   std::to_string(i),
+                               rng.NextString(300));
+    if (!status.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+      return;
+    }
+  }
+  double update_micros = static_cast<double>(clock.NowMicros() - update_start) / kUpdates;
+
+  std::printf("database: ~%zu KB in memory, %zu names\n\n",
+              server.tree().approximate_bytes() / 1024, fixture.paths.size());
+  Table table({"operation", "paper (MicroVAX)", "measured (sim)", "notes"});
+  table.AddRow({"simple enquiry", "5 ms", Ms(enquiry_micros), "virtual memory only"});
+  table.AddRow({"browse (list one directory)", "-", Ms(list_micros),
+                "per-child exploration"});
+  table.AddRow({"update", "54 ms", Ms(update_micros), "includes the one disk write"});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace sdb::bench
+
+int main() {
+  sdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E4 — Restart time vs log length.
+//
+// Paper (Section 5): "Restart takes about 20 seconds to read the checkpoint, plus
+// about 20 msecs per log entry", and "a log containing 10,000 updates would cause the
+// restart time to be about 5 minutes".
+#include "bench/bench_common.h"
+
+namespace sdb::bench {
+namespace {
+
+void Run() {
+  Banner("E4: restart time vs log length (1 MB checkpoint)",
+         "20 s checkpoint read + ~20 ms per log entry; 10,000 entries => ~5 min");
+
+  Table table({"log entries", "disk read + unpickle (sim)", "log replay CPU (sim)",
+               "total restart (sim)", "replay per entry (sim)", "paper"});
+
+  for (int entries : {0, 100, 1000, 10000}) {
+    NameServerFixture fixture = BuildNameServer(1 << 20);
+    // Checkpoint so the log starts empty, then accumulate exactly `entries` updates.
+    if (!fixture.server->Checkpoint().ok()) {
+      return;
+    }
+    Rng rng(11);
+    for (int i = 0; i < entries; ++i) {
+      Status status =
+          fixture.server->Set("org/dept" + std::to_string(i % 40) + "/restart" +
+                                  std::to_string(i),
+                              rng.NextString(300));
+      if (!status.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+        return;
+      }
+    }
+
+    // Power failure; the next open is a cold restart. The disk reads happen during
+    // the remount (the cache is cold), so the stopwatch covers remount + open.
+    fixture.server.reset();
+    fixture.env->fs().Crash();
+    Micros start = fixture.env->clock().NowMicros();
+    if (!fixture.env->fs().Recover().ok()) {
+      return;
+    }
+
+    ns::NameServerOptions options;
+    options.db.vfs = &fixture.env->fs();
+    options.db.dir = "ns";
+    options.db.clock = &fixture.env->clock();
+    options.cost = &fixture.env->cost_model();
+    options.replica_id = "bench";
+    auto reopened = ns::NameServer::Open(options);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "reopen failed: %s\n", reopened.status().ToString().c_str());
+      return;
+    }
+    Micros total = fixture.env->clock().NowMicros() - start;
+    RestartBreakdown restart = (*reopened)->database().stats().restart;
+    double replay = static_cast<double>(restart.replay_micros);
+    double checkpoint_read = static_cast<double>(total) - replay;
+
+    std::string paper = "-";
+    if (entries == 0) {
+      paper = "~20 s";
+    } else if (entries == 10000) {
+      paper = "~5 min";
+    }
+    table.AddRow({Count(entries), Secs(checkpoint_read), Secs(replay),
+                  Secs(static_cast<double>(total)),
+                  entries > 0 ? Ms(replay / entries) : "-", paper});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace sdb::bench
+
+int main() {
+  sdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E2 — Update cost breakdown and the pickle-overhead ablation.
+//
+// Paper (Section 5): update = 54 ms: exploring (6 ms) + modifying (6 ms) the virtual
+// memory structure, converting the parameters into a log entry (22 ms of PickleWrite),
+// and the disk write of the log entry (20 ms). Section 6: "about 40% of the cost of an
+// update is in PickleWrite".
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/nameserver/updates.h"
+
+namespace sdb::bench {
+namespace {
+
+// A hand-written marshaller for NameServerUpdate: what the paper contrasts pickles
+// against ("we are paying a little in our performance for using such a general
+// package"). Measured in host wall-clock against the generic pickler.
+Bytes HandMarshal(const ns::NameServerUpdate& update) {
+  ByteWriter out;
+  out.PutU8(update.kind);
+  out.PutLengthPrefixed(update.path);
+  out.PutLengthPrefixed(update.value);
+  out.PutU64(update.lamport);
+  out.PutLengthPrefixed(update.origin);
+  out.PutU64(update.sequence);
+  return std::move(out).Take();
+}
+
+void Run() {
+  Banner("E2: update cost breakdown",
+         "explore 6 ms + modify 6 ms + pickle 22 ms + disk write 20 ms = 54 ms; "
+         "PickleWrite is ~40% of an update");
+
+  NameServerFixture fixture = BuildNameServer(1 << 20);
+  SimClock& clock = fixture.env->clock();
+  const CostModel& cost = fixture.env->cost_model();
+
+  // Phase-by-phase simulation of one paper-scale update, measured independently so the
+  // pickle and exploration shares are visible (the engine's own breakdown merges
+  // explore+pickle into 'prepare').
+  Rng rng(3);
+  std::string path = "org/dept9/member-breakdown";
+  std::string value = rng.NextString(300);
+
+  // (a) explore: walk the three-component path.
+  Micros t0 = clock.NowMicros();
+  (void)fixture.server->tree().Exists(path);
+  Micros explore = clock.NowMicros() - t0;
+
+  // (b) pickle: convert the update parameters to a log record.
+  ns::NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(ns::UpdateKind::kSet);
+  update.path = path;
+  update.value = value;
+  update.lamport = 1;
+  update.origin = "bench";
+  update.sequence = 1;
+  t0 = clock.NowMicros();
+  Bytes record = ns::EncodeUpdate(update, &cost);
+  Micros pickle = clock.NowMicros() - t0;
+
+  // (c..d) the full engine update, whose breakdown separates log write and apply.
+  Status status = fixture.server->Set(path, value);
+  if (!status.ok()) {
+    std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+    return;
+  }
+  UpdateBreakdown breakdown = fixture.server->database().stats().last_update;
+
+  double total = static_cast<double>(breakdown.total_micros);
+  Table table({"phase", "paper (MicroVAX)", "measured (sim)", "share of update"});
+  table.AddRow({"explore virtual memory", "6 ms", Ms(static_cast<double>(explore)), "-"});
+  table.AddRow({"pickle update parameters", "22 ms", Ms(static_cast<double>(pickle)),
+                Num(100.0 * static_cast<double>(pickle) / total, "%")});
+  table.AddRow({"log entry disk write", "20 ms", Ms(static_cast<double>(breakdown.log_micros)),
+                Num(100.0 * static_cast<double>(breakdown.log_micros) / total, "%")});
+  table.AddRow({"apply to virtual memory", "6 ms",
+                Ms(static_cast<double>(breakdown.apply_micros)), "-"});
+  table.AddRow({"total update", "54 ms", Ms(total), "100%"});
+  table.Print();
+
+  std::printf("\nrecord size: %zu bytes (the paper's 22 ms / 52 us-per-byte implies ~420)\n",
+              record.size());
+
+  // Ablation: generic pickles vs a hand-written marshaller, host wall-clock. The paper
+  // pays ~40%% of each update for the generality of pickles; the same trade exists on
+  // modern hardware, just at nanosecond scale.
+  constexpr int kReps = 200'000;
+  auto wall = [&](auto&& fn) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      fn();
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start)
+               .count() /
+           static_cast<double>(kReps);
+  };
+  volatile std::size_t sink = 0;
+  double generic_ns = wall([&] { sink = PickleWrite(update).size(); });
+  double hand_ns = wall([&] { sink = HandMarshal(update).size(); });
+  (void)sink;
+
+  std::printf("\nAblation: generic pickle vs hand-coded marshaller (host wall-clock)\n");
+  Table ablation({"marshaller", "ns/record", "relative"});
+  ablation.AddRow({"generic PickleWrite (runtime framing + CRC)", Num(generic_ns, " ns"),
+                   Num(generic_ns / hand_ns, "x")});
+  ablation.AddRow({"hand-coded field writer", Num(hand_ns, " ns"), "1.0x"});
+  ablation.Print();
+  std::printf("(the paper kept the generic package: \"we benefit greatly in the "
+              "simplicity of our name server implementation\")\n");
+}
+
+}  // namespace
+}  // namespace sdb::bench
+
+int main() {
+  sdb::bench::Run();
+  return 0;
+}

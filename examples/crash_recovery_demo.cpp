@@ -1,0 +1,114 @@
+// Crash-recovery walkthrough on the simulated storage stack.
+//
+// Narrates the paper's Section 4 reliability argument with real injected failures:
+//   1. a crash during the log disk write (torn page) — the update vanishes cleanly;
+//   2. a crash just after the commit point — the update survives via log replay;
+//   3. a crash in the middle of the checkpoint switch — restart falls back to the
+//      previous generation and loses nothing.
+//
+//   build/examples/crash_recovery_demo
+#include <cstdio>
+
+#include "src/baselines/smalldb_kv.h"
+#include "src/storage/sim_env.h"
+
+using namespace sdb;
+
+namespace {
+
+std::unique_ptr<baselines::SmallDbKv> Reopen(SimEnv& env) {
+  env.fs().Crash();
+  if (Status s = env.fs().Recover(); !s.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  DatabaseOptions options;
+  options.vfs = &env.fs();
+  options.dir = "db";
+  auto db = baselines::SmallDbKv::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*db);
+}
+
+void Report(const char* key, const Result<std::string>& value) {
+  std::printf("    %-10s : %s\n", key,
+              value.ok() ? ("present = " + *value).c_str()
+                         : value.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+
+  DatabaseOptions options;
+  options.vfs = &env.fs();
+  options.dir = "db";
+  auto db = *baselines::SmallDbKv::Open(options);
+
+  std::printf("== scenario 1: power fails DURING the commit disk write ==\n");
+  (void)db->Put("safe", "committed before the crash");
+  {
+    CrashPlan plan(env.disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+    env.disk().SetFaultInjector(plan.AsInjector());
+    Status status = db->Put("doomed", "never committed");
+    std::printf("  Put(\"doomed\") returned: %s\n", status.ToString().c_str());
+    env.disk().SetFaultInjector(nullptr);
+  }
+  std::printf("  restarting (checkpoint load + log replay; the torn log page reads "
+              "back as an error and the partial entry is discarded)...\n");
+  db = Reopen(env);
+  Report("safe", db->Get("safe"));
+  Report("doomed", db->Get("doomed"));
+
+  std::printf("\n== scenario 2: power fails right AFTER the commit point ==\n");
+  {
+    Status status = db->Put("phoenix", "rises after restart");
+    std::printf("  Put(\"phoenix\") returned: %s — the log fsync completed, so this "
+                "update is committed\n",
+                status.ToString().c_str());
+    std::printf("  ...power fails immediately afterwards (nothing else reached the "
+                "disk)\n");
+  }
+  db = Reopen(env);
+  Report("phoenix", db->Get("phoenix"));
+  std::printf("  (an update whose log write completed is always completed at "
+              "restart: the commit point is the disk write)\n");
+
+  std::printf("\n== scenario 3: power fails in the middle of a checkpoint ==\n");
+  std::printf("  before: generation %llu, log holds the updates above\n",
+              static_cast<unsigned long long>(db->database().current_version()));
+  {
+    CrashPlan plan(env.disk().next_durable_op_sequence() + 2, FaultAction::kCrashBefore);
+    env.disk().SetFaultInjector(plan.AsInjector());
+    Status status = db->Checkpoint();
+    std::printf("  Checkpoint() returned: %s\n", status.ToString().c_str());
+    env.disk().SetFaultInjector(nullptr);
+  }
+  db = Reopen(env);
+  std::printf("  after restart: generation %llu (the interrupted switch was rolled "
+              "back; stray files deleted)\n",
+              static_cast<unsigned long long>(db->database().current_version()));
+  Report("safe", db->Get("safe"));
+  Report("phoenix", db->Get("phoenix"));
+
+  std::printf("\n== and a checkpoint that completes ==\n");
+  if (Status s = db->Checkpoint(); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  db = Reopen(env);
+  std::printf("  after restart: generation %llu, %llu log entries replayed (log was "
+              "reset by the checkpoint)\n",
+              static_cast<unsigned long long>(db->database().current_version()),
+              static_cast<unsigned long long>(
+                  db->database().stats().restart.entries_replayed));
+  Report("safe", db->Get("safe"));
+  Report("phoenix", db->Get("phoenix"));
+  return 0;
+}

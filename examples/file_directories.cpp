@@ -1,0 +1,82 @@
+// The paper's fourth motivating database: "file directories" — a file-system metadata
+// service on the engine, demonstrating two-path rename as a single-shot transaction.
+//
+//   build/examples/file_directories
+//
+// Like the other examples this runs on the real file system (./dirsvc-data) and
+// recovers its state on every run.
+#include <cstdio>
+
+#include "src/dirsvc/directory_service.h"
+#include "src/storage/posix_fs.h"
+
+using namespace sdb;
+
+namespace {
+
+void Tree(dirsvc::DirectoryService& svc, const std::string& path, int depth) {
+  auto names = svc.ReadDir(path);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : *names) {
+    std::string child = path.empty() ? name : path + "/" + name;
+    dirsvc::EntryAttrs attrs = *svc.Stat(child);
+    bool is_dir = attrs.type == static_cast<std::uint8_t>(dirsvc::EntryType::kDirectory);
+    std::printf("  %*s%s%s", depth * 2, "", name.c_str(), is_dir ? "/" : "");
+    if (!is_dir) {
+      std::printf("  (%llu bytes, %s)", static_cast<unsigned long long>(attrs.size),
+                  attrs.owner.c_str());
+    }
+    std::printf("\n");
+    if (is_dir) {
+      Tree(svc, child, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  PosixFs fs;
+  dirsvc::DirectoryServiceOptions options;
+  options.db.vfs = &fs;
+  options.db.dir = "dirsvc-data";
+  options.db.checkpoint_policy.every_n_updates = 200;
+
+  auto svc = dirsvc::DirectoryService::Open(std::move(options));
+  if (!svc.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", svc.status().ToString().c_str());
+    return 1;
+  }
+  dirsvc::DirectoryService& dirs = **svc;
+
+  std::printf("recovered %llu entries from disk\n\n",
+              static_cast<unsigned long long>(dirs.entry_count()));
+
+  auto show = [](const char* what, const Status& status) {
+    std::printf("  %-40s -> %s\n", what, status.ToString().c_str());
+  };
+  std::uint64_t now = 1700000000;
+  show("MkDir projects", dirs.MkDir("projects", "alice", now));
+  show("MkDir projects/smalldb", dirs.MkDir("projects/smalldb", "alice", now));
+  show("CreateFile .../engine.cc (12 KB)",
+       dirs.CreateFile("projects/smalldb/engine.cc", "alice", 12288, now));
+  show("CreateFile .../draft.txt", dirs.CreateFile("projects/draft.txt", "alice", 640, now));
+  show("MkDir archive", dirs.MkDir("archive", "alice", now));
+
+  std::printf("\nsingle-shot two-path transaction: Rename(projects/draft.txt, "
+              "archive/paper-v1.txt)\n");
+  show("Rename",
+       dirs.Rename("projects/draft.txt", "archive/paper-v1.txt"));
+  std::printf("\nprecondition failures never reach the log:\n");
+  show("Rename archive -> projects/smalldb (occupied, non-empty)",
+       dirs.Rename("archive", "projects/smalldb"));
+  show("Unlink projects (not empty)", dirs.Unlink("projects"));
+
+  std::printf("\ncurrent tree:\n");
+  Tree(dirs, "", 0);
+
+  std::printf("\n(run me again — everything persists through checkpoint + log)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The paper's example application: a name server mapping string names to values,
+// where the namespace is a tree with string-labelled arcs (a tree of hash tables on
+// the managed typed heap).
+//
+//   build/examples/nameserver_demo
+//
+// Demonstrates enquiries, browsing, updates, subtree removal, checkpointing, and
+// recovery across restarts — all on the real file system in ./nameserver-data.
+#include <cstdio>
+
+#include "src/nameserver/name_server.h"
+#include "src/storage/posix_fs.h"
+
+namespace {
+
+void Show(const char* label, const sdb::Status& status) {
+  std::printf("  %-40s -> %s\n", label, status.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  sdb::PosixFs fs;
+
+  sdb::ns::NameServerOptions options;
+  options.db.vfs = &fs;
+  options.db.dir = "nameserver-data";
+  options.replica_id = "demo-server";
+
+  auto server = sdb::ns::NameServer::Open(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  sdb::ns::NameServer& ns = **server;
+
+  auto replayed = ns.database().stats().restart.entries_replayed;
+  if (replayed > 0 || ns.database().current_version() > 1) {
+    std::printf("recovered existing database (generation %llu, %llu log entries "
+                "replayed)\n\n",
+                static_cast<unsigned long long>(ns.database().current_version()),
+                static_cast<unsigned long long>(replayed));
+  }
+
+  std::printf("binding names (each update = precondition check, one fsync'd log "
+              "append, in-memory apply):\n");
+  Show("Set hosts/alpha = 10.0.0.1", ns.Set("hosts/alpha", "10.0.0.1"));
+  Show("Set hosts/beta  = 10.0.0.2", ns.Set("hosts/beta", "10.0.0.2"));
+  Show("Set services/web/primary = alpha:80", ns.Set("services/web/primary", "alpha:80"));
+  Show("Set services/web/backup  = beta:80", ns.Set("services/web/backup", "beta:80"));
+  Show("Set services/mail/mx = alpha:25", ns.Set("services/mail/mx", "alpha:25"));
+
+  std::printf("\nenquiries (pure virtual-memory lookups; the disk is not involved):\n");
+  for (const char* path : {"hosts/alpha", "services/web/primary"}) {
+    auto value = ns.Lookup(path);
+    std::printf("  Lookup %-24s = %s\n", path,
+                value.ok() ? value->c_str() : value.status().ToString().c_str());
+  }
+
+  std::printf("\nbrowsing the tree of hash tables:\n");
+  for (const char* dir : {"", "services", "services/web"}) {
+    auto labels = ns.List(dir);
+    std::printf("  List \"%s\": ", dir);
+    if (labels.ok()) {
+      for (const std::string& label : *labels) {
+        std::printf("%s ", label.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nremoving a whole subtree (\"update operations for any set of "
+              "sub-trees\"):\n");
+  Show("Remove services/mail", ns.Remove("services/mail"));
+  Show("Lookup services/mail/mx now", ns.Lookup("services/mail/mx").status());
+
+  std::printf("\nprecondition failure leaves no trace in the log:\n");
+  Show("Remove no/such/name", ns.Remove("no/such/name"));
+
+  std::printf("\ncheckpointing (PickleWrite of the whole heap graph, then the atomic "
+              "version switch):\n");
+  Show("Checkpoint", ns.Checkpoint());
+  std::printf("  now at generation %llu with an empty log\n",
+              static_cast<unsigned long long>(ns.database().current_version()));
+
+  std::printf("\nrun me again: everything above is recovered from checkpoint + log.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: a durable key-value map in a dozen lines.
+//
+// SmallDbKv is the library's ready-made key-value application: an in-memory
+// std::map made durable with the paper's redo log + checkpoint design. This example
+// runs on the real file system (PosixFs) in ./quickstart-data.
+//
+//   build/examples/quickstart
+//
+// Run it twice: the second run recovers the first run's state by loading the
+// checkpoint and replaying the log.
+#include <cstdio>
+
+#include "src/baselines/smalldb_kv.h"
+#include "src/storage/posix_fs.h"
+
+int main() {
+  sdb::PosixFs fs;
+
+  sdb::DatabaseOptions options;
+  options.vfs = &fs;
+  options.dir = "quickstart-data";
+  // Automatic checkpoint once the log holds 64 KB (the paper would say: nightly).
+  options.checkpoint_policy.log_bytes_threshold = 64 * 1024;
+
+  auto db = sdb::baselines::SmallDbKv::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reads are pure in-memory lookups; writes are committed by one fsync'd log append.
+  auto previous = (*db)->Get("visits");
+  long visits = previous.ok() ? std::strtol(previous->c_str(), nullptr, 10) : 0;
+  std::printf("previous visits recorded: %ld\n", visits);
+
+  if (sdb::Status s = (*db)->Put("visits", std::to_string(visits + 1)); !s.ok()) {
+    std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (sdb::Status s = (*db)->Put("greeting", "hello from smalldb"); !s.ok()) {
+    std::fprintf(stderr, "put failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("now stored:\n");
+  std::vector<std::string> keys = *(*db)->Keys();
+  for (const std::string& key : keys) {
+    std::printf("  %-10s = %s\n", key.c_str(), (*db)->Get(key)->c_str());
+  }
+
+  // An explicit checkpoint: writes checkpoint<N+1>, empties the log, and atomically
+  // switches the version file — the paper's Section 3 sequence.
+  if (sdb::Status s = (*db)->Checkpoint(); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpointed; database is now generation %llu\n",
+              static_cast<unsigned long long>((*db)->database().current_version()));
+  std::printf("run me again — the count survives restarts.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// sdb_inspect: offline inspection of a smalldb database directory.
+//
+//   build/examples/sdb_inspect <dir>
+//
+// Resolves the current generation (without modifying anything), verifies the
+// checkpoint envelope and every log entry, and prints the directory's state — the
+// operational tool you reach for before a backup or after suspicious hardware noise.
+#include <cstdio>
+
+#include "src/core/audit.h"
+#include "src/core/integrity.h"
+#include "src/storage/posix_fs.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <database-dir>\n", argv[0]);
+    return 2;
+  }
+  sdb::PosixFs fs;
+  std::string dir = argv[1];
+
+  auto report = sdb::VerifyDatabaseDir(fs, dir);
+  if (!report.ok()) {
+    std::fprintf(stderr, "cannot inspect %s: %s\n", dir.c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("database directory: %s\n", dir.c_str());
+  std::printf("  current generation : %llu%s\n",
+              static_cast<unsigned long long>(report->version),
+              report->pending_switch ? "  (committed switch pending cleanup)" : "");
+  std::printf("  checkpoint         : %s, %llu bytes, pickled type '%s'\n",
+              report->checkpoint_ok ? "OK" : "DAMAGED",
+              static_cast<unsigned long long>(report->checkpoint_bytes),
+              report->checkpoint_type.c_str());
+  std::printf("  log                : %s, %llu entries, %llu bytes%s\n",
+              report->log_ok ? "OK" : "DAMAGED",
+              static_cast<unsigned long long>(report->log_entries),
+              static_cast<unsigned long long>(report->log_bytes),
+              report->log_has_partial_tail ? "  (torn tail: will be discarded at replay)"
+                                           : "");
+  if (report->log_damaged_entries > 0) {
+    std::printf("  damaged log entries: %llu (open with skip_damaged_log_entries, or "
+                "restore from a replica)\n",
+                static_cast<unsigned long long>(report->log_damaged_entries));
+  }
+  if (report->previous_version.has_value()) {
+    std::printf("  previous generation: %llu retained (hard-error fallback available)\n",
+                static_cast<unsigned long long>(*report->previous_version));
+  }
+  if (!report->audit_logs.empty()) {
+    std::printf("  audit trail        : %zu retained log(s):", report->audit_logs.size());
+    for (std::uint64_t version : report->audit_logs) {
+      std::printf(" audit%llu", static_cast<unsigned long long>(version));
+    }
+    std::printf("\n");
+  }
+  for (const std::string& problem : report->problems) {
+    std::printf("  problem            : %s\n", problem.c_str());
+  }
+  std::printf("verdict: %s\n", report->healthy() ? "HEALTHY" : "NEEDS ATTENTION");
+  return report->healthy() ? 0 : 1;
+}

@@ -1,0 +1,269 @@
+#include "src/baselines/adhoc_page_db.h"
+
+#include "src/common/crc.h"
+
+namespace sdb::baselines {
+namespace {
+
+constexpr std::uint8_t kSlotFree = 0;
+constexpr std::uint8_t kSlotHead = 1;
+constexpr std::uint8_t kSlotContinuation = 2;
+constexpr std::uint32_t kNoContinuation = 0xFFFF;
+
+}  // namespace
+
+std::string AdHocPageDb::DataPath() const { return JoinPath(dir_, "data.adhoc"); }
+
+Result<std::unique_ptr<AdHocPageDb>> AdHocPageDb::Open(Vfs& vfs, std::string dir,
+                                                       bool lenient) {
+  std::unique_ptr<AdHocPageDb> db(new AdHocPageDb(vfs, std::move(dir), lenient));
+  SDB_RETURN_IF_ERROR(vfs.CreateDir(db->dir_));
+  SDB_ASSIGN_OR_RETURN(db->file_, vfs.Open(db->DataPath(), OpenMode::kCreate));
+  SDB_RETURN_IF_ERROR(db->file_->Sync());
+  SDB_RETURN_IF_ERROR(vfs.SyncDir(db->dir_));
+  SDB_RETURN_IF_ERROR(db->LoadIndex());
+  return db;
+}
+
+Status AdHocPageDb::LoadIndex() {
+  index_.clear();
+  chains_.clear();
+  free_slots_.clear();
+  SDB_ASSIGN_OR_RETURN(std::uint64_t size, file_->Size());
+  slots_ = size / kSlotSize;
+
+  struct RawSlot {
+    std::uint8_t used;
+    std::string key;
+    std::string fragment;
+    std::uint32_t continuation;
+  };
+  std::vector<RawSlot> raw(static_cast<std::size_t>(slots_));
+
+  for (std::uint32_t s = 0; s < slots_; ++s) {
+    RawSlot& slot = raw[s];
+    slot.used = kSlotFree;
+
+    Result<Bytes> slot_read = file_->ReadAt(std::uint64_t{s} * kSlotSize, kSlotSize);
+    if (!slot_read.ok()) {
+      if (lenient_ && slot_read.status().Is(ErrorCode::kUnreadable)) {
+        free_slots_.push_back(s);
+        continue;
+      }
+      return slot_read.status();
+    }
+    Bytes& slot_bytes = *slot_read;
+    if (slot_bytes.size() != kSlotSize) {
+      return CorruptionError("short slot read");
+    }
+    ByteReader in(AsSpan(slot_bytes));
+    SDB_ASSIGN_OR_RETURN(slot.used, in.ReadU8());
+    SDB_ASSIGN_OR_RETURN(std::uint8_t key_len, in.ReadU8());
+    SDB_ASSIGN_OR_RETURN(std::uint16_t frag_len, in.ReadU16());
+    SDB_ASSIGN_OR_RETURN(std::uint16_t continuation, in.ReadU16());
+    SDB_ASSIGN_OR_RETURN(std::uint32_t stored_crc, in.ReadU32());
+    if (slot.used == kSlotFree) {
+      free_slots_.push_back(s);
+      continue;
+    }
+    Status bad = OkStatus();
+    if (slot.used != kSlotHead && slot.used != kSlotContinuation) {
+      bad = CorruptionError("slot " + std::to_string(s) + " has invalid tag");
+    } else if (key_len + frag_len > kSlotDataCapacity) {
+      bad = CorruptionError("slot " + std::to_string(s) + " has oversized contents");
+    } else {
+      ByteSpan data(slot_bytes.data() + kSlotHeaderSize, kSlotDataCapacity);
+      std::uint32_t actual_crc = Crc32c(data.subspan(0, key_len + frag_len));
+      if (UnmaskCrc(stored_crc) != actual_crc) {
+        bad = CorruptionError("slot " + std::to_string(s) + " CRC mismatch (torn update?)");
+      } else {
+        slot.key.assign(AsStringView(data.subspan(0, key_len)));
+        slot.fragment.assign(AsStringView(data.subspan(key_len, frag_len)));
+        slot.continuation = continuation;
+      }
+    }
+    if (!bad.ok()) {
+      if (!lenient_) {
+        return bad;
+      }
+      slot.used = kSlotFree;
+      free_slots_.push_back(s);
+    }
+  }
+
+  // Stitch chains.
+  for (std::uint32_t s = 0; s < slots_; ++s) {
+    if (raw[s].used != kSlotHead) {
+      continue;
+    }
+    std::string value = raw[s].fragment;
+    std::vector<std::uint32_t> chain{s};
+    std::uint32_t next = raw[s].continuation;
+    bool broken = false;
+    while (next != kNoContinuation) {
+      if (next >= slots_ || raw[next].used != kSlotContinuation) {
+        if (lenient_) {
+          broken = true;
+          break;
+        }
+        return CorruptionError("broken continuation chain at slot " + std::to_string(next));
+      }
+      value += raw[next].fragment;
+      chain.push_back(next);
+      next = raw[next].continuation;
+    }
+    if (broken) {
+      continue;  // drop the key; WAL replay will rewrite it
+    }
+    chains_[raw[s].key] = std::move(chain);
+    index_[raw[s].key] = IndexEntry{s, std::move(value)};
+  }
+  return OkStatus();
+}
+
+Result<std::vector<std::uint32_t>> AdHocPageDb::ChainOf(std::string_view key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    return NotFoundError("no such key: " + std::string(key));
+  }
+  return it->second;
+}
+
+Result<std::uint32_t> AdHocPageDb::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  std::uint32_t slot = static_cast<std::uint32_t>(slots_);
+  ++slots_;
+  return slot;
+}
+
+Status AdHocPageDb::WriteSlot(std::uint32_t slot, std::uint8_t used, std::string_view key,
+                              std::string_view fragment, std::uint32_t continuation) {
+  if (key.size() + fragment.size() > kSlotDataCapacity) {
+    return InternalError("slot contents oversized");
+  }
+  ByteWriter out;
+  out.PutU8(used);
+  out.PutU8(static_cast<std::uint8_t>(key.size()));
+  out.PutU16(static_cast<std::uint16_t>(fragment.size()));
+  out.PutU16(static_cast<std::uint16_t>(continuation));
+  Bytes data;
+  data.reserve(kSlotDataCapacity);
+  data.insert(data.end(), key.begin(), key.end());
+  data.insert(data.end(), fragment.begin(), fragment.end());
+  out.PutU32(MaskCrc(Crc32c(AsSpan(data))));
+  data.resize(kSlotDataCapacity, 0);
+  out.PutBytes(AsSpan(data));
+  return file_->WriteAt(std::uint64_t{slot} * kSlotSize, AsSpan(out.buffer()));
+}
+
+Status AdHocPageDb::FreeSlotOnDisk(std::uint32_t slot) {
+  Bytes zeros(kSlotSize, 0);
+  SDB_RETURN_IF_ERROR(file_->WriteAt(std::uint64_t{slot} * kSlotSize, AsSpan(zeros)));
+  free_slots_.push_back(slot);
+  return OkStatus();
+}
+
+Result<std::string> AdHocPageDb::Get(std::string_view key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return NotFoundError("no such key: " + std::string(key));
+  }
+  return it->second.value;
+}
+
+Status AdHocPageDb::Put(std::string_view key, std::string_view value) {
+  if (key.size() > 255) {
+    return InvalidArgumentError("key too long");
+  }
+  // Reuse the existing chain's slots where possible, extending or freeing as needed —
+  // the overwrite-in-place discipline. The fragments are written front to back with a
+  // single fsync at the end; a crash mid-sequence leaves a mixed old/new chain, which
+  // is the vulnerability this baseline exists to demonstrate.
+  std::vector<std::uint32_t> old_chain;
+  if (auto chain = ChainOf(key); chain.ok()) {
+    old_chain = std::move(*chain);
+  }
+
+  // Split the value into fragments: the head slot also carries the key.
+  std::vector<std::string_view> fragments;
+  std::size_t head_capacity = kSlotDataCapacity - key.size();
+  std::size_t offset = std::min(head_capacity, value.size());
+  fragments.push_back(value.substr(0, offset));
+  while (offset < value.size()) {
+    std::size_t take = std::min(kSlotDataCapacity, value.size() - offset);
+    fragments.push_back(value.substr(offset, take));
+    offset += take;
+  }
+
+  std::vector<std::uint32_t> new_chain;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    if (i < old_chain.size()) {
+      new_chain.push_back(old_chain[i]);
+    } else {
+      SDB_ASSIGN_OR_RETURN(std::uint32_t fresh, AllocateSlot());
+      new_chain.push_back(fresh);
+    }
+  }
+
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    std::uint32_t continuation =
+        (i + 1 < new_chain.size()) ? new_chain[i + 1] : kNoContinuation;
+    if (i == 0) {
+      SDB_RETURN_IF_ERROR(WriteSlot(new_chain[i], kSlotHead, key, fragments[i], continuation));
+    } else {
+      SDB_RETURN_IF_ERROR(
+          WriteSlot(new_chain[i], kSlotContinuation, "", fragments[i], continuation));
+    }
+  }
+  for (std::size_t i = fragments.size(); i < old_chain.size(); ++i) {
+    SDB_RETURN_IF_ERROR(FreeSlotOnDisk(old_chain[i]));
+  }
+  SDB_RETURN_IF_ERROR(file_->Sync());
+
+  chains_[std::string(key)] = std::move(new_chain);
+  index_[std::string(key)] = IndexEntry{chains_[std::string(key)].front(), std::string(value)};
+  return OkStatus();
+}
+
+Status AdHocPageDb::Delete(std::string_view key) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::uint32_t> chain, ChainOf(key));
+  for (std::uint32_t slot : chain) {
+    SDB_RETURN_IF_ERROR(FreeSlotOnDisk(slot));
+  }
+  SDB_RETURN_IF_ERROR(file_->Sync());
+  chains_.erase(chains_.find(key));
+  index_.erase(index_.find(key));
+  return OkStatus();
+}
+
+Result<std::vector<std::string>> AdHocPageDb::Keys() {
+  std::vector<std::string> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, entry] : index_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+Status AdHocPageDb::Verify() {
+  // Verification is always strict, even for an instance opened leniently: it answers
+  // "can the on-disk image be trusted as-is?".
+  bool saved = lenient_;
+  lenient_ = false;
+  Status status = LoadIndex();
+  lenient_ = saved;
+  if (!status.ok() && saved) {
+    // Keep the object usable for its owner (WalCommitDb) by reloading leniently.
+    Status reload = LoadIndex();
+    if (!reload.ok()) {
+      return reload;
+    }
+  }
+  return status;
+}
+
+}  // namespace sdb::baselines

@@ -1,0 +1,85 @@
+// AdHocPageDb: the paper's second comparison technique — the custom on-disk layout
+// with update-in-place.
+//
+// "The corresponding databases in larger scale operating systems are often implemented
+// by ad hoc schemes, involving a custom designed data representation in a disk file,
+// and specialized code for accessing and modifying the data ... updates are typically
+// performed by overwriting existing data in place. This leaves the database quite
+// vulnerable to transient errors ... particularly true if the update modifies multiple
+// pages." (Section 2)
+//
+// Layout: a file of fixed 256-byte slots, two per 512-byte disk page. A record whose
+// value exceeds one slot spans continuation slots — and updating it rewrites several
+// pages in place with no atomicity, which is exactly the multi-page vulnerability the
+// crash experiments demonstrate. Each slot carries a CRC so Verify() can detect (but
+// not repair) the damage.
+#ifndef SMALLDB_SRC_BASELINES_ADHOC_PAGE_DB_H_
+#define SMALLDB_SRC_BASELINES_ADHOC_PAGE_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/kv_interface.h"
+#include "src/storage/vfs.h"
+
+namespace sdb::baselines {
+
+class AdHocPageDb final : public KvDatabase {
+ public:
+  static constexpr std::size_t kSlotSize = 256;
+  // Header: u8 used(1=head,2=continuation) | u8 key length | u16 fragment length |
+  //         u16 continuation slot (0xFFFF none) | u32 masked CRC of the rest.
+  static constexpr std::size_t kSlotHeaderSize = 1 + 1 + 2 + 2 + 4;
+  static constexpr std::size_t kSlotDataCapacity = kSlotSize - kSlotHeaderSize;
+
+  // With `lenient` set, damaged slots and broken chains are dropped instead of failing
+  // the open — the mode WalCommitDb uses before replaying its write-ahead log over the
+  // data file.
+  static Result<std::unique_ptr<AdHocPageDb>> Open(Vfs& vfs, std::string dir,
+                                                   bool lenient = false);
+
+  Result<std::string> Get(std::string_view key) override;
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Delete(std::string_view key) override;
+  Result<std::vector<std::string>> Keys() override;
+
+  // Rescans every slot from disk, checking CRCs and chain integrity. Returns
+  // kCorruption after a torn in-place update — the "restore from backup" moment.
+  Status Verify() override;
+
+  std::string name() const override { return "adhoc"; }
+
+  std::uint64_t slot_count() const { return slots_; }
+
+ private:
+  struct IndexEntry {
+    std::uint32_t head_slot = 0;
+    std::string value;  // cached (reads never touch the disk after open)
+  };
+
+  AdHocPageDb(Vfs& vfs, std::string dir, bool lenient)
+      : vfs_(vfs), dir_(std::move(dir)), lenient_(lenient) {}
+
+  Status LoadIndex();
+  Result<std::vector<std::uint32_t>> ChainOf(std::string_view key) const;
+  Result<std::uint32_t> AllocateSlot();
+  Status WriteSlot(std::uint32_t slot, std::uint8_t used, std::string_view key,
+                   std::string_view fragment, std::uint32_t continuation);
+  Status FreeSlotOnDisk(std::uint32_t slot);
+  std::string DataPath() const;
+
+  Vfs& vfs_;
+  std::string dir_;
+  bool lenient_ = false;
+  std::unique_ptr<File> file_;
+  std::uint64_t slots_ = 0;
+  std::map<std::string, IndexEntry, std::less<>> index_;
+  std::map<std::string, std::vector<std::uint32_t>, std::less<>> chains_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace sdb::baselines
+
+#endif  // SMALLDB_SRC_BASELINES_ADHOC_PAGE_DB_H_

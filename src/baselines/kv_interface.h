@@ -1,0 +1,35 @@
+// KvDatabase: a uniform key-value interface implemented by each of the paper's
+// Section 2 comparison techniques and by the paper's own design, so the technique-
+// comparison experiment (E7) measures all four against identical workloads on the same
+// simulated disk.
+#ifndef SMALLDB_SRC_BASELINES_KV_INTERFACE_H_
+#define SMALLDB_SRC_BASELINES_KV_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb::baselines {
+
+class KvDatabase {
+ public:
+  virtual ~KvDatabase() = default;
+
+  virtual Result<std::string> Get(std::string_view key) = 0;
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+  virtual Result<std::vector<std::string>> Keys() = 0;
+
+  // Crash-safety self-check: rescans durable structures and reports kCorruption if the
+  // database cannot be trusted (the ad-hoc technique fails this after a torn
+  // multi-page update; the others never should).
+  virtual Status Verify() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace sdb::baselines
+
+#endif  // SMALLDB_SRC_BASELINES_KV_INTERFACE_H_

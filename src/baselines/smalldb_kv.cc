@@ -1,0 +1,120 @@
+#include "src/baselines/smalldb_kv.h"
+
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb::baselines {
+namespace {
+
+struct KvUpdate {
+  std::uint8_t op = 0;  // 1 = put, 2 = delete
+  std::string key;
+  std::string value;
+
+  SDB_PICKLE_FIELDS(KvUpdate, op, key, value)
+};
+
+struct KvState {
+  std::map<std::string, std::string, std::less<>> records;
+
+  SDB_PICKLE_FIELDS(KvState, records)
+};
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+
+}  // namespace
+
+Result<std::unique_ptr<SmallDbKv>> SmallDbKv::Open(DatabaseOptions options,
+                                                   const CostModel* cost) {
+  std::unique_ptr<SmallDbKv> kv(new SmallDbKv(cost));
+  SDB_ASSIGN_OR_RETURN(kv->db_, Database::Open(*kv, options));
+  return kv;
+}
+
+Result<std::unique_ptr<SmallDbKv>> SmallDbKv::OpenReadOnly(DatabaseOptions options,
+                                                           const CostModel* cost) {
+  std::unique_ptr<SmallDbKv> kv(new SmallDbKv(cost));
+  SDB_ASSIGN_OR_RETURN(kv->db_, Database::OpenReadOnly(*kv, options));
+  return kv;
+}
+
+Result<std::string> SmallDbKv::Get(std::string_view key) {
+  Result<std::string> value = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, key, &value] {
+    auto it = state_.find(key);
+    value = (it == state_.end())
+                ? Result<std::string>(NotFoundError("no such key: " + std::string(key)))
+                : Result<std::string>(it->second);
+    return OkStatus();
+  }));
+  return value;
+}
+
+Status SmallDbKv::Put(std::string_view key, std::string_view value) {
+  return db_->Update([this, key, value]() -> Result<Bytes> {
+    KvUpdate update{kOpPut, std::string(key), std::string(value)};
+    return PickleWrite(update, cost_);
+  });
+}
+
+Status SmallDbKv::Delete(std::string_view key) {
+  return db_->Update([this, key]() -> Result<Bytes> {
+    if (state_.find(key) == state_.end()) {
+      return NotFoundError("no such key: " + std::string(key));
+    }
+    KvUpdate update{kOpDelete, std::string(key), ""};
+    return PickleWrite(update, cost_);
+  });
+}
+
+Result<std::vector<std::string>> SmallDbKv::Keys() {
+  std::vector<std::string> keys;
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, &keys] {
+    keys.reserve(state_.size());
+    for (const auto& [key, value] : state_) {
+      keys.push_back(key);
+    }
+    return OkStatus();
+  }));
+  return keys;
+}
+
+Status SmallDbKv::Verify() {
+  // The engine's recovery protocol validates everything (CRC-framed log entries,
+  // CRC-enveloped checkpoints) at open; a live instance is consistent by construction.
+  return OkStatus();
+}
+
+Status SmallDbKv::ResetState() {
+  state_.clear();
+  return OkStatus();
+}
+
+Result<Bytes> SmallDbKv::SerializeState() {
+  KvState snapshot;
+  snapshot.records = state_;
+  return PickleWrite(snapshot, cost_);
+}
+
+Status SmallDbKv::DeserializeState(ByteSpan data) {
+  SDB_ASSIGN_OR_RETURN(KvState snapshot, PickleRead<KvState>(data, cost_));
+  state_ = std::move(snapshot.records);
+  return OkStatus();
+}
+
+Status SmallDbKv::ApplyUpdate(ByteSpan record) {
+  SDB_ASSIGN_OR_RETURN(KvUpdate update, PickleRead<KvUpdate>(record, cost_));
+  switch (update.op) {
+    case kOpPut:
+      state_.insert_or_assign(std::move(update.key), std::move(update.value));
+      return OkStatus();
+    case kOpDelete:
+      state_.erase(update.key);
+      return OkStatus();
+    default:
+      return CorruptionError("unknown kv update op");
+  }
+}
+
+}  // namespace sdb::baselines

@@ -1,0 +1,57 @@
+// SmallDbKv: the paper's design behind the same KvDatabase interface as the Section 2
+// baselines — a main-memory map made durable by the core engine's log + checkpoint.
+// One disk write per update, enquiries never touch the disk.
+#ifndef SMALLDB_SRC_BASELINES_SMALLDB_KV_H_
+#define SMALLDB_SRC_BASELINES_SMALLDB_KV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/baselines/kv_interface.h"
+#include "src/core/database.h"
+
+namespace sdb::baselines {
+
+class SmallDbKv final : public KvDatabase, public Application {
+ public:
+  // `options.vfs` and `options.dir` must be set; other engine options pass through
+  // (checkpoint policy, retention, recovery modes).
+  static Result<std::unique_ptr<SmallDbKv>> Open(DatabaseOptions options,
+                                                 const CostModel* cost = nullptr);
+
+  // Read-only open of an existing database: Gets and Keys work; Put/Delete/Checkpoint
+  // fail with kFailedPrecondition; the directory is never modified.
+  static Result<std::unique_ptr<SmallDbKv>> OpenReadOnly(DatabaseOptions options,
+                                                         const CostModel* cost = nullptr);
+
+  ~SmallDbKv() override = default;
+
+  // --- KvDatabase ---
+  Result<std::string> Get(std::string_view key) override;
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Delete(std::string_view key) override;
+  Result<std::vector<std::string>> Keys() override;
+  Status Verify() override;
+  std::string name() const override { return "smalldb"; }
+
+  Status Checkpoint() { return db_->Checkpoint(); }
+  Database& database() { return *db_; }
+
+  // --- Application ---
+  Status ResetState() override;
+  Result<Bytes> SerializeState() override;
+  Status DeserializeState(ByteSpan data) override;
+  Status ApplyUpdate(ByteSpan record) override;
+
+ private:
+  explicit SmallDbKv(const CostModel* cost) : cost_(cost) {}
+
+  const CostModel* cost_;
+  std::map<std::string, std::string, std::less<>> state_;
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace sdb::baselines
+
+#endif  // SMALLDB_SRC_BASELINES_SMALLDB_KV_H_

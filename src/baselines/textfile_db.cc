@@ -1,0 +1,143 @@
+#include "src/baselines/textfile_db.h"
+
+namespace sdb::baselines {
+namespace {
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 1 == escaped.size()) {
+      return CorruptionError("dangling escape in text database");
+    }
+    switch (escaped[++i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        return CorruptionError("unknown escape in text database");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextFileDb::DataPath() const { return JoinPath(dir_, "data.txt"); }
+
+Result<std::unique_ptr<TextFileDb>> TextFileDb::Open(Vfs& vfs, std::string dir) {
+  std::unique_ptr<TextFileDb> db(new TextFileDb(vfs, std::move(dir)));
+  SDB_RETURN_IF_ERROR(vfs.CreateDir(db->dir_));
+  SDB_ASSIGN_OR_RETURN(bool exists, vfs.Exists(db->DataPath()));
+  if (!exists) {
+    SDB_RETURN_IF_ERROR(AtomicWriteFile(vfs, db->dir_, db->DataPath(), ByteSpan{}));
+  }
+  SDB_RETURN_IF_ERROR(db->Load());
+  return db;
+}
+
+Status TextFileDb::Load() {
+  records_.clear();
+  SDB_ASSIGN_OR_RETURN(Bytes raw, ReadWholeFile(vfs_, DataPath()));
+  std::string_view text = AsStringView(AsSpan(raw));
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      return CorruptionError("text database missing final newline");
+    }
+    std::string_view line = text.substr(begin, end - begin);
+    std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return CorruptionError("text database line missing separator");
+    }
+    SDB_ASSIGN_OR_RETURN(std::string key, Unescape(line.substr(0, tab)));
+    SDB_ASSIGN_OR_RETURN(std::string value, Unescape(line.substr(tab + 1)));
+    records_.insert_or_assign(std::move(key), std::move(value));
+    begin = end + 1;
+  }
+  return OkStatus();
+}
+
+Status TextFileDb::RewriteWholeFile() {
+  std::string text;
+  for (const auto& [key, value] : records_) {
+    text += Escape(key);
+    text.push_back('\t');
+    text += Escape(value);
+    text.push_back('\n');
+  }
+  SDB_RETURN_IF_ERROR(AtomicWriteFile(vfs_, dir_, DataPath(), AsSpan(text)));
+  ++rewrites_;
+  return OkStatus();
+}
+
+Result<std::string> TextFileDb::Get(std::string_view key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return NotFoundError("no such key: " + std::string(key));
+  }
+  return it->second;
+}
+
+Status TextFileDb::Put(std::string_view key, std::string_view value) {
+  records_.insert_or_assign(std::string(key), std::string(value));
+  return RewriteWholeFile();
+}
+
+Status TextFileDb::Delete(std::string_view key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    return NotFoundError("no such key: " + std::string(key));
+  }
+  records_.erase(it);
+  return RewriteWholeFile();
+}
+
+Result<std::vector<std::string>> TextFileDb::Keys() {
+  std::vector<std::string> keys;
+  keys.reserve(records_.size());
+  for (const auto& [key, value] : records_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+Status TextFileDb::Verify() {
+  // Re-parse from disk; the atomic-rename discipline means the file is always a
+  // complete previous or complete new version.
+  return Load();
+}
+
+}  // namespace sdb::baselines

@@ -1,0 +1,53 @@
+// TextFileDb: the paper's first comparison technique — the Unix way.
+//
+// "Almost all databases are stored as ordinary text files (for example, /etc/passwd
+// ...). Whenever a program wishes to access the data it does so by reading and parsing
+// the file ... An update involves rewriting the entire file ... The reliability of
+// updates in the face of transient errors can be made quite good, by using an atomic
+// file rename operation to install a new version of the file." (Section 2)
+//
+// Format: one record per line, "key<TAB>value" with backslash escaping. Reads are
+// served from an in-memory parse (refreshed at open); every update rewrites and
+// renames the whole file.
+#ifndef SMALLDB_SRC_BASELINES_TEXTFILE_DB_H_
+#define SMALLDB_SRC_BASELINES_TEXTFILE_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/baselines/kv_interface.h"
+#include "src/storage/vfs.h"
+
+namespace sdb::baselines {
+
+class TextFileDb final : public KvDatabase {
+ public:
+  // Opens (creating if absent) the database at dir/data.txt.
+  static Result<std::unique_ptr<TextFileDb>> Open(Vfs& vfs, std::string dir);
+
+  Result<std::string> Get(std::string_view key) override;
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Delete(std::string_view key) override;
+  Result<std::vector<std::string>> Keys() override;
+  Status Verify() override;
+  std::string name() const override { return "textfile"; }
+
+  std::uint64_t rewrites() const { return rewrites_; }
+
+ private:
+  TextFileDb(Vfs& vfs, std::string dir) : vfs_(vfs), dir_(std::move(dir)) {}
+
+  Status Load();
+  Status RewriteWholeFile();
+  std::string DataPath() const;
+
+  Vfs& vfs_;
+  std::string dir_;
+  std::map<std::string, std::string, std::less<>> records_;
+  std::uint64_t rewrites_ = 0;
+};
+
+}  // namespace sdb::baselines
+
+#endif  // SMALLDB_SRC_BASELINES_TEXTFILE_DB_H_

@@ -1,0 +1,113 @@
+#include "src/baselines/wal_commit_db.h"
+
+#include "src/core/log_reader.h"
+
+namespace sdb::baselines {
+namespace {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpDelete = 2;
+
+Bytes EncodeWalEntry(std::uint8_t op, std::string_view key, std::string_view value) {
+  ByteWriter out;
+  out.PutU8(op);
+  out.PutLengthPrefixed(key);
+  out.PutLengthPrefixed(value);
+  return std::move(out).Take();
+}
+
+}  // namespace
+
+std::string WalCommitDb::WalPath() const { return JoinPath(dir_, "wal"); }
+
+Result<std::unique_ptr<WalCommitDb>> WalCommitDb::Open(Vfs& vfs, std::string dir) {
+  std::unique_ptr<WalCommitDb> db(new WalCommitDb(vfs, std::move(dir)));
+  SDB_RETURN_IF_ERROR(vfs.CreateDir(db->dir_));
+  SDB_ASSIGN_OR_RETURN(db->data_, AdHocPageDb::Open(vfs, db->dir_, /*lenient=*/true));
+
+  SDB_ASSIGN_OR_RETURN(bool wal_exists, vfs.Exists(db->WalPath()));
+  if (!wal_exists) {
+    SDB_RETURN_IF_ERROR(WriteWholeFile(vfs, db->WalPath(), ByteSpan{}));
+    SDB_RETURN_IF_ERROR(vfs.SyncDir(db->dir_));
+  }
+  SDB_RETURN_IF_ERROR(db->ReplayWal());
+
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> wal_file,
+                       vfs.Open(db->WalPath(), OpenMode::kReadWrite));
+  SDB_ASSIGN_OR_RETURN(std::uint64_t wal_size, wal_file->Size());
+  // Drop a torn tail (an update that never committed).
+  LogWriterOptions wal_options;
+  if (wal_size % wal_options.page_size != 0) {
+    wal_size = (wal_size / wal_options.page_size) * wal_options.page_size;
+    SDB_RETURN_IF_ERROR(wal_file->Truncate(wal_size));
+    SDB_RETURN_IF_ERROR(wal_file->Sync());
+  }
+  db->wal_ = std::make_unique<LogWriter>(std::move(wal_file), wal_size, wal_options);
+  return db;
+}
+
+Status WalCommitDb::ReplayWal() {
+  LogReplayOptions options;  // strict: WAL damage beyond a torn tail is fatal
+  SDB_ASSIGN_OR_RETURN(
+      LogReplayStats stats,
+      ReplayLogFile(vfs_, WalPath(), options, [this](ByteSpan payload) -> Status {
+        ByteReader in(payload);
+        SDB_ASSIGN_OR_RETURN(std::uint8_t op, in.ReadU8());
+        SDB_ASSIGN_OR_RETURN(std::string key, in.ReadLengthPrefixedString());
+        SDB_ASSIGN_OR_RETURN(std::string value, in.ReadLengthPrefixedString());
+        switch (op) {
+          case kOpPut:
+            return data_->Put(key, value);
+          case kOpDelete: {
+            Status status = data_->Delete(key);
+            if (status.Is(ErrorCode::kNotFound)) {
+              return OkStatus();  // replaying a delete twice is a no-op
+            }
+            return status;
+          }
+          default:
+            return CorruptionError("unknown WAL op");
+        }
+      }));
+  (void)stats;
+  return OkStatus();
+}
+
+Result<std::string> WalCommitDb::Get(std::string_view key) { return data_->Get(key); }
+
+Status WalCommitDb::Put(std::string_view key, std::string_view value) {
+  // Disk write 1: the commit record.
+  SDB_RETURN_IF_ERROR(wal_->AppendAndCommit(AsSpan(EncodeWalEntry(kOpPut, key, value))));
+  // Disk write 2: the actual data, in place.
+  SDB_RETURN_IF_ERROR(data_->Put(key, value));
+  return MaybeTruncateWal();
+}
+
+Status WalCommitDb::Delete(std::string_view key) {
+  if (Result<std::string> existing = data_->Get(key); !existing.ok()) {
+    return existing.status();
+  }
+  SDB_RETURN_IF_ERROR(wal_->AppendAndCommit(AsSpan(EncodeWalEntry(kOpDelete, key, ""))));
+  SDB_RETURN_IF_ERROR(data_->Delete(key));
+  return MaybeTruncateWal();
+}
+
+Result<std::vector<std::string>> WalCommitDb::Keys() { return data_->Keys(); }
+
+Status WalCommitDb::Verify() { return data_->Verify(); }
+
+Status WalCommitDb::MaybeTruncateWal() {
+  if (wal_->size() < kWalTruncateThreshold) {
+    return OkStatus();
+  }
+  // All entries are applied and the data file is synced; the WAL can start over.
+  SDB_RETURN_IF_ERROR(wal_->Close());
+  SDB_RETURN_IF_ERROR(WriteWholeFile(vfs_, WalPath(), ByteSpan{}));
+  SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> wal_file,
+                       vfs_.Open(WalPath(), OpenMode::kReadWrite));
+  wal_ = std::make_unique<LogWriter>(std::move(wal_file), 0);
+  return OkStatus();
+}
+
+}  // namespace sdb::baselines

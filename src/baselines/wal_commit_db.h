@@ -1,0 +1,56 @@
+// WalCommitDb: the paper's third comparison technique — a naive atomic commit.
+//
+// "A naive implementation of atomic commit will require two disk writes: one for the
+// commit record (and log entry) and one for updating the actual data. This is somewhat
+// more complicated than a system without atomic commit, has much better reliability,
+// and performs about a factor of two worse for updates." (Section 2)
+//
+// Structure: a write-ahead log (reusing the core log framing) in front of an in-place
+// slotted data file. Every update appends + fsyncs its WAL entry (write 1, the commit)
+// and then updates the data file in place + fsyncs (write 2). Recovery opens the data
+// file leniently and replays the WAL over it, repairing any torn in-place write. The
+// WAL is truncated once it exceeds a threshold (all entries are known applied).
+#ifndef SMALLDB_SRC_BASELINES_WAL_COMMIT_DB_H_
+#define SMALLDB_SRC_BASELINES_WAL_COMMIT_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/adhoc_page_db.h"
+#include "src/baselines/kv_interface.h"
+#include "src/core/log_writer.h"
+#include "src/storage/vfs.h"
+
+namespace sdb::baselines {
+
+class WalCommitDb final : public KvDatabase {
+ public:
+  static Result<std::unique_ptr<WalCommitDb>> Open(Vfs& vfs, std::string dir);
+
+  Result<std::string> Get(std::string_view key) override;
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Delete(std::string_view key) override;
+  Result<std::vector<std::string>> Keys() override;
+  Status Verify() override;
+  std::string name() const override { return "walcommit"; }
+
+  std::uint64_t wal_bytes() const { return wal_ != nullptr ? wal_->size() : 0; }
+
+ private:
+  WalCommitDb(Vfs& vfs, std::string dir) : vfs_(vfs), dir_(std::move(dir)) {}
+
+  Status ReplayWal();
+  Status MaybeTruncateWal();
+  std::string WalPath() const;
+
+  static constexpr std::uint64_t kWalTruncateThreshold = 1 << 20;
+
+  Vfs& vfs_;
+  std::string dir_;
+  std::unique_ptr<AdHocPageDb> data_;
+  std::unique_ptr<LogWriter> wal_;
+};
+
+}  // namespace sdb::baselines
+
+#endif  // SMALLDB_SRC_BASELINES_WAL_COMMIT_DB_H_

@@ -1,0 +1,113 @@
+#include "src/common/bytes.h"
+
+namespace sdb {
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::PutVarintSigned(std::int64_t v) {
+  // Zigzag: maps small-magnitude signed values to small unsigned values.
+  std::uint64_t encoded =
+      (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  PutVarint(encoded);
+}
+
+void ByteWriter::OverwriteU32(std::size_t offset, std::uint32_t v) {
+  for (std::size_t i = 0; i < sizeof(v); ++i) {
+    buffer_.at(offset + i) = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+template <typename T>
+Result<T> ByteReader::ReadFixed() {
+  if (remaining() < sizeof(T)) {
+    return CorruptionError("byte stream truncated reading fixed-width value");
+  }
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += sizeof(T);
+  return v;
+}
+
+Result<std::uint8_t> ByteReader::ReadU8() { return ReadFixed<std::uint8_t>(); }
+Result<std::uint16_t> ByteReader::ReadU16() { return ReadFixed<std::uint16_t>(); }
+Result<std::uint32_t> ByteReader::ReadU32() { return ReadFixed<std::uint32_t>(); }
+Result<std::uint64_t> ByteReader::ReadU64() { return ReadFixed<std::uint64_t>(); }
+
+Result<std::int64_t> ByteReader::ReadI64() {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  return static_cast<std::int64_t>(bits);
+}
+
+Result<double> ByteReader::ReadF64() {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::ReadVarint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= data_.size()) {
+      return CorruptionError("byte stream truncated reading varint");
+    }
+    std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      return v;
+    }
+  }
+  return CorruptionError("varint longer than 10 bytes");
+}
+
+Result<std::int64_t> ByteReader::ReadVarintSigned() {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t encoded, ReadVarint());
+  return static_cast<std::int64_t>((encoded >> 1) ^ (~(encoded & 1) + 1));
+}
+
+Result<ByteSpan> ByteReader::ReadBytes(std::size_t n) {
+  if (remaining() < n) {
+    return CorruptionError("byte stream truncated reading blob");
+  }
+  ByteSpan view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Result<ByteSpan> ByteReader::ReadLengthPrefixed() {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t length, ReadVarint());
+  if (length > remaining()) {
+    return CorruptionError("length prefix exceeds remaining bytes");
+  }
+  return ReadBytes(static_cast<std::size_t>(length));
+}
+
+Result<std::string> ByteReader::ReadLengthPrefixedString() {
+  SDB_ASSIGN_OR_RETURN(ByteSpan view, ReadLengthPrefixed());
+  return std::string(AsStringView(view));
+}
+
+std::string HexDump(ByteSpan data, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  out.reserve(n * 2 + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  if (n < data.size()) {
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace sdb

@@ -1,0 +1,123 @@
+// Byte-buffer primitives: Bytes (owned), ByteSpan (view), ByteWriter / ByteReader
+// (cursor-style little-endian encoders used by the pickle package, the log format and
+// the RPC marshaller).
+#ifndef SMALLDB_SRC_COMMON_BYTES_H_
+#define SMALLDB_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+inline ByteSpan AsSpan(const Bytes& bytes) { return ByteSpan(bytes.data(), bytes.size()); }
+inline ByteSpan AsSpan(std::string_view s) {
+  return ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+inline std::string_view AsStringView(ByteSpan span) {
+  return std::string_view(reinterpret_cast<const char*>(span.data()), span.size());
+}
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+// Appends little-endian fixed-width integers, varints and length-prefixed blobs to a
+// growable buffer. Writing never fails.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buffer_(std::move(initial)) {}
+
+  void PutU8(std::uint8_t v) { buffer_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutFixed(v); }
+  void PutU32(std::uint32_t v) { PutFixed(v); }
+  void PutU64(std::uint64_t v) { PutFixed(v); }
+  void PutI64(std::int64_t v) { PutFixed(static_cast<std::uint64_t>(v)); }
+  void PutF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+
+  // LEB128 unsigned varint.
+  void PutVarint(std::uint64_t v);
+  // Zigzag-encoded signed varint.
+  void PutVarintSigned(std::int64_t v);
+
+  void PutBytes(ByteSpan data) { buffer_.insert(buffer_.end(), data.begin(), data.end()); }
+  void PutBytes(std::string_view data) { PutBytes(AsSpan(data)); }
+
+  // varint length + raw bytes.
+  void PutLengthPrefixed(ByteSpan data) {
+    PutVarint(data.size());
+    PutBytes(data);
+  }
+  void PutLengthPrefixed(std::string_view data) { PutLengthPrefixed(AsSpan(data)); }
+
+  std::size_t size() const { return buffer_.size(); }
+  const Bytes& buffer() const { return buffer_; }
+  Bytes Take() && { return std::move(buffer_); }
+
+  // Overwrites previously written bytes at `offset` (used to backpatch lengths/CRCs).
+  void OverwriteU32(std::size_t offset, std::uint32_t v);
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buffer_;
+};
+
+// Consumes the encodings produced by ByteWriter. All reads are bounds-checked and
+// return Status on underflow — a truncated log entry or a torn page must surface as a
+// recoverable error, never undefined behaviour.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<std::uint64_t> ReadVarint();
+  Result<std::int64_t> ReadVarintSigned();
+
+  // Returns a view into the underlying buffer (no copy).
+  Result<ByteSpan> ReadBytes(std::size_t n);
+  Result<ByteSpan> ReadLengthPrefixed();
+  Result<std::string> ReadLengthPrefixedString();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> ReadFixed();
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+// Renders bytes as lowercase hex, for diagnostics.
+std::string HexDump(ByteSpan data, std::size_t max_bytes = 64);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_BYTES_H_

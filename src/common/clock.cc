@@ -1,0 +1,13 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace sdb {
+
+Micros WallClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace sdb

@@ -1,0 +1,84 @@
+#include "src/common/crc.h"
+
+#include <array>
+
+namespace sdb {
+namespace {
+
+// Table-driven CRC32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+// CRC64/ECMA-182 (reflected polynomial 0xC96C5795D7870F42).
+constexpr std::uint64_t kCrc64Poly = 0xC96C5795D7870F42ull;
+
+constexpr std::array<std::uint64_t, 256> MakeCrc64Table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc64Poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+const std::array<std::uint64_t, 256> kCrc64Table = MakeCrc64Table();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = kCrc32cTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed) {
+  return Crc32c(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                    data.size()),
+      seed);
+}
+
+std::uint64_t Crc64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = kCrc64Table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t Crc64(std::string_view data, std::uint64_t seed) {
+  return Crc64(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                    data.size()),
+      seed);
+}
+
+std::uint32_t MaskCrc(std::uint32_t crc) {
+  constexpr std::uint32_t kMaskDelta = 0xA282EAD8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+std::uint32_t UnmaskCrc(std::uint32_t masked) {
+  constexpr std::uint32_t kMaskDelta = 0xA282EAD8u;
+  std::uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace sdb

@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli) and CRC64 (ECMA-182) checksums.
+//
+// CRC32C frames every log entry and every SimDisk page; the paper's reliability story
+// rests on the property that a partially written page "will report an error when it is
+// read", and these checksums are how the simulated disk provides that property. CRC64
+// guards whole checkpoint images.
+#ifndef SMALLDB_SRC_COMMON_CRC_H_
+#define SMALLDB_SRC_COMMON_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sdb {
+
+// Computes CRC32C of `data`, optionally chaining from a previous crc (pass the previous
+// result to extend a running checksum).
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+std::uint32_t Crc32c(std::string_view data, std::uint32_t seed = 0);
+
+// Computes CRC64/ECMA of `data`.
+std::uint64_t Crc64(std::span<const std::uint8_t> data, std::uint64_t seed = 0);
+std::uint64_t Crc64(std::string_view data, std::uint64_t seed = 0);
+
+// A masked CRC32C, so that a CRC stored alongside the data it covers does not itself
+// look like valid data when re-CRC'd (the classic LevelDB/HDFS masking trick).
+std::uint32_t MaskCrc(std::uint32_t crc);
+std::uint32_t UnmaskCrc(std::uint32_t masked);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_CRC_H_

@@ -1,0 +1,48 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace sdb {
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(static_cast<int>(level)); }
+LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, std::string_view file, int line, std::string_view message) {
+  // Strip the path down to the basename for readability.
+  std::size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) {
+    file.remove_prefix(slash + 1);
+  }
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelTag(level), static_cast<int>(file.size()),
+               file.data(), line, static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace internal
+
+}  // namespace sdb

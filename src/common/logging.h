@@ -1,0 +1,44 @@
+// Minimal leveled diagnostic logging. Off by default except warnings/errors; tests and
+// examples can raise verbosity. Not to be confused with the database redo log.
+#ifndef SMALLDB_SRC_COMMON_LOGGING_H_
+#define SMALLDB_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace sdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+void EmitLogLine(LogLevel level, std::string_view file, int line, std::string_view message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SDB_LOG(level)                                                      \
+  if (::sdb::LogLevel::level < ::sdb::GetLogThreshold()) {                  \
+  } else                                                                    \
+    ::sdb::internal::LogMessage(::sdb::LogLevel::level, __FILE__, __LINE__).stream()
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+// Result<T>: a Status-or-value type, the return type of every fallible operation that
+// produces a value. Minimal std::expected-alike (we target C++20, so std::expected is
+// not available), with the accessor vocabulary common in systems codebases.
+#ifndef SMALLDB_SRC_COMMON_RESULT_H_
+#define SMALLDB_SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace sdb {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value (success) and from a Status (failure), so functions can
+  // `return value;` or `return SomeError(...);` directly.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  // Value accessors. Calling these on a failed Result is a programming error.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  // Dereferencing an rvalue Result yields a *value*, not a reference into the dying
+  // temporary — so `for (auto& x : *SomeCall())` is safe (the materialized prvalue is
+  // lifetime-extended by the range-for binding).
+  T operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value... inverted: non-OK iff no value.
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error status.
+#define SDB_ASSIGN_OR_RETURN(lhs, expr)                      \
+  SDB_ASSIGN_OR_RETURN_IMPL_(SDB_CONCAT_(_sdb_result_, __LINE__), lhs, expr)
+
+#define SDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SDB_CONCAT_(a, b) SDB_CONCAT_IMPL_(a, b)
+#define SDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+// Deterministic random number generation (xoshiro256**, SplitMix64 seeding).
+//
+// Crash-injection experiments and workload generators must be reproducible from a seed;
+// std::mt19937 would do, but a small self-contained generator keeps results stable
+// across standard-library versions.
+#ifndef SMALLDB_SRC_COMMON_RNG_H_
+#define SMALLDB_SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sdb {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi].
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Random lowercase-alphanumeric string of length `length`.
+  std::string NextString(std::size_t length) {
+    static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s;
+    s.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      s.push_back(kAlphabet[NextBelow(sizeof(kAlphabet) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_RNG_H_

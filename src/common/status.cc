@@ -1,0 +1,99 @@
+#include "src/common/status.h"
+
+namespace sdb {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kUnreadable:
+      return "UNREADABLE";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kOutOfSpace:
+      return "OUT_OF_SPACE";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) {
+    return *this;
+  }
+  std::string combined(context);
+  combined += ": ";
+  combined += message_;
+  return Status(code_, std::move(combined));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status OkStatus() { return Status(); }
+Status NotFoundError(std::string_view message) {
+  return Status(ErrorCode::kNotFound, std::string(message));
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Status(ErrorCode::kAlreadyExists, std::string(message));
+}
+Status InvalidArgumentError(std::string_view message) {
+  return Status(ErrorCode::kInvalidArgument, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(ErrorCode::kFailedPrecondition, std::string(message));
+}
+Status CorruptionError(std::string_view message) {
+  return Status(ErrorCode::kCorruption, std::string(message));
+}
+Status UnreadableError(std::string_view message) {
+  return Status(ErrorCode::kUnreadable, std::string(message));
+}
+Status IoError(std::string_view message) { return Status(ErrorCode::kIoError, std::string(message)); }
+Status OutOfSpaceError(std::string_view message) {
+  return Status(ErrorCode::kOutOfSpace, std::string(message));
+}
+Status AbortedError(std::string_view message) {
+  return Status(ErrorCode::kAborted, std::string(message));
+}
+Status UnavailableError(std::string_view message) {
+  return Status(ErrorCode::kUnavailable, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(ErrorCode::kInternal, std::string(message));
+}
+Status UnimplementedError(std::string_view message) {
+  return Status(ErrorCode::kUnimplemented, std::string(message));
+}
+
+}  // namespace sdb

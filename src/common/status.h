@@ -1,0 +1,95 @@
+// Status: the error model used throughout smalldb.
+//
+// Library code does not throw exceptions (os-systems convention); every fallible
+// operation returns a Status or a Result<T> (see src/common/result.h). A Status is a
+// small value type carrying an error code and an optional human-readable message.
+#ifndef SMALLDB_SRC_COMMON_STATUS_H_
+#define SMALLDB_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sdb {
+
+// Error codes. Kept deliberately close to the failure classes the paper reasons about:
+// transient failures (kIoError during a write), hard failures (kCorruption /
+// kUnreadable on read-back), and logic/precondition failures surfaced by update
+// operations before they reach the log.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,            // file / name / key does not exist
+  kAlreadyExists,       // create-exclusive target exists
+  kInvalidArgument,     // caller passed something malformed
+  kFailedPrecondition,  // update precondition check failed (paper step 1)
+  kCorruption,          // data read back but failed validation (bad CRC, bad magic)
+  kUnreadable,          // medium reports an error: the paper's "hard failure"
+  kIoError,             // transient I/O failure (interrupted write, crash injection)
+  kOutOfSpace,          // simulated disk full
+  kAborted,             // operation gave up (lock poisoned, shutdown)
+  kUnavailable,         // remote peer not reachable
+  kInternal,            // invariant violation inside smalldb itself
+  kUnimplemented,
+};
+
+// Returns a stable, human-readable name, e.g. "NOT_FOUND".
+std::string_view ErrorCodeName(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default construction yields OK; OK statuses never allocate.
+  Status() = default;
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool Is(ErrorCode code) const { return code_ == code; }
+
+  // Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context` prepended to the message, preserving
+  // the code. Used to build error chains as failures propagate upward.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories, mirroring the code enum.
+Status OkStatus();
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status InvalidArgumentError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status CorruptionError(std::string_view message);
+Status UnreadableError(std::string_view message);
+Status IoError(std::string_view message);
+Status OutOfSpaceError(std::string_view message);
+Status AbortedError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+
+// Propagates a non-OK status to the caller. Mirrors the common systems-code macro.
+#define SDB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::sdb::Status _sdb_status = (expr);        \
+    if (!_sdb_status.ok()) return _sdb_status; \
+  } while (false)
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_COMMON_STATUS_H_

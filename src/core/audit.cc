@@ -1,0 +1,24 @@
+#include "src/core/audit.h"
+
+#include "src/core/log_reader.h"
+
+namespace sdb {
+
+Result<std::vector<AuditEntry>> ReadAuditTrail(Vfs& vfs, std::string_view log_path,
+                                               std::size_t page_size) {
+  std::vector<AuditEntry> entries;
+  LogReplayOptions options;
+  options.page_size = page_size;
+  SDB_ASSIGN_OR_RETURN(LogReplayStats stats,
+                       ReplayLogFile(vfs, log_path, options, [&entries](ByteSpan record) {
+                         AuditEntry entry;
+                         entry.index = entries.size();
+                         entry.record.assign(record.begin(), record.end());
+                         entries.push_back(std::move(entry));
+                         return OkStatus();
+                       }));
+  (void)stats;
+  return entries;
+}
+
+}  // namespace sdb

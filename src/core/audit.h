@@ -1,0 +1,25 @@
+// Audit trail over the redo log (paper Section 4: "the log files form a complete audit
+// trail for the database, and could be retained if desired").
+#ifndef SMALLDB_SRC_CORE_AUDIT_H_
+#define SMALLDB_SRC_CORE_AUDIT_H_
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+struct AuditEntry {
+  std::uint64_t index = 0;  // position within its log file
+  Bytes record;             // the pickled update parameters, exactly as logged
+};
+
+// Reads every valid entry of one log file (current or retained) in commit order.
+Result<std::vector<AuditEntry>> ReadAuditTrail(Vfs& vfs, std::string_view log_path,
+                                               std::size_t page_size = 512);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_AUDIT_H_

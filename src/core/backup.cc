@@ -1,0 +1,144 @@
+#include "src/core/backup.h"
+
+#include <charconv>
+
+#include "src/core/version_store.h"
+
+namespace sdb {
+namespace {
+
+Status CopyFile(Vfs& src_vfs, const std::string& src_path, Vfs& dst_vfs,
+                const std::string& dst_path, std::uint64_t* bytes_out) {
+  SDB_ASSIGN_OR_RETURN(Bytes data, ReadWholeFile(src_vfs, src_path));
+  if (bytes_out != nullptr) {
+    *bytes_out = data.size();
+  }
+  return WriteWholeFile(dst_vfs, dst_path, AsSpan(data));
+}
+
+// Copies one generation between directories; the shared body of backup and restore.
+Result<BackupInfo> CopyGeneration(Vfs& src_vfs, const std::string& src_dir, Vfs& dst_vfs,
+                                  const std::string& dst_dir) {
+  VersionStore src_names(src_vfs, src_dir);
+  VersionStore dst_names(dst_vfs, dst_dir);
+
+  SDB_RETURN_IF_ERROR(dst_vfs.CreateDir(dst_dir));
+  SDB_ASSIGN_OR_RETURN(bool dst_fresh, dst_names.IsFresh());
+  if (!dst_fresh) {
+    return FailedPreconditionError("destination already contains a database: " + dst_dir);
+  }
+
+  // Resolve the source generation (read-only: consult version, then newversion as the
+  // fallback the protocol allows).
+  Result<Bytes> version_bytes = ReadWholeFile(src_vfs, JoinPath(src_dir, "version"));
+  if (!version_bytes.ok()) {
+    version_bytes = ReadWholeFile(src_vfs, JoinPath(src_dir, "newversion"));
+  }
+  if (!version_bytes.ok()) {
+    return NotFoundError("no database in " + src_dir);
+  }
+  std::uint64_t version = 0;
+  {
+    std::string_view text = AsStringView(AsSpan(*version_bytes));
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), version);
+    if (ec != std::errc() || ptr != text.data() + text.size() || version == 0) {
+      return CorruptionError("unparseable version file in " + src_dir);
+    }
+  }
+
+  BackupInfo info;
+  info.version = version;
+  SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.CheckpointPath(version), dst_vfs,
+                               dst_names.CheckpointPath(version), &info.checkpoint_bytes)
+                          .WithContext("copying checkpoint"));
+  SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(version), dst_vfs,
+                               dst_names.LogPath(version), &info.log_bytes)
+                          .WithContext("copying log"));
+  SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
+  SDB_RETURN_IF_ERROR(WriteWholeFile(dst_vfs, JoinPath(dst_dir, "version"),
+                                     AsSpan(std::to_string(version))));
+  SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
+  return info;
+}
+
+}  // namespace
+
+// Reads a directory's current version number (version, falling back to newversion),
+// or nullopt if there is no database there.
+Result<std::optional<std::uint64_t>> ReadCurrentVersion(Vfs& vfs, const std::string& dir) {
+  for (const char* name : {"version", "newversion"}) {
+    std::string path = JoinPath(dir, name);
+    SDB_ASSIGN_OR_RETURN(bool exists, vfs.Exists(path));
+    if (!exists) {
+      continue;
+    }
+    Result<Bytes> content = ReadWholeFile(vfs, path);
+    if (!content.ok()) {
+      continue;
+    }
+    std::string_view text = AsStringView(AsSpan(*content));
+    std::uint64_t version = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), version);
+    if (ec == std::errc() && ptr == text.data() + text.size() && version != 0) {
+      return {std::optional<std::uint64_t>{version}};
+    }
+  }
+  return {std::optional<std::uint64_t>{}};
+}
+
+Result<BackupInfo> BackupDatabaseDir(Vfs& src_vfs, const std::string& src_dir, Vfs& dst_vfs,
+                                     const std::string& dst_dir) {
+  return CopyGeneration(src_vfs, src_dir, dst_vfs, dst_dir);
+}
+
+Result<IncrementalBackupInfo> IncrementalBackupDatabaseDir(Vfs& src_vfs,
+                                                           const std::string& src_dir,
+                                                           Vfs& dst_vfs,
+                                                           const std::string& dst_dir) {
+  IncrementalBackupInfo result;
+  SDB_RETURN_IF_ERROR(dst_vfs.CreateDir(dst_dir));
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> src_version,
+                       ReadCurrentVersion(src_vfs, src_dir));
+  if (!src_version.has_value()) {
+    return NotFoundError("no database in " + src_dir);
+  }
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> dst_version,
+                       ReadCurrentVersion(dst_vfs, dst_dir));
+
+  VersionStore src_names(src_vfs, src_dir);
+  VersionStore dst_names(dst_vfs, dst_dir);
+
+  if (dst_version.has_value() && *dst_version == *src_version) {
+    // Incremental: the checkpoint is unchanged; only the log grew.
+    result.incremental = true;
+    result.info.version = *src_version;
+    SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(*src_version), dst_vfs,
+                                 dst_names.LogPath(*src_version), &result.info.log_bytes)
+                            .WithContext("refreshing backup log"));
+    SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
+    auto checkpoint = ReadWholeFile(dst_vfs, dst_names.CheckpointPath(*src_version));
+    if (checkpoint.ok()) {
+      result.info.checkpoint_bytes = checkpoint->size();
+    }
+    return result;
+  }
+
+  // Full refresh: clear any previous backup generation, then copy.
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> names, dst_vfs.List(dst_dir));
+  for (const std::string& name : names) {
+    if (name.rfind("checkpoint", 0) == 0 || name.rfind("logfile", 0) == 0 ||
+        name == "version" || name == "newversion") {
+      SDB_RETURN_IF_ERROR(dst_vfs.Delete(JoinPath(dst_dir, name)));
+    }
+  }
+  SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
+  SDB_ASSIGN_OR_RETURN(result.info, CopyGeneration(src_vfs, src_dir, dst_vfs, dst_dir));
+  return result;
+}
+
+Result<BackupInfo> RestoreDatabaseDir(Vfs& src_vfs, const std::string& src_dir,
+                                      Vfs& dst_vfs, const std::string& dst_dir) {
+  return CopyGeneration(src_vfs, src_dir, dst_vfs, dst_dir);
+}
+
+}  // namespace sdb

@@ -1,0 +1,354 @@
+#include "src/core/database.h"
+
+#include "src/common/logging.h"
+
+namespace sdb {
+
+Database::Database(Application& app, DatabaseOptions options)
+    : app_(app),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &wall_clock_),
+      version_store_(*options_.vfs, options_.dir,
+                     VersionStoreOptions{options_.keep_previous_checkpoint,
+                                         options_.retain_logs_for_audit}) {}
+
+Database::~Database() {
+  if (log_ != nullptr) {
+    Status status = log_->Close();
+    if (!status.ok()) {
+      SDB_LOG(kWarning) << "closing log: " << status;
+    }
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(Application& app, DatabaseOptions options) {
+  if (options.vfs == nullptr || options.dir.empty()) {
+    return InvalidArgumentError("DatabaseOptions requires vfs and dir");
+  }
+  std::unique_ptr<Database> db(new Database(app, std::move(options)));
+  SDB_RETURN_IF_ERROR(db->Recover().WithContext("opening database in " + db->options_.dir));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenReadOnly(Application& app,
+                                                         DatabaseOptions options) {
+  if (options.vfs == nullptr || options.dir.empty()) {
+    return InvalidArgumentError("DatabaseOptions requires vfs and dir");
+  }
+  std::unique_ptr<Database> db(new Database(app, std::move(options)));
+  db->read_only_ = true;
+  SDB_ASSIGN_OR_RETURN(VersionState state, db->version_store_.PeekCurrent());
+  db->version_ = state.version;
+  SDB_RETURN_IF_ERROR(db->LoadCheckpointAndReplay(state).WithContext(
+      "opening database read-only in " + db->options_.dir));
+  return db;
+}
+
+Status Database::Recover() {
+  SDB_RETURN_IF_ERROR(options_.vfs->CreateDir(options_.dir));
+  SDB_ASSIGN_OR_RETURN(bool fresh, version_store_.IsFresh());
+  if (fresh) {
+    SDB_RETURN_IF_ERROR(InitFreshDatabase());
+  } else {
+    SDB_ASSIGN_OR_RETURN(VersionState state, version_store_.Recover());
+    version_ = state.version;
+    stats_.restart.finished_interrupted_switch = state.finished_interrupted_switch;
+    SDB_RETURN_IF_ERROR(LoadCheckpointAndReplay(state));
+  }
+  SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(version_store_.LogPath(version_)));
+  last_checkpoint_time_ = clock_->NowMicros();
+  return OkStatus();
+}
+
+Status Database::InitFreshDatabase() {
+  version_ = 1;
+  SDB_RETURN_IF_ERROR(app_.ResetState());
+  SDB_ASSIGN_OR_RETURN(Bytes snapshot, app_.SerializeState());
+  SDB_RETURN_IF_ERROR(
+      WriteWholeFile(*options_.vfs, version_store_.CheckpointPath(1), AsSpan(snapshot)));
+  SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, version_store_.LogPath(1), ByteSpan{}));
+  SDB_RETURN_IF_ERROR(options_.vfs->SyncDir(options_.dir));
+  return version_store_.InitFresh();
+}
+
+Status Database::LoadCheckpointAndReplay(const VersionState& state) {
+  Stopwatch restart_watch(*clock_);
+
+  LogReplayOptions replay_options;
+  replay_options.skip_damaged_entries = options_.skip_damaged_log_entries;
+  replay_options.page_size = options_.log_replay_page_size;
+  auto apply = [this](ByteSpan record) { return app_.ApplyUpdate(record); };
+
+  // Step 1+2 of the paper's restart: read the current checkpoint to obtain an old
+  // version of the virtual memory structure.
+  Status load_status = OkStatus();
+  {
+    Result<Bytes> snapshot = ReadWholeFile(*options_.vfs, state.checkpoint_path);
+    if (snapshot.ok()) {
+      SDB_RETURN_IF_ERROR(app_.ResetState());
+      load_status = app_.DeserializeState(AsSpan(*snapshot));
+    } else {
+      load_status = snapshot.status();
+    }
+  }
+
+  bool used_previous = false;
+  if (!load_status.ok()) {
+    bool hard_error = load_status.Is(ErrorCode::kUnreadable) ||
+                      load_status.Is(ErrorCode::kCorruption);
+    if (!hard_error || !options_.fallback_to_previous_checkpoint ||
+        !state.previous_version.has_value()) {
+      return load_status.WithContext("loading checkpoint " + state.checkpoint_path);
+    }
+    // Hard-error recovery (Section 4): reload the previous checkpoint, replay the
+    // previous log, then fall through to replaying the current log.
+    std::uint64_t prev = *state.previous_version;
+    SDB_ASSIGN_OR_RETURN(Bytes snapshot,
+                         ReadWholeFile(*options_.vfs, version_store_.CheckpointPath(prev)));
+    SDB_RETURN_IF_ERROR(app_.ResetState());
+    SDB_RETURN_IF_ERROR(app_.DeserializeState(AsSpan(snapshot))
+                            .WithContext("loading previous checkpoint"));
+    SDB_ASSIGN_OR_RETURN(LogReplayStats prev_replay,
+                         ReplayLogFile(*options_.vfs, version_store_.LogPath(prev),
+                                       replay_options, apply));
+    stats_.restart.entries_replayed += prev_replay.entries_replayed;
+    stats_.restart.entries_skipped += prev_replay.entries_skipped;
+    used_previous = true;
+  }
+  stats_.restart.checkpoint_read_micros = restart_watch.ElapsedMicros();
+  stats_.restart.used_previous_checkpoint = used_previous;
+
+  // Step 3: replay the updates from the log.
+  Stopwatch replay_watch(*clock_);
+  SDB_ASSIGN_OR_RETURN(LogReplayStats replay,
+                       ReplayLogFile(*options_.vfs, state.log_path, replay_options, apply));
+  stats_.restart.replay_micros = replay_watch.ElapsedMicros();
+  stats_.restart.entries_replayed += replay.entries_replayed;
+  stats_.restart.entries_skipped += replay.entries_skipped;
+  stats_.restart.partial_tail_discarded = replay.partial_tail_discarded;
+  stats_.log_entries_since_checkpoint = replay.entries_replayed;
+  return OkStatus();
+}
+
+Result<std::unique_ptr<LogWriter>> Database::OpenLogForAppend(const std::string& path) {
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       options_.vfs->Open(path, OpenMode::kReadWrite));
+  SDB_ASSIGN_OR_RETURN(std::uint64_t size, file->Size());
+  // Discard a torn tail so new entries are never appended after garbage. The replay
+  // layer already ignored it; physically truncating keeps the file parseable.
+  if (options_.log_writer.pad_to_page_boundary &&
+      size % options_.log_writer.page_size != 0) {
+    size = (size / options_.log_writer.page_size) * options_.log_writer.page_size;
+    SDB_RETURN_IF_ERROR(file->Truncate(size));
+    SDB_RETURN_IF_ERROR(file->Sync());
+  }
+  return std::make_unique<LogWriter>(std::move(file), size, options_.log_writer);
+}
+
+Status Database::CheckPoisoned() const {
+  if (poisoned_) {
+    return InternalError(
+        "database is poisoned: an applied update diverged from the log; reopen to recover");
+  }
+  return OkStatus();
+}
+
+namespace {
+Status ReadOnlyError() {
+  return FailedPreconditionError("database was opened read-only");
+}
+}  // namespace
+
+Status Database::Enquire(const std::function<Status()>& enquiry) {
+  SueLock::SharedGuard guard(lock_);
+  SDB_RETURN_IF_ERROR(CheckPoisoned());
+  Status status = enquiry();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.enquiries;
+  }
+  return status;
+}
+
+Status Database::Update(const std::function<Result<Bytes>()>& prepare) {
+  std::vector<std::function<Result<Bytes>()>> one{prepare};
+  return UpdateBatch(one);
+}
+
+Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& prepares) {
+  if (prepares.empty()) {
+    return InvalidArgumentError("empty update batch");
+  }
+  if (read_only_) {
+    return ReadOnlyError();
+  }
+  UpdateBreakdown breakdown;
+  {
+    SueLock::UpdateGuard guard(lock_);
+    SDB_RETURN_IF_ERROR(CheckPoisoned());
+
+    // Step 1: verify preconditions and gather the parameters of each update into a
+    // record, under the update lock (enquiries continue concurrently).
+    Stopwatch prepare_watch(*clock_);
+    std::vector<Bytes> records;
+    records.reserve(prepares.size());
+    for (const auto& prepare : prepares) {
+      Result<Bytes> record = prepare();
+      if (!record.ok()) {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.update_precondition_failures;
+        return record.status();
+      }
+      records.push_back(std::move(*record));
+    }
+    breakdown.prepare_micros = prepare_watch.ElapsedMicros();
+
+    // Step 2: record the updates in the disk log. The fsync is the commit point.
+    Stopwatch log_watch(*clock_);
+    for (const Bytes& record : records) {
+      Status status = log_->Append(AsSpan(record));
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.update_commit_failures;
+        return status.WithContext("appending log entry");
+      }
+    }
+    Status commit = log_->Commit();
+    if (!commit.ok()) {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.update_commit_failures;
+      return commit.WithContext("committing log entry");
+    }
+    breakdown.log_micros = log_watch.ElapsedMicros();
+
+    // Step 3: apply to the virtual memory structure, in exclusive mode (enquiries are
+    // excluded only for this in-memory step, never during the disk write).
+    Stopwatch apply_watch(*clock_);
+    guard.Upgrade();
+    for (const Bytes& record : records) {
+      Status status = app_.ApplyUpdate(AsSpan(record));
+      if (!status.ok()) {
+        // The record is durably logged but could not be applied: memory and disk have
+        // diverged. Fail closed.
+        poisoned_ = true;
+        return status.WithContext("applying committed update (database poisoned)");
+      }
+    }
+    breakdown.apply_micros = apply_watch.ElapsedMicros();
+    breakdown.total_micros =
+        breakdown.prepare_micros + breakdown.log_micros + breakdown.apply_micros;
+
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      stats_.updates += records.size();
+      stats_.log_entries_since_checkpoint += records.size();
+      stats_.last_update = breakdown;
+    }
+  }
+  MaybeAutoCheckpoint();
+  return OkStatus();
+}
+
+Status Database::ReplaceState(ByteSpan state) {
+  if (read_only_) {
+    return ReadOnlyError();
+  }
+  SueLock::UpdateGuard guard(lock_);
+  guard.Upgrade();
+  SDB_RETURN_IF_ERROR(app_.ResetState());
+  SDB_RETURN_IF_ERROR(app_.DeserializeState(state).WithContext("installing replacement state"));
+  guard.Downgrade();
+  poisoned_ = false;
+  return CheckpointLocked();
+}
+
+Status Database::Checkpoint() {
+  if (read_only_) {
+    return ReadOnlyError();
+  }
+  SueLock::UpdateGuard guard(lock_);
+  SDB_RETURN_IF_ERROR(CheckPoisoned());
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
+  CheckpointBreakdown breakdown;
+  Stopwatch total_watch(*clock_);
+
+  // Serialize the entire state. Holding update (not exclusive) mode: the state cannot
+  // change, but enquiries proceed throughout.
+  Stopwatch serialize_watch(*clock_);
+  SDB_ASSIGN_OR_RETURN(Bytes snapshot, app_.SerializeState());
+  breakdown.serialize_micros = serialize_watch.ElapsedMicros();
+
+  Stopwatch disk_watch(*clock_);
+  std::uint64_t new_version = version_ + 1;
+  SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, version_store_.CheckpointPath(new_version),
+                                     AsSpan(snapshot))
+                          .WithContext("writing checkpoint"));
+  SDB_RETURN_IF_ERROR(
+      WriteWholeFile(*options_.vfs, version_store_.LogPath(new_version), ByteSpan{})
+          .WithContext("creating empty log"));
+  SDB_RETURN_IF_ERROR(version_store_.CommitSwitch(version_, new_version));
+
+  // Swap the live log writer to the new (empty) log.
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> new_log,
+                       OpenLogForAppend(version_store_.LogPath(new_version)));
+  Status closed = log_->Close();
+  if (!closed.ok()) {
+    SDB_LOG(kWarning) << "closing old log: " << closed;
+  }
+  log_ = std::move(new_log);
+  version_ = new_version;
+  last_checkpoint_time_ = clock_->NowMicros();
+  breakdown.disk_micros = disk_watch.ElapsedMicros();
+  breakdown.total_micros = total_watch.ElapsedMicros();
+
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.checkpoints;
+    stats_.log_entries_since_checkpoint = 0;
+    stats_.last_checkpoint = breakdown;
+  }
+  return OkStatus();
+}
+
+void Database::MaybeAutoCheckpoint() {
+  const CheckpointPolicy& policy = options_.checkpoint_policy;
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (policy.every_n_updates != 0 &&
+        stats_.log_entries_since_checkpoint >= policy.every_n_updates) {
+      trigger = true;
+    }
+  }
+  if (!trigger && policy.log_bytes_threshold != 0 && log_bytes() >= policy.log_bytes_threshold) {
+    trigger = true;
+  }
+  if (!trigger && policy.interval_micros != 0 &&
+      clock_->NowMicros() - last_checkpoint_time_ >= policy.interval_micros) {
+    trigger = true;
+  }
+  if (!trigger) {
+    return;
+  }
+  Status status = Checkpoint();
+  if (status.ok()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.auto_checkpoints;
+  } else {
+    SDB_LOG(kWarning) << "automatic checkpoint failed: " << status;
+  }
+}
+
+std::uint64_t Database::current_version() const { return version_; }
+
+std::uint64_t Database::log_bytes() const { return log_ != nullptr ? log_->size() : 0; }
+
+DatabaseStats Database::stats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace sdb

@@ -1,0 +1,227 @@
+// Database: the paper's design in one engine.
+//
+// "At all times the database is represented as an ordinary data structure in virtual
+// memory. Its counterpart on disk has two components: a checkpoint of some previous
+// (consistent) state of the entire database, and a log recording each subsequent
+// update." (Section 3)
+//
+//   - A read access is purely a lookup in the virtual memory structure (Enquire).
+//   - An update is made in three steps: verify preconditions against the in-memory
+//     state, record the update's parameters as a log entry on disk (the commit point),
+//     then apply the update to the in-memory state (Update).
+//   - From time to time the entire state is checkpointed and the log reset
+//     (Checkpoint; also automatic via CheckpointPolicy).
+//   - Restart = load checkpoint, replay log (Open).
+//
+// The engine is application-agnostic: the Application interface supplies state
+// (de)serialization and update application; the engine owns locking, logging,
+// checkpointing and recovery.
+#ifndef SMALLDB_SRC_CORE_DATABASE_H_
+#define SMALLDB_SRC_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/cost_model.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/log_reader.h"
+#include "src/core/log_writer.h"
+#include "src/core/sue_lock.h"
+#include "src/core/version_store.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+// What the application supplies. All calls are made with appropriate engine locking:
+// SerializeState under at least update mode (state cannot change underneath it),
+// ApplyUpdate under exclusive mode (or during single-threaded recovery), the rest
+// during Open only.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  // Resets the in-memory state to the initial (empty) database.
+  virtual Status ResetState() = 0;
+
+  // Converts the entire in-memory state to checkpoint bytes (PickleWrite of the root).
+  virtual Result<Bytes> SerializeState() = 0;
+
+  // Replaces the in-memory state from checkpoint bytes (PickleRead).
+  virtual Status DeserializeState(ByteSpan data) = 0;
+
+  // Applies one logged update record to the in-memory state. Called both for live
+  // updates (after their log entry committed) and during restart replay. Must be
+  // deterministic and must succeed for any record that passed its precondition check;
+  // a failure here poisons the database (see Database::Update).
+  virtual Status ApplyUpdate(ByteSpan record) = 0;
+};
+
+// When to take an automatic checkpoint (checked after each update). All triggers are
+// OR-ed; zero disables a trigger. Default: manual checkpoints only — the paper's
+// recommendation for its target workloads is a single nightly checkpoint.
+struct CheckpointPolicy {
+  std::uint64_t every_n_updates = 0;
+  std::uint64_t log_bytes_threshold = 0;
+  Micros interval_micros = 0;
+};
+
+struct DatabaseOptions {
+  Vfs* vfs = nullptr;
+  std::string dir;
+
+  // Clock used for phase timing and the interval checkpoint policy. If null, a
+  // process-wide WallClock is used.
+  Clock* clock = nullptr;
+
+  // Simulated-cost charging (passed through to benchmark Applications via their own
+  // construction; the engine itself charges nothing).
+  CheckpointPolicy checkpoint_policy;
+
+  // Retain one previous checkpoint generation for hard-error recovery (Section 4).
+  bool keep_previous_checkpoint = false;
+
+  // Keep superseded logs as an audit trail (renamed to audit<N>; Section 4). Read them
+  // back with ReadAuditTrail (src/core/audit.h) via version_store().AuditPath(n).
+  bool retain_logs_for_audit = false;
+
+  // Recovery behaviour.
+  bool skip_damaged_log_entries = false;   // hard-error mode: ignore damaged entries
+  bool fallback_to_previous_checkpoint = false;  // hard-error mode: use version N-1
+
+  LogWriterOptions log_writer;
+  std::size_t log_replay_page_size = 512;
+};
+
+struct UpdateBreakdown {
+  Micros prepare_micros = 0;  // precondition check + pickling the record
+  Micros log_micros = 0;      // disk write of the log entry (the commit)
+  Micros apply_micros = 0;    // exclusive-mode in-memory modification
+  Micros total_micros = 0;
+};
+
+struct CheckpointBreakdown {
+  Micros serialize_micros = 0;  // PickleWrite of the whole state
+  Micros disk_micros = 0;       // checkpoint + log file writes and the switch commit
+  Micros total_micros = 0;
+};
+
+struct RestartBreakdown {
+  Micros checkpoint_read_micros = 0;
+  Micros replay_micros = 0;
+  std::uint64_t entries_replayed = 0;
+  bool partial_tail_discarded = false;
+  std::uint64_t entries_skipped = 0;
+  bool used_previous_checkpoint = false;
+  bool finished_interrupted_switch = false;
+};
+
+struct DatabaseStats {
+  std::uint64_t enquiries = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t update_precondition_failures = 0;
+  std::uint64_t update_commit_failures = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t auto_checkpoints = 0;
+  std::uint64_t log_entries_since_checkpoint = 0;
+
+  UpdateBreakdown last_update;
+  CheckpointBreakdown last_checkpoint;
+  RestartBreakdown restart;
+};
+
+class Database {
+ public:
+  // Opens (or creates) the database in options.dir, recovering state into `app`:
+  // determine the current version, load its checkpoint, replay its log. The
+  // application must outlive the database.
+  static Result<std::unique_ptr<Database>> Open(Application& app, DatabaseOptions options);
+
+  // Opens an existing database for reading only: the current state is recovered into
+  // `app` with zero side effects on the directory (no fresh-init, no cleanup, no log
+  // writer, interrupted switches left for the next writable open). Update, Checkpoint
+  // and ReplaceState fail with kFailedPrecondition. Useful for inspection, reporting
+  // and backups of a quiescent database.
+  static Result<std::unique_ptr<Database>> OpenReadOnly(Application& app,
+                                                        DatabaseOptions options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Runs `enquiry` under the shared lock. The callback reads the in-memory state
+  // through the application; the disk is never involved.
+  Status Enquire(const std::function<Status()>& enquiry);
+
+  // Executes one update. `prepare` runs under the update lock: it verifies the
+  // update's preconditions against the in-memory state and, if they hold, returns the
+  // pickled update record (gathering "all the parameters of the update"). The engine
+  // then appends the record to the log and forces it to disk — the commit point —
+  // upgrades to exclusive, and applies the record through the application.
+  //
+  // If `prepare` fails, nothing is logged and the state is untouched. If the disk
+  // write fails, the update is not applied (and will not be visible after restart).
+  // If ApplyUpdate fails after a successful commit, the in-memory state can no longer
+  // be trusted to match the log: the database becomes poisoned and every subsequent
+  // operation fails with kInternal until reopened.
+  Status Update(const std::function<Result<Bytes>()>& prepare);
+
+  // Group commit (Section 5): several updates share one log disk write. Prepares run
+  // in order under the update lock; if any fails, the whole batch aborts unlogged.
+  Status UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& prepares);
+
+  // Writes a checkpoint of the current state and resets the log, holding the update
+  // lock throughout ("An update lock is held while writing a checkpoint") — enquiries
+  // proceed, updates wait.
+  Status Checkpoint();
+
+  // Replaces the entire in-memory state and immediately checkpoints it, discarding the
+  // old log. This is the hard-error recovery path ("We respond to a hard error on a
+  // particular name server replica by restoring its data from another replica") and it
+  // also heals a poisoned database.
+  Status ReplaceState(ByteSpan state);
+
+  std::uint64_t current_version() const;
+  std::uint64_t log_bytes() const;
+  DatabaseStats stats() const;
+
+  const std::string& dir() const { return options_.dir; }
+  VersionStore& version_store() { return version_store_; }
+
+ private:
+  Database(Application& app, DatabaseOptions options);
+
+  Status Recover();
+  Status InitFreshDatabase();
+  Status LoadCheckpointAndReplay(const VersionState& state);
+  Result<std::unique_ptr<LogWriter>> OpenLogForAppend(const std::string& path);
+  Status CheckpointLocked();
+  void MaybeAutoCheckpoint();
+  Status CheckPoisoned() const;
+
+  Application& app_;
+  DatabaseOptions options_;
+  WallClock wall_clock_;
+  Clock* clock_;  // options_.clock or &wall_clock_
+  VersionStore version_store_;
+  SueLock lock_;
+
+  // The following are mutated only while holding the update lock (or in Open).
+  std::unique_ptr<LogWriter> log_;
+  std::uint64_t version_ = 0;
+  Micros last_checkpoint_time_ = 0;
+  bool poisoned_ = false;
+  bool read_only_ = false;
+
+  mutable std::mutex stats_mutex_;
+  DatabaseStats stats_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_DATABASE_H_

@@ -1,0 +1,122 @@
+#include "src/core/integrity.h"
+
+#include <charconv>
+
+#include "src/core/log_reader.h"
+#include "src/core/version_store.h"
+#include "src/pickle/pickle.h"
+
+namespace sdb {
+namespace {
+
+std::optional<std::uint64_t> ParseDecimal(std::string_view text) {
+  if (text.empty() || text.size() > 19) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value == 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// Read-only version resolution: the same rules recovery uses, minus the cleanup.
+Result<std::optional<std::uint64_t>> ReadVersionNumber(Vfs& vfs, const std::string& dir,
+                                                       std::string_view name) {
+  std::string path = JoinPath(dir, name);
+  SDB_ASSIGN_OR_RETURN(bool exists, vfs.Exists(path));
+  if (!exists) {
+    return {std::optional<std::uint64_t>{}};
+  }
+  Result<Bytes> content = ReadWholeFile(vfs, path);
+  if (!content.ok()) {
+    if (content.status().Is(ErrorCode::kUnreadable)) {
+      return {std::optional<std::uint64_t>{}};
+    }
+    return content.status();
+  }
+  return {ParseDecimal(AsStringView(AsSpan(*content)))};
+}
+
+}  // namespace
+
+Result<IntegrityReport> VerifyDatabaseDir(Vfs& vfs, const std::string& dir,
+                                          std::size_t log_page_size) {
+  IntegrityReport report;
+  VersionStore names(vfs, dir);  // used only for path naming + audit listing
+
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> from_newversion,
+                       ReadVersionNumber(vfs, dir, "newversion"));
+  if (from_newversion.has_value()) {
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_exists,
+                         vfs.Exists(names.CheckpointPath(*from_newversion)));
+    SDB_ASSIGN_OR_RETURN(bool log_exists, vfs.Exists(names.LogPath(*from_newversion)));
+    if (checkpoint_exists && log_exists) {
+      report.version = *from_newversion;
+      report.pending_switch = true;
+    }
+  }
+  if (report.version == 0) {
+    SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> from_version,
+                         ReadVersionNumber(vfs, dir, "version"));
+    if (!from_version.has_value()) {
+      return NotFoundError("no valid version in " + dir);
+    }
+    report.version = *from_version;
+  }
+
+  // Checkpoint: envelope CRC + stored type name.
+  {
+    Result<Bytes> snapshot = ReadWholeFile(vfs, names.CheckpointPath(report.version));
+    if (!snapshot.ok()) {
+      report.problems.push_back("checkpoint unreadable: " + snapshot.status().ToString());
+    } else {
+      report.checkpoint_bytes = snapshot->size();
+      Result<std::string> type_name = PeekEnvelopeType(AsSpan(*snapshot));
+      if (!type_name.ok()) {
+        report.problems.push_back("checkpoint damaged: " + type_name.status().ToString());
+      } else {
+        report.checkpoint_ok = true;
+        report.checkpoint_type = *type_name;
+      }
+    }
+  }
+
+  // Log: decode every entry (tolerating unreadable pages so damage is counted, not
+  // fatal).
+  {
+    LogReplayOptions options;
+    options.skip_damaged_entries = true;
+    options.page_size = log_page_size;
+    Result<LogReplayStats> stats = ReplayLogFile(
+        vfs, names.LogPath(report.version), options, [](ByteSpan) { return OkStatus(); });
+    if (!stats.ok()) {
+      report.problems.push_back("log unreadable: " + stats.status().ToString());
+    } else {
+      report.log_ok = true;
+      report.log_entries = stats->entries_replayed;
+      report.log_bytes = stats->bytes_consumed;
+      report.log_has_partial_tail = stats->partial_tail_discarded;
+      report.log_damaged_entries = stats->entries_skipped;
+      if (stats->entries_skipped > 0) {
+        report.problems.push_back(std::to_string(stats->entries_skipped) +
+                                  " damaged log entr(y/ies): hard-error recovery needed");
+      }
+    }
+  }
+
+  // Retained previous generation?
+  if (report.version > 1) {
+    SDB_ASSIGN_OR_RETURN(bool prev_checkpoint,
+                         vfs.Exists(names.CheckpointPath(report.version - 1)));
+    SDB_ASSIGN_OR_RETURN(bool prev_log, vfs.Exists(names.LogPath(report.version - 1)));
+    if (prev_checkpoint && prev_log) {
+      report.previous_version = report.version - 1;
+    }
+  }
+  SDB_ASSIGN_OR_RETURN(report.audit_logs, names.ListAuditLogs());
+  return report;
+}
+
+}  // namespace sdb

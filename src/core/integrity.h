@@ -1,0 +1,49 @@
+// Offline integrity verification of a database directory.
+//
+// Walks the on-disk structures without an Application: resolves the current version
+// (via the same newversion/version rules recovery uses, but read-only), verifies the
+// checkpoint's pickle-envelope CRC, and decodes every log entry's framing and CRC.
+// Useful before taking backups, after suspected hardware trouble, and as the engine
+// room of the sdb_inspect tool.
+#ifndef SMALLDB_SRC_CORE_INTEGRITY_H_
+#define SMALLDB_SRC_CORE_INTEGRITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+struct IntegrityReport {
+  std::uint64_t version = 0;
+  bool pending_switch = false;  // a committed newversion awaits cleanup
+
+  bool checkpoint_ok = false;
+  std::uint64_t checkpoint_bytes = 0;
+  std::string checkpoint_type;  // the pickled type name stored in the envelope
+
+  bool log_ok = false;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t log_entries = 0;
+  bool log_has_partial_tail = false;  // torn final entry (harmless: discarded at replay)
+  std::uint64_t log_damaged_entries = 0;  // mid-log damage (hard error territory)
+
+  std::optional<std::uint64_t> previous_version;  // retained generation, if present
+  std::vector<std::uint64_t> audit_logs;          // retained audit trail versions
+  std::vector<std::string> problems;              // human-readable findings
+
+  bool healthy() const { return checkpoint_ok && log_ok && log_damaged_entries == 0; }
+};
+
+// Verifies the database in `dir`. Returns a report even when damage is found; fails
+// only if no version can be established at all.
+Result<IntegrityReport> VerifyDatabaseDir(Vfs& vfs, const std::string& dir,
+                                          std::size_t log_page_size = 512);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_INTEGRITY_H_

@@ -1,0 +1,93 @@
+#include "src/core/log_format.h"
+
+#include "src/common/crc.h"
+
+namespace sdb {
+
+void EncodeLogEntry(ByteSpan payload, ByteWriter& out) {
+  ByteWriter body;
+  body.PutVarint(payload.size());
+  body.PutBytes(payload);
+  std::uint32_t crc = Crc32c(AsSpan(body.buffer()));
+  out.PutU16(kLogSyncMarker);
+  out.PutU32(MaskCrc(crc));
+  out.PutBytes(AsSpan(body.buffer()));
+}
+
+std::size_t EncodedLogEntrySize(std::size_t payload_size) {
+  std::size_t varint_size = 1;
+  for (std::uint64_t v = payload_size; v >= 0x80; v >>= 7) {
+    ++varint_size;
+  }
+  return 2 + 4 + varint_size + payload_size;
+}
+
+LogDecodeResult DecodeLogEntry(ByteSpan log, std::size_t offset) {
+  LogDecodeResult result;
+  if (offset == log.size()) {
+    result.outcome = LogDecodeOutcome::kCleanEnd;
+    return result;
+  }
+  ByteReader reader(log.subspan(offset));
+
+  auto marker = reader.ReadU16();
+  if (!marker.ok()) {
+    result.outcome = LogDecodeOutcome::kPartialTail;
+    return result;
+  }
+  if (*marker != kLogSyncMarker) {
+    result.outcome = LogDecodeOutcome::kCorrupt;
+    return result;
+  }
+  auto stored_crc = reader.ReadU32();
+  if (!stored_crc.ok()) {
+    result.outcome = LogDecodeOutcome::kPartialTail;
+    return result;
+  }
+  std::size_t body_begin = reader.position();
+  auto length = reader.ReadVarint();
+  if (!length.ok()) {
+    result.outcome = LogDecodeOutcome::kPartialTail;
+    return result;
+  }
+  if (*length > kMaxLogEntryPayload) {
+    result.outcome = LogDecodeOutcome::kCorrupt;
+    return result;
+  }
+  if (*length > reader.remaining()) {
+    // The length prefix promises more bytes than exist: a torn final entry — unless the
+    // length itself is garbage from a damaged middle entry, which the caller
+    // distinguishes by whether anything follows after resync.
+    result.outcome = LogDecodeOutcome::kPartialTail;
+    return result;
+  }
+  auto payload = reader.ReadBytes(static_cast<std::size_t>(*length));
+  std::size_t body_end = reader.position();
+  ByteSpan body = log.subspan(offset + body_begin, body_end - body_begin);
+  if (UnmaskCrc(*stored_crc) != Crc32c(body)) {
+    result.outcome = LogDecodeOutcome::kCorrupt;
+    return result;
+  }
+  result.outcome = LogDecodeOutcome::kEntry;
+  result.payload = *payload;
+  result.next_offset = offset + body_end;
+  return result;
+}
+
+std::size_t ResyncLog(ByteSpan log, std::size_t offset) {
+  // Skip at least one byte so a corrupt entry at `offset` is not found again.
+  for (std::size_t pos = offset + 1; pos + 2 <= log.size(); ++pos) {
+    if (log[pos] != static_cast<std::uint8_t>(kLogSyncMarker & 0xFF) ||
+        log[pos + 1] != static_cast<std::uint8_t>(kLogSyncMarker >> 8)) {
+      continue;
+    }
+    LogDecodeResult probe = DecodeLogEntry(log, pos);
+    if (probe.outcome == LogDecodeOutcome::kEntry ||
+        probe.outcome == LogDecodeOutcome::kPartialTail) {
+      return pos;
+    }
+  }
+  return log.size();
+}
+
+}  // namespace sdb

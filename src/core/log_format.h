@@ -1,0 +1,60 @@
+// The redo-log entry format.
+//
+// Each entry is framed as:
+//   u16 sync marker (0xDB5A) | u32 masked CRC32C of (length||payload) |
+//   varint payload length | payload
+//
+// The paper detects a partially written trailing entry "by including the log entry's
+// length on the first page of the entry, combined with the known property of our disk
+// hardware that a partially written page will report an error when it is read". Our
+// framing keeps the length prefix and adds a CRC, which additionally catches torn
+// writes that happen to read back (stale sectors) and lets hard-error recovery resync
+// at the next marker and skip just the damaged entry (Section 4's suggestion).
+#ifndef SMALLDB_SRC_CORE_LOG_FORMAT_H_
+#define SMALLDB_SRC_CORE_LOG_FORMAT_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace sdb {
+
+inline constexpr std::uint16_t kLogSyncMarker = 0xDB5A;
+
+// Maximum payload we will believe from a length prefix, guarding against interpreting
+// garbage as a multi-gigabyte entry. Far above any real update record.
+inline constexpr std::uint64_t kMaxLogEntryPayload = 64ull << 20;
+
+// Appends the framing + payload to `out`.
+void EncodeLogEntry(ByteSpan payload, ByteWriter& out);
+
+// Size in bytes that EncodeLogEntry will emit for a payload of `payload_size` bytes.
+std::size_t EncodedLogEntrySize(std::size_t payload_size);
+
+// Outcome of decoding one entry from a position in the log.
+enum class LogDecodeOutcome : std::uint8_t {
+  kEntry,       // a complete, CRC-valid entry was decoded
+  kCleanEnd,    // exactly at end-of-buffer: log ends cleanly
+  kPartialTail, // framing started but the buffer ended: a torn final entry
+  kCorrupt,     // bad marker or CRC mismatch: damaged entry (hard error / garbage)
+};
+
+struct LogDecodeResult {
+  LogDecodeOutcome outcome = LogDecodeOutcome::kCleanEnd;
+  ByteSpan payload;             // valid iff outcome == kEntry
+  std::size_t next_offset = 0;  // position after the consumed bytes (kEntry only)
+};
+
+// Decodes the entry starting at `offset` in `log`. Never fails hard: every anomaly is
+// reported through the outcome so recovery can decide what to do.
+LogDecodeResult DecodeLogEntry(ByteSpan log, std::size_t offset);
+
+// Scans forward from `offset` for the next position whose bytes decode as a valid
+// entry. Returns the offset, or the log size if none. Used by skip-damaged-entry
+// recovery after a hard error.
+std::size_t ResyncLog(ByteSpan log, std::size_t offset);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_LOG_FORMAT_H_

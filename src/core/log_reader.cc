@@ -1,0 +1,119 @@
+#include "src/core/log_reader.h"
+
+#include "src/core/log_format.h"
+
+namespace sdb {
+namespace {
+
+// Pattern substituted for unreadable pages. 0xFF can never start a valid entry (the
+// sync marker's low byte is 0x5A) nor look like padding (zeros), so the framing layer
+// classifies poisoned regions as corruption, which is exactly what a hard error is.
+constexpr std::uint8_t kPoisonByte = 0xFF;
+
+}  // namespace
+
+Result<LogReplayStats> ReplayLog(File& file, const LogReplayOptions& options,
+                                 const std::function<Status(ByteSpan)>& apply) {
+  return ReplayLogWithOffsets(
+      file, options, [&apply](std::uint64_t, ByteSpan payload) { return apply(payload); });
+}
+
+Result<LogReplayStats> ReplayLogWithOffsets(
+    File& file, const LogReplayOptions& options,
+    const std::function<Status(std::uint64_t offset, ByteSpan)>& apply) {
+  LogReplayStats stats;
+  SDB_ASSIGN_OR_RETURN(std::uint64_t size, file.Size());
+
+  // Assemble the log image page by page so one unreadable page poisons only itself.
+  Bytes log;
+  log.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t offset = 0; offset < size; offset += options.page_size) {
+    std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.page_size, size - offset));
+    Result<Bytes> chunk = file.ReadAt(offset, want);
+    if (!chunk.ok()) {
+      if (!chunk.status().Is(ErrorCode::kUnreadable)) {
+        return chunk.status();
+      }
+      ++stats.unreadable_pages;
+      log.insert(log.end(), want, kPoisonByte);
+      continue;
+    }
+    if (chunk->size() != want) {
+      return CorruptionError("short read inside log file");
+    }
+    log.insert(log.end(), chunk->begin(), chunk->end());
+  }
+
+  ByteSpan view = AsSpan(log);
+  std::size_t offset = 0;
+  while (offset < view.size()) {
+    // Zero padding between commits: skip to the next page boundary.
+    if (view[offset] == 0) {
+      std::size_t boundary = (offset / options.page_size + 1) * options.page_size;
+      std::size_t skip_to = std::min(boundary, view.size());
+      bool all_zero = true;
+      for (std::size_t i = offset; i < skip_to; ++i) {
+        if (view[i] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) {
+        offset = skip_to;
+        continue;
+      }
+      // Nonzero garbage inside the padding region: treat as a damaged entry below.
+    }
+
+    LogDecodeResult decoded = DecodeLogEntry(view, offset);
+    switch (decoded.outcome) {
+      case LogDecodeOutcome::kEntry:
+        SDB_RETURN_IF_ERROR(apply(offset, decoded.payload));
+        ++stats.entries_replayed;
+        offset = decoded.next_offset;
+        continue;
+      case LogDecodeOutcome::kCleanEnd:
+        offset = view.size();
+        continue;
+      case LogDecodeOutcome::kPartialTail:
+      case LogDecodeOutcome::kCorrupt: {
+        std::size_t resync = ResyncLog(view, offset);
+        bool more_entries_follow = resync < view.size();
+        if (more_entries_follow && options.skip_damaged_entries) {
+          // A damaged entry in the middle: ignore just this entry (paper Section 4's
+          // hard-error suggestion) and continue at the next valid marker.
+          ++stats.entries_skipped;
+          offset = resync;
+          continue;
+        }
+        if (!more_entries_follow && decoded.outcome == LogDecodeOutcome::kPartialTail) {
+          // The normal transient-failure case: a torn final entry is discarded.
+          stats.partial_tail_discarded = true;
+          offset = view.size();
+          continue;
+        }
+        if (!more_entries_follow && options.skip_damaged_entries) {
+          // Damaged final region (e.g. unreadable last page): nothing follows, drop it.
+          ++stats.entries_skipped;
+          offset = view.size();
+          continue;
+        }
+        return CorruptionError("damaged log entry at offset " + std::to_string(offset));
+      }
+    }
+  }
+  stats.bytes_consumed = view.size();
+  return stats;
+}
+
+Result<LogReplayStats> ReplayLogFile(Vfs& vfs, std::string_view path,
+                                     const LogReplayOptions& options,
+                                     const std::function<Status(ByteSpan)>& apply) {
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, vfs.Open(path, OpenMode::kRead));
+  Result<LogReplayStats> stats = ReplayLog(*file, options, apply);
+  SDB_RETURN_IF_ERROR(file->Close());
+  return stats;
+}
+
+}  // namespace sdb

@@ -1,0 +1,40 @@
+#include "src/core/log_writer.h"
+
+#include "src/core/log_format.h"
+
+namespace sdb {
+
+Status LogWriter::Append(ByteSpan payload) {
+  ByteWriter framed;
+  EncodeLogEntry(payload, framed);
+  SDB_RETURN_IF_ERROR(file_->Append(AsSpan(framed.buffer())));
+  size_ += framed.size();
+  ++stats_.entries_appended;
+  stats_.bytes_appended += framed.size();
+  return OkStatus();
+}
+
+Status LogWriter::PadToPageBoundary() {
+  if (!options_.pad_to_page_boundary) {
+    return OkStatus();
+  }
+  std::size_t remainder = static_cast<std::size_t>(size_ % options_.page_size);
+  if (remainder == 0) {
+    return OkStatus();
+  }
+  std::size_t pad = options_.page_size - remainder;
+  Bytes zeros(pad, 0);
+  SDB_RETURN_IF_ERROR(file_->Append(AsSpan(zeros)));
+  size_ += pad;
+  stats_.padding_bytes += pad;
+  return OkStatus();
+}
+
+Status LogWriter::Commit() {
+  SDB_RETURN_IF_ERROR(PadToPageBoundary());
+  SDB_RETURN_IF_ERROR(file_->Sync());
+  ++stats_.commits;
+  return OkStatus();
+}
+
+}  // namespace sdb

@@ -1,0 +1,331 @@
+#include "src/core/shared_log.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "src/core/log_reader.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb {
+namespace {
+
+struct PartitionMeta {
+  std::uint64_t checkpoint_version = 0;
+  std::uint64_t replay_from = 0;
+  SDB_PICKLE_FIELDS(PartitionMeta, checkpoint_version, replay_from)
+};
+
+std::optional<std::uint64_t> ParseDecimal(std::string_view text) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+// The atomic-rename-committed record binding the whole ensemble together.
+struct SharedLogDatabase::Manifest {
+  std::uint64_t log_generation = 1;
+  std::vector<PartitionMeta> partitions;
+  SDB_PICKLE_FIELDS(Manifest, log_generation, partitions)
+};
+
+SharedLogDatabase::SharedLogDatabase(SharedLogOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &wall_clock_) {}
+
+SharedLogDatabase::~SharedLogDatabase() {
+  if (log_ != nullptr) {
+    (void)log_->Close();
+  }
+}
+
+std::string SharedLogDatabase::LogPath(std::uint64_t generation) const {
+  return JoinPath(options_.dir, "logfile" + std::to_string(generation));
+}
+
+std::string SharedLogDatabase::CheckpointPath(std::size_t p, std::uint64_t version) const {
+  return JoinPath(options_.dir,
+                  "p" + std::to_string(p) + ".checkpoint" + std::to_string(version));
+}
+
+std::string SharedLogDatabase::ManifestPath() const {
+  return JoinPath(options_.dir, "manifest");
+}
+
+Result<std::unique_ptr<SharedLogDatabase>> SharedLogDatabase::Open(
+    std::vector<Application*> apps, SharedLogOptions options) {
+  if (options.vfs == nullptr || options.dir.empty() || apps.empty()) {
+    return InvalidArgumentError("SharedLogOptions requires vfs, dir and >= 1 app");
+  }
+  std::unique_ptr<SharedLogDatabase> db(new SharedLogDatabase(std::move(options)));
+  SDB_RETURN_IF_ERROR(db->Recover(apps).WithContext("opening shared-log ensemble"));
+  return db;
+}
+
+Status SharedLogDatabase::WriteManifest() {
+  Manifest manifest;
+  manifest.log_generation = log_generation_;
+  manifest.partitions.reserve(partitions_.size());
+  for (const Partition& partition : partitions_) {
+    manifest.partitions.push_back(
+        PartitionMeta{partition.checkpoint_version, partition.replay_from});
+  }
+  Bytes bytes = PickleWrite(manifest);
+  return AtomicWriteFile(*options_.vfs, options_.dir, ManifestPath(), AsSpan(bytes));
+}
+
+Result<std::unique_ptr<LogWriter>> SharedLogDatabase::OpenLogForAppend(
+    std::uint64_t generation) {
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       options_.vfs->Open(LogPath(generation), OpenMode::kReadWrite));
+  SDB_ASSIGN_OR_RETURN(std::uint64_t size, file->Size());
+  if (options_.log_writer.pad_to_page_boundary &&
+      size % options_.log_writer.page_size != 0) {
+    size = (size / options_.log_writer.page_size) * options_.log_writer.page_size;
+    SDB_RETURN_IF_ERROR(file->Truncate(size));
+    SDB_RETURN_IF_ERROR(file->Sync());
+  }
+  return std::make_unique<LogWriter>(std::move(file), size, options_.log_writer);
+}
+
+Status SharedLogDatabase::Recover(std::vector<Application*>& apps) {
+  Vfs& vfs = *options_.vfs;
+  SDB_RETURN_IF_ERROR(vfs.CreateDir(options_.dir));
+
+  partitions_.resize(apps.size());
+  for (std::size_t p = 0; p < apps.size(); ++p) {
+    partitions_[p].app = apps[p];
+    partitions_[p].lock = std::make_unique<SueLock>();
+  }
+
+  SDB_ASSIGN_OR_RETURN(bool has_manifest, vfs.Exists(ManifestPath()));
+  if (!has_manifest) {
+    // Fresh ensemble: version-1 checkpoints of the empty states, empty log,
+    // then the manifest commit.
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      SDB_RETURN_IF_ERROR(partitions_[p].app->ResetState());
+      SDB_ASSIGN_OR_RETURN(Bytes snapshot, partitions_[p].app->SerializeState());
+      SDB_RETURN_IF_ERROR(WriteWholeFile(vfs, CheckpointPath(p, 1), AsSpan(snapshot)));
+      partitions_[p].checkpoint_version = 1;
+      partitions_[p].replay_from = 0;
+    }
+    SDB_RETURN_IF_ERROR(WriteWholeFile(vfs, LogPath(1), ByteSpan{}));
+    SDB_RETURN_IF_ERROR(vfs.SyncDir(options_.dir));
+    SDB_RETURN_IF_ERROR(WriteManifest());
+  } else {
+    SDB_ASSIGN_OR_RETURN(Bytes manifest_bytes, ReadWholeFile(vfs, ManifestPath()));
+    SDB_ASSIGN_OR_RETURN(Manifest manifest, PickleRead<Manifest>(AsSpan(manifest_bytes)));
+    if (manifest.partitions.size() != partitions_.size()) {
+      return InvalidArgumentError(
+          "partition count mismatch: directory has " +
+          std::to_string(manifest.partitions.size()) + ", caller supplied " +
+          std::to_string(partitions_.size()));
+    }
+    log_generation_ = manifest.log_generation;
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      partitions_[p].checkpoint_version = manifest.partitions[p].checkpoint_version;
+      partitions_[p].replay_from = manifest.partitions[p].replay_from;
+      SDB_ASSIGN_OR_RETURN(
+          Bytes snapshot,
+          ReadWholeFile(vfs, CheckpointPath(p, partitions_[p].checkpoint_version)));
+      SDB_RETURN_IF_ERROR(partitions_[p].app->ResetState());
+      SDB_RETURN_IF_ERROR(partitions_[p].app->DeserializeState(AsSpan(snapshot))
+                              .WithContext("partition " + std::to_string(p)));
+    }
+
+    // Replay the shared log: route each entry to its partition, skipping entries the
+    // partition's checkpoint already covers.
+    LogReplayOptions replay_options;
+    replay_options.page_size = options_.log_replay_page_size;
+    SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> log_file,
+                         vfs.Open(LogPath(log_generation_), OpenMode::kRead));
+    SDB_ASSIGN_OR_RETURN(
+        LogReplayStats replay_stats,
+        ReplayLogWithOffsets(
+            *log_file, replay_options,
+            [this](std::uint64_t offset, ByteSpan payload) -> Status {
+              ByteReader in(payload);
+              SDB_ASSIGN_OR_RETURN(std::uint64_t pid, in.ReadVarint());
+              if (pid >= partitions_.size()) {
+                return CorruptionError("log entry for unknown partition " +
+                                       std::to_string(pid));
+              }
+              SDB_ASSIGN_OR_RETURN(ByteSpan record,
+                                   in.ReadBytes(in.remaining()));
+              if (offset < partitions_[pid].replay_from) {
+                std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+                ++stats_.replay_skipped_entries;
+                return OkStatus();
+              }
+              {
+                std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+                ++stats_.replayed_entries;
+              }
+              return partitions_[pid].app->ApplyUpdate(record);
+            }));
+    (void)replay_stats;
+    SDB_RETURN_IF_ERROR(log_file->Close());
+  }
+
+  // Delete stray files from interrupted checkpoints/rotations (anything versioned but
+  // not referenced by the manifest).
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> names, vfs.List(options_.dir));
+  for (const std::string& name : names) {
+    bool stale = false;
+    if (name.rfind("logfile", 0) == 0) {
+      std::optional<std::uint64_t> generation = ParseDecimal(name.substr(7));
+      stale = generation.has_value() && *generation != log_generation_;
+    } else if (name[0] == 'p') {
+      std::size_t dot = name.find(".checkpoint");
+      if (dot != std::string::npos) {
+        std::optional<std::uint64_t> pid = ParseDecimal(name.substr(1, dot - 1));
+        std::optional<std::uint64_t> version = ParseDecimal(name.substr(dot + 11));
+        stale = pid.has_value() && version.has_value() &&
+                (*pid >= partitions_.size() ||
+                 *version != partitions_[*pid].checkpoint_version);
+      }
+    } else if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      stale = true;
+    }
+    if (stale) {
+      SDB_RETURN_IF_ERROR(vfs.Delete(JoinPath(options_.dir, name)));
+    }
+  }
+  SDB_RETURN_IF_ERROR(vfs.SyncDir(options_.dir));
+
+  SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(log_generation_));
+  return OkStatus();
+}
+
+Status SharedLogDatabase::Update(std::size_t p,
+                                 const std::function<Result<Bytes>()>& prepare) {
+  if (p >= partitions_.size()) {
+    return InvalidArgumentError("partition index out of range");
+  }
+  Partition& partition = partitions_[p];
+  SueLock::UpdateGuard guard(*partition.lock);
+
+  SDB_ASSIGN_OR_RETURN(Bytes record, prepare());
+
+  {
+    std::lock_guard<std::mutex> log_lock(log_mutex_);
+    ByteWriter framed;
+    framed.PutVarint(p);
+    framed.PutBytes(AsSpan(record));
+    SDB_RETURN_IF_ERROR(log_->Append(AsSpan(framed.buffer())));
+    SDB_RETURN_IF_ERROR(log_->Commit());  // the shared commit point
+  }
+
+  guard.Upgrade();
+  SDB_RETURN_IF_ERROR(
+      partition.app->ApplyUpdate(AsSpan(record)).WithContext("applying committed update"));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.updates;
+  }
+  return OkStatus();
+}
+
+Status SharedLogDatabase::Enquire(std::size_t p, const std::function<Status()>& enquiry) {
+  if (p >= partitions_.size()) {
+    return InvalidArgumentError("partition index out of range");
+  }
+  SueLock::SharedGuard guard(*partitions_[p].lock);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.enquiries;
+  }
+  return enquiry();
+}
+
+Status SharedLogDatabase::Checkpoint(std::size_t p) {
+  if (p >= partitions_.size()) {
+    return InvalidArgumentError("partition index out of range");
+  }
+  Partition& partition = partitions_[p];
+  SueLock::UpdateGuard guard(*partition.lock);
+
+  SDB_ASSIGN_OR_RETURN(Bytes snapshot, partition.app->SerializeState());
+  std::uint64_t new_version = partition.checkpoint_version + 1;
+  SDB_RETURN_IF_ERROR(
+      WriteWholeFile(*options_.vfs, CheckpointPath(p, new_version), AsSpan(snapshot)));
+  SDB_RETURN_IF_ERROR(options_.vfs->SyncDir(options_.dir));
+
+  std::uint64_t old_version;
+  {
+    // The manifest rename is the commit point; partition metadata and the manifest
+    // write are serialized with log appends.
+    std::lock_guard<std::mutex> log_lock(log_mutex_);
+    old_version = partition.checkpoint_version;
+    partition.checkpoint_version = new_version;
+    // Every committed entry of p is below the current log size (p's update lock is
+    // held, so none is in flight).
+    partition.replay_from = log_->size();
+    SDB_RETURN_IF_ERROR(WriteManifest());
+  }
+  SDB_RETURN_IF_ERROR(options_.vfs->Delete(CheckpointPath(p, old_version)));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.checkpoints;
+  }
+
+  if (options_.rotate_log_bytes != 0 && log_bytes() >= options_.rotate_log_bytes) {
+    SDB_RETURN_IF_ERROR(MaybeRotateLog().status());
+  }
+  return OkStatus();
+}
+
+Result<bool> SharedLogDatabase::MaybeRotateLog() {
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
+  std::uint64_t log_size = log_->size();
+  for (const Partition& partition : partitions_) {
+    if (partition.replay_from < log_size) {
+      return false;  // someone still needs the log's tail: the flushing rule says no
+    }
+  }
+  std::uint64_t new_generation = log_generation_ + 1;
+  SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, LogPath(new_generation), ByteSpan{}));
+  SDB_RETURN_IF_ERROR(options_.vfs->SyncDir(options_.dir));
+
+  std::uint64_t old_generation = log_generation_;
+  log_generation_ = new_generation;
+  for (Partition& partition : partitions_) {
+    partition.replay_from = 0;  // the fresh log starts empty; everyone is current
+  }
+  SDB_RETURN_IF_ERROR(WriteManifest());  // commit point of the rotation
+
+  SDB_RETURN_IF_ERROR(log_->Close());
+  SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(new_generation));
+  SDB_RETURN_IF_ERROR(options_.vfs->Delete(LogPath(old_generation)));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.log_rotations;
+  }
+  return true;
+}
+
+std::uint64_t SharedLogDatabase::reclaimable_log_bytes() const {
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
+  std::uint64_t min_offset = log_->size();
+  for (const Partition& partition : partitions_) {
+    min_offset = std::min(min_offset, partition.replay_from);
+  }
+  return min_offset;
+}
+
+std::uint64_t SharedLogDatabase::log_bytes() const {
+  std::lock_guard<std::mutex> log_lock(log_mutex_);
+  return log_->size();
+}
+
+SharedLogStats SharedLogDatabase::stats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace sdb

@@ -1,0 +1,134 @@
+// SharedLogDatabase: the paper's second Section 7 variant — multiple sub-databases
+// sharing ONE log.
+//
+// "It seems likely that many larger databases ... could be handled by considering them
+// as multiple separate databases for the purpose of writing checkpoints. In that case,
+// we could either use multiple log files or a single log file with more complicated
+// rules for flushing the log."
+//
+// Design:
+//   - Every update of every partition appends to one shared log; entries carry a
+//     varint partition index before the application record, so one fsync stream
+//     serves the whole ensemble.
+//   - Each partition checkpoints independently: its checkpoint file records the log
+//     offset it is current to ("replay-from"), so restart replays to partition p only
+//     the shared-log entries at offsets >= p's replay-from.
+//   - A `manifest` file (written with the atomic temp+rename idiom) binds together the
+//     log generation and, per partition, the checkpoint version + replay-from offset.
+//     The manifest rename is every checkpoint's commit point.
+//   - The "more complicated rules for flushing the log": the shared log can be rotated
+//     (replaced by an empty generation) only when every partition's replay-from offset
+//     has reached the end of the log — i.e. all partitions have checkpointed since the
+//     last entry. MaybeRotateLog applies the rule; the slowest-checkpointing partition
+//     gates reclamation, which is precisely the complication the paper alludes to.
+//
+// Concurrency: one SueLock per partition (enquiries and the precondition/apply steps
+// are per-partition), plus an internal mutex serializing shared-log appends.
+#ifndef SMALLDB_SRC_CORE_SHARED_LOG_H_
+#define SMALLDB_SRC_CORE_SHARED_LOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/core/log_writer.h"
+#include "src/core/sue_lock.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+struct SharedLogOptions {
+  Vfs* vfs = nullptr;
+  std::string dir;
+  Clock* clock = nullptr;
+  LogWriterOptions log_writer;
+  std::size_t log_replay_page_size = 512;
+
+  // Rotate the shared log automatically inside Checkpoint() when the rule allows and
+  // the log exceeds this size (0 = only rotate explicitly).
+  std::uint64_t rotate_log_bytes = 0;
+};
+
+struct SharedLogStats {
+  std::uint64_t updates = 0;
+  std::uint64_t enquiries = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t log_rotations = 0;
+  std::uint64_t replayed_entries = 0;
+  std::uint64_t replay_skipped_entries = 0;  // entries older than a partition's offset
+};
+
+class SharedLogDatabase {
+ public:
+  // Opens the ensemble: `apps[i]` is partition i's application. The partition count is
+  // fixed at creation and must match on reopen.
+  static Result<std::unique_ptr<SharedLogDatabase>> Open(std::vector<Application*> apps,
+                                                         SharedLogOptions options);
+
+  ~SharedLogDatabase();
+  SharedLogDatabase(const SharedLogDatabase&) = delete;
+  SharedLogDatabase& operator=(const SharedLogDatabase&) = delete;
+
+  std::size_t partition_count() const { return partitions_.size(); }
+
+  // The paper's three-step update against partition `p`; the commit point is the
+  // shared log's fsync.
+  Status Update(std::size_t p, const std::function<Result<Bytes>()>& prepare);
+
+  // Enquiry under partition p's shared lock.
+  Status Enquire(std::size_t p, const std::function<Status()>& enquiry);
+
+  // Checkpoints partition p only: other partitions' updates proceed (they take the log
+  // append mutex briefly but never p's update lock). Afterwards, applies the rotation
+  // rule if rotate_log_bytes is configured.
+  Status Checkpoint(std::size_t p);
+
+  // Rotates the shared log if and only if every partition has checkpointed past its
+  // end. Returns true if a rotation happened.
+  Result<bool> MaybeRotateLog();
+
+  // Bytes in the shared log that precede the slowest partition's replay-from offset —
+  // dead weight the next eligible rotation reclaims.
+  std::uint64_t reclaimable_log_bytes() const;
+  std::uint64_t log_bytes() const;
+  std::uint64_t log_generation() const { return log_generation_; }
+  SharedLogStats stats() const;
+
+ private:
+  struct Partition {
+    Application* app = nullptr;
+    std::unique_ptr<SueLock> lock;
+    std::uint64_t checkpoint_version = 0;
+    std::uint64_t replay_from = 0;  // shared-log offset this partition is current to
+  };
+
+  struct Manifest;  // defined in the .cc: the pickled on-disk record
+
+  explicit SharedLogDatabase(SharedLogOptions options);
+
+  std::string LogPath(std::uint64_t generation) const;
+  std::string CheckpointPath(std::size_t p, std::uint64_t version) const;
+  std::string ManifestPath() const;
+
+  Status Recover(std::vector<Application*>& apps);
+  Status WriteManifest();
+  Result<std::unique_ptr<LogWriter>> OpenLogForAppend(std::uint64_t generation);
+
+  SharedLogOptions options_;
+  WallClock wall_clock_;
+  Clock* clock_;
+  std::vector<Partition> partitions_;
+
+  mutable std::mutex log_mutex_;  // guards log_, log_generation_, replay offsets
+  std::unique_ptr<LogWriter> log_;
+  std::uint64_t log_generation_ = 1;
+
+  mutable std::mutex stats_mutex_;
+  SharedLogStats stats_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_SHARED_LOG_H_

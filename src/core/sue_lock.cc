@@ -1,0 +1,61 @@
+#include "src/core/sue_lock.h"
+
+namespace sdb {
+
+void SueLock::AcquireShared() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // New readers queue behind a pending upgrade so the upgrading updater cannot starve;
+  // they also wait out exclusive mode itself.
+  cv_.wait(lock, [this] { return !exclusive_held_ && !upgrade_waiting_; });
+  ++shared_holders_;
+}
+
+void SueLock::ReleaseShared() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --shared_holders_;
+  if (shared_holders_ == 0) {
+    cv_.notify_all();
+  }
+}
+
+void SueLock::AcquireUpdate() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !update_held_ && !exclusive_held_; });
+  update_held_ = true;
+}
+
+bool SueLock::TryAcquireUpdate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (update_held_ || exclusive_held_) {
+    return false;
+  }
+  update_held_ = true;
+  return true;
+}
+
+void SueLock::ReleaseUpdate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  update_held_ = false;
+  cv_.notify_all();
+}
+
+void SueLock::UpgradeToExclusive() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  upgrade_waiting_ = true;
+  cv_.wait(lock, [this] { return shared_holders_ == 0; });
+  upgrade_waiting_ = false;
+  exclusive_held_ = true;
+}
+
+void SueLock::DowngradeToUpdate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exclusive_held_ = false;
+  cv_.notify_all();
+}
+
+SueLock::Snapshot SueLock::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{shared_holders_, update_held_, exclusive_held_};
+}
+
+}  // namespace sdb

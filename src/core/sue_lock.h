@@ -1,0 +1,106 @@
+// SueLock: the paper's three-mode lock (Section 3).
+//
+//              shared      update      exclusive
+//   shared     compatible  compatible  conflict
+//   update     compatible  conflict    conflict
+//   exclusive  conflict    conflict    conflict
+//
+// An enquiry runs in *shared*. An update acquires *update* (excluding other updates but
+// not enquiries), verifies its preconditions and commits its log record to disk, then
+// converts to *exclusive* (excluding enquiries) only while it modifies the virtual
+// memory structures. A checkpoint holds *update* for its whole duration. "These rules
+// never exclude enquiry operations during disk transfers, only during virtual memory
+// operations."
+#ifndef SMALLDB_SRC_CORE_SUE_LOCK_H_
+#define SMALLDB_SRC_CORE_SUE_LOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace sdb {
+
+class SueLock {
+ public:
+  SueLock() = default;
+  SueLock(const SueLock&) = delete;
+  SueLock& operator=(const SueLock&) = delete;
+
+  // --- shared (enquiry) mode ---
+  void AcquireShared();
+  void ReleaseShared();
+
+  // --- update mode: at most one holder, compatible with shared ---
+  void AcquireUpdate();
+  void ReleaseUpdate();
+
+  // Non-blocking acquisition, for availability-sensitive callers (e.g. a maintenance
+  // job that should skip its checkpoint rather than queue behind a long update).
+  // Returns false if update or exclusive mode is currently held.
+  bool TryAcquireUpdate();
+
+  // --- upgrade/downgrade, only valid while holding update ---
+  // Waits for in-flight shared holders to drain; new shared requests queue behind the
+  // upgrade so it cannot starve.
+  void UpgradeToExclusive();
+  void DowngradeToUpdate();
+
+  // Introspection for tests and stats.
+  struct Snapshot {
+    std::uint32_t shared_holders;
+    bool update_held;
+    bool exclusive_held;
+  };
+  Snapshot snapshot() const;
+
+  // RAII guards.
+  class SharedGuard {
+   public:
+    explicit SharedGuard(SueLock& lock) : lock_(lock) { lock_.AcquireShared(); }
+    ~SharedGuard() { lock_.ReleaseShared(); }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    SueLock& lock_;
+  };
+
+  class UpdateGuard {
+   public:
+    explicit UpdateGuard(SueLock& lock) : lock_(lock) { lock_.AcquireUpdate(); }
+    ~UpdateGuard() {
+      if (upgraded_) {
+        lock_.DowngradeToUpdate();
+      }
+      lock_.ReleaseUpdate();
+    }
+    UpdateGuard(const UpdateGuard&) = delete;
+    UpdateGuard& operator=(const UpdateGuard&) = delete;
+
+    // Enters exclusive mode for the in-memory apply step.
+    void Upgrade() {
+      lock_.UpgradeToExclusive();
+      upgraded_ = true;
+    }
+    void Downgrade() {
+      lock_.DowngradeToUpdate();
+      upgraded_ = false;
+    }
+
+   private:
+    SueLock& lock_;
+    bool upgraded_ = false;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint32_t shared_holders_ = 0;
+  bool update_held_ = false;
+  bool exclusive_held_ = false;
+  bool upgrade_waiting_ = false;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_SUE_LOCK_H_

@@ -1,0 +1,242 @@
+#include "src/core/version_store.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace sdb {
+namespace {
+
+constexpr std::string_view kVersionFile = "version";
+constexpr std::string_view kNewVersionFile = "newversion";
+constexpr std::string_view kCheckpointPrefix = "checkpoint";
+constexpr std::string_view kLogPrefix = "logfile";
+constexpr std::string_view kAuditPrefix = "audit";
+
+std::optional<std::uint64_t> ParseDecimal(std::string_view text) {
+  if (text.empty() || text.size() > 19) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value == 0) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+// If `name` is prefix + digits, returns the digits' value.
+std::optional<std::uint64_t> ParseVersionedName(std::string_view name, std::string_view prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  return ParseDecimal(name.substr(prefix.size()));
+}
+
+}  // namespace
+
+VersionStore::VersionStore(Vfs& vfs, std::string dir, VersionStoreOptions options)
+    : vfs_(vfs), dir_(std::move(dir)), options_(options) {}
+
+std::string VersionStore::CheckpointPath(std::uint64_t version) const {
+  return JoinPath(dir_, std::string(kCheckpointPrefix) + std::to_string(version));
+}
+
+std::string VersionStore::LogPath(std::uint64_t version) const {
+  return JoinPath(dir_, std::string(kLogPrefix) + std::to_string(version));
+}
+
+std::string VersionStore::AuditPath(std::uint64_t version) const {
+  return JoinPath(dir_, std::string(kAuditPrefix) + std::to_string(version));
+}
+
+Result<std::vector<std::uint64_t>> VersionStore::ListAuditLogs() {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> entries, vfs_.List(dir_));
+  std::vector<std::uint64_t> versions;
+  for (const std::string& name : entries) {
+    if (std::optional<std::uint64_t> version = ParseVersionedName(name, kAuditPrefix)) {
+      versions.push_back(*version);
+    }
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+Result<std::optional<std::uint64_t>> VersionStore::ReadVersionFile(std::string_view name) {
+  std::string path = JoinPath(dir_, name);
+  SDB_ASSIGN_OR_RETURN(bool exists, vfs_.Exists(path));
+  if (!exists) {
+    return {std::optional<std::uint64_t>{}};
+  }
+  Result<Bytes> content = ReadWholeFile(vfs_, path);
+  if (!content.ok()) {
+    if (content.status().Is(ErrorCode::kUnreadable)) {
+      // A torn/decayed version file is "not a valid version number" — fall through to
+      // the other version file rather than failing recovery.
+      return {std::optional<std::uint64_t>{}};
+    }
+    return content.status();
+  }
+  return {ParseDecimal(AsStringView(AsSpan(*content)))};
+}
+
+Result<bool> VersionStore::IsFresh() {
+  SDB_ASSIGN_OR_RETURN(bool has_version, vfs_.Exists(JoinPath(dir_, kVersionFile)));
+  if (has_version) {
+    return false;
+  }
+  SDB_ASSIGN_OR_RETURN(bool has_newversion, vfs_.Exists(JoinPath(dir_, kNewVersionFile)));
+  return !has_newversion;
+}
+
+Status VersionStore::InitFresh() {
+  SDB_RETURN_IF_ERROR(
+      WriteWholeFile(vfs_, JoinPath(dir_, kVersionFile), AsSpan(std::string_view("1"))));
+  return vfs_.SyncDir(dir_);
+}
+
+Result<VersionState> VersionStore::PeekCurrent() {
+  VersionState state;
+
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> from_newversion,
+                       ReadVersionFile(kNewVersionFile));
+  std::optional<std::uint64_t> chosen;
+  if (from_newversion.has_value()) {
+    // The switch to *from_newversion committed but was not finished. Verify the new
+    // generation actually exists before trusting it (defense in depth; the protocol
+    // guarantees it does).
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_ok, vfs_.Exists(CheckpointPath(*from_newversion)));
+    SDB_ASSIGN_OR_RETURN(bool log_ok, vfs_.Exists(LogPath(*from_newversion)));
+    if (checkpoint_ok && log_ok) {
+      chosen = from_newversion;
+      state.finished_interrupted_switch = true;
+    }
+  }
+  if (!chosen.has_value()) {
+    SDB_ASSIGN_OR_RETURN(chosen, ReadVersionFile(kVersionFile));
+  }
+  if (!chosen.has_value()) {
+    return NotFoundError("no valid version in " + dir_);
+  }
+
+  state.version = *chosen;
+  state.checkpoint_path = CheckpointPath(state.version);
+  state.log_path = LogPath(state.version);
+
+  if (options_.keep_previous_checkpoint && state.version > 1) {
+    std::uint64_t prev = state.version - 1;
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_ok, vfs_.Exists(CheckpointPath(prev)));
+    SDB_ASSIGN_OR_RETURN(bool log_ok, vfs_.Exists(LogPath(prev)));
+    if (checkpoint_ok && log_ok) {
+      state.previous_version = prev;
+    }
+  }
+  return state;
+}
+
+Result<VersionState> VersionStore::Recover() {
+  SDB_ASSIGN_OR_RETURN(VersionState state, PeekCurrent());
+
+  if (state.finished_interrupted_switch) {
+    // Complete the interrupted switch: delete superseded files and the old `version`,
+    // then rename newversion -> version.
+    SDB_RETURN_IF_ERROR(RemoveStaleFiles(state.version, state));
+    SDB_ASSIGN_OR_RETURN(bool has_old_version, vfs_.Exists(JoinPath(dir_, kVersionFile)));
+    if (has_old_version) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(JoinPath(dir_, kVersionFile)));
+      state.removed_files.push_back(JoinPath(dir_, kVersionFile));
+    }
+    SDB_RETURN_IF_ERROR(vfs_.Rename(JoinPath(dir_, kNewVersionFile), JoinPath(dir_, kVersionFile)));
+    SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
+  } else {
+    // A stale or invalid newversion (crash before its commit) is redundant.
+    SDB_ASSIGN_OR_RETURN(bool has_newversion, vfs_.Exists(JoinPath(dir_, kNewVersionFile)));
+    if (has_newversion) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(JoinPath(dir_, kNewVersionFile)));
+      state.removed_files.push_back(JoinPath(dir_, kNewVersionFile));
+    }
+    SDB_RETURN_IF_ERROR(RemoveStaleFiles(state.version, state));
+    SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
+  }
+
+  if (options_.keep_previous_checkpoint && state.version > 1) {
+    std::uint64_t prev = state.version - 1;
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_ok, vfs_.Exists(CheckpointPath(prev)));
+    SDB_ASSIGN_OR_RETURN(bool log_ok, vfs_.Exists(LogPath(prev)));
+    if (checkpoint_ok && log_ok) {
+      state.previous_version = prev;
+    }
+  }
+  return state;
+}
+
+Status VersionStore::RemoveStaleFiles(std::uint64_t current, VersionState& state) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> entries, vfs_.List(dir_));
+  for (const std::string& name : entries) {
+    std::optional<std::uint64_t> version = ParseVersionedName(name, kCheckpointPrefix);
+    bool is_log = false;
+    if (!version.has_value()) {
+      version = ParseVersionedName(name, kLogPrefix);
+      is_log = version.has_value();
+    }
+    bool is_tmp = name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    bool stale = false;
+    if (version.has_value()) {
+      bool keep = *version == current ||
+                  (options_.keep_previous_checkpoint && *version + 1 == current);
+      stale = !keep;
+    } else if (is_tmp) {
+      stale = true;
+    }
+    if (!stale) {
+      continue;
+    }
+    std::string path = JoinPath(dir_, name);
+    if (is_log && options_.retain_logs_for_audit) {
+      // Superseded logs become the audit trail rather than garbage.
+      SDB_RETURN_IF_ERROR(vfs_.Rename(path, AuditPath(*version)));
+    } else {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(path));
+    }
+    state.removed_files.push_back(path);
+  }
+  return OkStatus();
+}
+
+Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t new_version) {
+  // The new checkpoint and log files exist and are synced; make their directory
+  // entries durable before committing to them.
+  SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
+
+  // Commit point: `newversion` durably names the new generation.
+  std::string digits = std::to_string(new_version);
+  SDB_RETURN_IF_ERROR(WriteWholeFile(vfs_, JoinPath(dir_, kNewVersionFile), AsSpan(digits)));
+  SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
+
+  // Cleanup after the commit point: delete the superseded generation (respecting
+  // retention), delete `version`, rename newversion -> version.
+  std::uint64_t doomed = options_.keep_previous_checkpoint
+                             ? (current_version > 0 ? current_version - 1 : 0)
+                             : current_version;
+  if (doomed > 0) {
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_exists, vfs_.Exists(CheckpointPath(doomed)));
+    if (checkpoint_exists) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(CheckpointPath(doomed)));
+    }
+    SDB_ASSIGN_OR_RETURN(bool log_exists, vfs_.Exists(LogPath(doomed)));
+    if (log_exists) {
+      if (options_.retain_logs_for_audit) {
+        SDB_RETURN_IF_ERROR(vfs_.Rename(LogPath(doomed), AuditPath(doomed)));
+      } else {
+        SDB_RETURN_IF_ERROR(vfs_.Delete(LogPath(doomed)));
+      }
+    }
+  }
+  SDB_ASSIGN_OR_RETURN(bool has_version, vfs_.Exists(JoinPath(dir_, kVersionFile)));
+  if (has_version) {
+    SDB_RETURN_IF_ERROR(vfs_.Delete(JoinPath(dir_, kVersionFile)));
+  }
+  SDB_RETURN_IF_ERROR(vfs_.Rename(JoinPath(dir_, kNewVersionFile), JoinPath(dir_, kVersionFile)));
+  return vfs_.SyncDir(dir_);
+}
+
+}  // namespace sdb

@@ -1,0 +1,103 @@
+// VersionStore: the paper's on-disk version-switch protocol (Section 3).
+//
+// "In the normal quiescent state the directory contains a version-numbered checkpoint,
+// with a file title such as checkpoint35, a matching log file named logfile35, and a
+// file named version containing the characters '35'. We switch to a new checkpoint by
+// writing it to the file checkpoint36, creating an empty file logfile36, then writing
+// the characters '36' to a new file called newversion. This is the commit point (after
+// an appropriate number of Unix fsync calls). Finally, we delete checkpoint35,
+// logfile35 and version, then rename newversion to be version."
+//
+// "On a restart, we read the version number from newversion if the file exists and has
+// a valid version number in it, or from version otherwise, and delete any redundant
+// files."
+//
+// With keep_previous_checkpoint, one older generation (checkpoint + its complete log)
+// is retained for hard-error recovery (Section 4): current state = previous checkpoint
+// + previous log + current log.
+#ifndef SMALLDB_SRC_CORE_VERSION_STORE_H_
+#define SMALLDB_SRC_CORE_VERSION_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+struct VersionStoreOptions {
+  // Retain one previous checkpoint generation for hard-error recovery.
+  bool keep_previous_checkpoint = false;
+
+  // Instead of deleting a superseded generation's log, rename it to audit<N> — "the
+  // log files form a complete audit trail for the database, and could be retained if
+  // desired" (Section 4). Audit files are never deleted by recovery cleanup.
+  bool retain_logs_for_audit = false;
+};
+
+struct VersionState {
+  std::uint64_t version = 0;
+  std::string checkpoint_path;
+  std::string log_path;
+  // True if restart found a committed `newversion` (a crash interrupted the switch
+  // after its commit point) and this recovery completed the switch.
+  bool finished_interrupted_switch = false;
+  // Redundant files removed during recovery (stale checkpoints, partial switches).
+  std::vector<std::string> removed_files;
+  // The retained previous generation, when present.
+  std::optional<std::uint64_t> previous_version;
+};
+
+class VersionStore {
+ public:
+  VersionStore(Vfs& vfs, std::string dir, VersionStoreOptions options = {});
+
+  // File-name helpers (paths are relative to the store's directory).
+  std::string CheckpointPath(std::uint64_t version) const;
+  std::string LogPath(std::uint64_t version) const;
+  std::string AuditPath(std::uint64_t version) const;
+
+  // Versions with a retained audit log, ascending. Empty unless retain_logs_for_audit
+  // has been producing them.
+  Result<std::vector<std::uint64_t>> ListAuditLogs();
+
+  // True if the directory contains no database (fresh start).
+  Result<bool> IsFresh();
+
+  // Initializes a fresh directory at version 1. The caller must already have written
+  // CheckpointPath(1) (synced) and created LogPath(1) (synced). Writes the `version`
+  // file and makes everything durable.
+  Status InitFresh();
+
+  // Determines the current version, completing any interrupted switch and deleting
+  // redundant files. Fails if no valid version can be established.
+  Result<VersionState> Recover();
+
+  // Read-only version resolution: the same newversion/version rules, with no cleanup
+  // and no side effects. Used by read-only opens and offline inspection.
+  Result<VersionState> PeekCurrent();
+
+  // Commits the switch to `new_version`. The caller must already have written
+  // CheckpointPath(new_version) and an empty LogPath(new_version), both synced.
+  // Executes: sync dir, write `newversion` (the commit point), delete superseded
+  // generation files and `version`, rename `newversion` -> `version`.
+  Status CommitSwitch(std::uint64_t current_version, std::uint64_t new_version);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Result<std::optional<std::uint64_t>> ReadVersionFile(std::string_view name);
+  Status RemoveStaleFiles(std::uint64_t current, VersionState& state);
+
+  Vfs& vfs_;
+  std::string dir_;
+  VersionStoreOptions options_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_VERSION_STORE_H_

@@ -1,0 +1,342 @@
+#include "src/dirsvc/directory_service.h"
+
+#include "src/nameserver/name_tree.h"  // SplitPath
+
+namespace sdb::dirsvc {
+namespace {
+
+using ns::SplitPath;
+
+enum class Op : std::uint8_t {
+  kMkDir = 1,
+  kCreateFile = 2,
+  kSetAttrs = 3,
+  kUnlink = 4,
+  kRename = 5,
+};
+
+// Every mutation pickles into one of these (the parameters of the update).
+struct DirUpdate {
+  std::uint8_t op = 0;
+  std::string path;
+  std::string to_path;  // Rename only
+  EntryAttrs attrs;     // creation/SetAttrs parameters
+
+  SDB_PICKLE_FIELDS(DirUpdate, op, path, to_path, attrs)
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DirectoryService>> DirectoryService::Open(
+    DirectoryServiceOptions options) {
+  std::unique_ptr<DirectoryService> service(new DirectoryService(std::move(options)));
+  SDB_ASSIGN_OR_RETURN(service->db_, Database::Open(*service, service->options_.db));
+  return service;
+}
+
+DirNode* DirectoryService::WalkDir(const std::vector<std::string>& parts) {
+  DirNode* node = root_.get();
+  for (const std::string& part : parts) {
+    if (options_.cost != nullptr) {
+      options_.cost->ChargeExplore(1);
+    }
+    auto it = node->subdirs.find(part);
+    if (it == node->subdirs.end()) {
+      return nullptr;
+    }
+    node = it->second.get();
+  }
+  return node;
+}
+
+Result<DirNode*> DirectoryService::ParentOf(const std::vector<std::string>& parts) {
+  if (parts.empty()) {
+    return InvalidArgumentError("the root has no parent");
+  }
+  std::vector<std::string> parent_parts(parts.begin(), parts.end() - 1);
+  DirNode* parent = WalkDir(parent_parts);
+  if (parent == nullptr) {
+    return NotFoundError("no such directory");
+  }
+  return parent;
+}
+
+// --- enquiries ---
+
+Result<EntryAttrs> DirectoryService::Stat(std::string_view path) {
+  Result<EntryAttrs> out = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &out] {
+    out = [&]() -> Result<EntryAttrs> {
+      SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+      if (parts.empty()) {
+        return InvalidArgumentError("cannot stat the root");
+      }
+      SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+      auto it = parent->entries.find(parts.back());
+      if (it == parent->entries.end()) {
+        return NotFoundError("no such entry: " + std::string(path));
+      }
+      return it->second;
+    }();
+    return OkStatus();
+  }));
+  return out;
+}
+
+Result<std::vector<std::string>> DirectoryService::ReadDir(std::string_view path) {
+  Result<std::vector<std::string>> out = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &out] {
+    out = [&]() -> Result<std::vector<std::string>> {
+      SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+      DirNode* dir = WalkDir(parts);
+      if (dir == nullptr) {
+        return NotFoundError("no such directory: " + std::string(path));
+      }
+      std::vector<std::string> names;
+      names.reserve(dir->entries.size());
+      for (const auto& [name, attrs] : dir->entries) {
+        names.push_back(name);
+      }
+      return names;
+    }();
+    return OkStatus();
+  }));
+  return out;
+}
+
+bool DirectoryService::Exists(std::string_view path) {
+  return Stat(path).ok();
+}
+
+// --- updates ---
+
+Status DirectoryService::MkDir(std::string_view path, std::string_view owner,
+                               std::uint64_t mtime) {
+  return db_->Update([&]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("the root already exists");
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+    if (parent->entries.count(parts.back()) != 0) {
+      return AlreadyExistsError("entry exists: " + std::string(path));
+    }
+    DirUpdate update;
+    update.op = static_cast<std::uint8_t>(Op::kMkDir);
+    update.path = std::string(path);
+    update.attrs = EntryAttrs{static_cast<std::uint8_t>(EntryType::kDirectory), 0, mtime,
+                              std::string(owner)};
+    return PickleWrite(update, options_.cost);
+  });
+}
+
+Status DirectoryService::CreateFile(std::string_view path, std::string_view owner,
+                                    std::uint64_t size, std::uint64_t mtime) {
+  return db_->Update([&]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("invalid file path");
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+    if (parent->entries.count(parts.back()) != 0) {
+      return AlreadyExistsError("entry exists: " + std::string(path));
+    }
+    DirUpdate update;
+    update.op = static_cast<std::uint8_t>(Op::kCreateFile);
+    update.path = std::string(path);
+    update.attrs = EntryAttrs{static_cast<std::uint8_t>(EntryType::kFile), size, mtime,
+                              std::string(owner)};
+    return PickleWrite(update, options_.cost);
+  });
+}
+
+Status DirectoryService::SetAttrs(std::string_view path, std::uint64_t size,
+                                  std::uint64_t mtime) {
+  return db_->Update([&]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("invalid file path");
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+    auto it = parent->entries.find(parts.back());
+    if (it == parent->entries.end()) {
+      return NotFoundError("no such entry: " + std::string(path));
+    }
+    if (it->second.type != static_cast<std::uint8_t>(EntryType::kFile)) {
+      return FailedPreconditionError("not a file: " + std::string(path));
+    }
+    DirUpdate update;
+    update.op = static_cast<std::uint8_t>(Op::kSetAttrs);
+    update.path = std::string(path);
+    update.attrs.size = size;
+    update.attrs.mtime = mtime;
+    return PickleWrite(update, options_.cost);
+  });
+}
+
+Status DirectoryService::Unlink(std::string_view path) {
+  return db_->Update([&]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("cannot unlink the root");
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+    auto it = parent->entries.find(parts.back());
+    if (it == parent->entries.end()) {
+      return NotFoundError("no such entry: " + std::string(path));
+    }
+    if (it->second.type == static_cast<std::uint8_t>(EntryType::kDirectory)) {
+      auto sub = parent->subdirs.find(parts.back());
+      if (sub != parent->subdirs.end() &&
+          (!sub->second->entries.empty() || !sub->second->subdirs.empty())) {
+        return FailedPreconditionError("directory not empty: " + std::string(path));
+      }
+    }
+    DirUpdate update;
+    update.op = static_cast<std::uint8_t>(Op::kUnlink);
+    update.path = std::string(path);
+    return PickleWrite(update, options_.cost);
+  });
+}
+
+Status DirectoryService::Rename(std::string_view from, std::string_view to) {
+  return db_->Update([&]() -> Result<Bytes> {
+    // The two-path precondition, all evaluated atomically under the update lock.
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> from_parts, SplitPath(from));
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> to_parts, SplitPath(to));
+    if (from_parts.empty() || to_parts.empty()) {
+      return InvalidArgumentError("cannot rename the root");
+    }
+    if (from_parts == to_parts) {
+      return InvalidArgumentError("rename source equals destination");
+    }
+    // `to` inside `from`'s subtree would orphan the subtree.
+    if (to_parts.size() > from_parts.size() &&
+        std::equal(from_parts.begin(), from_parts.end(), to_parts.begin())) {
+      return FailedPreconditionError("cannot move a directory into itself");
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * from_parent, ParentOf(from_parts));
+    auto source = from_parent->entries.find(from_parts.back());
+    if (source == from_parent->entries.end()) {
+      return NotFoundError("no such entry: " + std::string(from));
+    }
+    SDB_ASSIGN_OR_RETURN(DirNode * to_parent, ParentOf(to_parts));
+    auto target = to_parent->entries.find(to_parts.back());
+    if (target != to_parent->entries.end()) {
+      bool source_is_dir =
+          source->second.type == static_cast<std::uint8_t>(EntryType::kDirectory);
+      bool target_is_dir =
+          target->second.type == static_cast<std::uint8_t>(EntryType::kDirectory);
+      if (source_is_dir != target_is_dir) {
+        return FailedPreconditionError("rename type mismatch at " + std::string(to));
+      }
+      if (target_is_dir) {
+        auto sub = to_parent->subdirs.find(to_parts.back());
+        if (sub != to_parent->subdirs.end() &&
+            (!sub->second->entries.empty() || !sub->second->subdirs.empty())) {
+          return FailedPreconditionError("destination directory not empty: " +
+                                         std::string(to));
+        }
+      }
+    }
+    DirUpdate update;
+    update.op = static_cast<std::uint8_t>(Op::kRename);
+    update.path = std::string(from);
+    update.to_path = std::string(to);
+    return PickleWrite(update, options_.cost);
+  });
+}
+
+std::uint64_t DirectoryService::entry_count() {
+  std::uint64_t count = 0;
+  (void)db_->Enquire([this, &count] {
+    std::vector<const DirNode*> stack{root_.get()};
+    while (!stack.empty()) {
+      const DirNode* node = stack.back();
+      stack.pop_back();
+      count += node->entries.size();
+      for (const auto& [name, child] : node->subdirs) {
+        stack.push_back(child.get());
+      }
+    }
+    return OkStatus();
+  });
+  return count;
+}
+
+// --- Application interface ---
+
+Status DirectoryService::ResetState() {
+  root_ = std::make_shared<DirNode>();
+  return OkStatus();
+}
+
+Result<Bytes> DirectoryService::SerializeState() {
+  return PickleWrite(root_, options_.cost);
+}
+
+Status DirectoryService::DeserializeState(ByteSpan data) {
+  SDB_ASSIGN_OR_RETURN(root_, PickleRead<std::shared_ptr<DirNode>>(data, options_.cost));
+  if (root_ == nullptr) {
+    root_ = std::make_shared<DirNode>();
+  }
+  return OkStatus();
+}
+
+Status DirectoryService::ApplyUpdate(ByteSpan record) {
+  SDB_ASSIGN_OR_RETURN(DirUpdate update, PickleRead<DirUpdate>(record, options_.cost));
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(update.path));
+  if (parts.empty()) {
+    return CorruptionError("logged update targets the root");
+  }
+  SDB_ASSIGN_OR_RETURN(DirNode * parent, ParentOf(parts));
+  const std::string& name = parts.back();
+
+  switch (static_cast<Op>(update.op)) {
+    case Op::kMkDir:
+      parent->entries[name] = update.attrs;
+      parent->subdirs[name] = std::make_shared<DirNode>();
+      return OkStatus();
+    case Op::kCreateFile:
+      parent->entries[name] = update.attrs;
+      return OkStatus();
+    case Op::kSetAttrs: {
+      auto it = parent->entries.find(name);
+      if (it == parent->entries.end()) {
+        return CorruptionError("SetAttrs target vanished during replay");
+      }
+      it->second.size = update.attrs.size;
+      it->second.mtime = update.attrs.mtime;
+      return OkStatus();
+    }
+    case Op::kUnlink:
+      parent->entries.erase(name);
+      parent->subdirs.erase(name);
+      return OkStatus();
+    case Op::kRename: {
+      SDB_ASSIGN_OR_RETURN(std::vector<std::string> to_parts, SplitPath(update.to_path));
+      SDB_ASSIGN_OR_RETURN(DirNode * to_parent, ParentOf(to_parts));
+      auto it = parent->entries.find(name);
+      if (it == parent->entries.end()) {
+        return CorruptionError("rename source vanished during replay");
+      }
+      to_parent->entries[to_parts.back()] = it->second;
+      auto sub = parent->subdirs.find(name);
+      if (sub != parent->subdirs.end()) {
+        to_parent->subdirs[to_parts.back()] = sub->second;
+        parent->subdirs.erase(name);  // invalidates `sub`
+      } else {
+        to_parent->subdirs.erase(to_parts.back());
+      }
+      // Re-find: `to_parent` insertion cannot invalidate `parent`'s map iterators
+      // unless they alias; erase by key to be safe when parent == to_parent.
+      parent = nullptr;
+      SDB_ASSIGN_OR_RETURN(DirNode * from_parent_again, ParentOf(parts));
+      from_parent_again->entries.erase(name);
+      return OkStatus();
+    }
+  }
+  return CorruptionError("unknown directory update op");
+}
+
+}  // namespace sdb::dirsvc

@@ -1,0 +1,118 @@
+// DirectoryService: a second complete application built on the core engine — the
+// "file directories" database from the paper's opening list of operating-system
+// databases ("records of user accounts, network name servers, network configuration
+// information and file directories").
+//
+// Where the name server shows a tree of hash tables on the typed heap, this service
+// shows a conventional strongly typed C++ structure (nested structs/maps) persisted
+// through the same three-step update discipline. Its most interesting operation is
+// Rename: a two-path single-shot transaction whose precondition spans both the source
+// (must exist) and destination (parent must exist; must not clobber a non-empty
+// directory) — demonstrating that the paper's "no multi-step transactions" restriction
+// still covers realistic metadata operations, because the whole precondition is
+// evaluated atomically under the update lock.
+#ifndef SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_H_
+#define SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb::dirsvc {
+
+enum class EntryType : std::uint8_t {
+  kFile = 1,
+  kDirectory = 2,
+};
+
+struct EntryAttrs {
+  std::uint8_t type = 0;  // EntryType
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;  // caller-supplied timestamp (the engine stays clock-free)
+  std::string owner;
+
+  SDB_PICKLE_FIELDS(EntryAttrs, type, size, mtime, owner)
+  bool operator==(const EntryAttrs&) const = default;
+};
+
+// One directory level: name -> attributes, plus child directories.
+struct DirNode {
+  std::map<std::string, EntryAttrs, std::less<>> entries;          // files AND dirs
+  std::map<std::string, std::shared_ptr<DirNode>, std::less<>> subdirs;
+
+  SDB_PICKLE_FIELDS(DirNode, entries, subdirs)
+};
+
+struct DirectoryServiceOptions {
+  DatabaseOptions db;
+  const CostModel* cost = nullptr;
+};
+
+class DirectoryService final : public Application {
+ public:
+  static Result<std::unique_ptr<DirectoryService>> Open(DirectoryServiceOptions options);
+
+  ~DirectoryService() override = default;
+
+  // --- enquiries ---
+
+  Result<EntryAttrs> Stat(std::string_view path);
+
+  // Entry names in the directory at `path`, sorted ("" = root).
+  Result<std::vector<std::string>> ReadDir(std::string_view path);
+
+  bool Exists(std::string_view path);
+
+  // --- updates (single-shot transactions) ---
+
+  // Creates a directory. Precondition: parent exists, name free.
+  Status MkDir(std::string_view path, std::string_view owner, std::uint64_t mtime);
+
+  // Creates a file. Precondition: parent exists, name free.
+  Status CreateFile(std::string_view path, std::string_view owner, std::uint64_t size,
+                    std::uint64_t mtime);
+
+  // Updates a file's size/mtime. Precondition: the file exists.
+  Status SetAttrs(std::string_view path, std::uint64_t size, std::uint64_t mtime);
+
+  // Removes a file, or an EMPTY directory. Precondition: exists (and empty if a dir).
+  Status Unlink(std::string_view path);
+
+  // Atomically moves `from` to `to` (files or whole directory subtrees).
+  // Preconditions: `from` exists; `to`'s parent exists; `to` is free or replaceable
+  // (a file, or an empty directory being replaced by a directory); `to` is not inside
+  // `from`'s subtree. One log entry; all-or-nothing.
+  Status Rename(std::string_view from, std::string_view to);
+
+  Status Checkpoint() { return db_->Checkpoint(); }
+  Database& database() { return *db_; }
+  std::uint64_t entry_count();
+
+  // --- Application interface ---
+  Status ResetState() override;
+  Result<Bytes> SerializeState() override;
+  Status DeserializeState(ByteSpan data) override;
+  Status ApplyUpdate(ByteSpan record) override;
+
+ private:
+  explicit DirectoryService(DirectoryServiceOptions options)
+      : options_(std::move(options)) {}
+
+  // Navigation within the in-memory tree (no locking: callers hold the engine lock).
+  DirNode* WalkDir(const std::vector<std::string>& parts);
+  Result<DirNode*> ParentOf(const std::vector<std::string>& parts);
+
+  DirectoryServiceOptions options_;
+  std::shared_ptr<DirNode> root_ = std::make_shared<DirNode>();
+  std::unique_ptr<Database> db_;
+};
+
+}  // namespace sdb::dirsvc
+
+#endif  // SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_H_

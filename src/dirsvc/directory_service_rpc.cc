@@ -1,0 +1,104 @@
+#include "src/dirsvc/directory_service_rpc.h"
+
+namespace sdb::dirsvc {
+
+void RegisterDirectoryService(rpc::RpcServer& rpc_server, DirectoryService& service) {
+  rpc::RegisterMethod<StatRequest, StatResponse>(
+      rpc_server, std::string(kDirectoryService), "Stat",
+      [&service](const StatRequest& request) -> Result<StatResponse> {
+        SDB_ASSIGN_OR_RETURN(EntryAttrs attrs, service.Stat(request.path));
+        return StatResponse{attrs};
+      });
+  rpc::RegisterMethod<ReadDirRequest, ReadDirResponse>(
+      rpc_server, std::string(kDirectoryService), "ReadDir",
+      [&service](const ReadDirRequest& request) -> Result<ReadDirResponse> {
+        SDB_ASSIGN_OR_RETURN(std::vector<std::string> names, service.ReadDir(request.path));
+        return ReadDirResponse{std::move(names)};
+      });
+  rpc::RegisterMethod<MkDirRequest, DirAck>(
+      rpc_server, std::string(kDirectoryService), "MkDir",
+      [&service](const MkDirRequest& request) -> Result<DirAck> {
+        SDB_RETURN_IF_ERROR(service.MkDir(request.path, request.owner, request.mtime));
+        return DirAck{};
+      });
+  rpc::RegisterMethod<CreateFileRequest, DirAck>(
+      rpc_server, std::string(kDirectoryService), "CreateFile",
+      [&service](const CreateFileRequest& request) -> Result<DirAck> {
+        SDB_RETURN_IF_ERROR(
+            service.CreateFile(request.path, request.owner, request.size, request.mtime));
+        return DirAck{};
+      });
+  rpc::RegisterMethod<SetAttrsRequest, DirAck>(
+      rpc_server, std::string(kDirectoryService), "SetAttrs",
+      [&service](const SetAttrsRequest& request) -> Result<DirAck> {
+        SDB_RETURN_IF_ERROR(service.SetAttrs(request.path, request.size, request.mtime));
+        return DirAck{};
+      });
+  rpc::RegisterMethod<UnlinkRequest, DirAck>(
+      rpc_server, std::string(kDirectoryService), "Unlink",
+      [&service](const UnlinkRequest& request) -> Result<DirAck> {
+        SDB_RETURN_IF_ERROR(service.Unlink(request.path));
+        return DirAck{};
+      });
+  rpc::RegisterMethod<RenameRequest, DirAck>(
+      rpc_server, std::string(kDirectoryService), "Rename",
+      [&service](const RenameRequest& request) -> Result<DirAck> {
+        SDB_RETURN_IF_ERROR(service.Rename(request.from, request.to));
+        return DirAck{};
+      });
+}
+
+Result<EntryAttrs> DirectoryServiceClient::Stat(std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(StatResponse response,
+                       (rpc::CallMethod<StatRequest, StatResponse>(
+                           channel_, kDirectoryService, "Stat",
+                           StatRequest{std::string(path)})));
+  return response.attrs;
+}
+
+Result<std::vector<std::string>> DirectoryServiceClient::ReadDir(std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(ReadDirResponse response,
+                       (rpc::CallMethod<ReadDirRequest, ReadDirResponse>(
+                           channel_, kDirectoryService, "ReadDir",
+                           ReadDirRequest{std::string(path)})));
+  return response.names;
+}
+
+Status DirectoryServiceClient::MkDir(std::string_view path, std::string_view owner,
+                                     std::uint64_t mtime) {
+  return rpc::CallMethod<MkDirRequest, DirAck>(
+             channel_, kDirectoryService, "MkDir",
+             MkDirRequest{std::string(path), std::string(owner), mtime})
+      .status();
+}
+
+Status DirectoryServiceClient::CreateFile(std::string_view path, std::string_view owner,
+                                          std::uint64_t size, std::uint64_t mtime) {
+  return rpc::CallMethod<CreateFileRequest, DirAck>(
+             channel_, kDirectoryService, "CreateFile",
+             CreateFileRequest{std::string(path), std::string(owner), size, mtime})
+      .status();
+}
+
+Status DirectoryServiceClient::SetAttrs(std::string_view path, std::uint64_t size,
+                                        std::uint64_t mtime) {
+  return rpc::CallMethod<SetAttrsRequest, DirAck>(
+             channel_, kDirectoryService, "SetAttrs",
+             SetAttrsRequest{std::string(path), size, mtime})
+      .status();
+}
+
+Status DirectoryServiceClient::Unlink(std::string_view path) {
+  return rpc::CallMethod<UnlinkRequest, DirAck>(channel_, kDirectoryService, "Unlink",
+                                                UnlinkRequest{std::string(path)})
+      .status();
+}
+
+Status DirectoryServiceClient::Rename(std::string_view from, std::string_view to) {
+  return rpc::CallMethod<RenameRequest, DirAck>(
+             channel_, kDirectoryService, "Rename",
+             RenameRequest{std::string(from), std::string(to)})
+      .status();
+}
+
+}  // namespace sdb::dirsvc

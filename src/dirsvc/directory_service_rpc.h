@@ -1,0 +1,85 @@
+// RPC surface for the directory service — like every database in the paper's opening
+// list, file-directory metadata is served to remote clients over strongly typed RPC.
+#ifndef SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_RPC_H_
+#define SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_RPC_H_
+
+#include "src/dirsvc/directory_service.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace sdb::dirsvc {
+
+inline constexpr std::string_view kDirectoryService = "DirectoryService";
+
+struct StatRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(StatRequest, path)
+};
+struct StatResponse {
+  EntryAttrs attrs;
+  SDB_PICKLE_FIELDS(StatResponse, attrs)
+};
+struct ReadDirRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(ReadDirRequest, path)
+};
+struct ReadDirResponse {
+  std::vector<std::string> names;
+  SDB_PICKLE_FIELDS(ReadDirResponse, names)
+};
+struct MkDirRequest {
+  std::string path;
+  std::string owner;
+  std::uint64_t mtime = 0;
+  SDB_PICKLE_FIELDS(MkDirRequest, path, owner, mtime)
+};
+struct CreateFileRequest {
+  std::string path;
+  std::string owner;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;
+  SDB_PICKLE_FIELDS(CreateFileRequest, path, owner, size, mtime)
+};
+struct SetAttrsRequest {
+  std::string path;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;
+  SDB_PICKLE_FIELDS(SetAttrsRequest, path, size, mtime)
+};
+struct UnlinkRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(UnlinkRequest, path)
+};
+struct RenameRequest {
+  std::string from;
+  std::string to;
+  SDB_PICKLE_FIELDS(RenameRequest, from, to)
+};
+struct DirAck {
+  std::uint8_t ok = 1;
+  SDB_PICKLE_FIELDS(DirAck, ok)
+};
+
+// Registers every DirectoryService method on `rpc_server`.
+void RegisterDirectoryService(rpc::RpcServer& rpc_server, DirectoryService& service);
+
+class DirectoryServiceClient {
+ public:
+  explicit DirectoryServiceClient(rpc::Channel& channel) : channel_(channel) {}
+
+  Result<EntryAttrs> Stat(std::string_view path);
+  Result<std::vector<std::string>> ReadDir(std::string_view path);
+  Status MkDir(std::string_view path, std::string_view owner, std::uint64_t mtime);
+  Status CreateFile(std::string_view path, std::string_view owner, std::uint64_t size,
+                    std::uint64_t mtime);
+  Status SetAttrs(std::string_view path, std::uint64_t size, std::uint64_t mtime);
+  Status Unlink(std::string_view path);
+  Status Rename(std::string_view from, std::string_view to);
+
+ private:
+  rpc::Channel& channel_;
+};
+
+}  // namespace sdb::dirsvc
+
+#endif  // SMALLDB_SRC_DIRSVC_DIRECTORY_SERVICE_RPC_H_

@@ -1,0 +1,249 @@
+#include "src/nameserver/name_server.h"
+
+namespace sdb::ns {
+namespace {
+
+// What a checkpoint of the name server actually contains: the pickled tree plus the
+// replication bookkeeping, so a restart recovers both together.
+struct CheckpointBody {
+  Bytes tree;
+  std::map<std::string, std::uint64_t> version_vector;
+  std::uint64_t lamport = 0;
+  std::vector<NameServerUpdate> journal;
+  std::map<std::string, std::uint64_t> journal_base;
+
+  SDB_PICKLE_FIELDS(CheckpointBody, tree, version_vector, lamport, journal, journal_base)
+};
+
+}  // namespace
+
+NameServer::NameServer(NameServerOptions options)
+    : options_(std::move(options)), tree_(options_.cost) {}
+
+Result<std::unique_ptr<NameServer>> NameServer::Open(NameServerOptions options) {
+  if (options.replica_id.empty()) {
+    return InvalidArgumentError("replica_id must be non-empty");
+  }
+  std::unique_ptr<NameServer> server(new NameServer(std::move(options)));
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       Database::Open(*server, server->options_.db));
+  server->db_ = std::move(db);
+  return server;
+}
+
+// --- client operations ---
+
+Result<std::string> NameServer::Lookup(std::string_view path) {
+  Result<std::string> value = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &value] {
+    value = tree_.Lookup(path);
+    return OkStatus();
+  }));
+  return value;
+}
+
+Result<std::vector<std::string>> NameServer::List(std::string_view path) {
+  Result<std::vector<std::string>> labels = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &labels] {
+    labels = tree_.List(path);
+    return OkStatus();
+  }));
+  return labels;
+}
+
+Result<Bytes> NameServer::PrepareLocalUpdate(UpdateKind kind, std::string_view path,
+                                             std::string_view value) {
+  // Step 1 of the paper's update: verify preconditions against the virtual memory
+  // data, then gather the parameters of the update into a (pickled) record.
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgumentError("the root cannot be the target of an update");
+  }
+  if (kind == UpdateKind::kRemove && !tree_.Exists(path)) {
+    return FailedPreconditionError("no such name: " + std::string(path));
+  }
+
+  NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(kind);
+  update.path = std::string(path);
+  update.value = std::string(value);
+  update.lamport = lamport_ + 1;
+  update.origin = options_.replica_id;
+  update.sequence = version_vector_[options_.replica_id] + 1;
+  return EncodeUpdate(update, options_.cost);
+}
+
+Status NameServer::Set(std::string_view path, std::string_view value) {
+  return db_->Update(
+      [this, path, value] { return PrepareLocalUpdate(UpdateKind::kSet, path, value); });
+}
+
+Status NameServer::Remove(std::string_view path) {
+  return db_->Update(
+      [this, path] { return PrepareLocalUpdate(UpdateKind::kRemove, path, ""); });
+}
+
+Status NameServer::CompareAndSet(std::string_view path, std::string_view expected,
+                                 std::string_view value) {
+  return db_->Update([this, path, expected, value]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::string current, tree_.Lookup(path));
+    if (current != expected) {
+      return FailedPreconditionError("value mismatch at " + std::string(path));
+    }
+    return PrepareLocalUpdate(UpdateKind::kSet, path, value);
+  });
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> NameServer::Export(
+    std::string_view path) {
+  Result<std::vector<std::pair<std::string, std::string>>> bindings = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &bindings] {
+    bindings = tree_.Export(path);
+    return OkStatus();
+  }));
+  return bindings;
+}
+
+// --- replication surface ---
+
+Status NameServer::ApplyRemoteUpdate(const NameServerUpdate& update) {
+  Status status = db_->Update([this, &update]() -> Result<Bytes> {
+    std::uint64_t seen = 0;
+    if (auto it = version_vector_.find(update.origin); it != version_vector_.end()) {
+      seen = it->second;
+    }
+    if (update.sequence <= seen) {
+      // Already incorporated (propagation retry / overlapping anti-entropy).
+      return AlreadyExistsError("update already applied");
+    }
+    if (update.sequence != seen + 1) {
+      return FailedPreconditionError("sequence gap from origin " + update.origin +
+                                     ": have " + std::to_string(seen) + ", got " +
+                                     std::to_string(update.sequence));
+    }
+    return EncodeUpdate(update, options_.cost);
+  });
+  if (status.Is(ErrorCode::kAlreadyExists)) {
+    return OkStatus();
+  }
+  return status;
+}
+
+VersionVector NameServer::version_vector() const {
+  VersionVector copy;
+  // Read under shared lock to avoid racing an in-flight apply.
+  Status status = db_->Enquire([this, &copy] {
+    copy = version_vector_;
+    return OkStatus();
+  });
+  (void)status;
+  return copy;
+}
+
+Result<std::vector<NameServerUpdate>> NameServer::UpdatesSince(const VersionVector& peer) const {
+  std::vector<NameServerUpdate> missing;
+  Status inner = OkStatus();
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, &peer, &missing, &inner] {
+    // First check the journal reaches back far enough for every origin the peer lags.
+    for (const auto& [origin, have] : version_vector_) {
+      std::uint64_t peer_seen = 0;
+      if (auto it = peer.find(origin); it != peer.end()) {
+        peer_seen = it->second;
+      }
+      if (peer_seen >= have) {
+        continue;
+      }
+      std::uint64_t base = 1;
+      if (auto it = journal_base_.find(origin); it != journal_base_.end()) {
+        base = it->second;
+      }
+      if (peer_seen + 1 < base) {
+        inner = FailedPreconditionError("journal no longer covers origin " + origin +
+                                        " back to sequence " + std::to_string(peer_seen + 1));
+        return OkStatus();
+      }
+    }
+    for (const NameServerUpdate& update : journal_) {
+      std::uint64_t peer_seen = 0;
+      if (auto it = peer.find(update.origin); it != peer.end()) {
+        peer_seen = it->second;
+      }
+      if (update.sequence > peer_seen) {
+        missing.push_back(update);
+      }
+    }
+    return OkStatus();
+  }));
+  SDB_RETURN_IF_ERROR(inner);
+  return missing;
+}
+
+Result<Bytes> NameServer::FullState() {
+  Result<Bytes> state = InternalError("unset");
+  SDB_RETURN_IF_ERROR(db_->Enquire([this, &state] {
+    state = SerializeState();
+    return OkStatus();
+  }));
+  return state;
+}
+
+Status NameServer::InstallFullState(ByteSpan state) { return db_->ReplaceState(state); }
+
+// --- Application interface ---
+
+Status NameServer::ResetState() {
+  version_vector_.clear();
+  lamport_ = 0;
+  journal_.clear();
+  journal_base_.clear();
+  return tree_.Reset();
+}
+
+Result<Bytes> NameServer::SerializeState() {
+  CheckpointBody body;
+  SDB_ASSIGN_OR_RETURN(body.tree, tree_.Serialize());
+  body.version_vector = version_vector_;
+  body.lamport = lamport_;
+  body.journal.assign(journal_.begin(), journal_.end());
+  body.journal_base = journal_base_;
+  return PickleWrite(body, options_.cost);
+}
+
+Status NameServer::DeserializeState(ByteSpan data) {
+  SDB_ASSIGN_OR_RETURN(CheckpointBody body, PickleRead<CheckpointBody>(data, options_.cost));
+  SDB_RETURN_IF_ERROR(tree_.Deserialize(AsSpan(body.tree)));
+  version_vector_ = std::move(body.version_vector);
+  lamport_ = body.lamport;
+  journal_.assign(body.journal.begin(), body.journal.end());
+  journal_base_ = std::move(body.journal_base);
+  return OkStatus();
+}
+
+Status NameServer::ApplyUpdate(ByteSpan record) {
+  SDB_ASSIGN_OR_RETURN(NameServerUpdate update, DecodeUpdate(record, options_.cost));
+  SDB_ASSIGN_OR_RETURN(bool applied, ApplyUpdateToTree(tree_, update));
+  (void)applied;  // superseded LWW writes still advance the replication state
+  std::uint64_t& seen = version_vector_[update.origin];
+  if (update.sequence > seen) {
+    seen = update.sequence;
+  }
+  if (update.lamport > lamport_) {
+    lamport_ = update.lamport;
+  }
+  JournalAppend(update);
+  return OkStatus();
+}
+
+void NameServer::JournalAppend(const NameServerUpdate& update) {
+  journal_.push_back(update);
+  if (journal_base_.find(update.origin) == journal_base_.end()) {
+    journal_base_[update.origin] = update.sequence;
+  }
+  while (journal_.size() > options_.journal_capacity) {
+    const NameServerUpdate& evicted = journal_.front();
+    journal_base_[evicted.origin] = evicted.sequence + 1;
+    journal_.pop_front();
+  }
+}
+
+}  // namespace sdb::ns

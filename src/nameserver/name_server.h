@@ -1,0 +1,124 @@
+// NameServer: the paper's example application, assembled from the substrates.
+//
+// Wraps a NameTree (the strongly typed virtual-memory structure) in the core Database
+// engine (log + checkpoint + SUE locking) and adds the replication bookkeeping the
+// paper describes: per-origin sequence numbers, a bounded in-memory journal of recent
+// updates for propagation, and full-state transfer for hard-error recovery.
+//
+// All replication state (version vector, lamport clock, journal) is part of the
+// pickled database state, so it survives restarts through the normal checkpoint+log
+// recovery with no extra machinery.
+#ifndef SMALLDB_SRC_NAMESERVER_NAME_SERVER_H_
+#define SMALLDB_SRC_NAMESERVER_NAME_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/nameserver/name_tree.h"
+#include "src/nameserver/updates.h"
+
+namespace sdb::ns {
+
+using VersionVector = std::map<std::string, std::uint64_t>;
+
+struct NameServerOptions {
+  DatabaseOptions db;
+  const CostModel* cost = nullptr;
+  std::string replica_id = "replica-1";
+  // Updates retained in the propagation journal; peers lagging further behind are
+  // resynchronized by full state transfer.
+  std::size_t journal_capacity = 8192;
+};
+
+class NameServer final : public Application {
+ public:
+  // Opens (or recovers) the name server database under options.db.dir.
+  static Result<std::unique_ptr<NameServer>> Open(NameServerOptions options);
+
+  ~NameServer() override = default;
+
+  // --- client operations ---
+
+  // Enquiry: value bound to `path`. Purely a virtual-memory lookup under shared lock.
+  Result<std::string> Lookup(std::string_view path);
+
+  // Browsing: child labels at `path`.
+  Result<std::vector<std::string>> List(std::string_view path);
+
+  // Update: binds `value` to `path` (creating intermediate names).
+  Status Set(std::string_view path, std::string_view value);
+
+  // Update: removes `path` and its whole subtree. Precondition: the name exists.
+  Status Remove(std::string_view path);
+
+  // Conditional update (single-shot transaction with a value precondition): binds
+  // `value` to `path` only if the current value equals `expected`. Fails with
+  // kFailedPrecondition otherwise, logging nothing — the paper's update discipline
+  // covers read-modify-write without multi-step transactions.
+  Status CompareAndSet(std::string_view path, std::string_view expected,
+                       std::string_view value);
+
+  // Enquiry: every (path, value) binding under `path`, sorted ("" = the whole
+  // database). The browsing/export operation.
+  Result<std::vector<std::pair<std::string, std::string>>> Export(std::string_view path);
+
+  Status Checkpoint() { return db_->Checkpoint(); }
+
+  // --- replication surface (used by the Replicator and the RPC service) ---
+
+  // Applies an update that originated at another replica. Idempotent: already-seen
+  // sequence numbers succeed as no-ops. A gap in the origin's sequence returns
+  // kFailedPrecondition — the caller should anti-entropy instead.
+  Status ApplyRemoteUpdate(const NameServerUpdate& update);
+
+  VersionVector version_vector() const;
+
+  // Updates the peer (described by its version vector) has not seen, oldest first.
+  // kFailedPrecondition if the journal no longer reaches back far enough.
+  Result<std::vector<NameServerUpdate>> UpdatesSince(const VersionVector& peer) const;
+
+  // Full database state, for replica restore. (Identical bytes to a checkpoint.)
+  Result<Bytes> FullState();
+
+  // Replaces this replica's entire state with `state` from a healthy peer and makes it
+  // durable immediately (hard-error recovery).
+  Status InstallFullState(ByteSpan state);
+
+  // --- introspection ---
+  const std::string& replica_id() const { return options_.replica_id; }
+  Database& database() { return *db_; }
+  NameTree& tree() { return tree_; }
+  std::uint64_t journal_size() const { return journal_.size(); }
+
+  // --- Application interface (called by the engine) ---
+  Status ResetState() override;
+  Result<Bytes> SerializeState() override;
+  Status DeserializeState(ByteSpan data) override;
+  Status ApplyUpdate(ByteSpan record) override;
+
+ private:
+  explicit NameServer(NameServerOptions options);
+
+  Result<Bytes> PrepareLocalUpdate(UpdateKind kind, std::string_view path,
+                                   std::string_view value);
+  void JournalAppend(const NameServerUpdate& update);
+
+  NameServerOptions options_;
+  NameTree tree_;
+  std::unique_ptr<Database> db_;
+
+  // Replication state, mutated only under the engine's update/exclusive lock (inside
+  // prepare callbacks and ApplyUpdate) or during single-threaded recovery.
+  VersionVector version_vector_;
+  std::uint64_t lamport_ = 0;
+  std::deque<NameServerUpdate> journal_;
+  VersionVector journal_base_;  // per origin: lowest sequence still in the journal
+};
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_NAME_SERVER_H_

@@ -1,0 +1,128 @@
+// The name service's RPC surface: request/response structs (marshalled by the pickle
+// traits — the reproduction of the paper's automatically generated stub modules), the
+// server-side registration, and a typed client.
+//
+// "Clients interact with our name server through a general purpose remote procedure
+// call mechanism ... The combined effect of these two facilities is that we can
+// implement the name server entirely in a strongly typed language." (Section 6)
+#ifndef SMALLDB_SRC_NAMESERVER_NAME_SERVICE_RPC_H_
+#define SMALLDB_SRC_NAMESERVER_NAME_SERVICE_RPC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nameserver/name_server.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace sdb::ns {
+
+inline constexpr std::string_view kNameService = "NameService";
+
+// --- message types ---
+
+struct LookupRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(LookupRequest, path)
+};
+struct LookupResponse {
+  std::string value;
+  SDB_PICKLE_FIELDS(LookupResponse, value)
+};
+
+struct ListRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(ListRequest, path)
+};
+struct ListResponse {
+  std::vector<std::string> labels;
+  SDB_PICKLE_FIELDS(ListResponse, labels)
+};
+
+struct SetRequest {
+  std::string path;
+  std::string value;
+  SDB_PICKLE_FIELDS(SetRequest, path, value)
+};
+struct RemoveRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(RemoveRequest, path)
+};
+struct CompareAndSetRequest {
+  std::string path;
+  std::string expected;
+  std::string value;
+  SDB_PICKLE_FIELDS(CompareAndSetRequest, path, expected, value)
+};
+struct ExportRequest {
+  std::string path;
+  SDB_PICKLE_FIELDS(ExportRequest, path)
+};
+struct ExportResponse {
+  std::vector<std::pair<std::string, std::string>> bindings;
+  SDB_PICKLE_FIELDS(ExportResponse, bindings)
+};
+struct Ack {
+  std::uint8_t ok = 1;
+  SDB_PICKLE_FIELDS(Ack, ok)
+};
+
+// Replication messages.
+struct PushUpdateRequest {
+  NameServerUpdate update;
+  SDB_PICKLE_FIELDS(PushUpdateRequest, update)
+};
+struct VersionVectorRequest {
+  std::uint8_t unused = 0;
+  SDB_PICKLE_FIELDS(VersionVectorRequest, unused)
+};
+struct VersionVectorResponse {
+  VersionVector version_vector;
+  SDB_PICKLE_FIELDS(VersionVectorResponse, version_vector)
+};
+struct UpdatesSinceRequest {
+  VersionVector have;
+  SDB_PICKLE_FIELDS(UpdatesSinceRequest, have)
+};
+struct UpdatesSinceResponse {
+  std::vector<NameServerUpdate> updates;
+  SDB_PICKLE_FIELDS(UpdatesSinceResponse, updates)
+};
+struct FullStateRequest {
+  std::uint8_t unused = 0;
+  SDB_PICKLE_FIELDS(FullStateRequest, unused)
+};
+struct FullStateResponse {
+  Bytes state;
+  SDB_PICKLE_FIELDS(FullStateResponse, state)
+};
+
+// Registers every NameService method of `server` on `rpc_server`. The NameServer must
+// outlive the RpcServer's use.
+void RegisterNameService(rpc::RpcServer& rpc_server, NameServer& server);
+
+// Typed client stub.
+class NameServiceClient {
+ public:
+  explicit NameServiceClient(rpc::Channel& channel) : channel_(channel) {}
+
+  Result<std::string> Lookup(std::string_view path);
+  Result<std::vector<std::string>> List(std::string_view path);
+  Status Set(std::string_view path, std::string_view value);
+  Status Remove(std::string_view path);
+  Status CompareAndSet(std::string_view path, std::string_view expected,
+                       std::string_view value);
+  Result<std::vector<std::pair<std::string, std::string>>> Export(std::string_view path);
+
+  Status PushUpdate(const NameServerUpdate& update);
+  Result<VersionVector> GetVersionVector();
+  Result<std::vector<NameServerUpdate>> UpdatesSince(const VersionVector& have);
+  Result<Bytes> FullState();
+
+ private:
+  rpc::Channel& channel_;
+};
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_NAME_SERVICE_RPC_H_

@@ -1,0 +1,362 @@
+#include "src/nameserver/name_tree.h"
+
+namespace sdb::ns {
+
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  if (path.empty()) {
+    return parts;
+  }
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    std::size_t end = path.find('/', begin);
+    if (end == std::string_view::npos) {
+      end = path.size();
+    }
+    if (end == begin) {
+      return InvalidArgumentError("empty component in path '" + std::string(path) + "'");
+    }
+    parts.emplace_back(path.substr(begin, end - begin));
+    begin = end + 1;
+    if (begin == path.size() + 1) {
+      break;
+    }
+  }
+  return parts;
+}
+
+NameTree::NameTree(const CostModel* cost) : cost_(cost) {
+  node_type_ = registry_
+                   .Register("ns.node",
+                             {
+                                 {"children", th::FieldKind::kStringRefMap},
+                                 {"value", th::FieldKind::kString},
+                                 {"has_value", th::FieldKind::kInt},
+                                 {"lamport", th::FieldKind::kInt},
+                                 {"origin", th::FieldKind::kString},
+                                 {"cleared_lamport", th::FieldKind::kInt},
+                                 {"cleared_origin", th::FieldKind::kString},
+                                 {"live", th::FieldKind::kInt},
+                             })
+                   .value();
+  f_children_ = node_type_->FieldIndex("children").value();
+  f_value_ = node_type_->FieldIndex("value").value();
+  f_has_value_ = node_type_->FieldIndex("has_value").value();
+  f_lamport_ = node_type_->FieldIndex("lamport").value();
+  f_origin_ = node_type_->FieldIndex("origin").value();
+  f_cleared_lamport_ = node_type_->FieldIndex("cleared_lamport").value();
+  f_cleared_origin_ = node_type_->FieldIndex("cleared_origin").value();
+  f_live_ = node_type_->FieldIndex("live").value();
+  root_ = AllocateNode();
+  heap_.AddRoot(root_);
+}
+
+th::Object* NameTree::AllocateNode() { return heap_.Allocate(node_type_); }
+
+VersionStamp NameTree::ValueStampOf(const th::Object* node) const {
+  return VersionStamp{static_cast<std::uint64_t>(node->GetInt(f_lamport_).value()),
+                      *node->GetString(f_origin_).value()};
+}
+
+VersionStamp NameTree::ClearedStampOf(const th::Object* node) const {
+  return VersionStamp{static_cast<std::uint64_t>(node->GetInt(f_cleared_lamport_).value()),
+                      *node->GetString(f_cleared_origin_).value()};
+}
+
+void NameTree::SetClearedStamp(th::Object* node, const VersionStamp& stamp) {
+  (void)node->SetInt(f_cleared_lamport_, static_cast<std::int64_t>(stamp.lamport));
+  (void)node->SetString(f_cleared_origin_, stamp.origin);
+}
+
+std::int64_t NameTree::LiveOf(const th::Object* node) const {
+  return node->GetInt(f_live_).value();
+}
+
+th::Object* NameTree::Walk(const std::vector<std::string>& parts,
+                           VersionStamp* floor_out) const {
+  th::Object* node = root_;
+  VersionStamp floor = ClearedStampOf(node);
+  for (const std::string& part : parts) {
+    if (cost_ != nullptr) {
+      cost_->ChargeExplore(1);
+    }
+    Result<th::Object*> child = node->MapGet(f_children_, part);
+    if (!child.ok()) {
+      if (floor_out != nullptr) {
+        *floor_out = floor;
+      }
+      return nullptr;
+    }
+    node = *child;
+    floor = MaxStamp(floor, ClearedStampOf(node));
+  }
+  if (floor_out != nullptr) {
+    *floor_out = floor;
+  }
+  return node;
+}
+
+Result<std::string> NameTree::Lookup(std::string_view path) const {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  th::Object* node = Walk(parts);
+  if (node == nullptr) {
+    return NotFoundError("no such name: " + std::string(path));
+  }
+  SDB_ASSIGN_OR_RETURN(std::int64_t has_value, node->GetInt(f_has_value_));
+  if (has_value == 0) {
+    return NotFoundError("name has no value: " + std::string(path));
+  }
+  SDB_ASSIGN_OR_RETURN(const std::string* value, node->GetString(f_value_));
+  return *value;
+}
+
+Result<std::vector<std::string>> NameTree::List(std::string_view path) const {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  th::Object* node = Walk(parts);
+  if (node == nullptr || (LiveOf(node) == 0 && !parts.empty())) {
+    return NotFoundError("no such name: " + std::string(path));
+  }
+  SDB_ASSIGN_OR_RETURN(const th::Object::StringRefMap* children, node->MapView(f_children_));
+  std::vector<std::string> labels;
+  labels.reserve(children->size());
+  for (const auto& [label, child] : *children) {
+    if (cost_ != nullptr) {
+      cost_->ChargeExplore(1);
+    }
+    if (LiveOf(child) > 0) {
+      labels.push_back(label);
+    }
+  }
+  return labels;
+}
+
+bool NameTree::Exists(std::string_view path) const {
+  Result<std::vector<std::string>> parts = SplitPath(path);
+  if (!parts.ok()) {
+    return false;
+  }
+  th::Object* node = Walk(*parts);
+  return node != nullptr && LiveOf(node) > 0;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> NameTree::Export(
+    std::string_view path) const {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  th::Object* start = Walk(parts);
+  if (start == nullptr || (LiveOf(start) == 0 && !parts.empty())) {
+    return NotFoundError("no such name: " + std::string(path));
+  }
+  std::vector<std::pair<std::string, std::string>> bindings;
+  // Explicit stack of (node, absolute path); children maps are ordered, so pushing in
+  // reverse keeps the output sorted.
+  std::vector<std::pair<th::Object*, std::string>> stack{{start, std::string(path)}};
+  while (!stack.empty()) {
+    auto [node, node_path] = stack.back();
+    stack.pop_back();
+    SDB_ASSIGN_OR_RETURN(std::int64_t has_value, node->GetInt(f_has_value_));
+    if (has_value != 0) {
+      SDB_ASSIGN_OR_RETURN(const std::string* value, node->GetString(f_value_));
+      bindings.emplace_back(node_path, *value);
+    }
+    SDB_ASSIGN_OR_RETURN(const th::Object::StringRefMap* children,
+                         node->MapView(f_children_));
+    for (auto it = children->rbegin(); it != children->rend(); ++it) {
+      if (cost_ != nullptr) {
+        cost_->ChargeExplore(1);
+      }
+      if (LiveOf(it->second) == 0) {
+        continue;  // dead branch (tombstones only)
+      }
+      std::string child_path = node_path.empty() ? it->first : node_path + "/" + it->first;
+      stack.emplace_back(it->second, std::move(child_path));
+    }
+  }
+  return bindings;
+}
+
+Result<bool> NameTree::Set(std::string_view path, std::string_view value,
+                           const VersionStamp& stamp) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgumentError("cannot set a value on the root");
+  }
+  // Walk (creating intermediates as needed), remembering the path for the live-count
+  // update, and accumulating the cleared floor.
+  std::vector<th::Object*> chain{root_};
+  VersionStamp floor = ClearedStampOf(root_);
+  th::Object* node = root_;
+  for (const std::string& part : parts) {
+    if (cost_ != nullptr) {
+      cost_->ChargeExplore(1);
+    }
+    Result<th::Object*> child = node->MapGet(f_children_, part);
+    if (child.ok()) {
+      node = *child;
+    } else {
+      if (cost_ != nullptr) {
+        cost_->ChargeModify(1);
+      }
+      th::Object* fresh = AllocateNode();
+      SDB_RETURN_IF_ERROR(node->MapSet(f_children_, part, fresh));
+      node = fresh;
+    }
+    chain.push_back(node);
+    floor = MaxStamp(floor, ClearedStampOf(node));
+  }
+
+  VersionStamp current = MaxStamp(ValueStampOf(node), floor);
+  if (!(current < stamp)) {
+    return false;  // an equal-or-newer write or tombstone already covers this
+  }
+  if (cost_ != nullptr) {
+    cost_->ChargeModify(2);
+  }
+  SDB_ASSIGN_OR_RETURN(std::int64_t had_value, node->GetInt(f_has_value_));
+  SDB_RETURN_IF_ERROR(node->SetString(f_value_, std::string(value)));
+  SDB_RETURN_IF_ERROR(node->SetInt(f_has_value_, 1));
+  SDB_RETURN_IF_ERROR(node->SetInt(f_lamport_, static_cast<std::int64_t>(stamp.lamport)));
+  SDB_RETURN_IF_ERROR(node->SetString(f_origin_, stamp.origin));
+  if (had_value == 0) {
+    for (th::Object* ancestor : chain) {
+      SDB_RETURN_IF_ERROR(ancestor->SetInt(f_live_, LiveOf(ancestor) + 1));
+    }
+  }
+  return true;
+}
+
+std::int64_t NameTree::ClearSubtree(th::Object* node, const VersionStamp& stamp,
+                                    const VersionStamp& floor, bool* changed) {
+  // Clear this node's value if older than the tombstone.
+  std::int64_t has_value = node->GetInt(f_has_value_).value();
+  if (has_value != 0 && ValueStampOf(node) < stamp) {
+    (void)node->SetString(f_value_, "");
+    (void)node->SetInt(f_has_value_, 0);
+    *changed = true;
+  }
+  // Recurse; prune children that carry no information afterwards. A child is prunable
+  // when it has no value, no children, and its own tombstone is dominated by the
+  // cleared floor above it (so dropping it loses nothing).
+  VersionStamp child_floor = MaxStamp(floor, MaxStamp(ClearedStampOf(node), stamp));
+  const th::Object::StringRefMap* children = node->MapView(f_children_).value();
+  std::vector<std::string> prunable;
+  std::int64_t live = node->GetInt(f_has_value_).value() != 0 ? 1 : 0;
+  for (const auto& [label, child] : *children) {
+    std::int64_t child_live =
+        ClearSubtree(child, stamp, child_floor, changed);
+    live += child_live;
+    bool child_empty = child->MapView(f_children_).value()->empty();
+    bool tombstone_dominated =
+        !(child_floor < ClearedStampOf(child));  // cleared <= floor
+    if (child_live == 0 && child_empty && tombstone_dominated) {
+      prunable.push_back(label);
+    }
+  }
+  for (const std::string& label : prunable) {
+    (void)node->MapErase(f_children_, label);
+    *changed = true;
+  }
+  (void)node->SetInt(f_live_, live);
+  return live;
+}
+
+Result<bool> NameTree::Remove(std::string_view path, const VersionStamp& stamp) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgumentError("cannot remove the root");
+  }
+
+  // Walk, creating intermediates as needed: the tombstone must be recorded even if the
+  // path does not exist locally yet (replica convergence).
+  std::vector<th::Object*> chain{root_};
+  VersionStamp floor = ClearedStampOf(root_);
+  th::Object* node = root_;
+  for (const std::string& part : parts) {
+    if (cost_ != nullptr) {
+      cost_->ChargeExplore(1);
+    }
+    Result<th::Object*> child = node->MapGet(f_children_, part);
+    if (child.ok()) {
+      node = *child;
+    } else {
+      th::Object* fresh = AllocateNode();
+      SDB_RETURN_IF_ERROR(node->MapSet(f_children_, part, fresh));
+      node = fresh;
+    }
+    chain.push_back(node);
+    floor = MaxStamp(floor, ClearedStampOf(node));
+  }
+
+  if (!(floor < stamp)) {
+    // An equal-or-newer tombstone already covers this subtree entirely.
+    return false;
+  }
+  if (cost_ != nullptr) {
+    cost_->ChargeModify(1);
+  }
+  bool changed = false;
+  if (ClearedStampOf(node) < stamp) {
+    SetClearedStamp(node, stamp);
+    changed = true;
+  }
+
+  // Clear older values below, prune dead structure, recompute live counts bottom-up.
+  std::int64_t old_live = LiveOf(node);
+  VersionStamp above_floor = floor;  // floor already includes node's old cleared stamp
+  std::int64_t new_live = ClearSubtree(node, stamp, above_floor, &changed);
+  std::int64_t delta = new_live - old_live;
+  if (delta != 0) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      SDB_RETURN_IF_ERROR(chain[i]->SetInt(f_live_, LiveOf(chain[i]) + delta));
+    }
+  }
+  // The target itself may now be prunable from its parent.
+  if (chain.size() >= 2) {
+    th::Object* parent = chain[chain.size() - 2];
+    VersionStamp parent_floor = ClearedStampOf(root_);
+    for (std::size_t i = 1; i + 1 < chain.size(); ++i) {
+      parent_floor = MaxStamp(parent_floor, ClearedStampOf(chain[i]));
+    }
+    bool node_empty = node->MapView(f_children_).value()->empty();
+    if (LiveOf(node) == 0 && node_empty && !(parent_floor < ClearedStampOf(node))) {
+      SDB_RETURN_IF_ERROR(parent->MapErase(f_children_, parts.back()));
+    }
+  }
+
+  if (changed && ++removals_since_gc_ >= 256) {
+    removals_since_gc_ = 0;
+    heap_.Collect();
+  }
+  return changed;
+}
+
+std::size_t NameTree::live_bindings() const {
+  return static_cast<std::size_t>(LiveOf(root_));
+}
+
+Result<Bytes> NameTree::Serialize() const { return th::PickleHeapGraph(root_, cost_); }
+
+Status NameTree::Deserialize(ByteSpan data) {
+  SDB_ASSIGN_OR_RETURN(th::Object * new_root,
+                       th::UnpickleHeapGraph(heap_, registry_, data, cost_));
+  if (new_root == nullptr) {
+    return CorruptionError("checkpoint contains a null root");
+  }
+  if (&new_root->type() != node_type_) {
+    return CorruptionError("checkpoint root is not an ns.node");
+  }
+  heap_.RemoveRoot(root_);
+  root_ = new_root;
+  heap_.AddRoot(root_);
+  heap_.Collect();
+  return OkStatus();
+}
+
+Status NameTree::Reset() {
+  heap_.RemoveRoot(root_);
+  root_ = AllocateNode();
+  heap_.AddRoot(root_);
+  heap_.Collect();
+  return OkStatus();
+}
+
+}  // namespace sdb::ns

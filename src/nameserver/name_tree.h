@@ -1,0 +1,165 @@
+// NameTree: the name server's virtual-memory database structure.
+//
+// "The name server offers its clients a general purpose name-to-value mapping, where
+// the names are strings and the values are trees whose arcs are labelled by strings
+// ... The virtual memory data structure consists primarily of a tree of hash tables.
+// The tables are indexed by strings, and deliver values that are further hash tables.
+// This data structure is implemented in a normal programming style: it is entirely
+// strongly typed and it uses our general purpose string package, memory allocator and
+// garbage collector." (Section 3)
+//
+// Here the tree lives on the typedheap: every node is a th::Object of type "ns.node"
+// whose fields the garbage collector and the heap pickler both interpret through the
+// same TypeDesc.
+//
+// Replica convergence. The paper's replicas exchange updates and must agree no matter
+// the delivery interleaving across origins. Each node therefore carries two
+// last-writer-wins stamps:
+//   - a value stamp: the stamp of the Set that produced the current value;
+//   - a *cleared* stamp: a subtree tombstone left by Remove, meaning "everything under
+//     here older than this is gone".
+// A Set applies only if its stamp is newer than both the target's value stamp and the
+// maximum cleared stamp along its path; a Remove raises the cleared stamp and erases
+// older values beneath it. Both operations are commutative in the set of applied
+// updates, so replicas applying the same updates in any (per-origin-ordered)
+// interleaving reach identical states — the property test in tests/property_test.cc
+// checks exactly this. Dead nodes that carry no tombstone information are pruned
+// physically; dominated tombstones are pruned too, so memory stays proportional to
+// the live namespace plus undominated tombstones.
+#ifndef SMALLDB_SRC_NAMESERVER_NAME_TREE_H_
+#define SMALLDB_SRC_NAMESERVER_NAME_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/cost_model.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/typedheap/heap.h"
+#include "src/typedheap/heap_pickle.h"
+#include "src/typedheap/type_desc.h"
+
+namespace sdb::ns {
+
+// Splits "a/b/c" into {"a","b","c"}. Empty string -> root (empty vector). Rejects
+// empty components ("a//b") and leading/trailing slashes.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+struct VersionStamp {
+  std::uint64_t lamport = 0;
+  std::string origin;
+
+  // Total order: lamport first, origin id as the tie-break. The zero stamp (lamport 0)
+  // is older than every real stamp.
+  bool operator<(const VersionStamp& other) const {
+    if (lamport != other.lamport) {
+      return lamport < other.lamport;
+    }
+    return origin < other.origin;
+  }
+  bool operator==(const VersionStamp& other) const = default;
+
+  bool IsZero() const { return lamport == 0; }
+};
+
+inline VersionStamp MaxStamp(const VersionStamp& a, const VersionStamp& b) {
+  return a < b ? b : a;
+}
+
+class NameTree {
+ public:
+  // `cost` may be null (no charging). The registry and heap are owned by the tree.
+  explicit NameTree(const CostModel* cost = nullptr);
+
+  NameTree(const NameTree&) = delete;
+  NameTree& operator=(const NameTree&) = delete;
+
+  // --- enquiries (pure virtual-memory lookups) ---
+
+  // Value stored at `path`; kNotFound if the node does not exist or holds no value.
+  Result<std::string> Lookup(std::string_view path) const;
+
+  // Child arc labels at `path` that lead to live bindings, in sorted order.
+  Result<std::vector<std::string>> List(std::string_view path) const;
+
+  // True if `path` leads to at least one live binding (itself or a descendant).
+  bool Exists(std::string_view path) const;
+
+  // Enumerates every (path, value) binding in the subtree rooted at `path`, in sorted
+  // path order (paths are absolute). The full-tree export is Export("").
+  Result<std::vector<std::pair<std::string, std::string>>> Export(
+      std::string_view path) const;
+
+  // --- updates (in-memory only; durability is the engine's job) ---
+
+  // Sets the value at `path`, creating intermediate nodes. Applies only if `stamp` is
+  // newer than the node's value stamp and every cleared stamp on the path
+  // (last-writer-wins); returns whether it applied.
+  Result<bool> Set(std::string_view path, std::string_view value, const VersionStamp& stamp);
+
+  // Removes every binding at or below `path` that is older than `stamp`, and leaves a
+  // subtree tombstone so older Sets delivered later cannot resurrect them ("update
+  // operations for any set of sub-trees"). Returns whether anything changed. Creates
+  // the tombstone even if the path does not currently exist (required for replica
+  // convergence); the caller enforces any exists-precondition.
+  Result<bool> Remove(std::string_view path, const VersionStamp& stamp);
+
+  // --- whole-state operations ---
+
+  // Pickles the entire tree (checkpoint body).
+  Result<Bytes> Serialize() const;
+
+  // Replaces the tree from pickled bytes, then collects garbage from the old state.
+  Status Deserialize(ByteSpan data);
+
+  // Resets to an empty root.
+  Status Reset();
+
+  std::size_t node_count() const { return heap_.live_objects(); }
+  std::size_t approximate_bytes() const { return heap_.approximate_bytes(); }
+  std::size_t live_bindings() const;
+  th::Heap& heap() { return heap_; }
+
+  // Runs a garbage collection (pruned subtrees become unreachable; this reclaims them).
+  std::uint64_t CollectGarbage() { return heap_.Collect(); }
+
+ private:
+  th::Object* AllocateNode();
+  // Walks to the node at `parts`, charging one explore step per component, and
+  // accumulating the cleared-stamp floor. Returns nullptr (not an error) if absent.
+  th::Object* Walk(const std::vector<std::string>& parts,
+                   VersionStamp* floor_out = nullptr) const;
+
+  VersionStamp ValueStampOf(const th::Object* node) const;
+  VersionStamp ClearedStampOf(const th::Object* node) const;
+  void SetClearedStamp(th::Object* node, const VersionStamp& stamp);
+  std::int64_t LiveOf(const th::Object* node) const;
+
+  // Clears values older than `stamp` in the subtree at `node`, prunes dead children
+  // (floor = the cleared floor above `node`, used to drop dominated tombstones), and
+  // recomputes live counts. Returns the new live count of `node`.
+  std::int64_t ClearSubtree(th::Object* node, const VersionStamp& stamp,
+                            const VersionStamp& floor, bool* changed);
+
+  const CostModel* cost_;
+  th::TypeRegistry registry_;
+  const th::TypeDesc* node_type_ = nullptr;
+  mutable th::Heap heap_;
+  th::Object* root_ = nullptr;
+  std::uint64_t removals_since_gc_ = 0;
+
+  // Field indices within "ns.node".
+  std::size_t f_children_;
+  std::size_t f_value_;
+  std::size_t f_has_value_;
+  std::size_t f_lamport_;
+  std::size_t f_origin_;
+  std::size_t f_cleared_lamport_;
+  std::size_t f_cleared_origin_;
+  std::size_t f_live_;
+};
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_NAME_TREE_H_

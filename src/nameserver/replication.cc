@@ -1,0 +1,111 @@
+#include "src/nameserver/replication.h"
+
+#include "src/common/logging.h"
+
+namespace sdb::ns {
+
+void Replicator::AddPeer(std::string peer_id, rpc::Channel& channel) {
+  peers_.push_back(Peer{std::move(peer_id), std::make_unique<NameServiceClient>(channel)});
+}
+
+Status Replicator::Propagate() {
+  for (Peer& peer : peers_) {
+    Result<VersionVector> peer_vv = peer.client->GetVersionVector();
+    if (!peer_vv.ok()) {
+      if (peer_vv.status().Is(ErrorCode::kUnavailable)) {
+        ++stats_.peers_unreachable;
+        continue;
+      }
+      return peer_vv.status().WithContext("querying version vector of " + peer.id);
+    }
+    Result<std::vector<NameServerUpdate>> missing = local_.UpdatesSince(*peer_vv);
+    if (!missing.ok()) {
+      // Journal too short for this peer: it must anti-entropy or restore; do not fail
+      // the whole propagation round.
+      SDB_LOG(kWarning) << "cannot propagate to " << peer.id << ": " << missing.status();
+      continue;
+    }
+    for (const NameServerUpdate& update : *missing) {
+      Status pushed = peer.client->PushUpdate(update);
+      if (pushed.Is(ErrorCode::kUnavailable)) {
+        ++stats_.peers_unreachable;
+        break;
+      }
+      if (!pushed.ok()) {
+        return pushed.WithContext("pushing update to " + peer.id);
+      }
+      ++stats_.updates_pushed;
+    }
+  }
+  return OkStatus();
+}
+
+Status Replicator::AntiEntropy() {
+  for (Peer& peer : peers_) {
+    Result<std::vector<NameServerUpdate>> missing =
+        peer.client->UpdatesSince(local_.version_vector());
+    if (!missing.ok()) {
+      if (missing.status().Is(ErrorCode::kUnavailable)) {
+        ++stats_.peers_unreachable;
+        continue;
+      }
+      if (missing.status().Is(ErrorCode::kFailedPrecondition)) {
+        // The peer's journal no longer reaches back to our state; only a full restore
+        // would close the gap, and that is a destructive operation the operator (or a
+        // hard-error handler) must choose explicitly.
+        SDB_LOG(kWarning) << "anti-entropy with " << peer.id
+                          << " needs full restore: " << missing.status();
+        continue;
+      }
+      return missing.status().WithContext("anti-entropy with " + peer.id);
+    }
+    for (const NameServerUpdate& update : *missing) {
+      Status applied = local_.ApplyRemoteUpdate(update);
+      if (applied.Is(ErrorCode::kFailedPrecondition)) {
+        // Out-of-order delivery within the batch (shouldn't happen: peers send in
+        // order); stop this peer's batch and let the next round retry.
+        SDB_LOG(kWarning) << "gap while applying updates from " << peer.id;
+        break;
+      }
+      SDB_RETURN_IF_ERROR(applied);
+      ++stats_.updates_pulled;
+    }
+  }
+  return OkStatus();
+}
+
+Status ReplicationScheduler::Tick(Micros now) {
+  Status first_error = OkStatus();
+  if (now - last_propagate_ >= options_.propagate_interval) {
+    last_propagate_ = now;
+    ++propagate_runs_;
+    Status status = replicator_.Propagate();
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  if (now - last_anti_entropy_ >= options_.anti_entropy_interval) {
+    last_anti_entropy_ = now;
+    ++anti_entropy_runs_;
+    Status status = replicator_.AntiEntropy();
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+Status Replicator::RestoreFromPeer(std::string_view peer_id) {
+  for (Peer& peer : peers_) {
+    if (peer.id != peer_id) {
+      continue;
+    }
+    SDB_ASSIGN_OR_RETURN(Bytes state, peer.client->FullState());
+    SDB_RETURN_IF_ERROR(local_.InstallFullState(AsSpan(state)));
+    ++stats_.full_restores;
+    return OkStatus();
+  }
+  return NotFoundError("no such peer: " + std::string(peer_id));
+}
+
+}  // namespace sdb::ns

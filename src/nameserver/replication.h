@@ -1,0 +1,101 @@
+// Replication: update propagation, anti-entropy and replica restore.
+//
+// The paper replicates the name server database across servers, propagates updates
+// between replicas, has "automatic mechanisms for ensuring the long-term consistency
+// of the name server replicas", and recovers a replica that suffered a hard error by
+// "restoring its data from another replica", losing at most the updates that had not
+// yet propagated.
+//
+// Replicator implements all three against the RPC surface:
+//   - Propagate(): push every update a peer has not seen (normal-path propagation);
+//   - AntiEntropy(): pull updates this replica is missing (long-term consistency);
+//   - RestoreFromPeer(): full-state transfer after a hard error.
+#ifndef SMALLDB_SRC_NAMESERVER_REPLICATION_H_
+#define SMALLDB_SRC_NAMESERVER_REPLICATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nameserver/name_service_rpc.h"
+
+namespace sdb::ns {
+
+struct ReplicationStats {
+  std::uint64_t updates_pushed = 0;
+  std::uint64_t updates_pulled = 0;
+  std::uint64_t full_restores = 0;
+  std::uint64_t peers_unreachable = 0;
+};
+
+class Replicator {
+ public:
+  explicit Replicator(NameServer& local) : local_(local) {}
+
+  // Registers a peer reachable over `channel` (not owned; must outlive the
+  // replicator).
+  void AddPeer(std::string peer_id, rpc::Channel& channel);
+
+  std::size_t peer_count() const { return peers_.size(); }
+
+  // Pushes to every reachable peer all updates it has not seen, in order. Unreachable
+  // peers are skipped (they catch up via later propagation or anti-entropy).
+  Status Propagate();
+
+  // Pulls from every reachable peer the updates this replica is missing. This is the
+  // long-term consistency sweep; it also heals peers' knowledge indirectly since
+  // pulled updates are re-propagated on the next Propagate().
+  Status AntiEntropy();
+
+  // Hard-error recovery: replaces the local replica's entire state with `peer_id`'s.
+  // Local updates not yet propagated to that peer are lost — the paper's accepted
+  // cost: "this is unlikely to amount to more than the most recent update".
+  Status RestoreFromPeer(std::string_view peer_id);
+
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    std::string id;
+    std::unique_ptr<NameServiceClient> client;
+  };
+
+  NameServer& local_;
+  std::vector<Peer> peers_;
+  ReplicationStats stats_;
+};
+
+// Drives a Replicator on a schedule: frequent propagation pushes fresh updates out
+// ("update propagation to other replicas"), an occasional anti-entropy sweep pulls
+// anything missed ("long-term replica consistency"). Deterministic and clock-driven:
+// the owner calls Tick(now) from its event loop (or a test calls it directly), and due
+// work runs inline.
+class ReplicationScheduler {
+ public:
+  struct Options {
+    Micros propagate_interval = 10 * kMicrosPerSecond;
+    Micros anti_entropy_interval = 3600 * kMicrosPerSecond;  // hourly sweep
+  };
+
+  ReplicationScheduler(Replicator& replicator, Options options)
+      : replicator_(replicator), options_(options) {}
+
+  // Runs whatever is due at `now`. Returns the first error encountered (work that was
+  // due still all runs).
+  Status Tick(Micros now);
+
+  std::uint64_t propagate_runs() const { return propagate_runs_; }
+  std::uint64_t anti_entropy_runs() const { return anti_entropy_runs_; }
+
+ private:
+  Replicator& replicator_;
+  Options options_;
+  Micros last_propagate_ = 0;
+  Micros last_anti_entropy_ = 0;
+  std::uint64_t propagate_runs_ = 0;
+  std::uint64_t anti_entropy_runs_ = 0;
+};
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_REPLICATION_H_

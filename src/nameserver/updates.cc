@@ -1,0 +1,25 @@
+#include "src/nameserver/updates.h"
+
+namespace sdb::ns {
+
+Bytes EncodeUpdate(const NameServerUpdate& update, const CostModel* cost) {
+  return PickleWrite(update, cost);
+}
+
+Result<NameServerUpdate> DecodeUpdate(ByteSpan record, const CostModel* cost) {
+  return PickleRead<NameServerUpdate>(record, cost);
+}
+
+Result<bool> ApplyUpdateToTree(NameTree& tree, const NameServerUpdate& update) {
+  switch (static_cast<UpdateKind>(update.kind)) {
+    case UpdateKind::kSet:
+      return tree.Set(update.path, update.value, update.stamp());
+    case UpdateKind::kRemove:
+      // Applies the subtree tombstone even if the target does not exist locally yet
+      // (a replica may see the Remove before the Sets it supersedes).
+      return tree.Remove(update.path, update.stamp());
+  }
+  return CorruptionError("unknown update kind " + std::to_string(update.kind));
+}
+
+}  // namespace sdb::ns

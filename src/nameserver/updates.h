@@ -1,0 +1,53 @@
+// NameServerUpdate: the parameters of one name-server update, exactly what gets
+// pickled into a log entry (paper Section 6: "To write the log entry for an update, we
+// present the parameters of the update to PickleWrite").
+//
+// The same record is also what replicas exchange during update propagation, so it
+// carries its origin replica and per-origin sequence number, and the LWW stamp that
+// makes application order-independent across replicas.
+#ifndef SMALLDB_SRC_NAMESERVER_UPDATES_H_
+#define SMALLDB_SRC_NAMESERVER_UPDATES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/cost_model.h"
+#include "src/nameserver/name_tree.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb::ns {
+
+enum class UpdateKind : std::uint8_t {
+  kSet = 1,
+  kRemove = 2,
+};
+
+struct NameServerUpdate {
+  std::uint8_t kind = 0;  // UpdateKind
+  std::string path;
+  std::string value;      // empty for kRemove
+  std::uint64_t lamport = 0;
+  std::string origin;     // replica id that originated the update
+  std::uint64_t sequence = 0;  // per-origin sequence number, starting at 1
+
+  SDB_PICKLE_FIELDS(NameServerUpdate, kind, path, value, lamport, origin, sequence)
+
+  VersionStamp stamp() const { return VersionStamp{lamport, origin}; }
+};
+
+// Pickles the update into a log-ready record (the paper's 22 ms step, charged to the
+// cost model when one is supplied).
+Bytes EncodeUpdate(const NameServerUpdate& update, const CostModel* cost = nullptr);
+
+// Unpickles a log record (replay path; charged as pickle-read).
+Result<NameServerUpdate> DecodeUpdate(ByteSpan record, const CostModel* cost = nullptr);
+
+// Applies a decoded update to the tree. Returns whether it changed the state (false
+// when superseded by a newer LWW stamp or removing an already-absent name during
+// replica convergence).
+Result<bool> ApplyUpdateToTree(NameTree& tree, const NameServerUpdate& update);
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_UPDATES_H_

@@ -1,0 +1,108 @@
+#include "src/pickle/pickle.h"
+
+#include "src/common/crc.h"
+
+namespace sdb {
+namespace {
+
+constexpr std::string_view kMagic = "SDBP";
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+bool PickleWriter::SwizzleRef(const void* ptr, std::uint32_t* id) {
+  auto [it, inserted] = swizzle_.try_emplace(ptr, next_swizzle_id_);
+  if (inserted) {
+    ++next_swizzle_id_;
+  }
+  *id = it->second;
+  return !inserted;
+}
+
+Bytes PickleWriter::FinishEnvelope(std::string_view type_name, const CostModel* cost) && {
+  Bytes payload = std::move(writer_).Take();
+  ByteWriter envelope;
+  envelope.PutBytes(kMagic);
+  envelope.PutU8(kVersion);
+  envelope.PutLengthPrefixed(type_name);
+  envelope.PutLengthPrefixed(AsSpan(payload));
+  std::uint32_t crc = Crc32c(AsSpan(envelope.buffer()));
+  envelope.PutU32(MaskCrc(crc));
+  Bytes out = std::move(envelope).Take();
+  if (cost != nullptr) {
+    cost->ChargePickleWrite(out.size());
+  }
+  return out;
+}
+
+Result<PickleReader> PickleReader::FromEnvelope(ByteSpan data, std::string_view expected_type,
+                                                const CostModel* cost) {
+  if (cost != nullptr) {
+    cost->ChargePickleRead(data.size());
+  }
+  if (data.size() < kMagic.size() + 1 + 4) {
+    return CorruptionError("pickle envelope too small");
+  }
+  // CRC first: a torn pickle must fail closed before any field is interpreted.
+  std::size_t body_size = data.size() - 4;
+  ByteReader crc_reader(data.subspan(body_size));
+  SDB_ASSIGN_OR_RETURN(std::uint32_t stored_masked, crc_reader.ReadU32());
+  std::uint32_t actual = Crc32c(data.subspan(0, body_size));
+  if (UnmaskCrc(stored_masked) != actual) {
+    return CorruptionError("pickle CRC mismatch");
+  }
+
+  ByteReader header(data.subspan(0, body_size));
+  SDB_ASSIGN_OR_RETURN(ByteSpan magic, header.ReadBytes(kMagic.size()));
+  if (AsStringView(magic) != kMagic) {
+    return CorruptionError("bad pickle magic");
+  }
+  SDB_ASSIGN_OR_RETURN(std::uint8_t version, header.ReadU8());
+  if (version != kVersion) {
+    return CorruptionError("unsupported pickle version " + std::to_string(version));
+  }
+  SDB_ASSIGN_OR_RETURN(ByteSpan type_name, header.ReadLengthPrefixed());
+  if (!expected_type.empty() && expected_type != "?" && AsStringView(type_name) != "?" &&
+      AsStringView(type_name) != expected_type) {
+    return CorruptionError("pickle type mismatch: stored '" +
+                           std::string(AsStringView(type_name)) + "', expected '" +
+                           std::string(expected_type) + "'");
+  }
+  SDB_ASSIGN_OR_RETURN(ByteSpan payload, header.ReadLengthPrefixed());
+  if (!header.AtEnd()) {
+    return CorruptionError("trailing bytes in pickle envelope");
+  }
+  return PickleReader(payload);
+}
+
+Result<std::string> PeekEnvelopeType(ByteSpan data) {
+  if (data.size() < kMagic.size() + 1 + 4) {
+    return CorruptionError("pickle envelope too small");
+  }
+  std::size_t body_size = data.size() - 4;
+  ByteReader crc_reader(data.subspan(body_size));
+  SDB_ASSIGN_OR_RETURN(std::uint32_t stored_masked, crc_reader.ReadU32());
+  if (UnmaskCrc(stored_masked) != Crc32c(data.subspan(0, body_size))) {
+    return CorruptionError("pickle CRC mismatch");
+  }
+  ByteReader header(data.subspan(0, body_size));
+  SDB_ASSIGN_OR_RETURN(ByteSpan magic, header.ReadBytes(kMagic.size()));
+  if (AsStringView(magic) != kMagic) {
+    return CorruptionError("bad pickle magic");
+  }
+  SDB_ASSIGN_OR_RETURN(std::uint8_t version, header.ReadU8());
+  (void)version;
+  SDB_ASSIGN_OR_RETURN(std::string type_name, header.ReadLengthPrefixedString());
+  return type_name;
+}
+
+std::shared_ptr<void> PickleReader::SwizzleGet(std::uint32_t id) const {
+  auto it = swizzle_.find(id);
+  return it == swizzle_.end() ? nullptr : it->second;
+}
+
+void PickleReader::SwizzlePut(std::uint32_t id, std::shared_ptr<void> object) {
+  swizzle_[id] = std::move(object);
+}
+
+}  // namespace sdb

@@ -1,0 +1,182 @@
+// The pickle package: conversion between strongly typed data structures and
+// disk/network bit representations — this reproduction's counterpart of the paper's
+// Section 6 "pickles" (PickleWrite / PickleRead).
+//
+// Two layers exist, mirroring the paper's own footnote about its two mechanisms:
+//   - This header: a statically typed, template-driven layer (like the paper's RPC
+//     marshalling, which "works only by generating code for the marshalling of
+//     statically typed values"). Used for log records, RPC messages and plain structs.
+//   - src/typedheap/heap_pickle.h: a runtime-type-driven layer for heap graphs, driven
+//     by the same runtime type descriptors the garbage collector uses (like the paper's
+//     pickles, which "work only by interpreting at run-time the structure of
+//     dynamically typed values").
+//
+// Envelope format (everything little-endian):
+//   "SDBP" magic | u8 version | length-prefixed type name | varint payload size |
+//   payload | u32 masked CRC32C over everything before the CRC
+//
+// The CRC makes a truncated or torn pickle detectable, which is what lets recovery
+// discard a partially written log entry (paper Section 4).
+#ifndef SMALLDB_SRC_PICKLE_PICKLE_H_
+#define SMALLDB_SRC_PICKLE_PICKLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/cost_model.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb {
+
+class PickleWriter;
+class PickleReader;
+
+// Primary trait: specialize (or give your type the SDB_PICKLE_FIELDS members) to make a
+// type picklable. Specializations for scalars, strings and standard containers live in
+// src/pickle/traits.h.
+template <typename T, typename Enable = void>
+struct PickleTraits;
+
+// --- writer ---
+
+class PickleWriter {
+ public:
+  PickleWriter() = default;
+
+  ByteWriter& bytes() { return writer_; }
+
+  template <typename T>
+  void Write(const T& value) {
+    PickleTraits<std::decay_t<T>>::Write(*this, value);
+  }
+
+  // Pointer-swizzling support (paper: "identifying the occurrences of addresses in the
+  // structure"). Returns true and sets *id if `ptr` was already pickled; otherwise
+  // assigns a fresh id, records it, sets *id and returns false (caller then writes the
+  // object body once). Ids start at 1; 0 is reserved for null.
+  bool SwizzleRef(const void* ptr, std::uint32_t* id);
+
+  std::size_t size() const { return writer_.size(); }
+
+  // Raw payload, no envelope (RPC marshalling uses this).
+  Bytes TakeRaw() && { return std::move(writer_).Take(); }
+
+  // Wraps the payload in the self-identifying, CRC-protected envelope.
+  Bytes FinishEnvelope(std::string_view type_name, const CostModel* cost = nullptr) &&;
+
+ private:
+  ByteWriter writer_;
+  std::map<const void*, std::uint32_t> swizzle_;
+  std::uint32_t next_swizzle_id_ = 1;
+};
+
+// --- reader ---
+
+class PickleReader {
+ public:
+  // Raw payload reader (no envelope), for RPC messages.
+  static PickleReader Raw(ByteSpan payload) { return PickleReader(payload); }
+
+  // Verifies the envelope (magic, version, type name if `expected_type` is non-empty,
+  // CRC) and positions the reader at the payload. `data` must outlive the reader.
+  static Result<PickleReader> FromEnvelope(ByteSpan data, std::string_view expected_type,
+                                           const CostModel* cost = nullptr);
+
+  ByteReader& bytes() { return reader_; }
+
+  template <typename T>
+  Status Read(T& out) {
+    return PickleTraits<std::decay_t<T>>::Read(*this, out);
+  }
+
+  template <typename T>
+  Result<T> ReadValue() {
+    T out{};
+    SDB_RETURN_IF_ERROR(Read(out));
+    return out;
+  }
+
+  // Swizzle table for read-back: maps ids assigned at write time to reconstructed
+  // objects. Registering the object *before* reading its fields supports cycles.
+  std::shared_ptr<void> SwizzleGet(std::uint32_t id) const;
+  void SwizzlePut(std::uint32_t id, std::shared_ptr<void> object);
+
+  // Schema-evolution helper: reads `out` only if payload bytes remain, returning
+  // whether it did. Lets a struct append fields over time — a new reader of an old
+  // pickle leaves the new fields at their defaults:
+  //
+  //   Status PickleFieldsFrom(PickleReader& r) {
+  //     SDB_RETURN_IF_ERROR(internal::ReadAll(r, old_field_a, old_field_b));
+  //     (void)r.ReadTailField(new_field_c);   // absent in v1 pickles
+  //     return OkStatus();
+  //   }
+  //
+  // Tail fields must themselves be appended in order and never removed, and this is
+  // only sound for the OUTERMOST value of a pickle payload (nested structs would see
+  // the enclosing value's bytes as their own tail).
+  template <typename T>
+  Result<bool> ReadTailField(T& out) {
+    if (reader_.AtEnd()) {
+      return false;
+    }
+    SDB_RETURN_IF_ERROR(Read(out));
+    return true;
+  }
+
+ private:
+  explicit PickleReader(ByteSpan payload) : reader_(payload) {}
+
+  ByteReader reader_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<void>> swizzle_;
+};
+
+// --- envelope convenience functions (the paper's PickleWrite / PickleRead) ---
+
+namespace internal {
+
+template <typename T>
+concept HasPickleTypeName = requires { std::string_view(PickleTraits<T>::kTypeName); };
+
+template <typename T>
+constexpr std::string_view PickleTypeNameOf() {
+  if constexpr (HasPickleTypeName<T>) {
+    return PickleTraits<T>::kTypeName;
+  } else {
+    return "?";
+  }
+}
+
+}  // namespace internal
+
+// Reads just the stored type name out of an envelope, verifying magic and CRC first.
+// Used by offline inspection tools that do not know the pickled type.
+Result<std::string> PeekEnvelopeType(ByteSpan data);
+
+// Converts a strongly typed value into bits suitable for preserving on disk.
+template <typename T>
+Bytes PickleWrite(const T& value, const CostModel* cost = nullptr) {
+  PickleWriter writer;
+  writer.Write(value);
+  return std::move(writer).FinishEnvelope(internal::PickleTypeNameOf<T>(), cost);
+}
+
+// Reads bits from disk and delivers a copy of the original data structure.
+template <typename T>
+Result<T> PickleRead(ByteSpan data, const CostModel* cost = nullptr) {
+  SDB_ASSIGN_OR_RETURN(PickleReader reader, PickleReader::FromEnvelope(
+                                                data, internal::PickleTypeNameOf<T>(), cost));
+  T out{};
+  SDB_RETURN_IF_ERROR(reader.Read(out));
+  return out;
+}
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_PICKLE_PICKLE_H_

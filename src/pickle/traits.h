@@ -1,0 +1,455 @@
+// PickleTraits specializations for scalars, strings, standard containers, smart
+// pointers (with pointer swizzling and cycle support), and user structs via the
+// SDB_PICKLE_FIELDS macro.
+#ifndef SMALLDB_SRC_PICKLE_TRAITS_H_
+#define SMALLDB_SRC_PICKLE_TRAITS_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/pickle/pickle.h"
+
+namespace sdb {
+
+namespace internal {
+
+template <typename... Ts>
+void WriteAll(PickleWriter& writer, const Ts&... values) {
+  (writer.Write(values), ...);
+}
+
+template <typename... Ts>
+Status ReadAll(PickleReader& reader, Ts&... values) {
+  Status status;
+  bool ok = (((status = reader.Read(values)).ok()) && ...);
+  (void)ok;
+  return status;
+}
+
+template <typename T>
+concept HasPickleMembers = requires(const T& cv, T& v, PickleWriter& w, PickleReader& r) {
+  { cv.PickleTo(w) };
+  { v.PickleFieldsFrom(r) } -> std::same_as<Status>;
+  { std::string_view(T::kPickleTypeName) };
+};
+
+}  // namespace internal
+
+// Declares pickling for a struct by listing its members, e.g.
+//   struct Point { int x; int y; SDB_PICKLE_FIELDS(Point, x, y) };
+// The type must be default-constructible.
+#define SDB_PICKLE_FIELDS(TypeName, ...)                                   \
+  static constexpr std::string_view kPickleTypeName = #TypeName;          \
+  void PickleTo(::sdb::PickleWriter& w) const {                           \
+    ::sdb::internal::WriteAll(w, __VA_ARGS__);                            \
+  }                                                                       \
+  ::sdb::Status PickleFieldsFrom(::sdb::PickleReader& r) {                \
+    return ::sdb::internal::ReadAll(r, __VA_ARGS__);                      \
+  }
+
+// Structs with SDB_PICKLE_FIELDS members.
+template <typename T>
+struct PickleTraits<T, std::enable_if_t<internal::HasPickleMembers<T>>> {
+  static constexpr std::string_view kTypeName = T::kPickleTypeName;
+  static void Write(PickleWriter& writer, const T& value) { value.PickleTo(writer); }
+  static Status Read(PickleReader& reader, T& out) { return out.PickleFieldsFrom(reader); }
+};
+
+// Unsigned integers -> varint; signed -> zigzag varint.
+template <typename T>
+struct PickleTraits<T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>>> {
+  static void Write(PickleWriter& writer, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      writer.bytes().PutVarintSigned(static_cast<std::int64_t>(value));
+    } else {
+      writer.bytes().PutVarint(static_cast<std::uint64_t>(value));
+    }
+  }
+  static Status Read(PickleReader& reader, T& out) {
+    if constexpr (std::is_signed_v<T>) {
+      SDB_ASSIGN_OR_RETURN(std::int64_t v, reader.bytes().ReadVarintSigned());
+      out = static_cast<T>(v);
+    } else {
+      SDB_ASSIGN_OR_RETURN(std::uint64_t v, reader.bytes().ReadVarint());
+      out = static_cast<T>(v);
+    }
+    return OkStatus();
+  }
+};
+
+template <>
+struct PickleTraits<bool> {
+  static void Write(PickleWriter& writer, bool value) { writer.bytes().PutU8(value ? 1 : 0); }
+  static Status Read(PickleReader& reader, bool& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint8_t v, reader.bytes().ReadU8());
+    if (v > 1) {
+      return CorruptionError("invalid bool encoding");
+    }
+    out = v != 0;
+    return OkStatus();
+  }
+};
+
+template <typename T>
+struct PickleTraits<T, std::enable_if_t<std::is_floating_point_v<T>>> {
+  static void Write(PickleWriter& writer, T value) {
+    writer.bytes().PutF64(static_cast<double>(value));
+  }
+  static Status Read(PickleReader& reader, T& out) {
+    SDB_ASSIGN_OR_RETURN(double v, reader.bytes().ReadF64());
+    out = static_cast<T>(v);
+    return OkStatus();
+  }
+};
+
+template <typename T>
+struct PickleTraits<T, std::enable_if_t<std::is_enum_v<T>>> {
+  static void Write(PickleWriter& writer, T value) {
+    writer.bytes().PutVarint(static_cast<std::uint64_t>(value));
+  }
+  static Status Read(PickleReader& reader, T& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t v, reader.bytes().ReadVarint());
+    out = static_cast<T>(v);
+    return OkStatus();
+  }
+};
+
+template <>
+struct PickleTraits<std::string> {
+  static void Write(PickleWriter& writer, const std::string& value) {
+    writer.bytes().PutLengthPrefixed(value);
+  }
+  static Status Read(PickleReader& reader, std::string& out) {
+    SDB_ASSIGN_OR_RETURN(out, reader.bytes().ReadLengthPrefixedString());
+    return OkStatus();
+  }
+};
+
+template <>
+struct PickleTraits<Bytes> {
+  static void Write(PickleWriter& writer, const Bytes& value) {
+    writer.bytes().PutLengthPrefixed(AsSpan(value));
+  }
+  static Status Read(PickleReader& reader, Bytes& out) {
+    SDB_ASSIGN_OR_RETURN(ByteSpan view, reader.bytes().ReadLengthPrefixed());
+    out.assign(view.begin(), view.end());
+    return OkStatus();
+  }
+};
+
+template <typename T>
+struct PickleTraits<std::vector<T>> {
+  static void Write(PickleWriter& writer, const std::vector<T>& value) {
+    writer.bytes().PutVarint(value.size());
+    for (const T& element : value) {
+      writer.Write(element);
+    }
+  }
+  static Status Read(PickleReader& reader, std::vector<T>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t count, reader.bytes().ReadVarint());
+    if (count > reader.bytes().remaining()) {
+      // Each element takes at least one byte; reject absurd counts before allocating.
+      return CorruptionError("vector count exceeds remaining payload");
+    }
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      T element{};
+      SDB_RETURN_IF_ERROR(reader.Read(element));
+      out.push_back(std::move(element));
+    }
+    return OkStatus();
+  }
+};
+
+template <typename A, typename B>
+struct PickleTraits<std::pair<A, B>> {
+  static void Write(PickleWriter& writer, const std::pair<A, B>& value) {
+    writer.Write(value.first);
+    writer.Write(value.second);
+  }
+  static Status Read(PickleReader& reader, std::pair<A, B>& out) {
+    SDB_RETURN_IF_ERROR(reader.Read(out.first));
+    return reader.Read(out.second);
+  }
+};
+
+namespace internal {
+
+template <typename Map>
+void WriteMap(PickleWriter& writer, const Map& value) {
+  writer.bytes().PutVarint(value.size());
+  for (const auto& [key, mapped] : value) {
+    writer.Write(key);
+    writer.Write(mapped);
+  }
+}
+
+template <typename Map>
+Status ReadMap(PickleReader& reader, Map& out) {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t count, reader.bytes().ReadVarint());
+  if (count > reader.bytes().remaining()) {
+    return CorruptionError("map count exceeds remaining payload");
+  }
+  out.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    typename Map::key_type key{};
+    typename Map::mapped_type mapped{};
+    SDB_RETURN_IF_ERROR(reader.Read(key));
+    SDB_RETURN_IF_ERROR(reader.Read(mapped));
+    if (!out.emplace(std::move(key), std::move(mapped)).second) {
+      return CorruptionError("duplicate key in pickled map");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace internal
+
+template <typename K, typename V, typename C>
+struct PickleTraits<std::map<K, V, C>> {
+  static void Write(PickleWriter& writer, const std::map<K, V, C>& value) {
+    internal::WriteMap(writer, value);
+  }
+  static Status Read(PickleReader& reader, std::map<K, V, C>& out) {
+    return internal::ReadMap(reader, out);
+  }
+};
+
+template <typename K, typename V, typename H, typename E>
+struct PickleTraits<std::unordered_map<K, V, H, E>> {
+  static void Write(PickleWriter& writer, const std::unordered_map<K, V, H, E>& value) {
+    internal::WriteMap(writer, value);
+  }
+  static Status Read(PickleReader& reader, std::unordered_map<K, V, H, E>& out) {
+    return internal::ReadMap(reader, out);
+  }
+};
+
+template <typename T, typename C>
+struct PickleTraits<std::set<T, C>> {
+  static void Write(PickleWriter& writer, const std::set<T, C>& value) {
+    writer.bytes().PutVarint(value.size());
+    for (const T& element : value) {
+      writer.Write(element);
+    }
+  }
+  static Status Read(PickleReader& reader, std::set<T, C>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t count, reader.bytes().ReadVarint());
+    if (count > reader.bytes().remaining()) {
+      return CorruptionError("set count exceeds remaining payload");
+    }
+    out.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      T element{};
+      SDB_RETURN_IF_ERROR(reader.Read(element));
+      if (!out.insert(std::move(element)).second) {
+        return CorruptionError("duplicate element in pickled set");
+      }
+    }
+    return OkStatus();
+  }
+};
+
+template <typename T>
+struct PickleTraits<std::optional<T>> {
+  static void Write(PickleWriter& writer, const std::optional<T>& value) {
+    writer.bytes().PutU8(value.has_value() ? 1 : 0);
+    if (value.has_value()) {
+      writer.Write(*value);
+    }
+  }
+  static Status Read(PickleReader& reader, std::optional<T>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint8_t present, reader.bytes().ReadU8());
+    if (present > 1) {
+      return CorruptionError("invalid optional encoding");
+    }
+    if (present == 0) {
+      out.reset();
+      return OkStatus();
+    }
+    T value{};
+    SDB_RETURN_IF_ERROR(reader.Read(value));
+    out = std::move(value);
+    return OkStatus();
+  }
+};
+
+// shared_ptr: pointer swizzling. Shared structure is written once and re-referenced by
+// id; cycles are supported because the object is registered in the read-side swizzle
+// table before its fields are read. T must be default-constructible.
+template <typename T>
+struct PickleTraits<std::shared_ptr<T>> {
+  static void Write(PickleWriter& writer, const std::shared_ptr<T>& value) {
+    if (value == nullptr) {
+      writer.bytes().PutVarint(0);
+      return;
+    }
+    std::uint32_t id = 0;
+    bool seen = writer.SwizzleRef(value.get(), &id);
+    writer.bytes().PutVarint(id);
+    writer.bytes().PutU8(seen ? 0 : 1);
+    if (!seen) {
+      writer.Write(*value);
+    }
+  }
+  static Status Read(PickleReader& reader, std::shared_ptr<T>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t id, reader.bytes().ReadVarint());
+    if (id == 0) {
+      out = nullptr;
+      return OkStatus();
+    }
+    SDB_ASSIGN_OR_RETURN(std::uint8_t has_body, reader.bytes().ReadU8());
+    if (has_body > 1) {
+      return CorruptionError("invalid shared_ptr encoding");
+    }
+    if (has_body == 0) {
+      auto cached = reader.SwizzleGet(static_cast<std::uint32_t>(id));
+      if (cached == nullptr) {
+        return CorruptionError("dangling swizzle reference");
+      }
+      out = std::static_pointer_cast<T>(cached);
+      return OkStatus();
+    }
+    auto object = std::make_shared<T>();
+    reader.SwizzlePut(static_cast<std::uint32_t>(id), object);
+    SDB_RETURN_IF_ERROR(reader.Read(*object));
+    out = std::move(object);
+    return OkStatus();
+  }
+};
+
+// std::array: fixed element count, no length prefix needed.
+template <typename T, std::size_t N>
+struct PickleTraits<std::array<T, N>> {
+  static void Write(PickleWriter& writer, const std::array<T, N>& value) {
+    for (const T& element : value) {
+      writer.Write(element);
+    }
+  }
+  static Status Read(PickleReader& reader, std::array<T, N>& out) {
+    for (T& element : out) {
+      SDB_RETURN_IF_ERROR(reader.Read(element));
+    }
+    return OkStatus();
+  }
+};
+
+template <typename T>
+struct PickleTraits<std::deque<T>> {
+  static void Write(PickleWriter& writer, const std::deque<T>& value) {
+    writer.bytes().PutVarint(value.size());
+    for (const T& element : value) {
+      writer.Write(element);
+    }
+  }
+  static Status Read(PickleReader& reader, std::deque<T>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t count, reader.bytes().ReadVarint());
+    if (count > reader.bytes().remaining()) {
+      return CorruptionError("deque count exceeds remaining payload");
+    }
+    out.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      T element{};
+      SDB_RETURN_IF_ERROR(reader.Read(element));
+      out.push_back(std::move(element));
+    }
+    return OkStatus();
+  }
+};
+
+template <typename... Ts>
+struct PickleTraits<std::tuple<Ts...>> {
+  static void Write(PickleWriter& writer, const std::tuple<Ts...>& value) {
+    std::apply([&writer](const Ts&... elements) { (writer.Write(elements), ...); }, value);
+  }
+  static Status Read(PickleReader& reader, std::tuple<Ts...>& out) {
+    Status status;
+    std::apply(
+        [&reader, &status](Ts&... elements) {
+          bool ok = (((status = reader.Read(elements)).ok()) && ...);
+          (void)ok;
+        },
+        out);
+    return status;
+  }
+};
+
+// std::variant: a one-byte alternative index followed by the alternative's encoding.
+template <typename... Ts>
+struct PickleTraits<std::variant<Ts...>> {
+  static_assert(sizeof...(Ts) <= 255, "variant too wide for one-byte tag");
+
+  static void Write(PickleWriter& writer, const std::variant<Ts...>& value) {
+    writer.bytes().PutU8(static_cast<std::uint8_t>(value.index()));
+    std::visit([&writer](const auto& alternative) { writer.Write(alternative); }, value);
+  }
+
+  static Status Read(PickleReader& reader, std::variant<Ts...>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint8_t index, reader.bytes().ReadU8());
+    if (index >= sizeof...(Ts)) {
+      return CorruptionError("variant index out of range");
+    }
+    return ReadAlternative(reader, out, index, std::index_sequence_for<Ts...>{});
+  }
+
+ private:
+  template <std::size_t... Is>
+  static Status ReadAlternative(PickleReader& reader, std::variant<Ts...>& out,
+                                std::uint8_t index, std::index_sequence<Is...>) {
+    Status status = CorruptionError("variant dispatch failed");
+    auto try_one = [&](auto index_constant) {
+      constexpr std::size_t kIndex = decltype(index_constant)::value;
+      if (index == kIndex) {
+        std::variant_alternative_t<kIndex, std::variant<Ts...>> alternative{};
+        status = reader.Read(alternative);
+        if (status.ok()) {
+          out.template emplace<kIndex>(std::move(alternative));
+        }
+        return true;
+      }
+      return false;
+    };
+    (try_one(std::integral_constant<std::size_t, Is>{}) || ...);
+    return status;
+  }
+};
+
+// unique_ptr: simple presence-prefixed body (no sharing possible by construction).
+template <typename T>
+struct PickleTraits<std::unique_ptr<T>> {
+  static void Write(PickleWriter& writer, const std::unique_ptr<T>& value) {
+    writer.bytes().PutU8(value != nullptr ? 1 : 0);
+    if (value != nullptr) {
+      writer.Write(*value);
+    }
+  }
+  static Status Read(PickleReader& reader, std::unique_ptr<T>& out) {
+    SDB_ASSIGN_OR_RETURN(std::uint8_t present, reader.bytes().ReadU8());
+    if (present > 1) {
+      return CorruptionError("invalid unique_ptr encoding");
+    }
+    if (present == 0) {
+      out = nullptr;
+      return OkStatus();
+    }
+    out = std::make_unique<T>();
+    return reader.Read(*out);
+  }
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_PICKLE_TRAITS_H_

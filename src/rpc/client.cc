@@ -1,0 +1,22 @@
+#include "src/rpc/client.h"
+
+#include "src/rpc/transport.h"
+
+namespace sdb::rpc {
+
+Result<Bytes> LoopbackChannel::RoundTrip(ByteSpan request) {
+  if (!connected_.load()) {
+    return UnavailableError("network partition: server unreachable");
+  }
+  calls_.fetch_add(1);
+  if (options_.clock != nullptr) {
+    options_.clock->Charge(options_.round_trip_micros / 2);
+  }
+  Bytes response = server_.Dispatch(request);
+  if (options_.clock != nullptr) {
+    options_.clock->Charge(options_.round_trip_micros - options_.round_trip_micros / 2);
+  }
+  return response;
+}
+
+}  // namespace sdb::rpc

@@ -1,0 +1,61 @@
+#include "src/rpc/message.h"
+
+namespace sdb::rpc {
+
+Bytes EncodeRequest(const Request& request) {
+  ByteWriter out;
+  out.PutVarint(request.call_id);
+  out.PutLengthPrefixed(request.service);
+  out.PutLengthPrefixed(request.method);
+  out.PutLengthPrefixed(AsSpan(request.payload));
+  return std::move(out).Take();
+}
+
+Result<Request> DecodeRequest(ByteSpan data) {
+  ByteReader in(data);
+  Request request;
+  SDB_ASSIGN_OR_RETURN(request.call_id, in.ReadVarint());
+  SDB_ASSIGN_OR_RETURN(request.service, in.ReadLengthPrefixedString());
+  SDB_ASSIGN_OR_RETURN(request.method, in.ReadLengthPrefixedString());
+  SDB_ASSIGN_OR_RETURN(ByteSpan payload, in.ReadLengthPrefixed());
+  request.payload.assign(payload.begin(), payload.end());
+  if (!in.AtEnd()) {
+    return CorruptionError("trailing bytes in RPC request");
+  }
+  return request;
+}
+
+Bytes EncodeResponse(const Response& response) {
+  ByteWriter out;
+  out.PutVarint(response.call_id);
+  out.PutU8(static_cast<std::uint8_t>(response.status.code()));
+  if (response.status.ok()) {
+    out.PutLengthPrefixed(AsSpan(response.payload));
+  } else {
+    out.PutLengthPrefixed(response.status.message());
+  }
+  return std::move(out).Take();
+}
+
+Result<Response> DecodeResponse(ByteSpan data) {
+  ByteReader in(data);
+  Response response;
+  SDB_ASSIGN_OR_RETURN(response.call_id, in.ReadVarint());
+  SDB_ASSIGN_OR_RETURN(std::uint8_t code, in.ReadU8());
+  if (code > static_cast<std::uint8_t>(ErrorCode::kUnimplemented)) {
+    return CorruptionError("invalid status code in RPC response");
+  }
+  SDB_ASSIGN_OR_RETURN(ByteSpan body, in.ReadLengthPrefixed());
+  if (!in.AtEnd()) {
+    return CorruptionError("trailing bytes in RPC response");
+  }
+  if (code == 0) {
+    response.payload.assign(body.begin(), body.end());
+  } else {
+    response.status =
+        Status(static_cast<ErrorCode>(code), std::string(AsStringView(body)));
+  }
+  return response;
+}
+
+}  // namespace sdb::rpc

@@ -1,0 +1,39 @@
+// RPC wire format. Requests and responses are framed with the same ByteWriter
+// primitives the pickle package uses; payloads are raw pickles of the request/response
+// structs (the statically-typed marshalling the paper's RPC runtime generated —
+// "automatically generates 'marshalling' procedures to convert between strongly typed
+// data structures and bit representations suitable for transport across the network").
+#ifndef SMALLDB_SRC_RPC_MESSAGE_H_
+#define SMALLDB_SRC_RPC_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb::rpc {
+
+struct Request {
+  std::uint64_t call_id = 0;
+  std::string service;
+  std::string method;
+  Bytes payload;
+};
+
+struct Response {
+  std::uint64_t call_id = 0;
+  Status status;   // application/dispatch status
+  Bytes payload;   // valid iff status.ok()
+};
+
+Bytes EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(ByteSpan data);
+
+Bytes EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(ByteSpan data);
+
+}  // namespace sdb::rpc
+
+#endif  // SMALLDB_SRC_RPC_MESSAGE_H_

@@ -1,0 +1,69 @@
+#include "src/rpc/server.h"
+
+namespace sdb::rpc {
+
+void RpcServer::Register(std::string service, std::string method, RawHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.insert_or_assign({std::move(service), std::move(method)}, std::move(handler));
+}
+
+Bytes RpcServer::Dispatch(ByteSpan request_bytes) const {
+  Response response;
+  Result<Request> request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    response.status = request.status();
+    return EncodeResponse(response);
+  }
+  response.call_id = request->call_id;
+
+  RawHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++dispatched_;
+    auto it = handlers_.find({request->service, request->method});
+    if (it == handlers_.end()) {
+      response.status = NotFoundError("no handler for " + request->service + "." +
+                                      request->method);
+      return EncodeResponse(response);
+    }
+    handler = it->second;
+  }
+
+  Micros start = clock_ != nullptr ? clock_->NowMicros() : 0;
+  Result<Bytes> payload = handler(AsSpan(request->payload));
+  Micros elapsed = clock_ != nullptr ? clock_->NowMicros() - start : 0;
+  if (!payload.ok()) {
+    response.status = payload.status();
+  } else {
+    response.payload = std::move(*payload);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MethodMetrics& metrics = metrics_[{request->service, request->method}];
+    metrics.service = request->service;
+    metrics.method = request->method;
+    ++metrics.calls;
+    if (!payload.ok()) {
+      ++metrics.errors;
+    }
+    metrics.handler_micros += elapsed;
+  }
+  return EncodeResponse(response);
+}
+
+std::uint64_t RpcServer::dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dispatched_;
+}
+
+std::vector<MethodMetrics> RpcServer::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MethodMetrics> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, metrics] : metrics_) {
+    out.push_back(metrics);
+  }
+  return out;
+}
+
+}  // namespace sdb::rpc

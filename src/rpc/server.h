@@ -1,0 +1,61 @@
+// RpcServer: dispatches decoded requests to registered method handlers.
+//
+// Handlers receive the raw request payload and return the raw response payload; the
+// typed layer in src/rpc/client.h (RegisterMethod / CallMethod) adds the strongly typed
+// marshalling on both sides, playing the role of the paper's automatically generated
+// stub modules.
+#ifndef SMALLDB_SRC_RPC_SERVER_H_
+#define SMALLDB_SRC_RPC_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/rpc/message.h"
+
+namespace sdb::rpc {
+
+using RawHandler = std::function<Result<Bytes>(ByteSpan payload)>;
+
+// Per-method serving statistics (calls, application errors, handler time).
+struct MethodMetrics {
+  std::string service;
+  std::string method;
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  Micros handler_micros = 0;  // simulated handler time when a clock is attached
+};
+
+class RpcServer {
+ public:
+  // With a clock, per-method handler time is recorded (simulated time in benches).
+  explicit RpcServer(Clock* clock = nullptr) : clock_(clock) {}
+
+  // Registers the handler for service.method; replaces any previous registration.
+  void Register(std::string service, std::string method, RawHandler handler);
+
+  // Decodes `request`, invokes the handler, encodes the response. Never fails at the
+  // transport level: all errors travel inside the encoded response.
+  Bytes Dispatch(ByteSpan request) const;
+
+  std::uint64_t dispatched() const;
+
+  // Snapshot of per-method metrics, sorted by (service, method).
+  std::vector<MethodMetrics> metrics() const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::string, std::string>, RawHandler> handlers_;
+  mutable std::map<std::pair<std::string, std::string>, MethodMetrics> metrics_;
+  mutable std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace sdb::rpc
+
+#endif  // SMALLDB_SRC_RPC_SERVER_H_

@@ -1,0 +1,66 @@
+// Fault injection for the simulated storage stack.
+//
+// The paper's reliability argument (Section 4) is stated in terms of *where* a transient
+// failure lands: before the log write, during it (torn page), after it, or anywhere in
+// the checkpoint-switch sequence. CrashPlan lets a test enumerate exactly those points:
+// it counts durable operations (page writes and metadata syncs) and triggers a crash on
+// the Nth one, optionally tearing the page being written.
+#ifndef SMALLDB_SRC_STORAGE_FAULT_H_
+#define SMALLDB_SRC_STORAGE_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sdb {
+
+// What the injector decides for one durable operation.
+enum class FaultAction : std::uint8_t {
+  kNone = 0,       // proceed normally
+  kCrashBefore,    // power fails before the medium is touched
+  kCrashTorn,      // power fails mid-write: page is partially written and unreadable
+  kCrashAfter,     // power fails just after the write completes durably
+};
+
+// Description of a durable operation, passed to the injector for each decision.
+struct DurableOp {
+  enum class Kind : std::uint8_t { kPageWrite, kMetadataSync } kind = Kind::kPageWrite;
+  std::string target;       // file path (page writes) or directory (metadata syncs)
+  std::uint64_t sequence = 0;  // global ordinal of this durable op, starting at 1
+};
+
+// Injector callback: inspect the op, return an action. Must be deterministic for
+// reproducibility; CrashPlan below is the standard implementation.
+using FaultInjector = std::function<FaultAction(const DurableOp& op)>;
+
+// Crashes on the Nth durable operation with the given action. N is 1-based; a plan with
+// crash_at_op == 0 never fires.
+class CrashPlan {
+ public:
+  CrashPlan() = default;
+  CrashPlan(std::uint64_t crash_at_op, FaultAction action)
+      : crash_at_op_(crash_at_op), action_(action) {}
+
+  FaultAction Decide(const DurableOp& op) {
+    if (crash_at_op_ != 0 && op.sequence == crash_at_op_) {
+      fired_ = true;
+      return action_;
+    }
+    return FaultAction::kNone;
+  }
+
+  bool fired() const { return fired_; }
+
+  FaultInjector AsInjector() {
+    return [this](const DurableOp& op) { return Decide(op); };
+  }
+
+ private:
+  std::uint64_t crash_at_op_ = 0;
+  FaultAction action_ = FaultAction::kNone;
+  bool fired_ = false;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_FAULT_H_

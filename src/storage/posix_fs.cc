@@ -1,0 +1,227 @@
+#include "src/storage/posix_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace sdb {
+namespace {
+
+Status ErrnoStatus(std::string_view op, std::string_view path, int err) {
+  std::string message = std::string(op) + " " + std::string(path) + ": " + std::strerror(err);
+  switch (err) {
+    case ENOENT:
+      return NotFoundError(message);
+    case EEXIST:
+      return AlreadyExistsError(message);
+    case ENOSPC:
+      return OutOfSpaceError(message);
+    case EIO:
+      return UnreadableError(message);
+    default:
+      return IoError(message);
+  }
+}
+
+class PosixFile final : public File {
+ public:
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) override {
+    Bytes out(length);
+    std::size_t total = 0;
+    while (total < length) {
+      ssize_t n = ::pread(fd_, out.data() + total, length - total,
+                          static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("pread", path_, errno);
+      }
+      if (n == 0) {
+        break;  // end of file
+      }
+      total += static_cast<std::size_t>(n);
+    }
+    out.resize(total);
+    return out;
+  }
+
+  Status Append(ByteSpan data) override {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t size, Size());
+    return WriteAt(size, data);
+  }
+
+  Status WriteAt(std::uint64_t offset, ByteSpan data) override {
+    std::size_t total = 0;
+    while (total < data.size()) {
+      ssize_t n = ::pwrite(fd_, data.data() + total, data.size() - total,
+                           static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("pwrite", path_, errno);
+      }
+      total += static_cast<std::size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status Truncate(std::uint64_t new_size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      return ErrnoStatus("ftruncate", path_, errno);
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_, errno);
+    }
+    return OkStatus();
+  }
+
+  Result<std::uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return ErrnoStatus("fstat", path_, errno);
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      int fd = fd_;
+      fd_ = -1;
+      if (::close(fd) != 0) {
+        return ErrnoStatus("close", path_, errno);
+      }
+    }
+    return OkStatus();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+PosixFs::PosixFs(std::string root) : root_(std::move(root)) {}
+
+std::string PosixFs::Resolve(std::string_view path) const {
+  if (root_.empty()) {
+    return std::string(path);
+  }
+  return JoinPath(root_, path);
+}
+
+Result<std::unique_ptr<File>> PosixFs::Open(std::string_view path, OpenMode mode) {
+  std::string full = Resolve(path);
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR;
+      break;
+    case OpenMode::kCreate:
+      flags = O_RDWR | O_CREAT;
+      break;
+    case OpenMode::kCreateExclusive:
+      flags = O_RDWR | O_CREAT | O_EXCL;
+      break;
+    case OpenMode::kTruncate:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+  }
+  int fd = ::open(full.c_str(), flags, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open", full, errno);
+  }
+  return {std::make_unique<PosixFile>(fd, full)};
+}
+
+Status PosixFs::Delete(std::string_view path) {
+  std::string full = Resolve(path);
+  if (::unlink(full.c_str()) != 0) {
+    return ErrnoStatus("unlink", full, errno);
+  }
+  return OkStatus();
+}
+
+Status PosixFs::Rename(std::string_view from, std::string_view to) {
+  std::string full_from = Resolve(from);
+  std::string full_to = Resolve(to);
+  if (::rename(full_from.c_str(), full_to.c_str()) != 0) {
+    return ErrnoStatus("rename", full_from, errno);
+  }
+  return OkStatus();
+}
+
+Result<bool> PosixFs::Exists(std::string_view path) {
+  struct stat st;
+  if (::stat(Resolve(path).c_str(), &st) != 0) {
+    if (errno == ENOENT) {
+      return false;
+    }
+    return ErrnoStatus("stat", path, errno);
+  }
+  return true;
+}
+
+Result<std::vector<std::string>> PosixFs::List(std::string_view dir) {
+  std::error_code ec;
+  std::vector<std::string> out;
+  std::filesystem::directory_iterator it(Resolve(dir), ec);
+  if (ec) {
+    return NotFoundError("list " + std::string(dir) + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    out.push_back(entry.path().filename().string());
+  }
+  return out;
+}
+
+Status PosixFs::CreateDir(std::string_view path) {
+  std::error_code ec;
+  std::filesystem::create_directories(Resolve(path), ec);
+  if (ec) {
+    return IoError("mkdir " + std::string(path) + ": " + ec.message());
+  }
+  return OkStatus();
+}
+
+Status PosixFs::SyncDir(std::string_view dir) {
+  std::string full = Resolve(dir);
+  if (full.empty()) {
+    full = ".";
+  }
+  int fd = ::open(full.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return ErrnoStatus("open dir", full, errno);
+  }
+  Status status = OkStatus();
+  if (::fsync(fd) != 0) {
+    status = ErrnoStatus("fsync dir", full, errno);
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace sdb

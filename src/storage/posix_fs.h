@@ -1,0 +1,36 @@
+// PosixFs: Vfs backend over the host file system (POSIX fds, fsync, rename).
+//
+// This is the backend a real deployment uses; paths given to the engine are interpreted
+// relative to an optional root directory. Examples run on it; tests and benchmarks
+// mostly use SimFs for determinism and crash injection.
+#ifndef SMALLDB_SRC_STORAGE_POSIX_FS_H_
+#define SMALLDB_SRC_STORAGE_POSIX_FS_H_
+
+#include <string>
+
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+class PosixFs final : public Vfs {
+ public:
+  // All paths passed to this Vfs are joined under `root` ("" = process cwd).
+  explicit PosixFs(std::string root = "");
+
+  Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) override;
+  Status Delete(std::string_view path) override;
+  Status Rename(std::string_view from, std::string_view to) override;
+  Result<bool> Exists(std::string_view path) override;
+  Result<std::vector<std::string>> List(std::string_view dir) override;
+  Status CreateDir(std::string_view path) override;
+  Status SyncDir(std::string_view dir) override;
+
+ private:
+  std::string Resolve(std::string_view path) const;
+
+  std::string root_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_POSIX_FS_H_

@@ -1,0 +1,196 @@
+#include "src/storage/sim_disk.h"
+
+#include <string>
+
+namespace sdb {
+
+SimDisk::SimDisk(SimDiskOptions options) : options_(options) {}
+
+void SimDisk::ChargeAccess(PageId page, std::size_t bytes) {
+  bool sequential =
+      options_.sequential_discount && last_page_ != kNoPage && page == last_page_ + 1;
+  last_page_ = page;
+  if (!sequential) {
+    ++stats_.seeks;
+  }
+  if (options_.clock == nullptr) {
+    return;
+  }
+  if (!sequential) {
+    options_.clock->Charge(options_.seek_micros);
+  }
+  options_.clock->Charge(options_.transfer_micros_per_byte * static_cast<Micros>(bytes));
+}
+
+Status SimDisk::WritePage(PageId page, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return IoError("disk is crashed");
+  }
+  if (page >= options_.capacity_pages) {
+    return InvalidArgumentError("page id beyond disk capacity");
+  }
+  if (data.size() > options_.page_size) {
+    return InvalidArgumentError("write larger than page size");
+  }
+
+  DurableOp op;
+  op.kind = DurableOp::Kind::kPageWrite;
+  op.target = "page:" + std::to_string(page);
+  op.sequence = ++durable_op_counter_;
+  FaultAction action = injector_ ? injector_(op) : FaultAction::kNone;
+
+  if (page >= pages_.size()) {
+    pages_.resize(page + 1);
+  }
+  Page& p = pages_[page];
+
+  switch (action) {
+    case FaultAction::kCrashBefore:
+      crashed_ = true;
+      return IoError("simulated crash before page write");
+    case FaultAction::kCrashTorn: {
+      // Half the new bytes land; the page checksum can no longer match, so the page is
+      // unreadable — exactly the disk property the paper relies on.
+      p.data.assign(options_.page_size, 0);
+      std::size_t half = data.size() / 2;
+      std::copy(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(half), p.data.begin());
+      p.written = true;
+      p.unreadable = true;
+      ++stats_.torn_writes;
+      crashed_ = true;
+      return IoError("simulated crash during page write (torn)");
+    }
+    case FaultAction::kCrashAfter:
+    case FaultAction::kNone:
+      break;
+  }
+
+  p.data.assign(data.begin(), data.end());
+  p.data.resize(options_.page_size, 0);
+  p.written = true;
+  p.unreadable = false;
+  ++stats_.page_writes;
+  stats_.bytes_written += options_.page_size;
+  ChargeAccess(page, options_.page_size);
+
+  if (action == FaultAction::kCrashAfter) {
+    crashed_ = true;
+    return IoError("simulated crash after page write");
+  }
+  return OkStatus();
+}
+
+Status SimDisk::ReadPage(PageId page, Bytes& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return IoError("disk is crashed");
+  }
+  if (page >= options_.capacity_pages) {
+    return InvalidArgumentError("page id beyond disk capacity");
+  }
+  ++stats_.page_reads;
+  stats_.bytes_read += options_.page_size;
+  ChargeAccess(page, options_.page_size);
+  if (page >= pages_.size() || !pages_[page].written) {
+    out.assign(options_.page_size, 0);
+    return OkStatus();
+  }
+  const Page& p = pages_[page];
+  if (p.unreadable) {
+    return UnreadableError("page " + std::to_string(page) + " is unreadable");
+  }
+  out = p.data;
+  return OkStatus();
+}
+
+Result<PageId> SimDisk::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  if (next_unallocated_ >= options_.capacity_pages) {
+    return OutOfSpaceError("simulated disk full");
+  }
+  return next_unallocated_++;
+}
+
+void SimDisk::FreePage(PageId page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page < pages_.size()) {
+    pages_[page] = Page{};
+  }
+  free_list_.push_back(page);
+}
+
+void SimDisk::SetFaultInjector(FaultInjector injector) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = std::move(injector);
+}
+
+bool SimDisk::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void SimDisk::ClearCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+}
+
+void SimDisk::Crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+}
+
+void SimDisk::MarkPageUnreadable(PageId page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page >= pages_.size()) {
+    pages_.resize(page + 1);
+  }
+  pages_[page].written = true;
+  pages_[page].unreadable = true;
+}
+
+void SimDisk::EndBurst() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_page_ = kNoPage;
+}
+
+FaultAction SimDisk::BeginMetadataSync(const std::string& target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return FaultAction::kCrashBefore;
+  }
+  DurableOp op;
+  op.kind = DurableOp::Kind::kMetadataSync;
+  op.target = target;
+  op.sequence = ++durable_op_counter_;
+  FaultAction action = injector_ ? injector_(op) : FaultAction::kNone;
+  if (action != FaultAction::kNone) {
+    crashed_ = true;
+  }
+  if (options_.clock != nullptr && action == FaultAction::kNone) {
+    options_.clock->Charge(options_.seek_micros);
+  }
+  return action;
+}
+
+std::uint64_t SimDisk::next_durable_op_sequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_op_counter_ + 1;
+}
+
+SimDiskStats SimDisk::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SimDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = SimDiskStats{};
+}
+
+}  // namespace sdb

@@ -1,0 +1,142 @@
+// SimDisk: a page-addressed simulated disk.
+//
+// Provides exactly the failure and timing semantics the paper assumes of its hardware:
+//   - "a partially written page will report an error when it is read" (Section 4):
+//     every page carries a checksum; a torn write leaves the page unreadable.
+//   - "we assume that our disks ... give either correct data or an error": reads either
+//     return the exact bytes written or ErrorCode::kUnreadable — never silent garbage.
+//   - a calibrated timing model (seek + transfer charged to a Clock) so benchmarks can
+//     reproduce the paper's MicroVAX-era disk costs (~15 ms seek, ~200 KB/s).
+//
+// Hard-failure experiments mark individual pages unreadable (MarkPageUnreadable), the
+// paper's "some data in the disk structures becomes unreadable".
+#ifndef SMALLDB_SRC_STORAGE_SIM_DISK_H_
+#define SMALLDB_SRC_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/fault.h"
+
+namespace sdb {
+
+using PageId = std::uint64_t;
+
+struct SimDiskOptions {
+  std::size_t page_size = 512;
+  std::size_t capacity_pages = 1 << 20;  // 512 MB at the default page size
+
+  // Timing model, charged to `clock` if non-null. Defaults reproduce the paper's disk:
+  // a small synchronous write costs ~15 ms + transfer; 1 MB streams at ~200 KB/s.
+  Clock* clock = nullptr;
+  Micros seek_micros = 15'000;
+  Micros transfer_micros_per_byte = 5;  // 200 KB/s
+  // Consecutive-page transfers after the first in one call avoid the seek.
+  bool sequential_discount = true;
+};
+
+struct SimDiskStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t seeks = 0;
+  std::uint64_t torn_writes = 0;
+};
+
+class SimDisk {
+ public:
+  explicit SimDisk(SimDiskOptions options = {});
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  std::size_t page_size() const { return options_.page_size; }
+  std::size_t capacity_pages() const { return options_.capacity_pages; }
+
+  // Writes one page durably. `data` must be at most page_size bytes (short writes are
+  // zero-padded). Consults the fault injector; on a crash action the disk transitions
+  // to the crashed state and the call returns kIoError.
+  Status WritePage(PageId page, ByteSpan data);
+
+  // Reads one page into `out` (resized to page_size). Unwritten pages read as zeroes.
+  // Torn or hard-failed pages return kUnreadable.
+  Status ReadPage(PageId page, Bytes& out);
+
+  // Allocation of page numbers: the file system above asks the disk for fresh pages.
+  Result<PageId> AllocatePage();
+  void FreePage(PageId page);
+
+  // --- failure control ---
+
+  // Installs/clears the fault injector consulted on every durable write.
+  void SetFaultInjector(FaultInjector injector);
+
+  // True once a crash action has fired; all I/O fails with kIoError until ClearCrash.
+  bool crashed() const;
+
+  // Simulates power restoration: I/O works again. Torn pages remain unreadable until
+  // they are rewritten (as on real hardware).
+  void ClearCrash();
+
+  // Forces an immediate crash (power cut between durable operations).
+  void Crash();
+
+  // Hard failure: the page will return kUnreadable on reads until rewritten.
+  void MarkPageUnreadable(PageId page);
+
+  // Marks the end of a streaming burst: the next access pays a seek even if it happens
+  // to touch the next sequential page. The file system calls this at each fsync
+  // boundary, so every synchronous commit pays at least one positioning delay (the
+  // behaviour behind the paper's ~20 ms log write) while one large streamed sync (a
+  // checkpoint) still pays only one.
+  void EndBurst();
+
+  // Counts a file-system metadata sync (directory fsync) as a durable operation and
+  // consults the injector. On a crash action the disk enters the crashed state. The
+  // file system above decides, from the returned action, whether its pending metadata
+  // became durable (kCrashAfter) or was lost (kCrashBefore / kCrashTorn).
+  FaultAction BeginMetadataSync(const std::string& target);
+
+  // Ordinal that the *next* durable operation will carry (1-based). Tests use the count
+  // after a scripted run to size their crash-point enumeration.
+  std::uint64_t next_durable_op_sequence() const;
+
+  SimDiskStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Page {
+    Bytes data;
+    bool written = false;
+    bool unreadable = false;
+  };
+
+  // Charges transfer time; a seek is charged unless `page` immediately follows the last
+  // accessed page (streaming I/O pays one seek, then pure transfer — the behaviour the
+  // checkpoint calibration depends on). Rewriting the same page (log-tail fsync) pays a
+  // rotational delay, modelled as a seek.
+  void ChargeAccess(PageId page, std::size_t bytes);
+
+  static constexpr PageId kNoPage = ~PageId{0};
+
+  SimDiskOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Page> pages_;
+  std::vector<PageId> free_list_;
+  PageId next_unallocated_ = 0;
+  FaultInjector injector_;
+  std::uint64_t durable_op_counter_ = 0;
+  bool crashed_ = false;
+  PageId last_page_ = kNoPage;
+  SimDiskStats stats_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_SIM_DISK_H_

@@ -1,0 +1,48 @@
+// SimEnv: the standard simulated environment bundle — one SimClock driving a SimDisk, a
+// SimFs mounted on it, and a MicroVAX-calibrated CostModel. Tests and benchmarks build
+// one of these and hand its parts to the engine.
+#ifndef SMALLDB_SRC_STORAGE_SIM_ENV_H_
+#define SMALLDB_SRC_STORAGE_SIM_ENV_H_
+
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/common/cost_model.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/sim_fs.h"
+
+namespace sdb {
+
+struct SimEnvOptions {
+  SimDiskOptions disk;
+  bool microvax_cost_model = true;
+};
+
+class SimEnv {
+ public:
+  explicit SimEnv(SimEnvOptions options = {}) {
+    options.disk.clock = &clock_;
+    disk_ = std::make_unique<SimDisk>(options.disk);
+    fs_ = std::make_unique<SimFs>(disk_.get());
+    cost_model_ =
+        options.microvax_cost_model ? CostModel::MicroVax(&clock_) : CostModel{&clock_};
+  }
+
+  SimClock& clock() { return clock_; }
+  SimDisk& disk() { return *disk_; }
+  SimFs& fs() { return *fs_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  // Simulated milliseconds elapsed since construction.
+  double ElapsedMillis() const { return static_cast<double>(clock_.NowMicros()) / 1000.0; }
+
+ private:
+  SimClock clock_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<SimFs> fs_;
+  CostModel cost_model_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_SIM_ENV_H_

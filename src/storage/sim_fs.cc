@@ -1,0 +1,432 @@
+#include "src/storage/sim_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdb {
+
+namespace {
+
+std::size_t PagesFor(std::uint64_t size, std::size_t page_size) {
+  return static_cast<std::size_t>((size + page_size - 1) / page_size);
+}
+
+}  // namespace
+
+// A handle onto a SimFs inode. All operations take the file-system lock; a handle
+// opened before a crash is refused after Recover() (stale epoch).
+class SimFsFile final : public File {
+ public:
+  SimFsFile(SimFs* fs, SimFs::InodePtr inode, std::uint64_t epoch, bool writable)
+      : fs_(fs), inode_(std::move(inode)), epoch_(epoch), writable_(writable) {}
+
+  Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckUsableLocked());
+    const Bytes& cache = inode_->cache;
+    if (offset >= cache.size()) {
+      return Bytes{};
+    }
+    std::size_t end = static_cast<std::size_t>(
+        std::min<std::uint64_t>(offset + length, cache.size()));
+    // A read that covers an unreadable (torn / decayed) page reports an error — the
+    // disk property the paper's partial-log-entry detection relies on.
+    if (!inode_->bad_pages.empty()) {
+      std::size_t page_size = fs_->disk_->page_size();
+      std::size_t first_page = static_cast<std::size_t>(offset) / page_size;
+      std::size_t last_page = (end - 1) / page_size;
+      for (std::size_t p = first_page; p <= last_page; ++p) {
+        if (inode_->bad_pages.count(p) != 0) {
+          return UnreadableError("file page " + std::to_string(p) + " is unreadable");
+        }
+      }
+    }
+    return Bytes(cache.begin() + static_cast<std::ptrdiff_t>(offset),
+                 cache.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+
+  Status Append(ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckWritableLocked());
+    std::uint64_t offset = inode_->cache.size();
+    return WriteAtLocked(offset, data);
+  }
+
+  Status WriteAt(std::uint64_t offset, ByteSpan data) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckWritableLocked());
+    return WriteAtLocked(offset, data);
+  }
+
+  Status Truncate(std::uint64_t new_size) override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckWritableLocked());
+    std::size_t page_size = fs_->disk_->page_size();
+    Bytes& cache = inode_->cache;
+    if (new_size < cache.size()) {
+      cache.resize(static_cast<std::size_t>(new_size));
+      // The final partial page (if any) now has different durable content.
+      if (new_size % page_size != 0) {
+        inode_->dirty.insert(static_cast<std::size_t>(new_size) / page_size);
+      }
+      std::size_t keep = PagesFor(new_size, page_size);
+      inode_->dirty.erase(inode_->dirty.upper_bound(keep == 0 ? 0 : keep - 1),
+                          inode_->dirty.end());
+      if (keep == 0) {
+        inode_->dirty.clear();
+      }
+    } else if (new_size > cache.size()) {
+      std::size_t first_new = cache.size() / page_size;
+      cache.resize(static_cast<std::size_t>(new_size), 0);
+      for (std::size_t p = first_new; p < PagesFor(new_size, page_size); ++p) {
+        inode_->dirty.insert(p);
+      }
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckWritableLocked());
+    return fs_->SyncInodeLocked(*inode_);
+  }
+
+  Result<std::uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(fs_->mutex_);
+    SDB_RETURN_IF_ERROR(CheckUsableLocked());
+    return static_cast<std::uint64_t>(inode_->cache.size());
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return OkStatus();
+  }
+
+ private:
+  Status CheckUsableLocked() const {
+    if (closed_) {
+      return InvalidArgumentError("file handle is closed");
+    }
+    if (epoch_ != fs_->epoch_ || fs_->crashed_) {
+      return IoError("stale file handle (file system crashed)");
+    }
+    return OkStatus();
+  }
+
+  Status CheckWritableLocked() const {
+    SDB_RETURN_IF_ERROR(CheckUsableLocked());
+    if (!writable_) {
+      return InvalidArgumentError("file handle is read-only");
+    }
+    return OkStatus();
+  }
+
+  Status WriteAtLocked(std::uint64_t offset, ByteSpan data) {
+    if (data.empty()) {
+      return OkStatus();
+    }
+    std::size_t page_size = fs_->disk_->page_size();
+    Bytes& cache = inode_->cache;
+    std::uint64_t end = offset + data.size();
+    if (end > cache.size()) {
+      cache.resize(static_cast<std::size_t>(end), 0);
+    }
+    std::copy(data.begin(), data.end(), cache.begin() + static_cast<std::ptrdiff_t>(offset));
+    std::size_t first_page = static_cast<std::size_t>(offset) / page_size;
+    std::size_t last_page = static_cast<std::size_t>(end - 1) / page_size;
+    for (std::size_t p = first_page; p <= last_page; ++p) {
+      inode_->dirty.insert(p);
+      inode_->bad_pages.erase(p);  // rewriting repairs an unreadable page
+    }
+    return OkStatus();
+  }
+
+  SimFs* fs_;
+  SimFs::InodePtr inode_;
+  std::uint64_t epoch_;
+  bool writable_;
+  bool closed_ = false;
+};
+
+SimFs::SimFs(SimDisk* disk) : disk_(disk) {}
+
+Status SimFs::CheckAlive() const {
+  if (crashed_ || disk_->crashed()) {
+    return IoError("file system is crashed");
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<File>> SimFs::Open(std::string_view path, OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  auto it = names_.find(path);
+  bool exists = it != names_.end();
+  bool writable = mode != OpenMode::kRead;
+
+  switch (mode) {
+    case OpenMode::kRead:
+    case OpenMode::kReadWrite:
+      if (!exists) {
+        return NotFoundError("no such file: " + std::string(path));
+      }
+      return {std::make_unique<SimFsFile>(this, it->second, epoch_, writable)};
+    case OpenMode::kCreateExclusive:
+      if (exists) {
+        return AlreadyExistsError("file exists: " + std::string(path));
+      }
+      [[fallthrough]];
+    case OpenMode::kCreate:
+      if (exists) {
+        return {std::make_unique<SimFsFile>(this, it->second, epoch_, writable)};
+      }
+      break;
+    case OpenMode::kTruncate:
+      if (exists) {
+        names_.erase(it);
+        ++pending_meta_ops_;
+      }
+      break;
+  }
+
+  auto inode = std::make_shared<Inode>();
+  names_.emplace(std::string(path), inode);
+  ++pending_meta_ops_;
+  return {std::make_unique<SimFsFile>(this, std::move(inode), epoch_, writable)};
+}
+
+Status SimFs::Delete(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  auto it = names_.find(path);
+  if (it == names_.end()) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
+  names_.erase(it);
+  ++pending_meta_ops_;
+  return OkStatus();
+}
+
+Status SimFs::Rename(std::string_view from, std::string_view to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  auto it = names_.find(from);
+  if (it == names_.end()) {
+    return NotFoundError("no such file: " + std::string(from));
+  }
+  InodePtr inode = it->second;
+  names_.erase(it);
+  names_.insert_or_assign(std::string(to), std::move(inode));
+  ++pending_meta_ops_;
+  return OkStatus();
+}
+
+Result<bool> SimFs::Exists(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  return names_.count(path) != 0 || dirs_.count(path) != 0;
+}
+
+Result<std::vector<std::string>> SimFs::List(std::string_view dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  std::string prefix(dir);
+  if (!prefix.empty() && prefix.back() != '/') {
+    prefix.push_back('/');
+  }
+  std::vector<std::string> out;
+  for (auto it = names_.lower_bound(prefix); it != names_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.push_back(it->first.substr(prefix.size()));
+  }
+  return out;
+}
+
+Status SimFs::CreateDir(std::string_view path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  dirs_.insert(std::string(path));
+  ++pending_meta_ops_;
+  return OkStatus();
+}
+
+Status SimFs::SyncDir(std::string_view dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  FaultAction action = disk_->BeginMetadataSync(std::string(dir));
+  switch (action) {
+    case FaultAction::kCrashBefore:
+    case FaultAction::kCrashTorn:
+      // Power failed before the directory blocks hit the medium: the pending namespace
+      // changes are lost (Crash() will roll the namespace back to durable_names_).
+      crashed_ = true;
+      return IoError("simulated crash during directory sync");
+    case FaultAction::kCrashAfter:
+      durable_names_ = names_;
+      pending_meta_ops_ = 0;
+      crashed_ = true;
+      return IoError("simulated crash after directory sync");
+    case FaultAction::kNone: {
+      std::map<std::string, InodePtr, std::less<>> old_durable = std::move(durable_names_);
+      durable_names_ = names_;
+      pending_meta_ops_ = 0;
+      ReclaimDeadInodesLocked(old_durable);
+      return OkStatus();
+    }
+  }
+  return InternalError("unreachable");
+}
+
+Status SimFs::SyncInodeLocked(Inode& inode) {
+  std::size_t page_size = disk_->page_size();
+  std::size_t needed_pages = PagesFor(inode.cache.size(), page_size);
+  // Each fsync is a fresh positioning of the head (see SimDisk::EndBurst).
+  if (!inode.dirty.empty()) {
+    disk_->EndBurst();
+  }
+
+  while (!inode.dirty.empty()) {
+    std::size_t index = *inode.dirty.begin();
+    if (index >= needed_pages) {
+      inode.dirty.erase(inode.dirty.begin());
+      continue;
+    }
+    while (inode.pages.size() <= index) {
+      SDB_ASSIGN_OR_RETURN(PageId fresh, disk_->AllocatePage());
+      inode.pages.push_back(fresh);
+    }
+    std::size_t begin = index * page_size;
+    std::size_t end = std::min(begin + page_size, inode.cache.size());
+    ByteSpan slice(inode.cache.data() + begin, end - begin);
+    Status status = disk_->WritePage(inode.pages[index], slice);
+    if (!status.ok()) {
+      crashed_ = crashed_ || disk_->crashed();
+      return status;
+    }
+    inode.dirty.erase(inode.dirty.begin());
+  }
+
+  // Shrink the backing store if the file got smaller.
+  while (inode.pages.size() > needed_pages) {
+    disk_->FreePage(inode.pages.back());
+    inode.pages.pop_back();
+  }
+  // The size update is the last step of the fsync; it only lands if every page write
+  // above succeeded. A crash mid-sync therefore leaves the old durable size, and the
+  // incompletely-written tail is invisible after recovery (or unreadable, if torn
+  // within the old size).
+  inode.durable_size = inode.cache.size();
+  return OkStatus();
+}
+
+Status SimFs::ReloadInodeLocked(Inode& inode) {
+  std::size_t page_size = disk_->page_size();
+  inode.dirty.clear();
+  inode.bad_pages.clear();
+  inode.cache.assign(static_cast<std::size_t>(inode.durable_size), 0);
+  std::size_t needed_pages = PagesFor(inode.durable_size, page_size);
+  Bytes page_data;
+  for (std::size_t i = 0; i < needed_pages; ++i) {
+    if (i >= inode.pages.size()) {
+      continue;  // never written: reads as zeroes
+    }
+    Status status = disk_->ReadPage(inode.pages[i], page_data);
+    if (status.Is(ErrorCode::kUnreadable)) {
+      inode.bad_pages.insert(i);
+      continue;
+    }
+    SDB_RETURN_IF_ERROR(status);
+    std::size_t begin = i * page_size;
+    std::size_t end = std::min(begin + page_size, inode.cache.size());
+    std::copy(page_data.begin(), page_data.begin() + static_cast<std::ptrdiff_t>(end - begin),
+              inode.cache.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return OkStatus();
+}
+
+void SimFs::FreeInodePagesLocked(Inode& inode) {
+  for (PageId page : inode.pages) {
+    disk_->FreePage(page);
+  }
+  inode.pages.clear();
+}
+
+void SimFs::ReclaimDeadInodesLocked(const std::map<std::string, InodePtr, std::less<>>& old_map) {
+  // Frees disk pages of inodes that were reachable through `old_map` but are no longer
+  // reachable from the current namespace (they can never be read again).
+  for (const auto& [name, inode] : old_map) {
+    bool live = false;
+    for (const auto& [current_name, current_inode] : names_) {
+      if (current_inode == inode) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      FreeInodePagesLocked(*inode);
+    }
+  }
+}
+
+void SimFs::Crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+  disk_->Crash();
+}
+
+Status SimFs::Recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  disk_->ClearCrash();
+  std::map<std::string, InodePtr, std::less<>> old_volatile = std::move(names_);
+  names_ = durable_names_;
+  ReclaimDeadInodesLocked(old_volatile);
+  pending_meta_ops_ = 0;
+  ++epoch_;
+  crashed_ = false;
+  for (auto& [name, inode] : names_) {
+    SDB_RETURN_IF_ERROR(ReloadInodeLocked(*inode).WithContext("reloading " + name));
+  }
+  return OkStatus();
+}
+
+Status SimFs::DropCaches() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDB_RETURN_IF_ERROR(CheckAlive());
+  if (pending_meta_ops_ != 0) {
+    return FailedPreconditionError("unsynced metadata would be lost");
+  }
+  for (auto& [name, inode] : names_) {
+    if (!inode->dirty.empty() || inode->cache.size() != inode->durable_size) {
+      return FailedPreconditionError("unsynced data in " + name + " would be lost");
+    }
+  }
+  ++epoch_;
+  for (auto& [name, inode] : names_) {
+    SDB_RETURN_IF_ERROR(ReloadInodeLocked(*inode).WithContext("reloading " + name));
+  }
+  return OkStatus();
+}
+
+Status SimFs::InjectBadFilePage(std::string_view path, std::size_t page_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(path);
+  if (it == names_.end()) {
+    return NotFoundError("no such file: " + std::string(path));
+  }
+  Inode& inode = *it->second;
+  if (page_index >= inode.pages.size()) {
+    return InvalidArgumentError("file has no page " + std::to_string(page_index));
+  }
+  disk_->MarkPageUnreadable(inode.pages[page_index]);
+  inode.bad_pages.insert(page_index);
+  return OkStatus();
+}
+
+std::size_t SimFs::pending_metadata_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_meta_ops_;
+}
+
+}  // namespace sdb

@@ -1,0 +1,104 @@
+// SimFs: a simulated Unix-like file system over SimDisk, with an honest write-back
+// cache and fsync semantics.
+//
+// Durability rules (matching what the paper's Section 3 protocol must cope with):
+//   - File *content* written through a handle is volatile until File::Sync() succeeds.
+//   - Namespace operations (create, delete, rename) are visible immediately but become
+//     durable only when SyncDir() succeeds — the "appropriate number of Unix fsync
+//     calls" the paper mentions for its commit point.
+//   - Crash() simulates a power failure: all volatile state is discarded. Recover()
+//     restores service; files then contain exactly their durable content, and any page
+//     torn by a mid-write crash reads back as kUnreadable.
+//
+// Reads are served from the cache and charge no disk time (the paper's enquiries never
+// touch the disk); disk time is charged on Sync and on the post-crash reload, which is
+// what makes restart-time benchmarks meaningful.
+#ifndef SMALLDB_SRC_STORAGE_SIM_FS_H_
+#define SMALLDB_SRC_STORAGE_SIM_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/storage/sim_disk.h"
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+class SimFs final : public Vfs {
+ public:
+  explicit SimFs(SimDisk* disk);
+
+  SimFs(const SimFs&) = delete;
+  SimFs& operator=(const SimFs&) = delete;
+
+  // --- Vfs interface ---
+  Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) override;
+  Status Delete(std::string_view path) override;
+  Status Rename(std::string_view from, std::string_view to) override;
+  Result<bool> Exists(std::string_view path) override;
+  Result<std::vector<std::string>> List(std::string_view dir) override;
+  Status CreateDir(std::string_view path) override;
+  Status SyncDir(std::string_view dir) override;
+
+  // --- crash control ---
+
+  // Power failure: discards all volatile state. Subsequent file operations fail until
+  // Recover(). (The disk may already be in the crashed state if a fault injector fired;
+  // this also covers a crash between durable operations.)
+  void Crash();
+
+  // Power restoration + remount: reloads every durable file from disk, charging disk
+  // read time. Open handles from before the crash become permanently invalid.
+  Status Recover();
+
+  // Remount without power failure: drops clean caches so the next reads hit the disk
+  // (used to measure cold restarts and to surface injected hard errors). It is an error
+  // to call this with unsynced data; such data would be silently lost, so this returns
+  // kFailedPrecondition instead.
+  Status DropCaches();
+
+  // Hard-failure injection: marks the page_index'th page of `path` unreadable, as if
+  // the medium decayed (the paper's "hard error"). Takes effect immediately.
+  Status InjectBadFilePage(std::string_view path, std::size_t page_index);
+
+  // Number of namespace operations not yet made durable by SyncDir.
+  std::size_t pending_metadata_ops() const;
+
+  SimDisk& disk() { return *disk_; }
+
+ private:
+  friend class SimFsFile;
+
+  struct Inode {
+    Bytes cache;                       // volatile content (full file)
+    std::set<std::size_t> dirty;       // page indices differing from disk
+    std::set<std::size_t> bad_pages;   // unreadable regions (after crash / hard error)
+    std::vector<PageId> pages;         // on-disk backing pages
+    std::uint64_t durable_size = 0;    // content size as of the last successful Sync
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  Status SyncInodeLocked(Inode& inode);
+  Status ReloadInodeLocked(Inode& inode);
+  void FreeInodePagesLocked(Inode& inode);
+  void ReclaimDeadInodesLocked(const std::map<std::string, InodePtr, std::less<>>& old_map);
+  Status CheckAlive() const;
+
+  SimDisk* disk_;
+  mutable std::mutex mutex_;
+  std::map<std::string, InodePtr, std::less<>> names_;          // volatile namespace
+  std::map<std::string, InodePtr, std::less<>> durable_names_;  // survives a crash
+  std::set<std::string, std::less<>> dirs_;
+  std::uint64_t pending_meta_ops_ = 0;
+  std::uint64_t epoch_ = 1;  // bumped on Recover; stale handles are refused
+  bool crashed_ = false;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_SIM_FS_H_

@@ -1,0 +1,39 @@
+#include "src/storage/vfs.h"
+
+namespace sdb {
+
+Result<Bytes> ReadWholeFile(Vfs& vfs, std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, vfs.Open(path, OpenMode::kRead));
+  SDB_ASSIGN_OR_RETURN(std::uint64_t size, file->Size());
+  SDB_ASSIGN_OR_RETURN(Bytes data, file->ReadAt(0, static_cast<std::size_t>(size)));
+  SDB_RETURN_IF_ERROR(file->Close());
+  return data;
+}
+
+Status WriteWholeFile(Vfs& vfs, std::string_view path, ByteSpan data) {
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, vfs.Open(path, OpenMode::kTruncate));
+  SDB_RETURN_IF_ERROR(file->Append(data));
+  SDB_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Status AtomicWriteFile(Vfs& vfs, std::string_view dir, std::string_view path, ByteSpan data) {
+  std::string tmp = std::string(path) + ".tmp";
+  SDB_RETURN_IF_ERROR(WriteWholeFile(vfs, tmp, data));
+  SDB_RETURN_IF_ERROR(vfs.Rename(tmp, path));
+  return vfs.SyncDir(dir);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  if (dir.empty()) {
+    return std::string(name);
+  }
+  std::string out(dir);
+  if (out.back() != '/') {
+    out.push_back('/');
+  }
+  out += name;
+  return out;
+}
+
+}  // namespace sdb

@@ -1,0 +1,99 @@
+// Vfs: the file-system interface the database engine is written against.
+//
+// Two implementations exist: SimFs (a simulated Unix-like file system over SimDisk,
+// with honest write-back caching, fsync semantics and crash injection — used by tests
+// and benchmarks) and PosixFs (a passthrough to the host file system — used by the
+// examples and by anyone adopting the library for real data).
+//
+// The engine uses exactly the primitives the paper's Section 3 protocol needs: create,
+// append, read, fsync, atomic rename, delete, list, plus a directory sync to make
+// metadata durable ("after an appropriate number of Unix fsync calls").
+#ifndef SMALLDB_SRC_STORAGE_VFS_H_
+#define SMALLDB_SRC_STORAGE_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb {
+
+// An open file handle. Handles are not thread-safe; the engine serializes access.
+class File {
+ public:
+  virtual ~File() = default;
+
+  // Reads up to `length` bytes at `offset`. Short reads happen only at end-of-file.
+  // Reading a region that covers a torn/hard-failed page returns kUnreadable.
+  virtual Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) = 0;
+
+  // Appends at end-of-file. Buffered until Sync (like the OS page cache).
+  virtual Status Append(ByteSpan data) = 0;
+
+  // Overwrites in place (the ad-hoc baseline's update-in-place path).
+  virtual Status WriteAt(std::uint64_t offset, ByteSpan data) = 0;
+
+  virtual Status Truncate(std::uint64_t new_size) = 0;
+
+  // Forces buffered data to the medium (fsync). The commit point of every update.
+  virtual Status Sync() = 0;
+
+  virtual Result<std::uint64_t> Size() = 0;
+
+  virtual Status Close() = 0;
+};
+
+enum class OpenMode : std::uint8_t {
+  kRead,            // must exist
+  kReadWrite,       // must exist
+  kCreate,          // create if missing, keep contents if present
+  kCreateExclusive, // fail with kAlreadyExists if present
+  kTruncate,        // create or wipe
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) = 0;
+
+  virtual Status Delete(std::string_view path) = 0;
+
+  // Atomically replaces `to` with `from` (POSIX rename semantics). Durability of the
+  // rename itself requires SyncDir on SimFs, matching real directory-fsync rules.
+  virtual Status Rename(std::string_view from, std::string_view to) = 0;
+
+  virtual Result<bool> Exists(std::string_view path) = 0;
+
+  // Names (not paths) of files whose path begins with `dir` + "/".
+  virtual Result<std::vector<std::string>> List(std::string_view dir) = 0;
+
+  virtual Status CreateDir(std::string_view path) = 0;
+
+  // Makes pending metadata (creates/deletes/renames under `dir`) durable.
+  virtual Status SyncDir(std::string_view dir) = 0;
+};
+
+// --- convenience helpers shared by all backends ---
+
+// Reads an entire file into memory.
+Result<Bytes> ReadWholeFile(Vfs& vfs, std::string_view path);
+
+// Creates/truncates `path`, writes `data`, fsyncs, closes.
+Status WriteWholeFile(Vfs& vfs, std::string_view path, ByteSpan data);
+
+// The classic reliable-replace idiom: write to `path`.tmp, fsync, rename over `path`,
+// sync the directory. Used by the text-file baseline and by VersionStore.
+Status AtomicWriteFile(Vfs& vfs, std::string_view dir, std::string_view path, ByteSpan data);
+
+// Joins a directory and a file name with '/'.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_VFS_H_

@@ -1,0 +1,299 @@
+#include "src/typedheap/heap.h"
+
+#include <algorithm>
+
+namespace sdb::th {
+
+Object::Object(const TypeDesc* type) : type_(type) {
+  slots_.reserve(type->field_count());
+  for (const FieldDesc& field : type->fields()) {
+    switch (field.kind) {
+      case FieldKind::kInt:
+        slots_.emplace_back(std::int64_t{0});
+        break;
+      case FieldKind::kReal:
+        slots_.emplace_back(0.0);
+        break;
+      case FieldKind::kString:
+        slots_.emplace_back(std::string());
+        break;
+      case FieldKind::kRef:
+        slots_.emplace_back(static_cast<Object*>(nullptr));
+        break;
+      case FieldKind::kRefList:
+        slots_.emplace_back(RefList());
+        break;
+      case FieldKind::kStringRefMap:
+        slots_.emplace_back(StringRefMap());
+        break;
+    }
+  }
+}
+
+Status Object::CheckField(std::size_t field, FieldKind expected) const {
+  if (field >= slots_.size()) {
+    return InvalidArgumentError("field index " + std::to_string(field) + " out of range for type " +
+                                type_->name());
+  }
+  if (type_->field(field).kind != expected) {
+    return InvalidArgumentError("field '" + type_->field(field).name + "' of type " +
+                                type_->name() + " has a different kind");
+  }
+  return OkStatus();
+}
+
+Result<std::int64_t> Object::GetInt(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kInt));
+  return std::get<std::int64_t>(slots_[field]);
+}
+
+Status Object::SetInt(std::size_t field, std::int64_t value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kInt));
+  slots_[field] = value;
+  return OkStatus();
+}
+
+Result<double> Object::GetReal(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kReal));
+  return std::get<double>(slots_[field]);
+}
+
+Status Object::SetReal(std::size_t field, double value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kReal));
+  slots_[field] = value;
+  return OkStatus();
+}
+
+Result<const std::string*> Object::GetString(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kString));
+  return &std::get<std::string>(slots_[field]);
+}
+
+Status Object::SetString(std::size_t field, std::string value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kString));
+  slots_[field] = std::move(value);
+  return OkStatus();
+}
+
+Result<Object*> Object::GetRef(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRef));
+  return std::get<Object*>(slots_[field]);
+}
+
+Status Object::SetRef(std::size_t field, Object* value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRef));
+  slots_[field] = value;
+  return OkStatus();
+}
+
+Result<std::size_t> Object::ListSize(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRefList));
+  return std::get<RefList>(slots_[field]).size();
+}
+
+Result<Object*> Object::ListGet(std::size_t field, std::size_t index) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRefList));
+  const RefList& list = std::get<RefList>(slots_[field]);
+  if (index >= list.size()) {
+    return InvalidArgumentError("list index out of range");
+  }
+  return list[index];
+}
+
+Status Object::ListAppend(std::size_t field, Object* value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRefList));
+  std::get<RefList>(slots_[field]).push_back(value);
+  return OkStatus();
+}
+
+Status Object::ListSet(std::size_t field, std::size_t index, Object* value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRefList));
+  RefList& list = std::get<RefList>(slots_[field]);
+  if (index >= list.size()) {
+    return InvalidArgumentError("list index out of range");
+  }
+  list[index] = value;
+  return OkStatus();
+}
+
+Status Object::ListClear(std::size_t field) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kRefList));
+  std::get<RefList>(slots_[field]).clear();
+  return OkStatus();
+}
+
+Result<Object*> Object::MapGet(std::size_t field, std::string_view key) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kStringRefMap));
+  const StringRefMap& map = std::get<StringRefMap>(slots_[field]);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    return NotFoundError("no map entry for key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+Status Object::MapSet(std::size_t field, std::string_view key, Object* value) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kStringRefMap));
+  std::get<StringRefMap>(slots_[field]).insert_or_assign(std::string(key), value);
+  return OkStatus();
+}
+
+Status Object::MapErase(std::size_t field, std::string_view key) {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kStringRefMap));
+  StringRefMap& map = std::get<StringRefMap>(slots_[field]);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    return NotFoundError("no map entry for key '" + std::string(key) + "'");
+  }
+  map.erase(it);
+  return OkStatus();
+}
+
+Result<std::size_t> Object::MapSize(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kStringRefMap));
+  return std::get<StringRefMap>(slots_[field]).size();
+}
+
+Result<const Object::StringRefMap*> Object::MapView(std::size_t field) const {
+  SDB_RETURN_IF_ERROR(CheckField(field, FieldKind::kStringRefMap));
+  return &std::get<StringRefMap>(slots_[field]);
+}
+
+std::size_t Object::ApproximateBytes() const {
+  std::size_t bytes = sizeof(Object) + slots_.size() * sizeof(Slot);
+  for (const Slot& slot : slots_) {
+    if (const auto* str = std::get_if<std::string>(&slot)) {
+      bytes += str->size();
+    } else if (const auto* list = std::get_if<RefList>(&slot)) {
+      bytes += list->size() * sizeof(Object*);
+    } else if (const auto* map = std::get_if<StringRefMap>(&slot)) {
+      for (const auto& [key, value] : *map) {
+        bytes += key.size() + sizeof(Object*) + 32;  // node overhead estimate
+      }
+    }
+  }
+  return bytes;
+}
+
+Object* Heap::Allocate(const TypeDesc* type) {
+  objects_.push_back(std::unique_ptr<Object>(new Object(type)));
+  return objects_.back().get();
+}
+
+void Heap::AddRoot(Object* object) { roots_.insert(object); }
+void Heap::RemoveRoot(Object* object) { roots_.erase(object); }
+
+void Heap::Mark(Object* object) {
+  if (object == nullptr || object->marked_) {
+    return;
+  }
+  // Iterative depth-first mark; name trees can be deep and recursion would risk the
+  // stack on adversarial shapes.
+  std::vector<Object*> stack{object};
+  object->marked_ = true;
+  while (!stack.empty()) {
+    Object* current = stack.back();
+    stack.pop_back();
+    auto push = [&stack](Object* child) {
+      if (child != nullptr && !child->marked_) {
+        child->marked_ = true;
+        stack.push_back(child);
+      }
+    };
+    for (const Object::Slot& slot : current->slots_) {
+      if (auto* const* ref = std::get_if<Object*>(&slot)) {
+        push(*ref);
+      } else if (const auto* list = std::get_if<Object::RefList>(&slot)) {
+        for (Object* child : *list) {
+          push(child);
+        }
+      } else if (const auto* map = std::get_if<Object::StringRefMap>(&slot)) {
+        for (const auto& [key, child] : *map) {
+          push(child);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t Heap::Collect() {
+  for (const auto& object : objects_) {
+    object->marked_ = false;
+  }
+  for (Object* root : roots_) {
+    Mark(root);
+  }
+  std::uint64_t freed = 0;
+  auto dead = std::remove_if(objects_.begin(), objects_.end(),
+                             [&freed](const std::unique_ptr<Object>& object) {
+                               if (!object->marked_) {
+                                 ++freed;
+                                 return true;
+                               }
+                               return false;
+                             });
+  objects_.erase(dead, objects_.end());
+  ++gc_stats_.collections;
+  gc_stats_.objects_freed += freed;
+  gc_stats_.last_freed = freed;
+  gc_stats_.last_live = objects_.size();
+  return freed;
+}
+
+Status Heap::Validate() const {
+  std::set<const Object*> owned;
+  for (const auto& object : objects_) {
+    owned.insert(object.get());
+  }
+  auto check = [&owned](const Object* ref, const char* where) -> Status {
+    if (ref != nullptr && owned.count(ref) == 0) {
+      return InternalError(std::string("dangling reference in ") + where);
+    }
+    return OkStatus();
+  };
+  for (const Object* root : roots_) {
+    SDB_RETURN_IF_ERROR(check(root, "root set"));
+  }
+  for (const auto& object : objects_) {
+    for (const Object::Slot& slot : object->slots_) {
+      if (auto* const* ref = std::get_if<Object*>(&slot)) {
+        SDB_RETURN_IF_ERROR(check(*ref, object->type_->name().c_str()));
+      } else if (const auto* list = std::get_if<Object::RefList>(&slot)) {
+        for (const Object* child : *list) {
+          SDB_RETURN_IF_ERROR(check(child, object->type_->name().c_str()));
+        }
+      } else if (const auto* map = std::get_if<Object::StringRefMap>(&slot)) {
+        for (const auto& [key, child] : *map) {
+          SDB_RETURN_IF_ERROR(check(child, object->type_->name().c_str()));
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<Heap::TypeUsage> Heap::UsageByType() const {
+  std::map<std::string, TypeUsage> by_type;
+  for (const auto& object : objects_) {
+    TypeUsage& usage = by_type[object->type().name()];
+    usage.type_name = object->type().name();
+    ++usage.objects;
+    usage.approximate_bytes += object->ApproximateBytes();
+  }
+  std::vector<TypeUsage> out;
+  out.reserve(by_type.size());
+  for (auto& [name, usage] : by_type) {
+    out.push_back(std::move(usage));
+  }
+  return out;
+}
+
+std::size_t Heap::approximate_bytes() const {
+  std::size_t total = 0;
+  for (const auto& object : objects_) {
+    total += object->ApproximateBytes();
+  }
+  return total;
+}
+
+}  // namespace sdb::th

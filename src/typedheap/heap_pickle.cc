@@ -1,0 +1,317 @@
+#include "src/typedheap/heap_pickle.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace sdb::th {
+namespace {
+
+constexpr std::string_view kGraphTypeName = "sdb.heapgraph";
+
+// Stream layout (inside the standard pickle envelope):
+//   varint type_count
+//     per type: LP name, varint field_count, per field: LP field name, u8 kind
+//   varint object_count
+//   per object: varint type_index              (the whole shape table first...)
+//   per object: encoded slots                  (...then all bodies)
+//       int: zigzag varint | real: f64 | string: LP bytes
+//       ref: varint object id (0 = null, else 1-based discovery index)
+//       reflist: varint count, ids...
+//       map: varint count, (LP key, id)...
+//   varint root id
+//
+// Objects form a flat table in discovery (BFS) order. Because every object's type
+// precedes every body, the reader allocates the complete table up front and forward or
+// cyclic references resolve trivially; no recursion is ever needed, so arbitrarily deep
+// graphs round-trip.
+
+class GraphWriter {
+ public:
+  Result<Bytes> Write(const Object* root, const CostModel* cost) {
+    if (root != nullptr) {
+      Discover(root);
+    }
+
+    PickleWriter pickle;
+    ByteWriter& out = pickle.bytes();
+
+    out.PutVarint(type_table_.size());
+    for (const TypeDesc* type : type_table_) {
+      out.PutLengthPrefixed(type->name());
+      out.PutVarint(type->field_count());
+      for (const FieldDesc& field : type->fields()) {
+        out.PutLengthPrefixed(field.name);
+        out.PutU8(static_cast<std::uint8_t>(field.kind));
+      }
+    }
+
+    out.PutVarint(objects_.size());
+    for (const Object* object : objects_) {
+      out.PutVarint(type_ids_.at(&object->type()));
+    }
+    for (const Object* object : objects_) {
+      SDB_RETURN_IF_ERROR(WriteBody(out, *object));
+    }
+    out.PutVarint(root == nullptr ? 0 : object_ids_.at(root));
+    return std::move(pickle).FinishEnvelope(kGraphTypeName, cost);
+  }
+
+ private:
+  void Discover(const Object* root) {
+    std::deque<const Object*> queue{root};
+    object_ids_.emplace(root, 1);
+    objects_.push_back(root);
+    while (!queue.empty()) {
+      const Object* current = queue.front();
+      queue.pop_front();
+      NoteType(&current->type());
+      ForEachRef(*current, [this, &queue](const Object* child) {
+        if (child != nullptr && object_ids_.emplace(child, objects_.size() + 1).second) {
+          objects_.push_back(child);
+          queue.push_back(child);
+        }
+      });
+    }
+  }
+
+  template <typename Fn>
+  static void ForEachRef(const Object& object, Fn&& fn) {
+    const TypeDesc& type = object.type();
+    for (std::size_t i = 0; i < type.field_count(); ++i) {
+      switch (type.field(i).kind) {
+        case FieldKind::kRef:
+          fn(object.GetRef(i).value());
+          break;
+        case FieldKind::kRefList: {
+          std::size_t n = object.ListSize(i).value();
+          for (std::size_t j = 0; j < n; ++j) {
+            fn(object.ListGet(i, j).value());
+          }
+          break;
+        }
+        case FieldKind::kStringRefMap:
+          for (const auto& [key, child] : *object.MapView(i).value()) {
+            fn(child);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void NoteType(const TypeDesc* type) {
+    if (type_ids_.emplace(type, type_table_.size()).second) {
+      type_table_.push_back(type);
+    }
+  }
+
+  std::uint64_t IdOf(const Object* object) const {
+    return object == nullptr ? 0 : object_ids_.at(object);
+  }
+
+  Status WriteBody(ByteWriter& out, const Object& object) {
+    const TypeDesc& type = object.type();
+    for (std::size_t i = 0; i < type.field_count(); ++i) {
+      switch (type.field(i).kind) {
+        case FieldKind::kInt: {
+          SDB_ASSIGN_OR_RETURN(std::int64_t v, object.GetInt(i));
+          out.PutVarintSigned(v);
+          break;
+        }
+        case FieldKind::kReal: {
+          SDB_ASSIGN_OR_RETURN(double v, object.GetReal(i));
+          out.PutF64(v);
+          break;
+        }
+        case FieldKind::kString: {
+          SDB_ASSIGN_OR_RETURN(const std::string* v, object.GetString(i));
+          out.PutLengthPrefixed(*v);
+          break;
+        }
+        case FieldKind::kRef: {
+          SDB_ASSIGN_OR_RETURN(Object * child, object.GetRef(i));
+          out.PutVarint(IdOf(child));
+          break;
+        }
+        case FieldKind::kRefList: {
+          SDB_ASSIGN_OR_RETURN(std::size_t n, object.ListSize(i));
+          out.PutVarint(n);
+          for (std::size_t j = 0; j < n; ++j) {
+            SDB_ASSIGN_OR_RETURN(Object * child, object.ListGet(i, j));
+            out.PutVarint(IdOf(child));
+          }
+          break;
+        }
+        case FieldKind::kStringRefMap: {
+          SDB_ASSIGN_OR_RETURN(const Object::StringRefMap* map, object.MapView(i));
+          out.PutVarint(map->size());
+          for (const auto& [key, child] : *map) {
+            out.PutLengthPrefixed(key);
+            out.PutVarint(IdOf(child));
+          }
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  std::unordered_map<const Object*, std::uint64_t> object_ids_;
+  std::vector<const Object*> objects_;
+  std::unordered_map<const TypeDesc*, std::uint64_t> type_ids_;
+  std::vector<const TypeDesc*> type_table_;
+};
+
+class GraphReader {
+ public:
+  GraphReader(Heap& heap, const TypeRegistry& registry) : heap_(heap), registry_(registry) {}
+
+  Result<Object*> Read(ByteSpan data, const CostModel* cost) {
+    SDB_ASSIGN_OR_RETURN(PickleReader pickle,
+                         PickleReader::FromEnvelope(data, kGraphTypeName, cost));
+    ByteReader& in = pickle.bytes();
+
+    SDB_RETURN_IF_ERROR(ReadTypeTable(in));
+
+    SDB_ASSIGN_OR_RETURN(std::uint64_t object_count, in.ReadVarint());
+    if (object_count > in.remaining() + 1) {
+      return CorruptionError("object count exceeds payload size");
+    }
+    objects_.reserve(static_cast<std::size_t>(object_count));
+    for (std::uint64_t i = 0; i < object_count; ++i) {
+      SDB_ASSIGN_OR_RETURN(std::uint64_t type_index, in.ReadVarint());
+      if (type_index >= types_.size()) {
+        return CorruptionError("object references unknown type index");
+      }
+      objects_.push_back(heap_.Allocate(types_[static_cast<std::size_t>(type_index)]));
+    }
+    for (Object* object : objects_) {
+      SDB_RETURN_IF_ERROR(ReadBody(in, *object));
+    }
+
+    SDB_ASSIGN_OR_RETURN(std::uint64_t root_id, in.ReadVarint());
+    if (!in.AtEnd()) {
+      return CorruptionError("trailing bytes after heap graph");
+    }
+    return ResolveId(root_id);
+  }
+
+ private:
+  Status ReadTypeTable(ByteReader& in) {
+    SDB_ASSIGN_OR_RETURN(std::uint64_t type_count, in.ReadVarint());
+    if (type_count > in.remaining()) {
+      return CorruptionError("type count exceeds payload size");
+    }
+    for (std::uint64_t t = 0; t < type_count; ++t) {
+      SDB_ASSIGN_OR_RETURN(std::string name, in.ReadLengthPrefixedString());
+      SDB_ASSIGN_OR_RETURN(std::uint64_t field_count, in.ReadVarint());
+      Result<const TypeDesc*> found = registry_.Find(name);
+      if (!found.ok()) {
+        return CorruptionError("pickled type '" + name +
+                               "' is not registered in this execution environment");
+      }
+      const TypeDesc* type = *found;
+      if (type->field_count() != field_count) {
+        return CorruptionError("type '" + name + "' field count changed since pickling");
+      }
+      for (std::uint64_t f = 0; f < field_count; ++f) {
+        SDB_ASSIGN_OR_RETURN(std::string field_name, in.ReadLengthPrefixedString());
+        SDB_ASSIGN_OR_RETURN(std::uint8_t kind, in.ReadU8());
+        const FieldDesc& registered = type->field(static_cast<std::size_t>(f));
+        if (registered.name != field_name ||
+            static_cast<std::uint8_t>(registered.kind) != kind) {
+          return CorruptionError("type '" + name + "' field '" + field_name +
+                                 "' changed since pickling");
+        }
+      }
+      types_.push_back(type);
+    }
+    return OkStatus();
+  }
+
+  Result<Object*> ResolveId(std::uint64_t id) const {
+    if (id == 0) {
+      return {static_cast<Object*>(nullptr)};
+    }
+    if (id > objects_.size()) {
+      return CorruptionError("object id out of range");
+    }
+    return objects_[static_cast<std::size_t>(id - 1)];
+  }
+
+  Status ReadBody(ByteReader& in, Object& object) {
+    const TypeDesc& type = object.type();
+    for (std::size_t i = 0; i < type.field_count(); ++i) {
+      switch (type.field(i).kind) {
+        case FieldKind::kInt: {
+          SDB_ASSIGN_OR_RETURN(std::int64_t v, in.ReadVarintSigned());
+          SDB_RETURN_IF_ERROR(object.SetInt(i, v));
+          break;
+        }
+        case FieldKind::kReal: {
+          SDB_ASSIGN_OR_RETURN(double v, in.ReadF64());
+          SDB_RETURN_IF_ERROR(object.SetReal(i, v));
+          break;
+        }
+        case FieldKind::kString: {
+          SDB_ASSIGN_OR_RETURN(std::string v, in.ReadLengthPrefixedString());
+          SDB_RETURN_IF_ERROR(object.SetString(i, std::move(v)));
+          break;
+        }
+        case FieldKind::kRef: {
+          SDB_ASSIGN_OR_RETURN(std::uint64_t id, in.ReadVarint());
+          SDB_ASSIGN_OR_RETURN(Object * child, ResolveId(id));
+          SDB_RETURN_IF_ERROR(object.SetRef(i, child));
+          break;
+        }
+        case FieldKind::kRefList: {
+          SDB_ASSIGN_OR_RETURN(std::uint64_t n, in.ReadVarint());
+          if (n > in.remaining() + 1) {
+            return CorruptionError("ref list count exceeds payload");
+          }
+          for (std::uint64_t j = 0; j < n; ++j) {
+            SDB_ASSIGN_OR_RETURN(std::uint64_t id, in.ReadVarint());
+            SDB_ASSIGN_OR_RETURN(Object * child, ResolveId(id));
+            SDB_RETURN_IF_ERROR(object.ListAppend(i, child));
+          }
+          break;
+        }
+        case FieldKind::kStringRefMap: {
+          SDB_ASSIGN_OR_RETURN(std::uint64_t n, in.ReadVarint());
+          if (n > in.remaining() + 1) {
+            return CorruptionError("map count exceeds payload");
+          }
+          for (std::uint64_t j = 0; j < n; ++j) {
+            SDB_ASSIGN_OR_RETURN(std::string key, in.ReadLengthPrefixedString());
+            SDB_ASSIGN_OR_RETURN(std::uint64_t id, in.ReadVarint());
+            SDB_ASSIGN_OR_RETURN(Object * child, ResolveId(id));
+            SDB_RETURN_IF_ERROR(object.MapSet(i, key, child));
+          }
+          break;
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  Heap& heap_;
+  const TypeRegistry& registry_;
+  std::vector<const TypeDesc*> types_;
+  std::vector<Object*> objects_;
+};
+
+}  // namespace
+
+Result<Bytes> PickleHeapGraph(const Object* root, const CostModel* cost) {
+  GraphWriter writer;
+  return writer.Write(root, cost);
+}
+
+Result<Object*> UnpickleHeapGraph(Heap& heap, const TypeRegistry& registry, ByteSpan data,
+                                  const CostModel* cost) {
+  GraphReader reader(heap, registry);
+  return reader.Read(data, cost);
+}
+
+}  // namespace sdb::th

@@ -1,0 +1,37 @@
+// Heap-graph pickling: the reproduction of the paper's PickleWrite / PickleRead.
+//
+// "The operation PickleWrite takes a pointer to a strongly typed data structure and
+// delivers buffers of bits for writing to the disk. Conversely PickleRead reads buffers
+// of bits from the disk and delivers a copy of the original data structure. This
+// conversion involves identifying the occurrences of addresses in the structure, and
+// arranging that when the structure is read back from disk the addresses are replaced
+// with addresses valid in the current execution environment. The pickle mechanism is
+// entirely automatic: it is driven by the run-time typing structures that are present
+// for our garbage collection mechanism."  — Section 6
+//
+// The stream is self-describing: type names are interned on first use, objects are
+// identified by swizzle ids (shared structure and cycles round-trip exactly), and the
+// whole stream is wrapped in the CRC-protected pickle envelope.
+#ifndef SMALLDB_SRC_TYPEDHEAP_HEAP_PICKLE_H_
+#define SMALLDB_SRC_TYPEDHEAP_HEAP_PICKLE_H_
+
+#include "src/common/cost_model.h"
+#include "src/pickle/pickle.h"
+#include "src/typedheap/heap.h"
+#include "src/typedheap/type_desc.h"
+
+namespace sdb::th {
+
+// Pickles the object graph reachable from `root` (which may be null: an empty
+// database). Charges pickle-write CPU to `cost` if provided.
+Result<Bytes> PickleHeapGraph(const Object* root, const CostModel* cost = nullptr);
+
+// Rebuilds a pickled graph inside `heap`. Every type name in the stream must already be
+// registered in `registry`; the returned root is a fresh copy, unreachable from any
+// existing root until the caller installs it.
+Result<Object*> UnpickleHeapGraph(Heap& heap, const TypeRegistry& registry, ByteSpan data,
+                                  const CostModel* cost = nullptr);
+
+}  // namespace sdb::th
+
+#endif  // SMALLDB_SRC_TYPEDHEAP_HEAP_PICKLE_H_

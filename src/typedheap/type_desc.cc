@@ -1,0 +1,33 @@
+#include "src/typedheap/type_desc.h"
+
+namespace sdb::th {
+
+Result<std::size_t> TypeDesc::FieldIndex(std::string_view field_name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == field_name) {
+      return i;
+    }
+  }
+  return NotFoundError("type '" + name_ + "' has no field '" + std::string(field_name) + "'");
+}
+
+Result<const TypeDesc*> TypeRegistry::Register(std::string name, std::vector<FieldDesc> fields) {
+  auto it = types_.find(name);
+  if (it != types_.end()) {
+    return AlreadyExistsError("type already registered: " + name);
+  }
+  auto desc = std::make_unique<TypeDesc>(name, std::move(fields));
+  const TypeDesc* raw = desc.get();
+  types_.emplace(std::move(name), std::move(desc));
+  return raw;
+}
+
+Result<const TypeDesc*> TypeRegistry::Find(std::string_view name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return NotFoundError("type not registered: " + std::string(name));
+  }
+  return it->second.get();
+}
+
+}  // namespace sdb::th

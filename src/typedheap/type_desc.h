@@ -1,0 +1,76 @@
+// Runtime type descriptors — "the run-time typing structures that are present for our
+// garbage collection mechanism" (paper Section 6).
+//
+// A TypeDesc describes the shape of a heap object as a list of typed fields. The same
+// descriptor drives both the mark phase of the garbage collector (which fields hold
+// references) and the heap pickler (how each field is converted to bits), reproducing
+// the paper's central implementation trick: one set of runtime type structures serving
+// both memory management and persistence.
+#ifndef SMALLDB_SRC_TYPEDHEAP_TYPE_DESC_H_
+#define SMALLDB_SRC_TYPEDHEAP_TYPE_DESC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb::th {
+
+enum class FieldKind : std::uint8_t {
+  kInt = 0,       // 64-bit signed integer
+  kReal,          // double
+  kString,        // byte string
+  kRef,           // reference to another heap object (or null)
+  kRefList,       // ordered list of references
+  kStringRefMap,  // hash table: string -> reference (the name server's arc tables)
+};
+
+struct FieldDesc {
+  std::string name;
+  FieldKind kind;
+};
+
+class TypeDesc {
+ public:
+  TypeDesc(std::string name, std::vector<FieldDesc> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDesc>& fields() const { return fields_; }
+  std::size_t field_count() const { return fields_.size(); }
+
+  const FieldDesc& field(std::size_t index) const { return fields_[index]; }
+
+  // Index of the field called `name`, or kNotFound.
+  Result<std::size_t> FieldIndex(std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::vector<FieldDesc> fields_;
+};
+
+// The execution environment's set of known types. Unpickling a heap graph requires
+// every type name in the stream to be registered here — the paper's "addresses are
+// replaced with addresses valid in the current execution environment" generalized to
+// types. Registration is append-only; descriptors are stable for the registry's life.
+class TypeRegistry {
+ public:
+  // Registers a new type. Fails with kAlreadyExists if the name is taken.
+  Result<const TypeDesc*> Register(std::string name, std::vector<FieldDesc> fields);
+
+  Result<const TypeDesc*> Find(std::string_view name) const;
+
+  std::size_t size() const { return types_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<TypeDesc>, std::less<>> types_;
+};
+
+}  // namespace sdb::th
+
+#endif  // SMALLDB_SRC_TYPEDHEAP_TYPE_DESC_H_

@@ -1,0 +1,345 @@
+// Unit tests for src/common: Status/Result, byte coding, CRC, RNG, clocks.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/cost_model.h"
+#include "src/common/crc.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace sdb {
+namespace {
+
+// --- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.Is(ErrorCode::kNotFound));
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status status = IoError("disk failed").WithContext("writing log");
+  EXPECT_TRUE(status.Is(ErrorCode::kIoError));
+  EXPECT_EQ(status.message(), "writing log: disk failed");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status status = OkStatus().WithContext("anything");
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kUnimplemented); ++code) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return CorruptionError("bad"); };
+  auto wrapper = [&]() -> Status {
+    SDB_RETURN_IF_ERROR(fails());
+    return InternalError("unreachable");
+  };
+  EXPECT_TRUE(wrapper().Is(ErrorCode::kCorruption));
+}
+
+// --- Result ---
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool ok) -> Result<int> {
+    if (ok) {
+      return 5;
+    }
+    return AbortedError("no");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    SDB_ASSIGN_OR_RETURN(int v, producer(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(true), 10);
+  EXPECT_TRUE(consumer(false).status().Is(ErrorCode::kAborted));
+}
+
+// --- ByteWriter / ByteReader ---
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU16(0x1234);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFull);
+  writer.PutI64(-42);
+  writer.PutF64(3.25);
+
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_EQ(*reader.ReadU8(), 0xAB);
+  EXPECT_EQ(*reader.ReadU16(), 0x1234);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*reader.ReadI64(), -42);
+  EXPECT_EQ(*reader.ReadF64(), 3.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+class VarintRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTripTest, RoundTrips) {
+  ByteWriter writer;
+  writer.PutVarint(GetParam());
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_EQ(*reader.ReadVarint(), GetParam());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintRoundTripTest,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull,
+                                           16384ull, 1ull << 32, (1ull << 56) - 1,
+                                           std::numeric_limits<std::uint64_t>::max()));
+
+class SignedVarintRoundTripTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SignedVarintRoundTripTest, RoundTrips) {
+  ByteWriter writer;
+  writer.PutVarintSigned(GetParam());
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_EQ(*reader.ReadVarintSigned(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, SignedVarintRoundTripTest,
+                         ::testing::Values(std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                                           std::int64_t{-64}, std::int64_t{64},
+                                           std::numeric_limits<std::int64_t>::min(),
+                                           std::numeric_limits<std::int64_t>::max()));
+
+TEST(BytesTest, SmallVarintsAreOneByte) {
+  ByteWriter writer;
+  writer.PutVarint(127);
+  EXPECT_EQ(writer.size(), 1u);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  ByteWriter writer;
+  writer.PutLengthPrefixed(std::string_view("hello"));
+  writer.PutLengthPrefixed(std::string_view(""));
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_EQ(*reader.ReadLengthPrefixedString(), "hello");
+  EXPECT_EQ(*reader.ReadLengthPrefixedString(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  Bytes data{1, 2, 3};
+  ByteReader reader(AsSpan(data));
+  EXPECT_TRUE(reader.ReadU64().status().Is(ErrorCode::kCorruption));
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  Bytes data{0x80, 0x80};  // continuation bits with no terminator
+  ByteReader reader(AsSpan(data));
+  EXPECT_TRUE(reader.ReadVarint().status().Is(ErrorCode::kCorruption));
+}
+
+TEST(BytesTest, OverlongVarintFails) {
+  Bytes data(11, 0x80);
+  ByteReader reader(AsSpan(data));
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(BytesTest, LengthPrefixBeyondBufferFails) {
+  ByteWriter writer;
+  writer.PutVarint(1000);  // promises 1000 bytes
+  writer.PutBytes(std::string_view("short"));
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_TRUE(reader.ReadLengthPrefixed().status().Is(ErrorCode::kCorruption));
+}
+
+TEST(BytesTest, OverwriteU32Backpatches) {
+  ByteWriter writer;
+  writer.PutU32(0);
+  writer.PutBytes(std::string_view("xyz"));
+  writer.OverwriteU32(0, 0xCAFEBABE);
+  ByteReader reader(AsSpan(writer.buffer()));
+  EXPECT_EQ(*reader.ReadU32(), 0xCAFEBABEu);
+}
+
+TEST(BytesTest, HexDumpTruncates) {
+  Bytes data(100, 0xAB);
+  std::string dump = HexDump(AsSpan(data), 4);
+  EXPECT_EQ(dump, "abababab...");
+}
+
+// --- CRC ---
+
+TEST(CrcTest, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (the canonical check value).
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+}
+
+TEST(CrcTest, EmptyIsZero) { EXPECT_EQ(Crc32c(std::string_view("")), 0u); }
+
+TEST(CrcTest, DifferentInputsDiffer) {
+  EXPECT_NE(Crc32c(std::string_view("hello")), Crc32c(std::string_view("hellp")));
+}
+
+TEST(CrcTest, MaskRoundTrips) {
+  for (std::uint32_t crc : {0u, 1u, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+TEST(CrcTest, Crc64KnownProperty) {
+  // CRC64 of "123456789" under ECMA-182 (reflected) is 0x995DC9BBDF1939FA.
+  EXPECT_EQ(Crc64(std::string_view("123456789")), 0x995DC9BBDF1939FAull);
+}
+
+TEST(CrcTest, SingleBitFlipChangesCrc) {
+  Bytes data(64, 0x5A);
+  std::uint32_t original = Crc32c(AsSpan(data));
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    Bytes flipped = data;
+    flipped[17] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_NE(Crc32c(AsSpan(flipped)), original);
+  }
+}
+
+// --- RNG ---
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextStringHasRequestedLength) {
+  Rng rng(5);
+  EXPECT_EQ(rng.NextString(12).size(), 12u);
+  EXPECT_EQ(rng.NextString(0).size(), 0u);
+}
+
+// --- Clocks & CostModel ---
+
+TEST(ClockTest, SimClockAdvancesOnlyWhenCharged) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.Charge(1500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.Charge(500);
+  EXPECT_EQ(clock.NowMicros(), 2000);
+}
+
+TEST(ClockTest, WallClockMonotonic) {
+  WallClock clock;
+  Micros a = clock.NowMicros();
+  Micros b = clock.NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, StopwatchMeasuresSimTime) {
+  SimClock clock;
+  Stopwatch watch(clock);
+  clock.Charge(777);
+  EXPECT_EQ(watch.ElapsedMicros(), 777);
+  watch.Reset();
+  EXPECT_EQ(watch.ElapsedMicros(), 0);
+}
+
+TEST(CostModelTest, ChargesPickleRates) {
+  SimClock clock;
+  CostModel model = CostModel::MicroVax(&clock);
+  model.ChargePickleWrite(1000);
+  // 52 us/byte * 1000 bytes = 52 ms
+  EXPECT_EQ(clock.NowMicros(), 52'000);
+}
+
+TEST(CostModelTest, NullClockChargesNothing) {
+  CostModel model;
+  model.ChargePickleWrite(1'000'000);  // must not crash
+  model.ChargeExplore(10);
+}
+
+TEST(CostModelTest, MicroVaxEnquiryCostMatchesPaper) {
+  // The paper: a typical simple enquiry takes ~5 ms of structure exploration.
+  SimClock clock;
+  CostModel model = CostModel::MicroVax(&clock);
+  model.ChargeExplore(3);  // a three-component path
+  EXPECT_NEAR(static_cast<double>(clock.NowMicros()), 5000.0, 1000.0);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,220 @@
+// Edge-case tests for the engine: cross-application checkpoint mismatch, enquiry
+// error propagation, stats accounting, unpadded-log hazards, and reopen cycles.
+#include <gtest/gtest.h>
+
+#include "src/baselines/smalldb_kv.h"
+#include "src/storage/sim_env.h"
+#include "tests/test_app.h"
+
+namespace sdb {
+namespace {
+
+using ::sdb::testing::TestApp;
+
+class DatabaseEdgeTest : public ::testing::Test {
+ protected:
+  DatabaseEdgeTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  DatabaseOptions Options(std::string dir = "db") {
+    DatabaseOptions options;
+    options.vfs = &env_->fs();
+    options.dir = std::move(dir);
+    options.clock = &env_->clock();
+    return options;
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(DatabaseEdgeTest, OpeningWithWrongApplicationTypeFails) {
+  // A checkpoint written by one application cannot be loaded by another: the pickle
+  // envelope's type name catches the mismatch.
+  TestApp app;
+  {
+    auto db = *Database::Open(app, Options());
+    ASSERT_TRUE(db->Update(app.PreparePut("k", "v")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  auto wrong = baselines::SmallDbKv::Open(Options());
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(wrong.status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(DatabaseEdgeTest, EnquiryErrorsPropagateWithoutSideEffects) {
+  TestApp app;
+  auto db = *Database::Open(app, Options());
+  Status status = db->Enquire([] { return NotFoundError("looked for something"); });
+  EXPECT_TRUE(status.Is(ErrorCode::kNotFound));
+  // The lock was released despite the error: updates still work.
+  EXPECT_TRUE(db->Update(app.PreparePut("still", "works")).ok());
+}
+
+TEST_F(DatabaseEdgeTest, StatsCountEveryOutcome) {
+  TestApp app;
+  auto db = *Database::Open(app, Options());
+  ASSERT_TRUE(db->Update(app.PreparePut("a", "1")).ok());
+  ASSERT_TRUE(db->Update(app.PreparePut("a", "2", /*require_absent=*/true))
+                  .Is(ErrorCode::kFailedPrecondition));
+  ASSERT_TRUE(db->Enquire([] { return OkStatus(); }).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  DatabaseStats stats = db->stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.update_precondition_failures, 1u);
+  EXPECT_EQ(stats.enquiries, 1u);
+  EXPECT_EQ(stats.checkpoints, 1u);
+  EXPECT_EQ(stats.log_entries_since_checkpoint, 0u);
+}
+
+TEST_F(DatabaseEdgeTest, ManyReopenCyclesAccumulateNothingStray) {
+  std::map<std::string, std::string> expected;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    TestApp app;
+    auto db = *Database::Open(app, Options());
+    EXPECT_EQ(app.state, expected);
+    std::string key = "cycle" + std::to_string(cycle);
+    ASSERT_TRUE(db->Update(app.PreparePut(key, "done")).ok());
+    expected[key] = "done";
+    if (cycle % 3 == 1) {
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    db.reset();
+    env_->fs().Crash();
+    ASSERT_TRUE(env_->fs().Recover().ok());
+  }
+  // The directory contains exactly one generation's files plus `version`.
+  auto names = *env_->fs().List("db");
+  EXPECT_EQ(names.size(), 3u) << "stray files accumulated";
+}
+
+TEST_F(DatabaseEdgeTest, LargeUpdateRecordsSpanManyLogPages) {
+  TestApp app;
+  auto db = *Database::Open(app, Options());
+  std::string huge(100'000, 'H');
+  ASSERT_TRUE(db->Update(app.PreparePut("huge", huge)).ok());
+  db.reset();
+  env_->fs().Crash();
+  ASSERT_TRUE(env_->fs().Recover().ok());
+  TestApp recovered;
+  auto db2 = *Database::Open(recovered, Options());
+  EXPECT_EQ(recovered.state["huge"], huge);
+  (void)db2;
+}
+
+TEST_F(DatabaseEdgeTest, UnpaddedLogTornTailCanDamageCommittedData) {
+  // Negative demonstration: with pad_to_page_boundary disabled, a torn rewrite of the
+  // log's shared tail page can take a previously committed entry with it. This is why
+  // padding is the default (and why the crash matrix passes at 100%).
+  DatabaseOptions options = Options();
+  options.log_writer.pad_to_page_boundary = false;
+  TestApp app;
+  {
+    auto db = *Database::Open(app, options);
+    ASSERT_TRUE(db->Update(app.PreparePut("committed", "small")).ok());
+    CrashPlan plan(env_->disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+    env_->disk().SetFaultInjector(plan.AsInjector());
+    EXPECT_FALSE(db->Update(app.PreparePut("torn", "x")).ok());
+    env_->disk().SetFaultInjector(nullptr);
+  }
+  env_->fs().Crash();
+  ASSERT_TRUE(env_->fs().Recover().ok());
+  TestApp recovered;
+  auto db = Database::Open(recovered, options);
+  // Either recovery fails (the shared page is unreadable) or the committed update is
+  // gone — both are failures the padded default prevents.
+  bool committed_survived = db.ok() && recovered.state.count("committed") == 1;
+  EXPECT_FALSE(committed_survived)
+      << "expected the unpadded configuration to exhibit the hazard";
+}
+
+TEST_F(DatabaseEdgeTest, EmptyValueAndKeyEdgeCases) {
+  TestApp app;
+  auto db = *Database::Open(app, Options());
+  ASSERT_TRUE(db->Update(app.PreparePut("", "empty key")).ok());
+  ASSERT_TRUE(db->Update(app.PreparePut("empty value", "")).ok());
+  db.reset();
+  env_->fs().Crash();
+  ASSERT_TRUE(env_->fs().Recover().ok());
+  TestApp recovered;
+  auto db2 = *Database::Open(recovered, Options());
+  EXPECT_EQ(recovered.state[""], "empty key");
+  EXPECT_EQ(recovered.state["empty value"], "");
+  (void)db2;
+}
+
+TEST_F(DatabaseEdgeTest, CheckpointWithEmptyStateAndEmptyLog) {
+  TestApp app;
+  auto db = *Database::Open(app, Options());
+  // Checkpointing an untouched database is legal and idempotent.
+  ASSERT_TRUE(db->Checkpoint().ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_EQ(db->current_version(), 3u);
+  db.reset();
+  TestApp recovered;
+  auto db2 = *Database::Open(recovered, Options());
+  EXPECT_TRUE(recovered.state.empty());
+  (void)db2;
+}
+
+TEST_F(DatabaseEdgeTest, ReadOnlyOpenRecoversWithoutSideEffects) {
+  TestApp app;
+  {
+    auto db = *Database::Open(app, Options());
+    ASSERT_TRUE(db->Update(app.PreparePut("k", "v")).ok());
+  }
+  // Fabricate an interrupted switch: a read-only open must neither finish nor clean it.
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/checkpoint9.tmp", ByteSpan{}).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("db").ok());
+
+  TestApp reader;
+  auto ro = Database::OpenReadOnly(reader, Options());
+  ASSERT_TRUE(ro.ok()) << ro.status();
+  EXPECT_EQ(reader.state["k"], "v");
+  EXPECT_EQ((*ro)->current_version(), 1u);
+
+  // Enquiries work; every mutation is refused.
+  EXPECT_TRUE((*ro)->Enquire([] { return OkStatus(); }).ok());
+  EXPECT_TRUE((*ro)->Update(reader.PreparePut("x", "y")).Is(ErrorCode::kFailedPrecondition));
+  EXPECT_TRUE((*ro)->Checkpoint().Is(ErrorCode::kFailedPrecondition));
+  EXPECT_TRUE((*ro)->ReplaceState(ByteSpan{}).Is(ErrorCode::kFailedPrecondition));
+
+  // No side effects: the stray file is still there (a writable open would delete it).
+  EXPECT_TRUE(*env_->fs().Exists("db/checkpoint9.tmp"));
+  EXPECT_EQ(reader.state.count("x"), 0u);
+}
+
+TEST_F(DatabaseEdgeTest, ReadOnlyOpenOfMissingDatabaseFails) {
+  TestApp app;
+  EXPECT_FALSE(Database::OpenReadOnly(app, Options("empty")).ok());
+}
+
+TEST_F(DatabaseEdgeTest, DiskFullSurfacesCleanly) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  env_options.disk.capacity_pages = 24;  // tiny disk
+  SimEnv env(env_options);
+  TestApp app;
+  DatabaseOptions options;
+  options.vfs = &env.fs();
+  options.dir = "db";
+  auto db_or = Database::Open(app, options);
+  if (!db_or.ok()) {
+    EXPECT_TRUE(db_or.status().Is(ErrorCode::kOutOfSpace));
+    return;
+  }
+  auto db = std::move(*db_or);
+  Status last = OkStatus();
+  for (int i = 0; i < 100 && last.ok(); ++i) {
+    last = db->Update(app.PreparePut("k" + std::to_string(i), std::string(400, 'x')));
+  }
+  EXPECT_TRUE(last.Is(ErrorCode::kOutOfSpace)) << last;
+  // Enquiries still serve from memory even when the disk is full.
+  EXPECT_TRUE(db->Enquire([] { return OkStatus(); }).ok());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,364 @@
+// Tests for DirectoryService: the second complete application on the engine,
+// featuring two-path rename transactions and full restart recovery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/dirsvc/directory_service.h"
+#include "src/dirsvc/directory_service_rpc.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb::dirsvc {
+namespace {
+
+class DirectoryServiceTest : public ::testing::Test {
+ protected:
+  DirectoryServiceTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  std::unique_ptr<DirectoryService> OpenSvc() {
+    DirectoryServiceOptions options;
+    options.db.vfs = &env_->fs();
+    options.db.dir = "dirsvc";
+    options.db.clock = &env_->clock();
+    auto svc = DirectoryService::Open(std::move(options));
+    EXPECT_TRUE(svc.ok()) << svc.status();
+    return std::move(*svc);
+  }
+
+  void CrashAndRecoverFs() {
+    env_->fs().Crash();
+    ASSERT_TRUE(env_->fs().Recover().ok());
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(DirectoryServiceTest, MkDirCreateStatReadDir) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("home", "root", 100).ok());
+  ASSERT_TRUE(svc->MkDir("home/alice", "alice", 101).ok());
+  ASSERT_TRUE(svc->CreateFile("home/alice/notes.txt", "alice", 1234, 102).ok());
+
+  EntryAttrs attrs = *svc->Stat("home/alice/notes.txt");
+  EXPECT_EQ(attrs.type, static_cast<std::uint8_t>(EntryType::kFile));
+  EXPECT_EQ(attrs.size, 1234u);
+  EXPECT_EQ(attrs.owner, "alice");
+
+  EXPECT_EQ(*svc->ReadDir(""), (std::vector<std::string>{"home"}));
+  EXPECT_EQ(*svc->ReadDir("home/alice"), (std::vector<std::string>{"notes.txt"}));
+  EXPECT_EQ(svc->entry_count(), 3u);
+}
+
+TEST_F(DirectoryServiceTest, CreatePreconditions) {
+  auto svc = OpenSvc();
+  EXPECT_TRUE(svc->CreateFile("no/parent", "x", 0, 0).Is(ErrorCode::kNotFound));
+  ASSERT_TRUE(svc->MkDir("d", "x", 0).ok());
+  EXPECT_TRUE(svc->MkDir("d", "x", 0).Is(ErrorCode::kAlreadyExists));
+  ASSERT_TRUE(svc->CreateFile("d/f", "x", 0, 0).ok());
+  EXPECT_TRUE(svc->CreateFile("d/f", "x", 0, 0).Is(ErrorCode::kAlreadyExists));
+}
+
+TEST_F(DirectoryServiceTest, SetAttrsOnlyOnFiles) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("d", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("d/f", "x", 10, 1).ok());
+  ASSERT_TRUE(svc->SetAttrs("d/f", 99, 2).ok());
+  EXPECT_EQ(svc->Stat("d/f")->size, 99u);
+  EXPECT_TRUE(svc->SetAttrs("d", 1, 1).Is(ErrorCode::kFailedPrecondition));
+  EXPECT_TRUE(svc->SetAttrs("ghost", 1, 1).Is(ErrorCode::kNotFound));
+}
+
+TEST_F(DirectoryServiceTest, UnlinkRules) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("d", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("d/f", "x", 0, 0).ok());
+  EXPECT_TRUE(svc->Unlink("d").Is(ErrorCode::kFailedPrecondition));  // not empty
+  ASSERT_TRUE(svc->Unlink("d/f").ok());
+  ASSERT_TRUE(svc->Unlink("d").ok());  // now empty
+  EXPECT_FALSE(svc->Exists("d"));
+  EXPECT_TRUE(svc->Unlink("d").Is(ErrorCode::kNotFound));
+}
+
+TEST_F(DirectoryServiceTest, RenameFile) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("a", "x", 0).ok());
+  ASSERT_TRUE(svc->MkDir("b", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("a/f", "x", 7, 1).ok());
+  ASSERT_TRUE(svc->Rename("a/f", "b/g").ok());
+  EXPECT_FALSE(svc->Exists("a/f"));
+  EXPECT_EQ(svc->Stat("b/g")->size, 7u);
+}
+
+TEST_F(DirectoryServiceTest, RenameMovesWholeSubtree) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("proj", "x", 0).ok());
+  ASSERT_TRUE(svc->MkDir("proj/src", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("proj/src/main.cc", "x", 100, 1).ok());
+  ASSERT_TRUE(svc->MkDir("archive", "x", 0).ok());
+
+  ASSERT_TRUE(svc->Rename("proj", "archive/proj-v1").ok());
+  EXPECT_FALSE(svc->Exists("proj"));
+  EXPECT_EQ(svc->Stat("archive/proj-v1/src/main.cc")->size, 100u);
+}
+
+TEST_F(DirectoryServiceTest, RenamePreconditions) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("d", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("d/f", "x", 0, 0).ok());
+  ASSERT_TRUE(svc->MkDir("full", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("full/occupant", "x", 0, 0).ok());
+
+  EXPECT_TRUE(svc->Rename("ghost", "d/g").Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(svc->Rename("d/f", "no/parent/g").Is(ErrorCode::kNotFound));
+  EXPECT_TRUE(svc->Rename("d/f", "full").Is(ErrorCode::kFailedPrecondition));  // type mismatch
+  EXPECT_TRUE(svc->Rename("d", "full").Is(ErrorCode::kFailedPrecondition));    // not empty
+  EXPECT_TRUE(svc->Rename("d", "d/inside").Is(ErrorCode::kFailedPrecondition));
+  EXPECT_TRUE(svc->Rename("d", "d").Is(ErrorCode::kInvalidArgument));
+  // Failed renames logged nothing; state intact.
+  EXPECT_TRUE(svc->Exists("d/f"));
+  EXPECT_TRUE(svc->Exists("full/occupant"));
+}
+
+TEST_F(DirectoryServiceTest, RenameReplacesFileAtomically) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("d", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("d/old", "x", 1, 1).ok());
+  ASSERT_TRUE(svc->CreateFile("d/new", "x", 2, 2).ok());
+  ASSERT_TRUE(svc->Rename("d/new", "d/old").ok());
+  EXPECT_EQ(svc->Stat("d/old")->size, 2u);
+  EXPECT_FALSE(svc->Exists("d/new"));
+}
+
+TEST_F(DirectoryServiceTest, RenameReplacesEmptyDirectory) {
+  auto svc = OpenSvc();
+  ASSERT_TRUE(svc->MkDir("src", "x", 0).ok());
+  ASSERT_TRUE(svc->CreateFile("src/file", "x", 5, 0).ok());
+  ASSERT_TRUE(svc->MkDir("empty", "x", 0).ok());
+  ASSERT_TRUE(svc->Rename("src", "empty").ok());
+  EXPECT_EQ(svc->Stat("empty/file")->size, 5u);
+  EXPECT_FALSE(svc->Exists("src"));
+}
+
+TEST_F(DirectoryServiceTest, FullStateSurvivesRestart) {
+  {
+    auto svc = OpenSvc();
+    ASSERT_TRUE(svc->MkDir("etc", "root", 1).ok());
+    ASSERT_TRUE(svc->CreateFile("etc/passwd", "root", 2048, 2).ok());
+    ASSERT_TRUE(svc->MkDir("home", "root", 3).ok());
+    ASSERT_TRUE(svc->MkDir("home/bob", "bob", 4).ok());
+    ASSERT_TRUE(svc->Checkpoint().ok());
+    ASSERT_TRUE(svc->CreateFile("home/bob/todo", "bob", 64, 5).ok());
+    ASSERT_TRUE(svc->Rename("home/bob", "home/robert").ok());
+  }
+  CrashAndRecoverFs();
+  auto svc = OpenSvc();
+  EXPECT_EQ(svc->Stat("etc/passwd")->size, 2048u);
+  EXPECT_EQ(svc->Stat("home/robert/todo")->owner, "bob");
+  EXPECT_FALSE(svc->Exists("home/bob"));
+  EXPECT_EQ(svc->database().stats().restart.entries_replayed, 2u);
+}
+
+TEST_F(DirectoryServiceTest, TornRenameCommitIsAllOrNothing) {
+  {
+    auto svc = OpenSvc();
+    ASSERT_TRUE(svc->MkDir("a", "x", 0).ok());
+    ASSERT_TRUE(svc->MkDir("b", "x", 0).ok());
+    ASSERT_TRUE(svc->CreateFile("a/f", "x", 9, 0).ok());
+    CrashPlan plan(env_->disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+    env_->disk().SetFaultInjector(plan.AsInjector());
+    EXPECT_FALSE(svc->Rename("a/f", "b/g").ok());
+    env_->disk().SetFaultInjector(nullptr);
+  }
+  CrashAndRecoverFs();
+  auto svc = OpenSvc();
+  // The rename either never happened (expected: commit torn) — and never half-happened.
+  bool at_source = svc->Exists("a/f");
+  bool at_target = svc->Exists("b/g");
+  EXPECT_TRUE(at_source != at_target) << "rename half-applied";
+  EXPECT_TRUE(at_source);  // the torn commit means it did not happen
+}
+
+TEST_F(DirectoryServiceTest, DeepTreesAndManyEntries) {
+  auto svc = OpenSvc();
+  std::string path;
+  for (int depth = 0; depth < 20; ++depth) {
+    path += (depth == 0 ? "" : "/");
+    path += "level" + std::to_string(depth);
+    ASSERT_TRUE(svc->MkDir(path, "x", 0).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(svc->CreateFile(path + "/file" + std::to_string(i), "x", i, 0).ok());
+  }
+  EXPECT_EQ(svc->ReadDir(path)->size(), 50u);
+  ASSERT_TRUE(svc->Checkpoint().ok());
+  CrashAndRecoverFs();
+  auto reopened = OpenSvc();
+  EXPECT_EQ(reopened->ReadDir(path)->size(), 50u);
+  EXPECT_EQ(reopened->entry_count(), 70u);
+}
+
+TEST_F(DirectoryServiceTest, ServedOverRpc) {
+  auto svc = OpenSvc();
+  rpc::RpcServer rpc_server;
+  RegisterDirectoryService(rpc_server, *svc);
+  rpc::LoopbackChannel channel(rpc_server, rpc::LoopbackOptions{&env_->clock(), 8000});
+  DirectoryServiceClient client(channel);
+
+  ASSERT_TRUE(client.MkDir("remote", "net", 1).ok());
+  ASSERT_TRUE(client.CreateFile("remote/file", "net", 77, 2).ok());
+  ASSERT_TRUE(client.SetAttrs("remote/file", 99, 3).ok());
+  EntryAttrs attrs = *client.Stat("remote/file");
+  EXPECT_EQ(attrs.size, 99u);
+  EXPECT_EQ(*client.ReadDir("remote"), (std::vector<std::string>{"file"}));
+  ASSERT_TRUE(client.Rename("remote/file", "remote/renamed").ok());
+  EXPECT_TRUE(client.Stat("remote/file").status().Is(ErrorCode::kNotFound));
+  ASSERT_TRUE(client.Unlink("remote/renamed").ok());
+  EXPECT_TRUE(client.Unlink("remote/renamed").Is(ErrorCode::kNotFound));
+  // Errors travel with their codes intact.
+  EXPECT_TRUE(client.MkDir("no/parent/here", "x", 0).Is(ErrorCode::kNotFound));
+}
+
+TEST_F(DirectoryServiceTest, RandomizedSoakAgainstFlatModel) {
+  // Random MkDir/CreateFile/SetAttrs/Unlink/Rename against a flat path->attrs
+  // reference model; verify full agreement live and after a crash-restart.
+  Rng rng(31337);
+  std::map<std::string, EntryAttrs> model;  // includes directories
+
+  auto model_readdir_count = [&model](const std::string& dir) {
+    std::size_t count = 0;
+    std::string prefix = dir.empty() ? "" : dir + "/";
+    for (const auto& [path, attrs] : model) {
+      if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+          path.find('/', prefix.size()) == std::string::npos) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  auto model_subtree_empty = [&model](const std::string& dir) {
+    std::string prefix = dir + "/";
+    for (const auto& [path, attrs] : model) {
+      if (path.compare(0, prefix.size(), prefix) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::string> dirs{""};  // known directories (as model paths; "" = root)
+  {
+    auto svc = OpenSvc();
+    for (int op = 0; op < 600; ++op) {
+      double dice = rng.NextDouble();
+      const std::string& parent = dirs[rng.NextBelow(dirs.size())];
+      std::string name = "n" + std::to_string(rng.NextBelow(40));
+      std::string path = parent.empty() ? name : parent + "/" + name;
+      bool in_model = model.count(path) != 0;
+
+      if (dice < 0.25) {  // MkDir
+        Status status = svc->MkDir(path, "soak", op);
+        if (in_model) {
+          EXPECT_TRUE(status.Is(ErrorCode::kAlreadyExists)) << path;
+        } else {
+          ASSERT_TRUE(status.ok()) << path << ": " << status;
+          model[path] = EntryAttrs{static_cast<std::uint8_t>(EntryType::kDirectory), 0,
+                                   static_cast<std::uint64_t>(op), "soak"};
+          dirs.push_back(path);
+        }
+      } else if (dice < 0.55) {  // CreateFile
+        Status status = svc->CreateFile(path, "soak", rng.NextBelow(1000), op);
+        if (in_model) {
+          EXPECT_TRUE(status.Is(ErrorCode::kAlreadyExists)) << path;
+        } else {
+          ASSERT_TRUE(status.ok()) << path << ": " << status;
+          model[path] = *svc->Stat(path);
+        }
+      } else if (dice < 0.7) {  // SetAttrs
+        Status status = svc->SetAttrs(path, rng.NextBelow(5000), op);
+        bool is_file = in_model && model[path].type ==
+                                       static_cast<std::uint8_t>(EntryType::kFile);
+        if (is_file) {
+          ASSERT_TRUE(status.ok()) << path;
+          model[path] = *svc->Stat(path);
+        } else {
+          EXPECT_FALSE(status.ok()) << path;
+        }
+      } else if (dice < 0.85) {  // Unlink
+        Status status = svc->Unlink(path);
+        bool is_dir = in_model && model[path].type ==
+                                      static_cast<std::uint8_t>(EntryType::kDirectory);
+        bool removable = in_model && (!is_dir || model_subtree_empty(path));
+        if (removable) {
+          ASSERT_TRUE(status.ok()) << path;
+          model.erase(path);
+          if (is_dir) {
+            dirs.erase(std::remove(dirs.begin(), dirs.end(), path), dirs.end());
+          }
+        } else {
+          EXPECT_FALSE(status.ok()) << path;
+        }
+      } else {  // Rename to a fresh name in a random directory
+        const std::string& to_parent = dirs[rng.NextBelow(dirs.size())];
+        std::string to_name = "r" + std::to_string(op);
+        std::string to_path = to_parent.empty() ? to_name : to_parent + "/" + to_name;
+        Status status = svc->Rename(path, to_path);
+        bool to_inside_from = to_path.compare(0, path.size() + 1, path + "/") == 0;
+        if (!in_model || to_inside_from) {
+          EXPECT_FALSE(status.ok()) << path << " -> " << to_path;
+        } else {
+          ASSERT_TRUE(status.ok()) << path << " -> " << to_path << ": " << status;
+          // Rewrite the moved prefix in the model (files and whole subtrees).
+          std::map<std::string, EntryAttrs> moved;
+          std::string prefix = path + "/";
+          for (auto it = model.begin(); it != model.end();) {
+            if (it->first == path ||
+                it->first.compare(0, prefix.size(), prefix) == 0) {
+              std::string suffix = it->first.substr(path.size());
+              moved[to_path + suffix] = it->second;
+              it = model.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          model.insert(moved.begin(), moved.end());
+          for (std::string& dir : dirs) {
+            if (dir == path) {
+              dir = to_path;
+            } else if (dir.compare(0, prefix.size(), prefix) == 0) {
+              dir = to_path + dir.substr(path.size());
+            }
+          }
+        }
+      }
+    }
+
+    // Live agreement: every model entry stats identically; counts match.
+    for (const auto& [model_path, attrs] : model) {
+      auto stat = svc->Stat(model_path);
+      ASSERT_TRUE(stat.ok()) << model_path;
+      EXPECT_EQ(*stat, attrs) << model_path;
+    }
+    EXPECT_EQ(svc->entry_count(), model.size());
+    for (const std::string& dir : dirs) {
+      EXPECT_EQ(svc->ReadDir(dir)->size(), model_readdir_count(dir)) << "'" << dir << "'";
+    }
+  }
+
+  // And after a crash-restart.
+  CrashAndRecoverFs();
+  auto svc = OpenSvc();
+  EXPECT_EQ(svc->entry_count(), model.size());
+  for (const auto& [model_path, attrs] : model) {
+    auto stat = svc->Stat(model_path);
+    ASSERT_TRUE(stat.ok()) << model_path;
+    EXPECT_EQ(*stat, attrs) << model_path;
+  }
+}
+
+}  // namespace
+}  // namespace sdb::dirsvc

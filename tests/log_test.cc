@@ -1,0 +1,295 @@
+// Tests for the redo-log stack: entry framing, partial-tail detection at every
+// truncation point, damaged-entry skipping, writer padding, replay over torn pages,
+// and the audit trail.
+#include <gtest/gtest.h>
+
+#include "src/core/audit.h"
+#include "src/core/log_format.h"
+#include "src/core/log_reader.h"
+#include "src/core/log_writer.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb {
+namespace {
+
+Bytes Payload(std::string_view text) { return ToBytes(text); }
+
+// --- framing ---
+
+TEST(LogFormatTest, EncodeDecodeRoundTrip) {
+  ByteWriter out;
+  EncodeLogEntry(AsSpan(Payload("hello")), out);
+  LogDecodeResult decoded = DecodeLogEntry(AsSpan(out.buffer()), 0);
+  ASSERT_EQ(decoded.outcome, LogDecodeOutcome::kEntry);
+  EXPECT_EQ(AsStringView(decoded.payload), "hello");
+  EXPECT_EQ(decoded.next_offset, out.size());
+}
+
+TEST(LogFormatTest, EmptyPayloadIsValid) {
+  ByteWriter out;
+  EncodeLogEntry(ByteSpan{}, out);
+  LogDecodeResult decoded = DecodeLogEntry(AsSpan(out.buffer()), 0);
+  EXPECT_EQ(decoded.outcome, LogDecodeOutcome::kEntry);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(LogFormatTest, EncodedSizeMatches) {
+  for (std::size_t n : {0u, 1u, 127u, 128u, 5000u}) {
+    ByteWriter out;
+    EncodeLogEntry(AsSpan(Bytes(n, 0xAA)), out);
+    EXPECT_EQ(out.size(), EncodedLogEntrySize(n));
+  }
+}
+
+TEST(LogFormatTest, CleanEndAtExactBoundary) {
+  ByteWriter out;
+  EncodeLogEntry(AsSpan(Payload("x")), out);
+  LogDecodeResult first = DecodeLogEntry(AsSpan(out.buffer()), 0);
+  LogDecodeResult end = DecodeLogEntry(AsSpan(out.buffer()), first.next_offset);
+  EXPECT_EQ(end.outcome, LogDecodeOutcome::kCleanEnd);
+}
+
+// Every truncation of an entry must classify as a partial tail, never as a valid entry
+// — the paper's "partially written log entry ... is discarded".
+class TruncationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationTest, TruncatedEntryIsPartialTail) {
+  ByteWriter out;
+  EncodeLogEntry(AsSpan(Payload("a payload long enough to span several bytes")), out);
+  std::size_t cut = GetParam();
+  if (cut >= out.size()) {
+    GTEST_SKIP() << "cut beyond entry";
+  }
+  ByteSpan truncated = AsSpan(out.buffer()).subspan(0, cut);
+  LogDecodeResult decoded = DecodeLogEntry(truncated, 0);
+  if (cut == 0) {
+    EXPECT_EQ(decoded.outcome, LogDecodeOutcome::kCleanEnd);
+  } else {
+    EXPECT_TRUE(decoded.outcome == LogDecodeOutcome::kPartialTail ||
+                decoded.outcome == LogDecodeOutcome::kCorrupt);
+    EXPECT_NE(decoded.outcome, LogDecodeOutcome::kEntry);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrefixes, TruncationTest,
+                         ::testing::Range(std::size_t{0}, std::size_t{51}));
+
+TEST(LogFormatTest, BitFlipsAreCorrupt) {
+  ByteWriter out;
+  EncodeLogEntry(AsSpan(Payload("bit flip target")), out);
+  Bytes data = out.buffer();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes corrupted = data;
+    corrupted[i] ^= 0x01;
+    LogDecodeResult decoded = DecodeLogEntry(AsSpan(corrupted), 0);
+    EXPECT_NE(decoded.outcome, LogDecodeOutcome::kEntry) << "flip at byte " << i;
+  }
+}
+
+TEST(LogFormatTest, ResyncFindsNextEntry) {
+  ByteWriter out;
+  out.PutBytes(Bytes(13, 0xEE));  // garbage
+  std::size_t entry_start = out.size();
+  EncodeLogEntry(AsSpan(Payload("found me")), out);
+  std::size_t resync = ResyncLog(AsSpan(out.buffer()), 0);
+  EXPECT_EQ(resync, entry_start);
+}
+
+TEST(LogFormatTest, ResyncReturnsEndWhenNothingFollows) {
+  Bytes garbage(64, 0xEE);
+  EXPECT_EQ(ResyncLog(AsSpan(garbage), 0), garbage.size());
+}
+
+// --- writer + reader over the simulated file system ---
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  LogIoTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  std::unique_ptr<LogWriter> NewWriter(std::string_view path) {
+    auto file = *env_->fs().Open(path, OpenMode::kCreate);
+    return std::make_unique<LogWriter>(std::move(file), 0);
+  }
+
+  std::vector<std::string> ReplayAll(std::string_view path, LogReplayOptions options = {},
+                                     LogReplayStats* stats_out = nullptr) {
+    std::vector<std::string> payloads;
+    auto stats = ReplayLogFile(env_->fs(), path, options, [&payloads](ByteSpan payload) {
+      payloads.emplace_back(AsStringView(payload));
+      return OkStatus();
+    });
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    if (stats.ok() && stats_out != nullptr) {
+      *stats_out = *stats;
+    }
+    return payloads;
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(LogIoTest, AppendCommitReplay) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("one"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("two"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("three"))).ok());
+  EXPECT_EQ(writer->stats().entries_appended, 3u);
+  EXPECT_EQ(writer->stats().commits, 3u);
+
+  LogReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll("log", {}, &stats);
+  EXPECT_EQ(payloads, (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_EQ(stats.entries_replayed, 3u);
+  EXPECT_FALSE(stats.partial_tail_discarded);
+}
+
+TEST_F(LogIoTest, CommitsArePageAligned) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("pad me"))).ok());
+  EXPECT_EQ(writer->size() % 512, 0u);
+  EXPECT_GT(writer->stats().padding_bytes, 0u);
+}
+
+TEST_F(LogIoTest, GroupCommitSharesOneSync) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->Append(AsSpan(Payload("a"))).ok());
+  ASSERT_TRUE(writer->Append(AsSpan(Payload("b"))).ok());
+  ASSERT_TRUE(writer->Append(AsSpan(Payload("c"))).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  EXPECT_EQ(writer->stats().commits, 1u);
+  EXPECT_EQ(ReplayAll("log").size(), 3u);
+}
+
+TEST_F(LogIoTest, UncommittedTailDiscardedAfterCrash) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("committed"))).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("").ok());
+  ASSERT_TRUE(writer->Append(AsSpan(Payload("never committed"))).ok());
+  env_->fs().Crash();
+  ASSERT_TRUE(env_->fs().Recover().ok());
+
+  LogReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll("log", {}, &stats);
+  EXPECT_EQ(payloads, (std::vector<std::string>{"committed"}));
+}
+
+TEST_F(LogIoTest, TornCommitDetectedAsPartialTail) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("safe"))).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("").ok());
+
+  // Tear the page write of the second commit.
+  ASSERT_TRUE(writer->Append(AsSpan(Payload("torn entry"))).ok());
+  CrashPlan plan(env_->disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+  env_->disk().SetFaultInjector(plan.AsInjector());
+  EXPECT_FALSE(writer->Commit().ok());
+  EXPECT_TRUE(plan.fired());
+
+  env_->disk().SetFaultInjector(nullptr);
+  ASSERT_TRUE(env_->fs().Recover().ok());
+  LogReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll("log", {}, &stats);
+  EXPECT_EQ(payloads, (std::vector<std::string>{"safe"}));
+}
+
+TEST_F(LogIoTest, LargeEntrySpanningManyPages) {
+  auto writer = NewWriter("log");
+  std::string big(5000, 'B');
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload(big))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("after"))).ok());
+  std::vector<std::string> payloads = ReplayAll("log");
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0].size(), 5000u);
+  EXPECT_EQ(payloads[1], "after");
+}
+
+TEST_F(LogIoTest, DamagedMiddleEntrySkippedInHardErrorMode) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("first"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("second"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("third"))).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("").ok());
+
+  // Decay the page holding the second entry (entries are page-aligned: entry i starts
+  // at page i).
+  ASSERT_TRUE(env_->fs().InjectBadFilePage("log", 1).ok());
+
+  LogReplayOptions options;
+  options.skip_damaged_entries = true;
+  LogReplayStats stats;
+  std::vector<std::string> payloads = ReplayAll("log", options, &stats);
+  EXPECT_EQ(payloads, (std::vector<std::string>{"first", "third"}));
+  EXPECT_EQ(stats.entries_skipped, 1u);
+  EXPECT_EQ(stats.unreadable_pages, 1u);
+}
+
+TEST_F(LogIoTest, DamagedMiddleEntryFailsStrictReplay) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("first"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("second"))).ok());
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("third"))).ok());
+  ASSERT_TRUE(env_->fs().InjectBadFilePage("log", 1).ok());
+
+  auto result = ReplayLogFile(env_->fs(), "log", {}, [](ByteSpan) { return OkStatus(); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(LogIoTest, ApplyErrorAbortsReplay) {
+  auto writer = NewWriter("log");
+  ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload("x"))).ok());
+  auto result = ReplayLogFile(env_->fs(), "log", {},
+                              [](ByteSpan) { return InternalError("apply failed"); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().Is(ErrorCode::kInternal));
+}
+
+TEST_F(LogIoTest, EmptyLogReplaysCleanly) {
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "log", ByteSpan{}).ok());
+  LogReplayStats stats;
+  EXPECT_TRUE(ReplayAll("log", {}, &stats).empty());
+  EXPECT_EQ(stats.entries_replayed, 0u);
+}
+
+TEST_F(LogIoTest, AuditTrailListsAllEntries) {
+  auto writer = NewWriter("log");
+  for (std::string_view text : {"alpha", "beta", "gamma"}) {
+    ASSERT_TRUE(writer->AppendAndCommit(AsSpan(Payload(text))).ok());
+  }
+  auto trail = ReadAuditTrail(env_->fs(), "log");
+  ASSERT_TRUE(trail.ok());
+  ASSERT_EQ(trail->size(), 3u);
+  EXPECT_EQ((*trail)[0].index, 0u);
+  EXPECT_EQ(AsStringView(AsSpan((*trail)[2].record)), "gamma");
+}
+
+class ManyEntriesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ManyEntriesTest, ReplayCountMatchesWrites) {
+  SimEnvOptions options;
+  options.microvax_cost_model = false;
+  SimEnv env(options);
+  auto file = *env.fs().Open("log", OpenMode::kCreate);
+  LogWriter writer(std::move(file), 0);
+  int count = GetParam();
+  for (int i = 0; i < count; ++i) {
+    std::string payload = "entry-" + std::to_string(i);
+    ASSERT_TRUE(writer.AppendAndCommit(AsSpan(Payload(payload))).ok());
+  }
+  int replayed = 0;
+  auto stats = ReplayLogFile(env.fs(), "log", {}, [&replayed](ByteSpan) {
+    ++replayed;
+    return OkStatus();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(replayed, count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ManyEntriesTest, ::testing::Values(0, 1, 2, 10, 100, 500));
+
+}  // namespace
+}  // namespace sdb

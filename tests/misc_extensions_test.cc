@@ -1,0 +1,345 @@
+// Tests for the later extensions: TryAcquireUpdate, PeekCurrent, pickle tail fields,
+// heap-graph fuzzing, SimFs under concurrency, and the dirsvc random crash sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/core/sue_lock.h"
+#include "src/core/version_store.h"
+#include "src/dirsvc/directory_service.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+#include "src/rpc/client.h"
+#include "src/storage/sim_env.h"
+#include "src/typedheap/heap_pickle.h"
+#include "tests/test_app.h"
+
+namespace sdb {
+namespace {
+
+using ::sdb::testing::TestApp;
+
+// --- SueLock::TryAcquireUpdate ---
+
+TEST(TryAcquireTest, SucceedsWhenFreeFailsWhenHeld) {
+  SueLock lock;
+  ASSERT_TRUE(lock.TryAcquireUpdate());
+  EXPECT_FALSE(lock.TryAcquireUpdate());  // already held
+  lock.ReleaseUpdate();
+  ASSERT_TRUE(lock.TryAcquireUpdate());
+  lock.ReleaseUpdate();
+}
+
+TEST(TryAcquireTest, CompatibleWithSharedHolders) {
+  SueLock lock;
+  lock.AcquireShared();
+  EXPECT_TRUE(lock.TryAcquireUpdate());  // shared || update is compatible
+  lock.ReleaseUpdate();
+  lock.ReleaseShared();
+}
+
+// --- VersionStore::PeekCurrent ---
+
+class PeekCurrentTest : public ::testing::Test {
+ protected:
+  PeekCurrentTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(PeekCurrentTest, ResolvesWithoutCleanup) {
+  TestApp app;
+  DatabaseOptions options;
+  options.vfs = &env_->fs();
+  options.dir = "db";
+  { auto db = *Database::Open(app, options); }
+  // Plant stale artifacts that Recover() would delete.
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/checkpoint7", ByteSpan{}).ok());
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/stale.tmp", ByteSpan{}).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("db").ok());
+
+  VersionStore store(env_->fs(), "db");
+  VersionState state = *store.PeekCurrent();
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_TRUE(state.removed_files.empty());
+  EXPECT_TRUE(*env_->fs().Exists("db/checkpoint7"));
+  EXPECT_TRUE(*env_->fs().Exists("db/stale.tmp"));
+
+  // Recover() then cleans.
+  VersionState recovered = *store.Recover();
+  EXPECT_EQ(recovered.version, 1u);
+  EXPECT_FALSE(*env_->fs().Exists("db/checkpoint7"));
+  EXPECT_FALSE(*env_->fs().Exists("db/stale.tmp"));
+}
+
+TEST_F(PeekCurrentTest, PrefersCommittedNewversion) {
+  VersionStore store(env_->fs(), "db");
+  ASSERT_TRUE(env_->fs().CreateDir("db").ok());
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/checkpoint2", AsSpan(std::string_view("c"))).ok());
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/logfile2", ByteSpan{}).ok());
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/version", AsSpan(std::string_view("1"))).ok());
+  ASSERT_TRUE(WriteWholeFile(env_->fs(), "db/newversion", AsSpan(std::string_view("2"))).ok());
+  ASSERT_TRUE(env_->fs().SyncDir("db").ok());
+  VersionState state = *store.PeekCurrent();
+  EXPECT_EQ(state.version, 2u);
+  EXPECT_TRUE(state.finished_interrupted_switch);  // flags it; does not act on it
+  EXPECT_TRUE(*env_->fs().Exists("db/newversion"));
+}
+
+// --- pickle tail fields (schema evolution) ---
+
+struct RecordV1 {
+  std::string name;
+  std::uint32_t value = 0;
+  SDB_PICKLE_FIELDS(RecordV1, name, value)
+};
+
+struct RecordV2 {
+  std::string name;
+  std::uint32_t value = 0;
+  std::string annotation = "default-note";  // added in v2
+
+  static constexpr std::string_view kPickleTypeName = "RecordV1";  // same wire type
+  void PickleTo(PickleWriter& w) const { internal::WriteAll(w, name, value, annotation); }
+  Status PickleFieldsFrom(PickleReader& r) {
+    SDB_RETURN_IF_ERROR(internal::ReadAll(r, name, value));
+    SDB_RETURN_IF_ERROR(r.ReadTailField(annotation).status());
+    return OkStatus();
+  }
+};
+
+TEST(PickleTailFieldTest, NewReaderAcceptsOldPickle) {
+  RecordV1 old_record{"legacy", 42};
+  Bytes old_bytes = PickleWrite(old_record);
+  Result<RecordV2> upgraded = PickleRead<RecordV2>(AsSpan(old_bytes));
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status();
+  EXPECT_EQ(upgraded->name, "legacy");
+  EXPECT_EQ(upgraded->value, 42u);
+  EXPECT_EQ(upgraded->annotation, "default-note");  // absent in v1: default retained
+}
+
+TEST(PickleTailFieldTest, NewPickleRoundTripsNewField) {
+  RecordV2 record{"modern", 7, "annotated"};
+  Bytes bytes = PickleWrite(record);
+  Result<RecordV2> back = PickleRead<RecordV2>(AsSpan(bytes));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->annotation, "annotated");
+}
+
+// --- heap-graph decode fuzzing ---
+
+TEST(HeapGraphFuzzTest, TruncationsAndJunkNeverCrash) {
+  th::TypeRegistry registry;
+  const th::TypeDesc* type = registry
+                                 .Register("fz.node", {{"name", th::FieldKind::kString},
+                                                       {"kids", th::FieldKind::kStringRefMap}})
+                                 .value();
+  th::Heap heap;
+  th::Object* root = heap.Allocate(type);
+  for (int i = 0; i < 5; ++i) {
+    th::Object* child = heap.Allocate(type);
+    ASSERT_TRUE(child->SetString(0, "c" + std::to_string(i)).ok());
+    ASSERT_TRUE(root->MapSet(1, "k" + std::to_string(i), child).ok());
+  }
+  Bytes data = *th::PickleHeapGraph(root);
+
+  // Every truncation fails cleanly.
+  for (std::size_t cut = 0; cut < data.size(); cut += 3) {
+    th::Heap scratch;
+    EXPECT_FALSE(
+        th::UnpickleHeapGraph(scratch, registry, ByteSpan(data.data(), cut)).ok());
+  }
+  // Random junk fails cleanly.
+  Rng rng(606);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes junk(rng.NextBelow(150));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    th::Heap scratch;
+    EXPECT_FALSE(th::UnpickleHeapGraph(scratch, registry, AsSpan(junk)).ok());
+  }
+}
+
+// --- heap type-usage profile ---
+
+TEST(HeapUsageTest, UsageByTypeCountsObjectsAndBytes) {
+  th::TypeRegistry registry;
+  const th::TypeDesc* small =
+      registry.Register("u.small", {{"n", th::FieldKind::kInt}}).value();
+  const th::TypeDesc* big =
+      registry.Register("u.big", {{"s", th::FieldKind::kString}}).value();
+  th::Heap heap;
+  for (int i = 0; i < 3; ++i) {
+    heap.Allocate(small);
+  }
+  th::Object* fat = heap.Allocate(big);
+  ASSERT_TRUE(fat->SetString(0, std::string(4096, 'x')).ok());
+
+  auto usage = heap.UsageByType();
+  ASSERT_EQ(usage.size(), 2u);
+  EXPECT_EQ(usage[0].type_name, "u.big");
+  EXPECT_EQ(usage[0].objects, 1u);
+  EXPECT_GT(usage[0].approximate_bytes, 4000u);
+  EXPECT_EQ(usage[1].type_name, "u.small");
+  EXPECT_EQ(usage[1].objects, 3u);
+}
+
+// --- RPC per-method metrics ---
+
+struct PingRequest {
+  std::uint32_t n = 0;
+  SDB_PICKLE_FIELDS(PingRequest, n)
+};
+struct PingResponse {
+  std::uint32_t n = 0;
+  SDB_PICKLE_FIELDS(PingResponse, n)
+};
+
+TEST(RpcMetricsTest, PerMethodCallsErrorsAndTime) {
+  SimClock clock;
+  rpc::RpcServer server(&clock);
+  rpc::RegisterMethod<PingRequest, PingResponse>(
+      server, "Svc", "Ping", [&clock](const PingRequest& request) -> Result<PingResponse> {
+        clock.Charge(250);  // simulated handler work
+        if (request.n == 0) {
+          return InvalidArgumentError("zero");
+        }
+        return PingResponse{request.n};
+      });
+  rpc::RegisterMethod<PingRequest, PingResponse>(
+      server, "Svc", "Other",
+      [](const PingRequest& request) -> Result<PingResponse> { return PingResponse{request.n}; });
+
+  rpc::LoopbackChannel channel(server, rpc::LoopbackOptions{&clock, 0});
+  for (std::uint32_t n : {1u, 2u, 0u}) {
+    (void)rpc::CallMethod<PingRequest, PingResponse>(channel, "Svc", "Ping", PingRequest{n});
+  }
+  ASSERT_TRUE(
+      (rpc::CallMethod<PingRequest, PingResponse>(channel, "Svc", "Other", PingRequest{5}))
+          .ok());
+
+  auto metrics = server.metrics();
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].method, "Other");
+  EXPECT_EQ(metrics[0].calls, 1u);
+  EXPECT_EQ(metrics[0].errors, 0u);
+  EXPECT_EQ(metrics[1].method, "Ping");
+  EXPECT_EQ(metrics[1].calls, 3u);
+  EXPECT_EQ(metrics[1].errors, 1u);
+  EXPECT_EQ(metrics[1].handler_micros, 750);
+}
+
+// --- SimFs under concurrent use ---
+
+TEST(SimFsConcurrencyTest, ParallelFilesStayIndependent) {
+  SimEnvOptions options;
+  options.microvax_cost_model = false;
+  SimEnv env(options);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&env, &failures, t] {
+      std::string path = "file" + std::to_string(t);
+      auto file_or = env.fs().Open(path, OpenMode::kCreate);
+      if (!file_or.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      auto file = std::move(*file_or);
+      std::string pattern(37, static_cast<char>('A' + t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (!file->Append(AsSpan(pattern)).ok() ||
+            (i % 20 == 19 && !file->Sync().ok())) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+      if (!file->Sync().ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    Bytes data = *ReadWholeFile(env.fs(), "file" + std::to_string(t));
+    ASSERT_EQ(data.size(), 37u * kOpsPerThread);
+    for (std::uint8_t byte : data) {
+      ASSERT_EQ(byte, static_cast<std::uint8_t>('A' + t));
+    }
+  }
+}
+
+// --- dirsvc random crash sweep: renames never half-apply ---
+
+class DirSvcCrashSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirSvcCrashSweepTest, RenamesAreAllOrNothingAtRandomCrashPoints) {
+  Rng rng(GetParam());
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+
+  dirsvc::DirectoryServiceOptions options;
+  options.db.vfs = &env.fs();
+  options.db.dir = "dirsvc";
+
+  CrashPlan plan(1 + rng.NextBelow(80), FaultAction::kCrashTorn);
+  env.disk().SetFaultInjector(plan.AsInjector());
+
+  // Acknowledged renames: (from, to). After the crash, each must be fully at `to`;
+  // each unacknowledged one fully at `from` or fully at `to`.
+  std::vector<std::pair<std::string, std::string>> acked_renames;
+  std::vector<std::pair<std::string, std::string>> unacked_renames;
+  {
+    auto svc_or = dirsvc::DirectoryService::Open(options);
+    if (svc_or.ok()) {
+      auto svc = std::move(*svc_or);
+      for (int i = 0; i < 12; ++i) {
+        std::string file = "f" + std::to_string(i);
+        if (!svc->CreateFile(file, "x", static_cast<std::uint64_t>(i), 0).ok()) {
+          break;
+        }
+        if (rng.NextBool(0.5)) {
+          std::string to = "moved" + std::to_string(i);
+          Status status = svc->Rename(file, to);
+          (status.ok() ? acked_renames : unacked_renames).emplace_back(file, to);
+          if (!status.ok()) {
+            break;
+          }
+        }
+      }
+    }
+  }
+  env.disk().SetFaultInjector(nullptr);
+  env.fs().Crash();
+  ASSERT_TRUE(env.fs().Recover().ok());
+
+  auto svc = dirsvc::DirectoryService::Open(options);
+  ASSERT_TRUE(svc.ok()) << svc.status();
+  for (const auto& [from, to] : acked_renames) {
+    EXPECT_FALSE((*svc)->Exists(from)) << from;
+    EXPECT_TRUE((*svc)->Exists(to)) << to;
+  }
+  for (const auto& [from, to] : unacked_renames) {
+    bool at_from = (*svc)->Exists(from);
+    bool at_to = (*svc)->Exists(to);
+    EXPECT_NE(at_from, at_to) << from << " -> " << to << " half-applied";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirSvcCrashSweepTest,
+                         ::testing::Range<std::uint64_t>(500, 515));
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,217 @@
+// Tests for NameServer: client operations through the engine, restart recovery,
+// replication bookkeeping, journal eviction.
+#include <gtest/gtest.h>
+
+#include "src/nameserver/name_server.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb::ns {
+namespace {
+
+class NameServerTest : public ::testing::Test {
+ protected:
+  NameServerTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  NameServerOptions Options(std::string dir = "ns", std::string replica = "r1") {
+    NameServerOptions options;
+    options.db.vfs = &env_->fs();
+    options.db.dir = std::move(dir);
+    options.db.clock = &env_->clock();
+    options.replica_id = std::move(replica);
+    return options;
+  }
+
+  void CrashAndRecoverFs() {
+    env_->fs().Crash();
+    ASSERT_TRUE(env_->fs().Recover().ok());
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(NameServerTest, SetLookupList) {
+  auto server = *NameServer::Open(Options());
+  ASSERT_TRUE(server->Set("host/alpha", "10.0.0.1").ok());
+  ASSERT_TRUE(server->Set("host/beta", "10.0.0.2").ok());
+  EXPECT_EQ(*server->Lookup("host/alpha"), "10.0.0.1");
+  EXPECT_EQ(*server->List("host"), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(NameServerTest, RemoveRequiresExistence) {
+  auto server = *NameServer::Open(Options());
+  EXPECT_TRUE(server->Remove("ghost").Is(ErrorCode::kFailedPrecondition));
+  ASSERT_TRUE(server->Set("real", "v").ok());
+  ASSERT_TRUE(server->Remove("real").ok());
+  EXPECT_TRUE(server->Lookup("real").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(NameServerTest, EmptyPathUpdateRejected) {
+  auto server = *NameServer::Open(Options());
+  EXPECT_FALSE(server->Set("", "v").ok());
+  EXPECT_FALSE(server->Set("a//b", "v").ok());
+}
+
+TEST_F(NameServerTest, StateSurvivesRestartViaLogReplay) {
+  {
+    auto server = *NameServer::Open(Options());
+    ASSERT_TRUE(server->Set("a/b", "1").ok());
+    ASSERT_TRUE(server->Set("c", "2").ok());
+    ASSERT_TRUE(server->Remove("a/b").ok());
+  }
+  CrashAndRecoverFs();
+  auto server = *NameServer::Open(Options());
+  EXPECT_TRUE(server->Lookup("a/b").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(*server->Lookup("c"), "2");
+  EXPECT_EQ(server->database().stats().restart.entries_replayed, 3u);
+}
+
+TEST_F(NameServerTest, StateSurvivesRestartViaCheckpoint) {
+  {
+    auto server = *NameServer::Open(Options());
+    ASSERT_TRUE(server->Set("x", "1").ok());
+    ASSERT_TRUE(server->Checkpoint().ok());
+    ASSERT_TRUE(server->Set("y", "2").ok());
+  }
+  CrashAndRecoverFs();
+  auto server = *NameServer::Open(Options());
+  EXPECT_EQ(*server->Lookup("x"), "1");
+  EXPECT_EQ(*server->Lookup("y"), "2");
+  EXPECT_EQ(server->database().stats().restart.entries_replayed, 1u);
+}
+
+TEST_F(NameServerTest, ReplicationStateSurvivesRestart) {
+  {
+    auto server = *NameServer::Open(Options());
+    ASSERT_TRUE(server->Set("k", "v").ok());
+    ASSERT_TRUE(server->Set("k", "v2").ok());
+    VersionVector vv = server->version_vector();
+    EXPECT_EQ(vv["r1"], 2u);
+  }
+  CrashAndRecoverFs();
+  auto server = *NameServer::Open(Options());
+  VersionVector vv = server->version_vector();
+  EXPECT_EQ(vv["r1"], 2u);
+  EXPECT_EQ(server->journal_size(), 2u);
+  // New updates continue the sequence, not restart it.
+  ASSERT_TRUE(server->Set("k", "v3").ok());
+  EXPECT_EQ(server->version_vector()["r1"], 3u);
+}
+
+TEST_F(NameServerTest, ApplyRemoteUpdateIsIdempotent) {
+  auto server = *NameServer::Open(Options("ns", "r1"));
+  NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(UpdateKind::kSet);
+  update.path = "remote/key";
+  update.value = "remote-value";
+  update.lamport = 10;
+  update.origin = "r2";
+  update.sequence = 1;
+
+  ASSERT_TRUE(server->ApplyRemoteUpdate(update).ok());
+  EXPECT_EQ(*server->Lookup("remote/key"), "remote-value");
+  // Second delivery: a no-op, not an error, and no extra log entry.
+  std::uint64_t log_before = server->database().log_bytes();
+  ASSERT_TRUE(server->ApplyRemoteUpdate(update).ok());
+  EXPECT_EQ(server->database().log_bytes(), log_before);
+}
+
+TEST_F(NameServerTest, ApplyRemoteUpdateDetectsGaps) {
+  auto server = *NameServer::Open(Options("ns", "r1"));
+  NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(UpdateKind::kSet);
+  update.path = "k";
+  update.value = "v";
+  update.lamport = 5;
+  update.origin = "r2";
+  update.sequence = 3;  // never saw 1, 2
+  EXPECT_TRUE(server->ApplyRemoteUpdate(update).Is(ErrorCode::kFailedPrecondition));
+}
+
+TEST_F(NameServerTest, RemoteUpdatesAdvanceLamport) {
+  auto server = *NameServer::Open(Options("ns", "r1"));
+  NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(UpdateKind::kSet);
+  update.path = "k";
+  update.value = "remote";
+  update.lamport = 100;
+  update.origin = "r2";
+  update.sequence = 1;
+  ASSERT_TRUE(server->ApplyRemoteUpdate(update).ok());
+  // A local update after seeing lamport 100 must stamp higher, so it wins LWW.
+  ASSERT_TRUE(server->Set("k", "local").ok());
+  EXPECT_EQ(*server->Lookup("k"), "local");
+}
+
+TEST_F(NameServerTest, UpdatesSinceFiltersByVersionVector) {
+  auto server = *NameServer::Open(Options("ns", "r1"));
+  ASSERT_TRUE(server->Set("a", "1").ok());
+  ASSERT_TRUE(server->Set("b", "2").ok());
+  ASSERT_TRUE(server->Set("c", "3").ok());
+
+  VersionVector peer_has;  // nothing
+  auto all = *server->UpdatesSince(peer_has);
+  EXPECT_EQ(all.size(), 3u);
+
+  peer_has["r1"] = 2;
+  auto tail = *server->UpdatesSince(peer_has);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].path, "c");
+
+  peer_has["r1"] = 3;
+  EXPECT_TRUE(server->UpdatesSince(peer_has)->empty());
+}
+
+TEST_F(NameServerTest, JournalEvictionForcesFullSync) {
+  NameServerOptions options = Options();
+  options.journal_capacity = 4;
+  auto server = *NameServer::Open(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server->Set("k" + std::to_string(i), "v").ok());
+  }
+  EXPECT_EQ(server->journal_size(), 4u);
+  VersionVector ancient;  // a peer that saw nothing
+  auto result = server->UpdatesSince(ancient);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().Is(ErrorCode::kFailedPrecondition));
+  // A nearly-caught-up peer is still serviceable.
+  VersionVector recent{{"r1", 7}};
+  EXPECT_EQ(server->UpdatesSince(recent)->size(), 3u);
+}
+
+TEST_F(NameServerTest, FullStateInstallsOnAnotherServer) {
+  auto source = *NameServer::Open(Options("ns1", "r1"));
+  ASSERT_TRUE(source->Set("shared/data", "payload").ok());
+  Bytes state = *source->FullState();
+
+  auto target = *NameServer::Open(Options("ns2", "r2"));
+  ASSERT_TRUE(target->Set("local/only", "doomed").ok());
+  ASSERT_TRUE(target->InstallFullState(AsSpan(state)).ok());
+  EXPECT_EQ(*target->Lookup("shared/data"), "payload");
+  EXPECT_TRUE(target->Lookup("local/only").status().Is(ErrorCode::kNotFound));
+  // The install is durable: restart keeps it.
+  EXPECT_GE(target->database().current_version(), 2u);
+}
+
+TEST_F(NameServerTest, PaperWorkloadSmallDatabase) {
+  // A miniature of the paper's 1 MB name-server database: many bindings, then verify a
+  // sample plus restart integrity.
+  auto server = *NameServer::Open(Options());
+  for (int i = 0; i < 500; ++i) {
+    std::string path = "org/dept" + std::to_string(i % 10) + "/user" + std::to_string(i);
+    ASSERT_TRUE(server->Set(path, "uid-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(server->Checkpoint().ok());
+  EXPECT_EQ(*server->Lookup("org/dept3/user123"), "uid-123");
+  EXPECT_EQ(server->List("org")->size(), 10u);
+
+  CrashAndRecoverFs();
+  auto reopened = *NameServer::Open(Options());
+  EXPECT_EQ(*reopened->Lookup("org/dept7/user487"), "uid-487");
+}
+
+}  // namespace
+}  // namespace sdb::ns

@@ -1,0 +1,283 @@
+// Tests for NameTree: path handling, tree operations, LWW stamps, serialization.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/nameserver/name_tree.h"
+
+namespace sdb::ns {
+namespace {
+
+VersionStamp Stamp(std::uint64_t lamport, std::string origin = "r1") {
+  return VersionStamp{lamport, std::move(origin)};
+}
+
+TEST(SplitPathTest, Basics) {
+  EXPECT_TRUE(SplitPath("")->empty());
+  EXPECT_EQ(*SplitPath("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(*SplitPath("a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitPathTest, RejectsMalformedPaths) {
+  EXPECT_FALSE(SplitPath("/a").ok());
+  EXPECT_FALSE(SplitPath("a/").ok());
+  EXPECT_FALSE(SplitPath("a//b").ok());
+  EXPECT_FALSE(SplitPath("/").ok());
+}
+
+TEST(VersionStampTest, TotalOrder) {
+  EXPECT_TRUE(Stamp(1) < Stamp(2));
+  EXPECT_TRUE(Stamp(1, "a") < Stamp(1, "b"));
+  EXPECT_FALSE(Stamp(1, "a") < Stamp(1, "a"));
+  EXPECT_FALSE(Stamp(2) < Stamp(1));
+}
+
+class NameTreeTest : public ::testing::Test {
+ protected:
+  NameTree tree_;
+};
+
+TEST_F(NameTreeTest, SetAndLookup) {
+  ASSERT_TRUE(*tree_.Set("host/alpha", "10.0.0.1", Stamp(1)));
+  EXPECT_EQ(*tree_.Lookup("host/alpha"), "10.0.0.1");
+}
+
+TEST_F(NameTreeTest, LookupMissingIsNotFound) {
+  EXPECT_TRUE(tree_.Lookup("nope").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(NameTreeTest, IntermediateNodesHaveNoValue) {
+  ASSERT_TRUE(*tree_.Set("a/b/c", "v", Stamp(1)));
+  EXPECT_TRUE(tree_.Exists("a/b"));
+  EXPECT_TRUE(tree_.Lookup("a/b").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(NameTreeTest, ListChildrenSorted) {
+  ASSERT_TRUE(*tree_.Set("dir/zeta", "1", Stamp(1)));
+  ASSERT_TRUE(*tree_.Set("dir/alpha", "2", Stamp(2)));
+  ASSERT_TRUE(*tree_.Set("dir/mid", "3", Stamp(3)));
+  EXPECT_EQ(*tree_.List("dir"), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_EQ(*tree_.List(""), (std::vector<std::string>{"dir"}));
+}
+
+TEST_F(NameTreeTest, ListMissingPathFails) {
+  EXPECT_TRUE(tree_.List("ghost").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(NameTreeTest, SetOnRootRejected) {
+  EXPECT_TRUE(tree_.Set("", "v", Stamp(1)).status().Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(NameTreeTest, OverwriteNeedsNewerStamp) {
+  ASSERT_TRUE(*tree_.Set("k", "first", Stamp(5)));
+  // Older and equal stamps are superseded.
+  EXPECT_FALSE(*tree_.Set("k", "stale", Stamp(4)));
+  EXPECT_FALSE(*tree_.Set("k", "same", Stamp(5)));
+  EXPECT_EQ(*tree_.Lookup("k"), "first");
+  EXPECT_TRUE(*tree_.Set("k", "newer", Stamp(6)));
+  EXPECT_EQ(*tree_.Lookup("k"), "newer");
+}
+
+TEST_F(NameTreeTest, OriginBreaksTies) {
+  ASSERT_TRUE(*tree_.Set("k", "from-a", Stamp(5, "a")));
+  EXPECT_TRUE(*tree_.Set("k", "from-b", Stamp(5, "b")));  // b > a at equal lamport
+  EXPECT_EQ(*tree_.Lookup("k"), "from-b");
+  EXPECT_FALSE(*tree_.Set("k", "from-a-again", Stamp(5, "a")));
+}
+
+TEST_F(NameTreeTest, RemoveDeletesWholeSubtree) {
+  ASSERT_TRUE(*tree_.Set("svc/db/primary", "p", Stamp(1)));
+  ASSERT_TRUE(*tree_.Set("svc/db/replica", "r", Stamp(2)));
+  ASSERT_TRUE(*tree_.Set("svc/web", "w", Stamp(3)));
+  ASSERT_TRUE(*tree_.Remove("svc/db", Stamp(4)));
+  EXPECT_FALSE(tree_.Exists("svc/db"));
+  EXPECT_FALSE(tree_.Exists("svc/db/primary"));
+  EXPECT_EQ(*tree_.Lookup("svc/web"), "w");
+}
+
+TEST_F(NameTreeTest, RemoveMissingLeavesTombstone) {
+  // Removing a name that does not exist locally still records the subtree tombstone
+  // (replica convergence: the Remove may precede the Sets it supersedes).
+  ASSERT_TRUE(*tree_.Remove("ghost", Stamp(5)));
+  EXPECT_FALSE(tree_.Exists("ghost"));
+  // An older Set cannot resurrect it; a newer one can.
+  EXPECT_FALSE(*tree_.Set("ghost", "old", Stamp(4)));
+  EXPECT_FALSE(tree_.Exists("ghost"));
+  EXPECT_TRUE(*tree_.Set("ghost", "new", Stamp(6)));
+  EXPECT_EQ(*tree_.Lookup("ghost"), "new");
+}
+
+TEST_F(NameTreeTest, SubtreeTombstoneBlocksOlderDescendantSets) {
+  ASSERT_TRUE(*tree_.Remove("zone", Stamp(10)));
+  EXPECT_FALSE(*tree_.Set("zone/deep/name", "stale", Stamp(9)));
+  EXPECT_FALSE(tree_.Exists("zone/deep/name"));
+  EXPECT_TRUE(*tree_.Set("zone/deep/name", "fresh", Stamp(11)));
+  EXPECT_EQ(*tree_.Lookup("zone/deep/name"), "fresh");
+}
+
+TEST_F(NameTreeTest, NewerDescendantSurvivesSubtreeRemove) {
+  ASSERT_TRUE(*tree_.Set("zone/old", "o", Stamp(1)));
+  ASSERT_TRUE(*tree_.Set("zone/new", "n", Stamp(20)));
+  ASSERT_TRUE(*tree_.Remove("zone", Stamp(10)));
+  EXPECT_FALSE(tree_.Exists("zone/old"));
+  EXPECT_EQ(*tree_.Lookup("zone/new"), "n");  // newer than the tombstone
+}
+
+TEST_F(NameTreeTest, RemoveGuardedByStamp) {
+  ASSERT_TRUE(*tree_.Set("k", "v", Stamp(10)));
+  // An older Remove records its tombstone (that is new information, so it reports a
+  // change) but the newer value survives it.
+  (void)*tree_.Remove("k", Stamp(9));
+  EXPECT_TRUE(tree_.Exists("k"));
+  EXPECT_EQ(*tree_.Lookup("k"), "v");
+  // A newer Remove takes the binding out.
+  EXPECT_TRUE(*tree_.Remove("k", Stamp(11)));
+  EXPECT_FALSE(tree_.Exists("k"));
+  // Replaying the older Remove afterwards changes nothing.
+  EXPECT_FALSE(*tree_.Remove("k", Stamp(9)));
+}
+
+TEST_F(NameTreeTest, SerializeDeserializeRoundTrip) {
+  ASSERT_TRUE(*tree_.Set("a/b", "1", Stamp(1)));
+  ASSERT_TRUE(*tree_.Set("a/c", "2", Stamp(2)));
+  ASSERT_TRUE(*tree_.Set("d", "3", Stamp(3)));
+  Bytes snapshot = *tree_.Serialize();
+
+  NameTree other;
+  ASSERT_TRUE(other.Deserialize(AsSpan(snapshot)).ok());
+  EXPECT_EQ(*other.Lookup("a/b"), "1");
+  EXPECT_EQ(*other.Lookup("a/c"), "2");
+  EXPECT_EQ(*other.Lookup("d"), "3");
+  // Stamps travel with the data: a stale write still loses after deserialize.
+  EXPECT_FALSE(*other.Set("d", "stale", Stamp(2)));
+}
+
+TEST_F(NameTreeTest, DeserializeReplacesOldState) {
+  ASSERT_TRUE(*tree_.Set("old", "x", Stamp(1)));
+  NameTree donor;
+  ASSERT_TRUE(*donor.Set("new", "y", Stamp(1)));
+  Bytes snapshot = *donor.Serialize();
+  ASSERT_TRUE(tree_.Deserialize(AsSpan(snapshot)).ok());
+  EXPECT_FALSE(tree_.Exists("old"));
+  EXPECT_EQ(*tree_.Lookup("new"), "y");
+}
+
+TEST_F(NameTreeTest, CorruptSnapshotRejected) {
+  ASSERT_TRUE(*tree_.Set("a", "1", Stamp(1)));
+  Bytes snapshot = *tree_.Serialize();
+  snapshot[snapshot.size() / 2] ^= 0xFF;
+  NameTree other;
+  EXPECT_FALSE(other.Deserialize(AsSpan(snapshot)).ok());
+}
+
+TEST_F(NameTreeTest, ResetEmptiesTree) {
+  ASSERT_TRUE(*tree_.Set("a", "1", Stamp(1)));
+  ASSERT_TRUE(tree_.Reset().ok());
+  EXPECT_FALSE(tree_.Exists("a"));
+  EXPECT_TRUE(tree_.List("")->empty());
+}
+
+TEST_F(NameTreeTest, GarbageCollectionReclaimsRemovedSubtrees) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(*tree_.Set("big/sub" + std::to_string(i), "v", Stamp(i + 1)));
+  }
+  std::size_t populated = tree_.node_count();
+  ASSERT_TRUE(*tree_.Remove("big", Stamp(1000)));
+  tree_.CollectGarbage();
+  EXPECT_LT(tree_.node_count(), populated / 2);
+}
+
+TEST_F(NameTreeTest, CostModelChargesExploreAndModify) {
+  SimClock clock;
+  CostModel model = CostModel::MicroVax(&clock);
+  NameTree tree(&model);
+  ASSERT_TRUE(*tree.Set("a/b/c", "v", Stamp(1)));
+  Micros after_set = clock.NowMicros();
+  EXPECT_GT(after_set, 0);
+  ASSERT_TRUE(tree.Lookup("a/b/c").ok());
+  // Three path components at ~1.6 ms each: about 5 ms, the paper's enquiry cost.
+  Micros lookup_cost = clock.NowMicros() - after_set;
+  EXPECT_NEAR(static_cast<double>(lookup_cost), 4800.0, 200.0);
+}
+
+TEST_F(NameTreeTest, ValuesWithArbitraryBytes) {
+  std::string binary("\x00\x01\xFF\n\t", 5);
+  ASSERT_TRUE(*tree_.Set("bin", binary, Stamp(1)));
+  EXPECT_EQ(*tree_.Lookup("bin"), binary);
+  Bytes snapshot = *tree_.Serialize();
+  NameTree other;
+  ASSERT_TRUE(other.Deserialize(AsSpan(snapshot)).ok());
+  EXPECT_EQ(*other.Lookup("bin"), binary);
+}
+
+TEST_F(NameTreeTest, RandomOpsKeepLiveCountsAndHeapConsistent) {
+  // Invariant check under random Set/Remove with monotonically increasing stamps:
+  //   - live_bindings() always equals the number of bindings Export("") yields;
+  //   - List(dir) shows exactly the children through which a live binding is reachable;
+  //   - the heap always validates (no dangling references after pruning + GC).
+  Rng rng(8086);
+  std::uint64_t stamp = 0;
+  for (int op = 0; op < 800; ++op) {
+    std::string path = "s" + std::to_string(rng.NextBelow(4));
+    int depth = static_cast<int>(rng.NextBelow(3));
+    for (int d = 0; d < depth; ++d) {
+      path += "/s" + std::to_string(rng.NextBelow(4));
+    }
+    if (rng.NextBool(0.7)) {
+      ASSERT_TRUE(tree_.Set(path, rng.NextString(8), Stamp(++stamp)).ok());
+    } else {
+      ASSERT_TRUE(tree_.Remove(path, Stamp(++stamp)).ok());
+    }
+    if (op % 50 == 0) {
+      auto all = *tree_.Export("");
+      EXPECT_EQ(tree_.live_bindings(), all.size());
+      ASSERT_TRUE(tree_.heap().Validate().ok());
+    }
+  }
+  // Final full cross-check: every exported binding looks up; every listed child leads
+  // to at least one binding.
+  auto all = *tree_.Export("");
+  EXPECT_EQ(tree_.live_bindings(), all.size());
+  for (const auto& [path, value] : all) {
+    EXPECT_EQ(*tree_.Lookup(path), value);
+  }
+  std::vector<std::string> roots = *tree_.List("");
+  for (const std::string& label : roots) {
+    EXPECT_FALSE(tree_.Export(label)->empty()) << label;
+  }
+  tree_.CollectGarbage();
+  ASSERT_TRUE(tree_.heap().Validate().ok());
+  EXPECT_EQ(tree_.live_bindings(), tree_.Export("")->size());
+}
+
+TEST_F(NameTreeTest, SerializeRoundTripPreservesTombstones) {
+  ASSERT_TRUE(*tree_.Set("keep", "k", Stamp(5)));
+  ASSERT_TRUE(*tree_.Remove("zone", Stamp(10)));
+  Bytes snapshot = *tree_.Serialize();
+  NameTree other;
+  ASSERT_TRUE(other.Deserialize(AsSpan(snapshot)).ok());
+  // The tombstone crossed the checkpoint: an older Set still loses.
+  EXPECT_FALSE(*other.Set("zone/x", "stale", Stamp(9)));
+  EXPECT_TRUE(*other.Set("zone/x", "fresh", Stamp(11)));
+  EXPECT_EQ(other.live_bindings(), 2u);
+}
+
+class DeepTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepTreeTest, DeepPathsRoundTrip) {
+  NameTree tree;
+  std::string path = "n0";
+  for (int i = 1; i < GetParam(); ++i) {
+    path += "/n" + std::to_string(i);
+  }
+  ASSERT_TRUE(*tree.Set(path, "deep", VersionStamp{1, "r"}));
+  EXPECT_EQ(*tree.Lookup(path), "deep");
+  Bytes snapshot = *tree.Serialize();
+  NameTree other;
+  ASSERT_TRUE(other.Deserialize(AsSpan(snapshot)).ok());
+  EXPECT_EQ(*other.Lookup(path), "deep");
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DeepTreeTest, ::testing::Values(1, 2, 16, 128, 1024));
+
+}  // namespace
+}  // namespace sdb::ns

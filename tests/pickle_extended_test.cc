@@ -1,0 +1,141 @@
+// Tests for the extended pickle traits (tuple, variant, array, deque) and fuzzing of
+// the decode paths: arbitrary bytes must produce errors, never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+#include <variant>
+
+#include "src/common/rng.h"
+#include "src/core/log_format.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& value) {
+  Bytes data = PickleWrite(value);
+  Result<T> back = PickleRead<T>(AsSpan(data));
+  EXPECT_TRUE(back.ok()) << back.status();
+  return back.ok() ? *back : T{};
+}
+
+TEST(PickleExtendedTest, Tuple) {
+  std::tuple<int, std::string, double> value{7, "seven", 7.5};
+  EXPECT_EQ(RoundTrip(value), value);
+  std::tuple<> empty;
+  EXPECT_EQ(RoundTrip(empty), empty);
+}
+
+TEST(PickleExtendedTest, Array) {
+  std::array<std::uint32_t, 4> value{1, 2, 3, 4};
+  EXPECT_EQ(RoundTrip(value), value);
+  std::array<std::string, 2> strings{"a", "b"};
+  EXPECT_EQ(RoundTrip(strings), strings);
+}
+
+TEST(PickleExtendedTest, Deque) {
+  std::deque<std::string> value{"front", "middle", "back"};
+  EXPECT_EQ(RoundTrip(value), value);
+  EXPECT_EQ(RoundTrip(std::deque<int>{}), std::deque<int>{});
+}
+
+TEST(PickleExtendedTest, VariantAlternatives) {
+  using V = std::variant<std::int32_t, std::string, std::vector<double>>;
+  V as_int = 42;
+  V as_string = std::string("hello");
+  V as_vector = std::vector<double>{1.0, 2.0};
+  EXPECT_EQ(RoundTrip(as_int), as_int);
+  EXPECT_EQ(RoundTrip(as_string), as_string);
+  EXPECT_EQ(RoundTrip(as_vector), as_vector);
+}
+
+TEST(PickleExtendedTest, VariantBadIndexRejected) {
+  using V = std::variant<int, std::string>;
+  PickleWriter writer;
+  writer.bytes().PutU8(9);  // only indices 0 and 1 exist
+  Bytes raw = std::move(writer).TakeRaw();
+  PickleReader reader = PickleReader::Raw(AsSpan(raw));
+  V out;
+  EXPECT_TRUE(reader.Read(out).Is(ErrorCode::kCorruption));
+}
+
+TEST(PickleExtendedTest, NestedComposite) {
+  std::map<std::string, std::variant<int, std::vector<std::string>>> value{
+      {"number", 5}, {"list", std::vector<std::string>{"x", "y"}}};
+  EXPECT_EQ(RoundTrip(value), value);
+}
+
+// --- fuzzing: random bytes into every decode surface ---
+
+TEST(PickleFuzzTest, RandomBytesNeverCrashEnvelopeDecode) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.NextBelow(200));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    Result<std::vector<std::string>> result =
+        PickleRead<std::vector<std::string>>(AsSpan(junk));
+    EXPECT_FALSE(result.ok());  // junk must never validate (CRC makes this ~certain)
+  }
+}
+
+TEST(PickleFuzzTest, MutatedValidEnvelopesNeverCrash) {
+  std::map<std::string, std::vector<std::uint64_t>> value{{"k", {1, 2, 3}},
+                                                          {"longer-key", {99}}};
+  Bytes data = PickleWrite(value);
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = data;
+    int flips = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.NextBelow(mutated.size())] ^= static_cast<std::uint8_t>(rng.NextU64() | 1);
+    }
+    // Any outcome but a crash is fine; a CRC pass with equal value is also possible if
+    // the flips cancelled (astronomically unlikely but legal).
+    (void)PickleRead<decltype(value)>(AsSpan(mutated));
+  }
+}
+
+TEST(PickleFuzzTest, RawPayloadFuzzAgainstDeepTypes) {
+  using Deep = std::vector<std::map<std::string, std::optional<std::vector<std::string>>>>;
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Bytes junk(rng.NextBelow(100));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    PickleReader reader = PickleReader::Raw(AsSpan(junk));
+    Deep out;
+    (void)reader.Read(out);  // must terminate with a Status, not crash or hang
+  }
+}
+
+TEST(LogFuzzTest, RandomBytesNeverCrashLogDecode) {
+  Rng rng(0xD15C);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(rng.NextBelow(300));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    std::size_t offset = 0;
+    int steps = 0;
+    while (offset < junk.size() && steps++ < 1000) {
+      LogDecodeResult decoded = DecodeLogEntry(AsSpan(junk), offset);
+      if (decoded.outcome == LogDecodeOutcome::kEntry) {
+        ASSERT_GT(decoded.next_offset, offset);  // forward progress
+        offset = decoded.next_offset;
+        continue;
+      }
+      std::size_t resync = ResyncLog(AsSpan(junk), offset);
+      ASSERT_GT(resync, offset);
+      offset = resync;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,242 @@
+// Unit tests for the pickle package: scalar/container traits, struct macro, pointer
+// swizzling, envelope integrity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& value) {
+  Bytes data = PickleWrite(value);
+  Result<T> back = PickleRead<T>(AsSpan(data));
+  EXPECT_TRUE(back.ok()) << back.status();
+  return back.ok() ? *back : T{};
+}
+
+TEST(PickleTest, Scalars) {
+  EXPECT_EQ(RoundTrip<std::int32_t>(-12345), -12345);
+  EXPECT_EQ(RoundTrip<std::uint64_t>(0xDEADBEEFCAFEull), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(RoundTrip<bool>(true), true);
+  EXPECT_EQ(RoundTrip<bool>(false), false);
+  EXPECT_EQ(RoundTrip<double>(2.718281828), 2.718281828);
+  EXPECT_EQ(RoundTrip<std::string>("the quick brown fox"), "the quick brown fox");
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+}
+
+enum class Color : std::uint8_t { kRed = 1, kBlue = 7 };
+
+TEST(PickleTest, Enums) { EXPECT_EQ(RoundTrip(Color::kBlue), Color::kBlue); }
+
+TEST(PickleTest, StringWithEmbeddedNulAndNewline) {
+  std::string tricky("a\0b\nc", 5);
+  EXPECT_EQ(RoundTrip(tricky), tricky);
+}
+
+TEST(PickleTest, Containers) {
+  std::vector<std::int64_t> v{1, -2, 3};
+  EXPECT_EQ(RoundTrip(v), v);
+
+  std::map<std::string, std::uint32_t> m{{"a", 1}, {"b", 2}};
+  EXPECT_EQ(RoundTrip(m), m);
+
+  std::unordered_map<std::string, std::string> um{{"k", "v"}, {"x", "y"}};
+  EXPECT_EQ(RoundTrip(um), um);
+
+  std::set<std::string> s{"p", "q"};
+  EXPECT_EQ(RoundTrip(s), s);
+
+  std::vector<std::vector<std::string>> nested{{"a"}, {}, {"b", "c"}};
+  EXPECT_EQ(RoundTrip(nested), nested);
+}
+
+TEST(PickleTest, EmptyContainers) {
+  EXPECT_EQ(RoundTrip(std::vector<int>{}), std::vector<int>{});
+  EXPECT_EQ(RoundTrip(std::map<std::string, int>{}), (std::map<std::string, int>{}));
+}
+
+TEST(PickleTest, Optional) {
+  EXPECT_EQ(RoundTrip(std::optional<int>{42}), std::optional<int>{42});
+  EXPECT_EQ(RoundTrip(std::optional<int>{}), std::optional<int>{});
+}
+
+TEST(PickleTest, PairAndBytes) {
+  std::pair<std::string, std::int32_t> p{"key", -9};
+  EXPECT_EQ(RoundTrip(p), p);
+  Bytes raw{0, 1, 2, 255};
+  EXPECT_EQ(RoundTrip(raw), raw);
+}
+
+struct Inner {
+  std::int32_t a = 0;
+  std::string b;
+  SDB_PICKLE_FIELDS(Inner, a, b)
+  bool operator==(const Inner&) const = default;
+};
+
+struct Outer {
+  std::vector<Inner> inners;
+  std::optional<std::string> note;
+  std::uint64_t count = 0;
+  SDB_PICKLE_FIELDS(Outer, inners, note, count)
+  bool operator==(const Outer&) const = default;
+};
+
+TEST(PickleTest, NestedStructsViaMacro) {
+  Outer outer{{{1, "x"}, {2, "y"}}, "hello", 99};
+  EXPECT_EQ(RoundTrip(outer), outer);
+}
+
+TEST(PickleTest, TypeNameMismatchRejected) {
+  Inner inner{1, "z"};
+  Bytes data = PickleWrite(inner);
+  Result<Outer> wrong = PickleRead<Outer>(AsSpan(data));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(wrong.status().Is(ErrorCode::kCorruption));
+}
+
+TEST(PickleTest, EveryTruncationIsDetected) {
+  Outer outer{{{1, "abc"}, {2, "defg"}}, std::nullopt, 123456789};
+  Bytes data = PickleWrite(outer);
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    Bytes truncated(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
+    Result<Outer> back = PickleRead<Outer>(AsSpan(truncated));
+    EXPECT_FALSE(back.ok()) << "truncation at " << cut << " went undetected";
+  }
+}
+
+TEST(PickleTest, EveryByteFlipIsDetected) {
+  Inner inner{77, "flip me"};
+  Bytes data = PickleWrite(inner);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes corrupted = data;
+    corrupted[i] ^= 0x40;
+    Result<Inner> back = PickleRead<Inner>(AsSpan(corrupted));
+    EXPECT_FALSE(back.ok()) << "byte flip at " << i << " went undetected";
+  }
+}
+
+TEST(PickleTest, SharedPtrNull) {
+  std::shared_ptr<Inner> null;
+  Bytes data = PickleWrite(null);
+  Result<std::shared_ptr<Inner>> back = PickleRead<std::shared_ptr<Inner>>(AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nullptr);
+}
+
+struct Node {
+  std::string label;
+  std::shared_ptr<Node> next;
+  SDB_PICKLE_FIELDS(Node, label, next)
+};
+
+TEST(PickleTest, SharedPtrChain) {
+  auto c = std::make_shared<Node>(Node{"c", nullptr});
+  auto b = std::make_shared<Node>(Node{"b", c});
+  auto a = std::make_shared<Node>(Node{"a", b});
+  Bytes data = PickleWrite(a);
+  auto back = PickleRead<std::shared_ptr<Node>>(AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->label, "a");
+  EXPECT_EQ((*back)->next->next->label, "c");
+  EXPECT_EQ((*back)->next->next->next, nullptr);
+}
+
+struct Diamond {
+  std::shared_ptr<Node> left;
+  std::shared_ptr<Node> right;
+  SDB_PICKLE_FIELDS(Diamond, left, right)
+};
+
+TEST(PickleTest, SharedStructureIsPreserved) {
+  auto shared = std::make_shared<Node>(Node{"shared", nullptr});
+  Diamond d{shared, shared};
+  Bytes data = PickleWrite(d);
+  auto back = PickleRead<Diamond>(AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  // Both arms must point at the *same* reconstructed object, not two copies.
+  EXPECT_EQ(back->left.get(), back->right.get());
+  EXPECT_EQ(back->left->label, "shared");
+}
+
+TEST(PickleTest, CyclicStructureRoundTrips) {
+  auto a = std::make_shared<Node>(Node{"a", nullptr});
+  auto b = std::make_shared<Node>(Node{"b", a});
+  a->next = b;  // a -> b -> a
+  Bytes data = PickleWrite(a);
+  auto back = PickleRead<std::shared_ptr<Node>>(AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->label, "a");
+  EXPECT_EQ((*back)->next->label, "b");
+  EXPECT_EQ((*back)->next->next.get(), back->get());  // the cycle is closed
+}
+
+TEST(PickleTest, UniquePtr) {
+  auto p = std::make_unique<Inner>(Inner{5, "u"});
+  Bytes data = PickleWrite(p);
+  auto back = PickleRead<std::unique_ptr<Inner>>(AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  ASSERT_NE(*back, nullptr);
+  EXPECT_EQ((*back)->a, 5);
+}
+
+TEST(PickleTest, CostModelCharged) {
+  SimClock clock;
+  CostModel model = CostModel::MicroVax(&clock);
+  Inner inner{1, "cost"};
+  Bytes data = PickleWrite(inner, &model);
+  Micros write_cost = clock.NowMicros();
+  EXPECT_GT(write_cost, 0);
+  ASSERT_TRUE(PickleRead<Inner>(AsSpan(data), &model).ok());
+  EXPECT_GT(clock.NowMicros(), write_cost);
+  // Write is calibrated more expensive than read (52 vs 14 us/byte).
+  EXPECT_GT(write_cost, clock.NowMicros() - write_cost);
+}
+
+TEST(PickleTest, RawPayloadHasNoEnvelope) {
+  PickleWriter writer;
+  writer.Write(std::string("raw"));
+  Bytes raw = std::move(writer).TakeRaw();
+  PickleReader reader = PickleReader::Raw(AsSpan(raw));
+  std::string back;
+  ASSERT_TRUE(reader.Read(back).ok());
+  EXPECT_EQ(back, "raw");
+}
+
+TEST(PickleTest, VectorCountSanityCheck) {
+  // A forged huge count must be rejected before allocation.
+  PickleWriter writer;
+  writer.bytes().PutVarint(1ull << 40);
+  Bytes raw = std::move(writer).TakeRaw();
+  PickleReader reader = PickleReader::Raw(AsSpan(raw));
+  std::vector<std::string> out;
+  EXPECT_TRUE(reader.Read(out).Is(ErrorCode::kCorruption));
+}
+
+TEST(PickleTest, DuplicateMapKeysRejected) {
+  PickleWriter writer;
+  writer.bytes().PutVarint(2);
+  writer.Write(std::string("same"));
+  writer.Write(std::uint32_t{1});
+  writer.Write(std::string("same"));
+  writer.Write(std::uint32_t{2});
+  Bytes raw = std::move(writer).TakeRaw();
+  PickleReader reader = PickleReader::Raw(AsSpan(raw));
+  std::map<std::string, std::uint32_t> out;
+  EXPECT_TRUE(reader.Read(out).Is(ErrorCode::kCorruption));
+}
+
+TEST(PickleTest, EmptyEnvelopeRejected) {
+  EXPECT_FALSE(PickleRead<Inner>(ByteSpan{}).ok());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,110 @@
+// Tests for the PosixFs backend against a real temporary directory, including a full
+// engine round trip on the host file system.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/database.h"
+#include "src/storage/posix_fs.h"
+#include "tests/test_app.h"
+
+namespace sdb {
+namespace {
+
+using ::sdb::testing::TestApp;
+
+class PosixFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("sdb_posix_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+    fs_ = std::make_unique<PosixFs>(root_.string());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path root_;
+  std::unique_ptr<PosixFs> fs_;
+};
+
+TEST_F(PosixFsTest, CreateWriteReadBack) {
+  ASSERT_TRUE(WriteWholeFile(*fs_, "file", AsSpan(std::string_view("hello posix"))).ok());
+  Bytes data = *ReadWholeFile(*fs_, "file");
+  EXPECT_EQ(AsStringView(AsSpan(data)), "hello posix");
+}
+
+TEST_F(PosixFsTest, OpenModesBehave) {
+  EXPECT_TRUE(fs_->Open("missing", OpenMode::kRead).status().Is(ErrorCode::kNotFound));
+  ASSERT_TRUE(WriteWholeFile(*fs_, "f", AsSpan(std::string_view("x"))).ok());
+  EXPECT_TRUE(
+      fs_->Open("f", OpenMode::kCreateExclusive).status().Is(ErrorCode::kAlreadyExists));
+  auto truncated = *fs_->Open("f", OpenMode::kTruncate);
+  EXPECT_EQ(*truncated->Size(), 0u);
+}
+
+TEST_F(PosixFsTest, AppendWriteAtTruncate) {
+  auto file = *fs_->Open("f", OpenMode::kCreate);
+  ASSERT_TRUE(file->Append(AsSpan(std::string_view("0123456789"))).ok());
+  ASSERT_TRUE(file->WriteAt(2, AsSpan(std::string_view("XX"))).ok());
+  ASSERT_TRUE(file->Truncate(6).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  Bytes data = *file->ReadAt(0, 100);
+  EXPECT_EQ(AsStringView(AsSpan(data)), "01XX45");
+}
+
+TEST_F(PosixFsTest, RenameAndDelete) {
+  ASSERT_TRUE(WriteWholeFile(*fs_, "a", AsSpan(std::string_view("data"))).ok());
+  ASSERT_TRUE(fs_->Rename("a", "b").ok());
+  EXPECT_FALSE(*fs_->Exists("a"));
+  EXPECT_TRUE(*fs_->Exists("b"));
+  ASSERT_TRUE(fs_->Delete("b").ok());
+  EXPECT_FALSE(*fs_->Exists("b"));
+  EXPECT_TRUE(fs_->Delete("b").Is(ErrorCode::kNotFound));
+}
+
+TEST_F(PosixFsTest, ListAndDirs) {
+  ASSERT_TRUE(fs_->CreateDir("sub").ok());
+  ASSERT_TRUE(WriteWholeFile(*fs_, "sub/one", ByteSpan{}).ok());
+  ASSERT_TRUE(WriteWholeFile(*fs_, "sub/two", ByteSpan{}).ok());
+  auto names = *fs_->List("sub");
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "two"}));
+  ASSERT_TRUE(fs_->SyncDir("sub").ok());
+}
+
+TEST_F(PosixFsTest, AtomicWriteFileReplaces) {
+  ASSERT_TRUE(fs_->CreateDir("d").ok());
+  ASSERT_TRUE(AtomicWriteFile(*fs_, "d", "d/target", AsSpan(std::string_view("v1"))).ok());
+  ASSERT_TRUE(AtomicWriteFile(*fs_, "d", "d/target", AsSpan(std::string_view("v2"))).ok());
+  Bytes data = *ReadWholeFile(*fs_, "d/target");
+  EXPECT_EQ(AsStringView(AsSpan(data)), "v2");
+  EXPECT_FALSE(*fs_->Exists("d/target.tmp"));
+}
+
+TEST_F(PosixFsTest, FullEngineRoundTripOnRealDisk) {
+  TestApp app;
+  DatabaseOptions options;
+  options.vfs = fs_.get();
+  options.dir = "engine";
+  {
+    auto db = *Database::Open(app, options);
+    ASSERT_TRUE(db->Update(app.PreparePut("persisted", "for real")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Update(app.PreparePut("tail", "replayed")).ok());
+  }
+  TestApp app2;
+  auto db2 = *Database::Open(app2, options);
+  EXPECT_EQ(app2.state["persisted"], "for real");
+  EXPECT_EQ(app2.state["tail"], "replayed");
+  EXPECT_EQ(db2->current_version(), 2u);
+  // The paper's file naming, on an actual Unix file system.
+  EXPECT_TRUE(std::filesystem::exists(root_ / "engine" / "checkpoint2"));
+  EXPECT_TRUE(std::filesystem::exists(root_ / "engine" / "logfile2"));
+  EXPECT_TRUE(std::filesystem::exists(root_ / "engine" / "version"));
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,221 @@
+// Tests for the replication layer: propagation, anti-entropy convergence, partitions,
+// and hard-error restore from a peer (the paper's Section 4 scenario).
+#include <gtest/gtest.h>
+
+#include "src/nameserver/replication.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb::ns {
+namespace {
+
+// A little cluster of name-server replicas wired together over loopback channels.
+class Cluster {
+ public:
+  explicit Cluster(int n) {
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(env_options);
+    for (int i = 0; i < n; ++i) {
+      NameServerOptions options;
+      options.db.vfs = &env_->fs();
+      options.db.dir = "replica" + std::to_string(i);
+      options.db.clock = &env_->clock();
+      options.replica_id = "r" + std::to_string(i);
+      servers_.push_back(*NameServer::Open(options));
+      rpc_servers_.push_back(std::make_unique<rpc::RpcServer>());
+      RegisterNameService(*rpc_servers_.back(), *servers_.back());
+    }
+    replicators_.reserve(servers_.size());
+    for (int i = 0; i < n; ++i) {
+      replicators_.push_back(std::make_unique<Replicator>(*servers_[i]));
+      for (int j = 0; j < n; ++j) {
+        if (i == j) {
+          continue;
+        }
+        channels_.push_back(std::make_unique<rpc::LoopbackChannel>(
+            *rpc_servers_[j], rpc::LoopbackOptions{&env_->clock(), 8000}));
+        channel_index_[{i, j}] = channels_.back().get();
+        replicators_[i]->AddPeer("r" + std::to_string(j), *channels_.back());
+      }
+    }
+  }
+
+  NameServer& server(int i) { return *servers_[i]; }
+  Replicator& replicator(int i) { return *replicators_[i]; }
+  rpc::LoopbackChannel& channel(int from, int to) { return *channel_index_.at({from, to}); }
+
+  void PropagateAllRounds(int rounds = 3) {
+    for (int round = 0; round < rounds; ++round) {
+      for (auto& replicator : replicators_) {
+        ASSERT_TRUE(replicator->Propagate().ok());
+      }
+    }
+  }
+
+  bool Converged(std::string_view path, std::string_view expected) {
+    for (auto& server : servers_) {
+      Result<std::string> value = server->Lookup(path);
+      if (!value.ok() || *value != expected) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<SimEnv> env_;
+  std::vector<std::unique_ptr<NameServer>> servers_;
+  std::vector<std::unique_ptr<rpc::RpcServer>> rpc_servers_;
+  std::vector<std::unique_ptr<rpc::LoopbackChannel>> channels_;
+  std::map<std::pair<int, int>, rpc::LoopbackChannel*> channel_index_;
+  std::vector<std::unique_ptr<Replicator>> replicators_;
+};
+
+TEST(ReplicationTest, PropagateSpreadsUpdates) {
+  Cluster cluster(3);
+  ASSERT_TRUE(cluster.server(0).Set("host/a", "1").ok());
+  ASSERT_TRUE(cluster.server(0).Set("host/b", "2").ok());
+  ASSERT_TRUE(cluster.replicator(0).Propagate().ok());
+  EXPECT_TRUE(cluster.Converged("host/a", "1"));
+  EXPECT_TRUE(cluster.Converged("host/b", "2"));
+  EXPECT_EQ(cluster.replicator(0).stats().updates_pushed, 4u);  // 2 updates x 2 peers
+}
+
+TEST(ReplicationTest, PropagateIsIncremental) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.server(0).Set("k", "v1").ok());
+  ASSERT_TRUE(cluster.replicator(0).Propagate().ok());
+  ASSERT_TRUE(cluster.server(0).Set("k", "v2").ok());
+  ASSERT_TRUE(cluster.replicator(0).Propagate().ok());
+  // Only the new update travels the second time.
+  EXPECT_EQ(cluster.replicator(0).stats().updates_pushed, 2u);
+  EXPECT_TRUE(cluster.Converged("k", "v2"));
+}
+
+TEST(ReplicationTest, AntiEntropyPullsMissedUpdates) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.server(1).Set("made/elsewhere", "x").ok());
+  // Replica 0 pulls.
+  ASSERT_TRUE(cluster.replicator(0).AntiEntropy().ok());
+  EXPECT_EQ(*cluster.server(0).Lookup("made/elsewhere"), "x");
+  EXPECT_EQ(cluster.replicator(0).stats().updates_pulled, 1u);
+}
+
+TEST(ReplicationTest, ConcurrentWritesConvergeByLastWriterWins) {
+  Cluster cluster(2);
+  // Both replicas write the same name while partitioned.
+  cluster.channel(0, 1).SetConnected(false);
+  cluster.channel(1, 0).SetConnected(false);
+  ASSERT_TRUE(cluster.server(0).Set("conflict", "from-r0").ok());
+  ASSERT_TRUE(cluster.server(1).Set("conflict", "from-r1").ok());
+
+  // Heal and exchange in both directions, twice.
+  cluster.channel(0, 1).SetConnected(true);
+  cluster.channel(1, 0).SetConnected(true);
+  cluster.PropagateAllRounds();
+
+  // Both replicas agree; equal lamport stamps tie-break by origin id (r1 > r0).
+  EXPECT_EQ(*cluster.server(0).Lookup("conflict"), "from-r1");
+  EXPECT_TRUE(cluster.Converged("conflict", "from-r1"));
+}
+
+TEST(ReplicationTest, PartitionedPeerSkippedThenCatchesUp) {
+  Cluster cluster(3);
+  cluster.channel(0, 2).SetConnected(false);  // r0 cannot reach r2
+  ASSERT_TRUE(cluster.server(0).Set("k", "v").ok());
+  ASSERT_TRUE(cluster.replicator(0).Propagate().ok());
+  EXPECT_EQ(*cluster.server(1).Lookup("k"), "v");
+  EXPECT_TRUE(cluster.server(2).Lookup("k").status().Is(ErrorCode::kNotFound));
+  EXPECT_GE(cluster.replicator(0).stats().peers_unreachable, 1u);
+
+  // r2 can still pull from r1 (gossip heals the partition).
+  ASSERT_TRUE(cluster.replicator(2).AntiEntropy().ok());
+  EXPECT_EQ(*cluster.server(2).Lookup("k"), "v");
+}
+
+TEST(ReplicationTest, RemovesReplicateToo) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.server(0).Set("doomed", "x").ok());
+  cluster.PropagateAllRounds();
+  ASSERT_TRUE(cluster.server(0).Remove("doomed").ok());
+  cluster.PropagateAllRounds();
+  EXPECT_TRUE(cluster.server(1).Lookup("doomed").status().Is(ErrorCode::kNotFound));
+}
+
+TEST(ReplicationTest, RestoreFromPeerAfterHardError) {
+  // The paper's hard-error story: a replica loses its disk; restore from a peer,
+  // losing only updates that never propagated.
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.server(0).Set("shared/one", "1").ok());
+  ASSERT_TRUE(cluster.server(0).Set("shared/two", "2").ok());
+  cluster.PropagateAllRounds();
+
+  // r0 takes one more update that never propagates, then suffers the hard error.
+  cluster.channel(0, 1).SetConnected(false);
+  ASSERT_TRUE(cluster.server(0).Set("unpropagated", "lost").ok());
+
+  // r0's database is destroyed; restore it from r1.
+  cluster.channel(0, 1).SetConnected(true);
+  ASSERT_TRUE(cluster.replicator(0).RestoreFromPeer("r1").ok());
+
+  EXPECT_EQ(*cluster.server(0).Lookup("shared/one"), "1");
+  EXPECT_EQ(*cluster.server(0).Lookup("shared/two"), "2");
+  // "This causes us to lose only those updates that had been applied to the damaged
+  // replica but not propagated" — the unpropagated update is gone.
+  EXPECT_TRUE(cluster.server(0).Lookup("unpropagated").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(cluster.replicator(0).stats().full_restores, 1u);
+
+  // And r0 keeps functioning as a replica afterwards.
+  ASSERT_TRUE(cluster.server(0).Set("after/restore", "ok").ok());
+  cluster.PropagateAllRounds();
+  EXPECT_TRUE(cluster.Converged("after/restore", "ok"));
+}
+
+TEST(ReplicationTest, RestoreFromUnknownPeerFails) {
+  Cluster cluster(2);
+  EXPECT_TRUE(cluster.replicator(0).RestoreFromPeer("nobody").Is(ErrorCode::kNotFound));
+}
+
+TEST(ReplicationTest, SchedulerRunsWorkOnItsIntervals) {
+  Cluster cluster(2);
+  Replicator& rep = cluster.replicator(0);
+  ReplicationScheduler::Options options;
+  options.propagate_interval = 10 * kMicrosPerSecond;
+  options.anti_entropy_interval = 100 * kMicrosPerSecond;
+  ReplicationScheduler scheduler(rep, options);
+
+  ASSERT_TRUE(cluster.server(0).Set("sched/a", "1").ok());
+  // t=10s: first propagation due.
+  ASSERT_TRUE(scheduler.Tick(10 * kMicrosPerSecond).ok());
+  EXPECT_EQ(scheduler.propagate_runs(), 1u);
+  EXPECT_EQ(*cluster.server(1).Lookup("sched/a"), "1");
+
+  // t=15s: nothing due.
+  ASSERT_TRUE(scheduler.Tick(15 * kMicrosPerSecond).ok());
+  EXPECT_EQ(scheduler.propagate_runs(), 1u);
+
+  // The peer originates an update we missed; the hourly-style sweep pulls it.
+  ASSERT_TRUE(cluster.server(1).Set("sched/b", "2").ok());
+  ASSERT_TRUE(scheduler.Tick(120 * kMicrosPerSecond).ok());
+  EXPECT_EQ(scheduler.anti_entropy_runs(), 1u);
+  EXPECT_EQ(*cluster.server(0).Lookup("sched/b"), "2");
+}
+
+TEST(ReplicationTest, ThreeReplicaGossipConvergence) {
+  Cluster cluster(3);
+  // Each replica originates distinct updates.
+  ASSERT_TRUE(cluster.server(0).Set("from/r0", "a").ok());
+  ASSERT_TRUE(cluster.server(1).Set("from/r1", "b").ok());
+  ASSERT_TRUE(cluster.server(2).Set("from/r2", "c").ok());
+  cluster.PropagateAllRounds();
+  EXPECT_TRUE(cluster.Converged("from/r0", "a"));
+  EXPECT_TRUE(cluster.Converged("from/r1", "b"));
+  EXPECT_TRUE(cluster.Converged("from/r2", "c"));
+  // Version vectors agree everywhere.
+  VersionVector vv0 = cluster.server(0).version_vector();
+  EXPECT_EQ(vv0, cluster.server(1).version_vector());
+  EXPECT_EQ(vv0, cluster.server(2).version_vector());
+}
+
+}  // namespace
+}  // namespace sdb::ns

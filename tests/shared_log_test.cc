@@ -1,0 +1,422 @@
+// Tests for SharedLogDatabase: the Section 7 single-shared-log variant with its
+// "more complicated rules for flushing the log".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/core/shared_log.h"
+#include "src/storage/sim_env.h"
+#include "tests/test_app.h"
+
+namespace sdb {
+namespace {
+
+using ::sdb::testing::TestApp;
+
+class SharedLogTest : public ::testing::Test {
+ protected:
+  SharedLogTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  SharedLogOptions Options() {
+    SharedLogOptions options;
+    options.vfs = &env_->fs();
+    options.dir = "ensemble";
+    options.clock = &env_->clock();
+    return options;
+  }
+
+  Result<std::unique_ptr<SharedLogDatabase>> OpenEnsemble(int k) {
+    apps_.clear();
+    std::vector<Application*> raw;
+    for (int i = 0; i < k; ++i) {
+      apps_.push_back(std::make_unique<TestApp>());
+      raw.push_back(apps_.back().get());
+    }
+    return SharedLogDatabase::Open(raw, Options());
+  }
+
+  void CrashAndRecoverFs() {
+    env_->fs().Crash();
+    ASSERT_TRUE(env_->fs().Recover().ok());
+  }
+
+  std::unique_ptr<SimEnv> env_;
+  std::vector<std::unique_ptr<TestApp>> apps_;
+};
+
+TEST_F(SharedLogTest, UpdatesRouteToTheirPartitions) {
+  auto db = *OpenEnsemble(3);
+  ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("a", "p0")).ok());
+  ASSERT_TRUE(db->Update(2, apps_[2]->PreparePut("c", "p2")).ok());
+  EXPECT_EQ(apps_[0]->state["a"], "p0");
+  EXPECT_TRUE(apps_[1]->state.empty());
+  EXPECT_EQ(apps_[2]->state["c"], "p2");
+  EXPECT_TRUE(db->Update(9, apps_[0]->PreparePut("x", "y")).Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(SharedLogTest, RestartReplaysSharedLogPerPartition) {
+  {
+    auto db = *OpenEnsemble(2);
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("zero", "0")).ok());
+    ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("one", "1")).ok());
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("zero", "0b")).ok());
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(2);
+  EXPECT_EQ(apps_[0]->state["zero"], "0b");
+  EXPECT_EQ(apps_[1]->state["one"], "1");
+  EXPECT_EQ(db->stats().replayed_entries, 3u);
+}
+
+TEST_F(SharedLogTest, CheckpointSkipsCoveredEntriesAtRestart) {
+  {
+    auto db = *OpenEnsemble(2);
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("early", "x")).ok());
+    ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("other", "y")).ok());
+    ASSERT_TRUE(db->Checkpoint(0).ok());  // partition 0 is now current to the log end
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("late", "z")).ok());
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(2);
+  EXPECT_EQ(apps_[0]->state.size(), 2u);
+  EXPECT_EQ(apps_[1]->state.size(), 1u);
+  SharedLogStats stats = db->stats();
+  // Partition 0 replays only "late"; its "early" entry is covered by the checkpoint.
+  // Partition 1 (never checkpointed) replays its one entry.
+  EXPECT_EQ(stats.replayed_entries, 2u);
+  EXPECT_EQ(stats.replay_skipped_entries, 1u);
+}
+
+TEST_F(SharedLogTest, RotationRequiresEveryPartitionCurrent) {
+  auto db = *OpenEnsemble(2);
+  ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("a", "1")).ok());
+  ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("b", "2")).ok());
+
+  // Only partition 0 checkpoints: the flushing rule forbids rotation.
+  ASSERT_TRUE(db->Checkpoint(0).ok());
+  EXPECT_FALSE(*db->MaybeRotateLog());
+  EXPECT_EQ(db->log_generation(), 1u);
+  EXPECT_GT(db->log_bytes(), 0u);
+
+  // Partition 1 catches up: rotation allowed, log reset.
+  ASSERT_TRUE(db->Checkpoint(1).ok());
+  EXPECT_TRUE(*db->MaybeRotateLog());
+  EXPECT_EQ(db->log_generation(), 2u);
+  EXPECT_EQ(db->log_bytes(), 0u);
+  EXPECT_FALSE(*env_->fs().Exists("ensemble/logfile1"));
+}
+
+TEST_F(SharedLogTest, ReclaimableBytesTrackSlowestPartition) {
+  auto db = *OpenEnsemble(2);
+  ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("a", "1")).ok());
+  ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("b", "2")).ok());
+  EXPECT_EQ(db->reclaimable_log_bytes(), 0u);  // nobody checkpointed
+  ASSERT_TRUE(db->Checkpoint(1).ok());
+  // Partition 0's replay-from is still 0: nothing reclaimable yet.
+  EXPECT_EQ(db->reclaimable_log_bytes(), 0u);
+  ASSERT_TRUE(db->Checkpoint(0).ok());
+  EXPECT_EQ(db->reclaimable_log_bytes(), db->log_bytes());
+}
+
+TEST_F(SharedLogTest, AutoRotationAfterThreshold) {
+  SharedLogOptions options = Options();
+  options.rotate_log_bytes = 1;  // rotate at the first opportunity
+  apps_.clear();
+  std::vector<Application*> raw;
+  for (int i = 0; i < 2; ++i) {
+    apps_.push_back(std::make_unique<TestApp>());
+    raw.push_back(apps_.back().get());
+  }
+  auto db = *SharedLogDatabase::Open(raw, options);
+  ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("a", "1")).ok());
+  ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("b", "2")).ok());
+  ASSERT_TRUE(db->Checkpoint(0).ok());  // rule not satisfied: no rotation
+  EXPECT_EQ(db->log_generation(), 1u);
+  ASSERT_TRUE(db->Checkpoint(1).ok());  // now both current: auto-rotation fires
+  EXPECT_EQ(db->log_generation(), 2u);
+  EXPECT_EQ(db->stats().log_rotations, 1u);
+}
+
+TEST_F(SharedLogTest, RestartAfterRotation) {
+  {
+    auto db = *OpenEnsemble(2);
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("pre", "rotation")).ok());
+    ASSERT_TRUE(db->Checkpoint(0).ok());
+    ASSERT_TRUE(db->Checkpoint(1).ok());
+    ASSERT_TRUE(*db->MaybeRotateLog());
+    ASSERT_TRUE(db->Update(1, apps_[1]->PreparePut("post", "rotation")).ok());
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(2);
+  EXPECT_EQ(apps_[0]->state["pre"], "rotation");
+  EXPECT_EQ(apps_[1]->state["post"], "rotation");
+  EXPECT_EQ(db->log_generation(), 2u);
+}
+
+TEST_F(SharedLogTest, PartitionCountMismatchRejected) {
+  { auto db = *OpenEnsemble(2); }
+  auto wrong = OpenEnsemble(3);
+  EXPECT_TRUE(wrong.status().Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(SharedLogTest, UncommittedSharedLogEntryVanishes) {
+  {
+    auto db = *OpenEnsemble(2);
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("durable", "yes")).ok());
+    CrashPlan plan(env_->disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+    env_->disk().SetFaultInjector(plan.AsInjector());
+    EXPECT_FALSE(db->Update(1, apps_[1]->PreparePut("lost", "no")).ok());
+    env_->disk().SetFaultInjector(nullptr);
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(2);
+  EXPECT_EQ(apps_[0]->state["durable"], "yes");
+  EXPECT_EQ(apps_[1]->state.count("lost"), 0u);
+  (void)db;
+}
+
+TEST_F(SharedLogTest, CrashBetweenCheckpointAndManifestRollsBack) {
+  {
+    auto db = *OpenEnsemble(2);
+    ASSERT_TRUE(db->Update(0, apps_[0]->PreparePut("k", "v")).ok());
+    // Crash during the checkpoint's durable steps (before the manifest rename lands).
+    CrashPlan plan(env_->disk().next_durable_op_sequence() + 1, FaultAction::kCrashBefore);
+    env_->disk().SetFaultInjector(plan.AsInjector());
+    EXPECT_FALSE(db->Checkpoint(0).ok());
+    env_->disk().SetFaultInjector(nullptr);
+  }
+  CrashAndRecoverFs();
+  auto db = OpenEnsemble(2);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(apps_[0]->state["k"], "v");  // replayed from the shared log as before
+}
+
+TEST_F(SharedLogTest, ManyInterleavedUpdatesAcrossPartitions) {
+  constexpr int kPartitions = 4;
+  std::vector<std::map<std::string, std::string>> models(kPartitions);
+  {
+    auto db = *OpenEnsemble(kPartitions);
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+      int p = static_cast<int>(rng.NextBelow(kPartitions));
+      std::string key = "k" + std::to_string(rng.NextBelow(10));
+      std::string value = rng.NextString(20);
+      ASSERT_TRUE(db->Update(p, apps_[p]->PreparePut(key, value)).ok());
+      models[p][key] = value;
+      if (i % 37 == 0) {
+        ASSERT_TRUE(db->Checkpoint(static_cast<std::size_t>(rng.NextBelow(kPartitions))).ok());
+      }
+    }
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(kPartitions);
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(apps_[p]->state, models[p]) << "partition " << p;
+  }
+  (void)db;
+}
+
+// Exhaustive crash sweep over the ensemble protocol, including its extra crash
+// windows: per-partition checkpoint commit (the manifest rename) and log rotation.
+class SharedLogCrashSweep : public ::testing::TestWithParam<int> {
+ protected:
+  struct Outcome {
+    // (partition, key) pairs acknowledged / failed.
+    std::vector<std::pair<int, std::string>> acked;
+    std::vector<std::pair<int, std::string>> failed;
+    std::uint64_t total_ops = 0;
+  };
+
+  static Outcome RunScript(SimEnv& env, std::vector<std::unique_ptr<TestApp>>& apps) {
+    Outcome outcome;
+    apps.clear();
+    std::vector<Application*> raw;
+    for (int i = 0; i < 2; ++i) {
+      apps.push_back(std::make_unique<TestApp>());
+      raw.push_back(apps.back().get());
+    }
+    SharedLogOptions options;
+    options.vfs = &env.fs();
+    options.dir = "ensemble";
+    auto db_or = SharedLogDatabase::Open(raw, options);
+    if (!db_or.ok()) {
+      return outcome;
+    }
+    auto db = std::move(*db_or);
+
+    auto update = [&](int p, const std::string& key) {
+      Status status = db->Update(static_cast<std::size_t>(p),
+                                 apps[static_cast<std::size_t>(p)]->PreparePut(
+                                     key, "value-" + key));
+      (status.ok() ? outcome.acked : outcome.failed).emplace_back(p, key);
+      return status.ok();
+    };
+
+    if (!update(0, "a0") || !update(1, "b0") || !update(0, "a1")) {
+      return outcome;
+    }
+    if (!db->Checkpoint(0).ok() || !db->Checkpoint(1).ok()) {
+      return outcome;
+    }
+    if (!db->MaybeRotateLog().ok()) {
+      return outcome;
+    }
+    if (!update(1, "b1") || !update(0, "a2")) {
+      return outcome;
+    }
+    outcome.total_ops = env.disk().next_durable_op_sequence() - 1;
+    return outcome;
+  }
+};
+
+TEST_P(SharedLogCrashSweep, InvariantsHoldAtEveryCrashPoint) {
+  FaultAction action = static_cast<FaultAction>(GetParam());
+
+  std::uint64_t total_ops = 0;
+  {
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv dry(env_options);
+    std::vector<std::unique_ptr<TestApp>> apps;
+    Outcome outcome = RunScript(dry, apps);
+    ASSERT_EQ(outcome.acked.size(), 5u);
+    total_ops = outcome.total_ops;
+    ASSERT_GT(total_ops, 10u);
+  }
+
+  for (std::uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at durable op " + std::to_string(crash_at));
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv env(env_options);
+    CrashPlan plan(crash_at, action);
+    env.disk().SetFaultInjector(plan.AsInjector());
+    std::vector<std::unique_ptr<TestApp>> apps;
+    Outcome outcome = RunScript(env, apps);
+    env.disk().SetFaultInjector(nullptr);
+    env.fs().Crash();
+    ASSERT_TRUE(env.fs().Recover().ok());
+
+    std::vector<std::unique_ptr<TestApp>> recovered;
+    std::vector<Application*> raw;
+    for (int i = 0; i < 2; ++i) {
+      recovered.push_back(std::make_unique<TestApp>());
+      raw.push_back(recovered.back().get());
+    }
+    SharedLogOptions options;
+    options.vfs = &env.fs();
+    options.dir = "ensemble";
+    auto db = SharedLogDatabase::Open(raw, options);
+    ASSERT_TRUE(db.ok()) << "ensemble recovery failed at op " << crash_at << ": "
+                         << db.status();
+
+    for (const auto& [p, key] : outcome.acked) {
+      const auto& state = recovered[static_cast<std::size_t>(p)]->state;
+      ASSERT_EQ(state.count(key), 1u)
+          << "acked update p" << p << "/" << key << " lost at crash op " << crash_at;
+      EXPECT_EQ(state.at(key), "value-" + key);
+    }
+    for (const auto& [p, key] : outcome.failed) {
+      const auto& state = recovered[static_cast<std::size_t>(p)]->state;
+      if (state.count(key) != 0) {
+        EXPECT_EQ(state.at(key), "value-" + key);  // fully applied or fully absent
+      }
+    }
+    // And the ensemble keeps working.
+    ASSERT_TRUE((*db)->Update(0, recovered[0]->PreparePut("post", "crash")).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaultFlavours, SharedLogCrashSweep,
+                         ::testing::Values(static_cast<int>(FaultAction::kCrashBefore),
+                                           static_cast<int>(FaultAction::kCrashTorn),
+                                           static_cast<int>(FaultAction::kCrashAfter)));
+
+TEST_F(SharedLogTest, ConcurrentUpdatesAcrossPartitionsAreSerializable) {
+  // Four threads hammer four partitions through the one shared log; afterwards every
+  // partition holds exactly its own writes, and a restart reproduces the same state.
+  constexpr int kPartitions = 4;
+  constexpr int kUpdatesPerThread = 100;
+  {
+    auto db = *OpenEnsemble(kPartitions);
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int p = 0; p < kPartitions; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < kUpdatesPerThread; ++i) {
+          Status status = db->Update(
+              static_cast<std::size_t>(p),
+              apps_[static_cast<std::size_t>(p)]->PreparePut(
+                  "t" + std::to_string(i), "p" + std::to_string(p) + "-" +
+                                               std::to_string(i)));
+          if (!status.ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(db->stats().updates, kPartitions * kUpdatesPerThread);
+    for (int p = 0; p < kPartitions; ++p) {
+      EXPECT_EQ(apps_[static_cast<std::size_t>(p)]->state.size(),
+                static_cast<std::size_t>(kUpdatesPerThread));
+      EXPECT_EQ(apps_[static_cast<std::size_t>(p)]->state["t42"],
+                "p" + std::to_string(p) + "-42");
+    }
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(kPartitions);
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(apps_[static_cast<std::size_t>(p)]->state.size(),
+              static_cast<std::size_t>(kUpdatesPerThread));
+  }
+  (void)db;
+}
+
+TEST_F(SharedLogTest, ConcurrentCheckpointsAndUpdates) {
+  // One thread checkpoints partitions round-robin while others update: checkpoints of
+  // partition p stall only p's updates, never the other partitions'.
+  constexpr int kPartitions = 3;
+  auto db = *OpenEnsemble(kPartitions);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> writers;
+  for (int p = 0; p < kPartitions; ++p) {
+    writers.emplace_back([&, p] {
+      int i = 0;
+      while (!stop.load()) {
+        Status status =
+            db->Update(static_cast<std::size_t>(p),
+                       apps_[static_cast<std::size_t>(p)]->PreparePut(
+                           "k" + std::to_string(i++ % 50), "v"));
+        if (!status.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 12; ++round) {
+    Status status = db->Checkpoint(static_cast<std::size_t>(round % kPartitions));
+    if (!status.ok()) {
+      failures.fetch_add(1);
+    }
+  }
+  stop = true;
+  for (auto& thread : writers) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(db->stats().checkpoints, 12u);
+}
+
+}  // namespace
+}  // namespace sdb

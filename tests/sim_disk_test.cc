@@ -1,0 +1,233 @@
+// Unit tests for SimDisk: page semantics, failure injection, timing model.
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/storage/sim_disk.h"
+
+namespace sdb {
+namespace {
+
+SimDiskOptions SmallDisk(Clock* clock = nullptr) {
+  SimDiskOptions options;
+  options.page_size = 64;
+  options.capacity_pages = 128;
+  options.clock = clock;
+  return options;
+}
+
+TEST(SimDiskTest, WriteReadRoundTrip) {
+  SimDisk disk(SmallDisk());
+  Bytes data{1, 2, 3, 4};
+  ASSERT_TRUE(disk.WritePage(5, AsSpan(data)).ok());
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(5, out).ok());
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(out[4], 0);  // zero padded
+}
+
+TEST(SimDiskTest, UnwrittenPageReadsAsZeroes) {
+  SimDisk disk(SmallDisk());
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(7, out).ok());
+  EXPECT_EQ(out, Bytes(64, 0));
+}
+
+TEST(SimDiskTest, OversizedWriteRejected) {
+  SimDisk disk(SmallDisk());
+  Bytes data(65, 0xFF);
+  EXPECT_TRUE(disk.WritePage(0, AsSpan(data)).Is(ErrorCode::kInvalidArgument));
+}
+
+TEST(SimDiskTest, OutOfRangePageRejected) {
+  SimDisk disk(SmallDisk());
+  Bytes out;
+  EXPECT_TRUE(disk.ReadPage(1000, out).Is(ErrorCode::kInvalidArgument));
+  EXPECT_TRUE(disk.WritePage(1000, ByteSpan{}).Is(ErrorCode::kInvalidArgument));
+}
+
+TEST(SimDiskTest, AllocateAssignsDistinctPages) {
+  SimDisk disk(SmallDisk());
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
+  EXPECT_NE(a, b);
+}
+
+TEST(SimDiskTest, FreedPagesAreReused) {
+  SimDisk disk(SmallDisk());
+  PageId a = *disk.AllocatePage();
+  disk.FreePage(a);
+  EXPECT_EQ(*disk.AllocatePage(), a);
+}
+
+TEST(SimDiskTest, FreedPageContentIsGone) {
+  SimDisk disk(SmallDisk());
+  PageId a = *disk.AllocatePage();
+  Bytes data{9, 9, 9};
+  ASSERT_TRUE(disk.WritePage(a, AsSpan(data)).ok());
+  disk.FreePage(a);
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(a, out).ok());
+  EXPECT_EQ(out, Bytes(64, 0));
+}
+
+TEST(SimDiskTest, DiskFillsUp) {
+  SimDiskOptions options = SmallDisk();
+  options.capacity_pages = 2;
+  SimDisk disk(options);
+  EXPECT_TRUE(disk.AllocatePage().ok());
+  EXPECT_TRUE(disk.AllocatePage().ok());
+  EXPECT_TRUE(disk.AllocatePage().status().Is(ErrorCode::kOutOfSpace));
+}
+
+TEST(SimDiskTest, TornWriteMakesPageUnreadable) {
+  SimDisk disk(SmallDisk());
+  Bytes good{1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(disk.WritePage(0, AsSpan(good)).ok());
+
+  CrashPlan plan(disk.next_durable_op_sequence(), FaultAction::kCrashTorn);
+  disk.SetFaultInjector(plan.AsInjector());
+  Bytes replacement(8, 0xEE);
+  EXPECT_TRUE(disk.WritePage(0, AsSpan(replacement)).Is(ErrorCode::kIoError));
+  EXPECT_TRUE(plan.fired());
+  EXPECT_TRUE(disk.crashed());
+
+  disk.ClearCrash();
+  Bytes out;
+  // The paper's assumed hardware property: a partially written page reports an error.
+  EXPECT_TRUE(disk.ReadPage(0, out).Is(ErrorCode::kUnreadable));
+
+  // Rewriting repairs it.
+  disk.SetFaultInjector(nullptr);
+  ASSERT_TRUE(disk.WritePage(0, AsSpan(good)).ok());
+  EXPECT_TRUE(disk.ReadPage(0, out).ok());
+}
+
+TEST(SimDiskTest, CrashBeforeLeavesOldContent) {
+  SimDisk disk(SmallDisk());
+  Bytes original{42};
+  ASSERT_TRUE(disk.WritePage(3, AsSpan(original)).ok());
+  CrashPlan plan(disk.next_durable_op_sequence(), FaultAction::kCrashBefore);
+  disk.SetFaultInjector(plan.AsInjector());
+  Bytes replacement{77};
+  EXPECT_FALSE(disk.WritePage(3, AsSpan(replacement)).ok());
+  disk.ClearCrash();
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(3, out).ok());
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(SimDiskTest, CrashAfterKeepsNewContent) {
+  SimDisk disk(SmallDisk());
+  CrashPlan plan(disk.next_durable_op_sequence(), FaultAction::kCrashAfter);
+  disk.SetFaultInjector(plan.AsInjector());
+  Bytes data{11};
+  EXPECT_FALSE(disk.WritePage(3, AsSpan(data)).ok());  // reports the crash
+  disk.ClearCrash();
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(3, out).ok());
+  EXPECT_EQ(out[0], 11);  // but the write itself became durable
+}
+
+TEST(SimDiskTest, AllIoFailsWhileCrashed) {
+  SimDisk disk(SmallDisk());
+  disk.Crash();
+  Bytes out;
+  EXPECT_TRUE(disk.ReadPage(0, out).Is(ErrorCode::kIoError));
+  EXPECT_TRUE(disk.WritePage(0, ByteSpan{}).Is(ErrorCode::kIoError));
+  disk.ClearCrash();
+  EXPECT_TRUE(disk.ReadPage(0, out).ok());
+}
+
+TEST(SimDiskTest, MarkPageUnreadableIsAHardError) {
+  SimDisk disk(SmallDisk());
+  Bytes data{1};
+  ASSERT_TRUE(disk.WritePage(9, AsSpan(data)).ok());
+  disk.MarkPageUnreadable(9);
+  Bytes out;
+  EXPECT_TRUE(disk.ReadPage(9, out).Is(ErrorCode::kUnreadable));
+}
+
+TEST(SimDiskTest, DurableOpSequenceCountsWritesAndMetadataSyncs) {
+  SimDisk disk(SmallDisk());
+  EXPECT_EQ(disk.next_durable_op_sequence(), 1u);
+  Bytes data{1};
+  ASSERT_TRUE(disk.WritePage(0, AsSpan(data)).ok());
+  EXPECT_EQ(disk.next_durable_op_sequence(), 2u);
+  EXPECT_EQ(disk.BeginMetadataSync("dir"), FaultAction::kNone);
+  EXPECT_EQ(disk.next_durable_op_sequence(), 3u);
+}
+
+TEST(SimDiskTest, MetadataSyncCrashInjection) {
+  SimDisk disk(SmallDisk());
+  CrashPlan plan(1, FaultAction::kCrashAfter);
+  disk.SetFaultInjector(plan.AsInjector());
+  EXPECT_EQ(disk.BeginMetadataSync("dir"), FaultAction::kCrashAfter);
+  EXPECT_TRUE(disk.crashed());
+}
+
+TEST(SimDiskTest, StatsCountOperations) {
+  SimDisk disk(SmallDisk());
+  Bytes data{1};
+  ASSERT_TRUE(disk.WritePage(0, AsSpan(data)).ok());
+  ASSERT_TRUE(disk.WritePage(1, AsSpan(data)).ok());
+  Bytes out;
+  ASSERT_TRUE(disk.ReadPage(0, out).ok());
+  SimDiskStats stats = disk.stats();
+  EXPECT_EQ(stats.page_writes, 2u);
+  EXPECT_EQ(stats.page_reads, 1u);
+  EXPECT_EQ(stats.bytes_written, 128u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().page_writes, 0u);
+}
+
+TEST(SimDiskTest, SequentialAccessAvoidsSeeks) {
+  SimClock clock;
+  SimDiskOptions options = SmallDisk(&clock);
+  options.seek_micros = 10'000;
+  options.transfer_micros_per_byte = 1;
+  SimDisk disk(options);
+  Bytes data(64, 1);
+
+  ASSERT_TRUE(disk.WritePage(0, AsSpan(data)).ok());
+  Micros first = clock.NowMicros();
+  EXPECT_EQ(first, 10'000 + 64);  // seek + transfer
+
+  ASSERT_TRUE(disk.WritePage(1, AsSpan(data)).ok());
+  EXPECT_EQ(clock.NowMicros() - first, 64);  // sequential: transfer only
+
+  ASSERT_TRUE(disk.WritePage(1, AsSpan(data)).ok());  // same page again: rotational delay
+  EXPECT_EQ(clock.NowMicros() - first, 64 + 10'000 + 64);
+}
+
+TEST(SimDiskTest, RandomAccessPaysSeeks) {
+  SimClock clock;
+  SimDiskOptions options = SmallDisk(&clock);
+  options.seek_micros = 1000;
+  options.transfer_micros_per_byte = 0;
+  SimDisk disk(options);
+  Bytes data(64, 1);
+  ASSERT_TRUE(disk.WritePage(10, AsSpan(data)).ok());
+  ASSERT_TRUE(disk.WritePage(50, AsSpan(data)).ok());
+  ASSERT_TRUE(disk.WritePage(10, AsSpan(data)).ok());
+  EXPECT_EQ(clock.NowMicros(), 3000);
+  EXPECT_EQ(disk.stats().seeks, 3u);
+}
+
+TEST(SimDiskTest, MicroVaxCalibrationCheckpointRate) {
+  // 1 MB streamed sequentially should take ~5 s at the paper-calibrated defaults.
+  SimClock clock;
+  SimDiskOptions options;  // paper defaults: 512 B pages, 15 ms seek, 5 us/B
+  options.clock = &clock;
+  SimDisk disk(options);
+  Bytes page(512, 7);
+  for (PageId p = 0; p < 2048; ++p) {  // 1 MB
+    ASSERT_TRUE(disk.WritePage(p, AsSpan(page)).ok());
+  }
+  double seconds = static_cast<double>(clock.NowMicros()) / 1e6;
+  EXPECT_NEAR(seconds, 5.24, 0.3);
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,311 @@
+// Unit tests for SimFs: caching, fsync durability, crash/recover, namespace
+// durability, hard-error injection.
+#include <gtest/gtest.h>
+
+#include "src/storage/sim_env.h"
+#include "src/storage/sim_fs.h"
+
+namespace sdb {
+namespace {
+
+class SimFsTest : public ::testing::Test {
+ protected:
+  SimFsTest() {
+    SimEnvOptions options;
+    options.disk.page_size = 64;
+    options.disk.capacity_pages = 4096;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  SimFs& fs() { return env_->fs(); }
+  SimDisk& disk() { return env_->disk(); }
+
+  Status CreateWithContent(std::string_view path, std::string_view content, bool sync) {
+    SDB_ASSIGN_OR_RETURN(auto file, fs().Open(path, OpenMode::kTruncate));
+    SDB_RETURN_IF_ERROR(file->Append(AsSpan(content)));
+    if (sync) {
+      SDB_RETURN_IF_ERROR(file->Sync());
+    }
+    return file->Close();
+  }
+
+  Result<std::string> Read(std::string_view path) {
+    SDB_ASSIGN_OR_RETURN(Bytes data, ReadWholeFile(fs(), path));
+    return std::string(AsStringView(AsSpan(data)));
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(SimFsTest, CreateWriteReadBack) {
+  ASSERT_TRUE(CreateWithContent("f", "hello world", true).ok());
+  EXPECT_EQ(*Read("f"), "hello world");
+}
+
+TEST_F(SimFsTest, OpenMissingFileFails) {
+  EXPECT_TRUE(fs().Open("nope", OpenMode::kRead).status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(SimFsTest, CreateExclusiveFailsIfPresent) {
+  ASSERT_TRUE(CreateWithContent("f", "x", true).ok());
+  EXPECT_TRUE(fs().Open("f", OpenMode::kCreateExclusive).status().Is(ErrorCode::kAlreadyExists));
+}
+
+TEST_F(SimFsTest, TruncateModeWipesContent) {
+  ASSERT_TRUE(CreateWithContent("f", "old content", true).ok());
+  ASSERT_TRUE(CreateWithContent("f", "", true).ok());
+  EXPECT_EQ(*Read("f"), "");
+}
+
+TEST_F(SimFsTest, ReadOnlyHandleRejectsWrites) {
+  ASSERT_TRUE(CreateWithContent("f", "x", true).ok());
+  auto file = *fs().Open("f", OpenMode::kRead);
+  EXPECT_TRUE(file->Append(AsSpan(std::string_view("y"))).Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(SimFsTest, AppendExtendsAcrossPages) {
+  auto file = *fs().Open("f", OpenMode::kTruncate);
+  std::string chunk(50, 'a');
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file->Append(AsSpan(chunk)).ok());
+  }
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(*file->Size(), 250u);
+  Bytes out = *file->ReadAt(100, 50);
+  EXPECT_EQ(out, Bytes(50, 'a'));
+}
+
+TEST_F(SimFsTest, WriteAtOverwritesInPlace) {
+  ASSERT_TRUE(CreateWithContent("f", "aaaaaaaaaa", true).ok());
+  auto file = *fs().Open("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(file->WriteAt(3, AsSpan(std::string_view("ZZ"))).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(*Read("f"), "aaaZZaaaaa");
+}
+
+TEST_F(SimFsTest, ReadAtEndOfFileIsShort) {
+  ASSERT_TRUE(CreateWithContent("f", "abc", true).ok());
+  auto file = *fs().Open("f", OpenMode::kRead);
+  EXPECT_EQ((*file->ReadAt(2, 100)).size(), 1u);
+  EXPECT_EQ((*file->ReadAt(3, 100)).size(), 0u);
+  EXPECT_EQ((*file->ReadAt(99, 100)).size(), 0u);
+}
+
+TEST_F(SimFsTest, TruncateShrinksAndZeroExtends) {
+  ASSERT_TRUE(CreateWithContent("f", "abcdef", true).ok());
+  auto file = *fs().Open("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(file->Truncate(3).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  EXPECT_EQ(*Read("f"), "abc");
+  ASSERT_TRUE(file->Truncate(5).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  Bytes data = *ReadWholeFile(fs(), "f");
+  EXPECT_EQ(data, (Bytes{'a', 'b', 'c', 0, 0}));
+}
+
+// --- crash semantics ---
+
+TEST_F(SimFsTest, UnsyncedContentLostOnCrash) {
+  ASSERT_TRUE(CreateWithContent("f", "synced", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  {
+    auto file = *fs().Open("f", OpenMode::kReadWrite);
+    ASSERT_TRUE(file->Append(AsSpan(std::string_view(" unsynced"))).ok());
+    // no Sync
+  }
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_EQ(*Read("f"), "synced");
+}
+
+TEST_F(SimFsTest, SyncedContentSurvivesCrash) {
+  ASSERT_TRUE(CreateWithContent("f", "durable data", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_EQ(*Read("f"), "durable data");
+}
+
+TEST_F(SimFsTest, UnsyncedCreateLostOnCrash) {
+  ASSERT_TRUE(CreateWithContent("f", "content", true).ok());
+  // No SyncDir: the namespace entry is volatile.
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_FALSE(*fs().Exists("f"));
+}
+
+TEST_F(SimFsTest, UnsyncedDeleteRevertsOnCrash) {
+  ASSERT_TRUE(CreateWithContent("f", "keep me", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  ASSERT_TRUE(fs().Delete("f").ok());
+  EXPECT_FALSE(*fs().Exists("f"));
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_TRUE(*fs().Exists("f"));
+  EXPECT_EQ(*Read("f"), "keep me");
+}
+
+TEST_F(SimFsTest, UnsyncedRenameRevertsOnCrash) {
+  ASSERT_TRUE(CreateWithContent("a", "data", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  ASSERT_TRUE(fs().Rename("a", "b").ok());
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_TRUE(*fs().Exists("a"));
+  EXPECT_FALSE(*fs().Exists("b"));
+}
+
+TEST_F(SimFsTest, SyncedRenameSurvivesCrash) {
+  ASSERT_TRUE(CreateWithContent("a", "data", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  ASSERT_TRUE(fs().Rename("a", "b").ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_FALSE(*fs().Exists("a"));
+  EXPECT_EQ(*Read("b"), "data");
+}
+
+TEST_F(SimFsTest, RenameReplacesTarget) {
+  ASSERT_TRUE(CreateWithContent("a", "new", true).ok());
+  ASSERT_TRUE(CreateWithContent("b", "old", true).ok());
+  ASSERT_TRUE(fs().Rename("a", "b").ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  EXPECT_EQ(*Read("b"), "new");
+  EXPECT_FALSE(*fs().Exists("a"));
+}
+
+TEST_F(SimFsTest, StaleHandleRefusedAfterRecover) {
+  ASSERT_TRUE(CreateWithContent("f", "x", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  auto file = *fs().Open("f", OpenMode::kRead);
+  fs().Crash();
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_TRUE(file->ReadAt(0, 1).status().Is(ErrorCode::kIoError));
+}
+
+TEST_F(SimFsTest, OperationsFailWhileCrashed) {
+  fs().Crash();
+  EXPECT_TRUE(fs().Open("f", OpenMode::kCreate).status().Is(ErrorCode::kIoError));
+  EXPECT_TRUE(fs().Delete("f").Is(ErrorCode::kIoError));
+  EXPECT_TRUE(fs().SyncDir("").Is(ErrorCode::kIoError));
+}
+
+TEST_F(SimFsTest, TornPageDuringSyncIsUnreadableAfterRecover) {
+  // Write two pages of synced data, then rewrite the first page and tear it.
+  std::string page0(64, 'A');
+  std::string page1(64, 'B');
+  ASSERT_TRUE(CreateWithContent("f", page0 + page1, true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+
+  CrashPlan plan(disk().next_durable_op_sequence(), FaultAction::kCrashTorn);
+  disk().SetFaultInjector(plan.AsInjector());
+  auto file = *fs().Open("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(file->WriteAt(0, AsSpan(std::string(64, 'C'))).ok());
+  EXPECT_FALSE(file->Sync().ok());
+  EXPECT_TRUE(plan.fired());
+
+  disk().SetFaultInjector(nullptr);
+  ASSERT_TRUE(fs().Recover().ok());
+  auto reopened = *fs().Open("f", OpenMode::kRead);
+  // The torn page reports an error; the untouched page is fine.
+  EXPECT_TRUE(reopened->ReadAt(0, 64).status().Is(ErrorCode::kUnreadable));
+  Bytes ok_page = *reopened->ReadAt(64, 64);
+  EXPECT_EQ(ok_page, Bytes(64, 'B'));
+}
+
+TEST_F(SimFsTest, CrashMidMultiPageSyncKeepsOldSize) {
+  // Append spanning 3 pages; crash on the second page write. After recovery the file
+  // must have its old (durable) size — the incomplete append is invisible.
+  ASSERT_TRUE(CreateWithContent("f", "tiny", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+
+  auto file = *fs().Open("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(file->Append(AsSpan(std::string(200, 'X'))).ok());
+  CrashPlan plan(disk().next_durable_op_sequence() + 1, FaultAction::kCrashBefore);
+  disk().SetFaultInjector(plan.AsInjector());
+  EXPECT_FALSE(file->Sync().ok());
+
+  disk().SetFaultInjector(nullptr);
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_EQ(*Read("f"), "tiny");
+}
+
+TEST_F(SimFsTest, ListReturnsFilesUnderDir) {
+  ASSERT_TRUE(CreateWithContent("db/checkpoint1", "c", true).ok());
+  ASSERT_TRUE(CreateWithContent("db/logfile1", "l", true).ok());
+  ASSERT_TRUE(CreateWithContent("other/file", "o", true).ok());
+  auto listing = *fs().List("db");
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0], "checkpoint1");
+  EXPECT_EQ(listing[1], "logfile1");
+}
+
+TEST_F(SimFsTest, PendingMetadataOpsTracked) {
+  EXPECT_EQ(fs().pending_metadata_ops(), 0u);
+  ASSERT_TRUE(CreateWithContent("f", "", true).ok());
+  EXPECT_GT(fs().pending_metadata_ops(), 0u);
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  EXPECT_EQ(fs().pending_metadata_ops(), 0u);
+}
+
+TEST_F(SimFsTest, DropCachesRefusesWithDirtyData) {
+  auto file = *fs().Open("f", OpenMode::kTruncate);
+  ASSERT_TRUE(file->Append(AsSpan(std::string_view("dirty"))).ok());
+  EXPECT_TRUE(fs().DropCaches().Is(ErrorCode::kFailedPrecondition));
+}
+
+TEST_F(SimFsTest, DropCachesRereadsFromDisk) {
+  ASSERT_TRUE(CreateWithContent("f", "content", true).ok());
+  ASSERT_TRUE(fs().SyncDir("").ok());
+  SimDiskStats before = disk().stats();
+  ASSERT_TRUE(fs().DropCaches().ok());
+  EXPECT_GT(disk().stats().page_reads, before.page_reads);
+  EXPECT_EQ(*Read("f"), "content");
+}
+
+TEST_F(SimFsTest, InjectBadFilePageSurfacesHardError) {
+  std::string two_pages(128, 'D');
+  ASSERT_TRUE(CreateWithContent("f", two_pages, true).ok());
+  ASSERT_TRUE(fs().InjectBadFilePage("f", 1).ok());
+  auto file = *fs().Open("f", OpenMode::kRead);
+  EXPECT_TRUE(file->ReadAt(0, 128).status().Is(ErrorCode::kUnreadable));
+  Bytes first = *file->ReadAt(0, 64);
+  EXPECT_EQ(first, Bytes(64, 'D'));
+}
+
+TEST_F(SimFsTest, RewritingRepairsInjectedBadPage) {
+  std::string two_pages(128, 'D');
+  ASSERT_TRUE(CreateWithContent("f", two_pages, true).ok());
+  ASSERT_TRUE(fs().InjectBadFilePage("f", 1).ok());
+  auto file = *fs().Open("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(file->WriteAt(64, AsSpan(std::string(64, 'E'))).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  Bytes repaired = *file->ReadAt(64, 64);
+  EXPECT_EQ(repaired, Bytes(64, 'E'));
+}
+
+TEST_F(SimFsTest, CrashDuringDirectorySyncLosesPendingMetadata) {
+  ASSERT_TRUE(CreateWithContent("f", "x", true).ok());
+  CrashPlan plan(disk().next_durable_op_sequence(), FaultAction::kCrashBefore);
+  disk().SetFaultInjector(plan.AsInjector());
+  EXPECT_FALSE(fs().SyncDir("").ok());
+  disk().SetFaultInjector(nullptr);
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_FALSE(*fs().Exists("f"));
+}
+
+TEST_F(SimFsTest, CrashAfterDirectorySyncKeepsMetadata) {
+  ASSERT_TRUE(CreateWithContent("f", "x", true).ok());
+  CrashPlan plan(disk().next_durable_op_sequence(), FaultAction::kCrashAfter);
+  disk().SetFaultInjector(plan.AsInjector());
+  EXPECT_FALSE(fs().SyncDir("").ok());  // the crash is reported...
+  disk().SetFaultInjector(nullptr);
+  ASSERT_TRUE(fs().Recover().ok());
+  EXPECT_TRUE(*fs().Exists("f"));  // ...but the sync had completed
+  EXPECT_EQ(*Read("f"), "x");
+}
+
+}  // namespace
+}  // namespace sdb

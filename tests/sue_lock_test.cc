@@ -1,0 +1,213 @@
+// Tests for SueLock: the paper's shared/update/exclusive compatibility matrix under
+// real concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/core/sue_lock.h"
+
+namespace sdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spin-waits until `predicate` or the deadline; returns whether it held.
+template <typename Pred>
+bool EventuallyTrue(Pred predicate, std::chrono::milliseconds deadline = 2000ms) {
+  auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  return predicate();
+}
+
+TEST(SueLockTest, MultipleSharedHoldersCoexist) {
+  SueLock lock;
+  lock.AcquireShared();
+  lock.AcquireShared();
+  EXPECT_EQ(lock.snapshot().shared_holders, 2u);
+  lock.ReleaseShared();
+  lock.ReleaseShared();
+  EXPECT_EQ(lock.snapshot().shared_holders, 0u);
+}
+
+TEST(SueLockTest, SharedCompatibleWithUpdate) {
+  SueLock lock;
+  lock.AcquireUpdate();
+  // A reader must get in while update (not exclusive) is held.
+  std::atomic<bool> got_shared{false};
+  std::thread reader([&] {
+    lock.AcquireShared();
+    got_shared = true;
+    lock.ReleaseShared();
+  });
+  EXPECT_TRUE(EventuallyTrue([&] { return got_shared.load(); }));
+  reader.join();
+  lock.ReleaseUpdate();
+}
+
+TEST(SueLockTest, UpdateExcludesUpdate) {
+  SueLock lock;
+  lock.AcquireUpdate();
+  std::atomic<bool> second_got_it{false};
+  std::thread contender([&] {
+    lock.AcquireUpdate();
+    second_got_it = true;
+    lock.ReleaseUpdate();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(second_got_it.load());  // still blocked
+  lock.ReleaseUpdate();
+  EXPECT_TRUE(EventuallyTrue([&] { return second_got_it.load(); }));
+  contender.join();
+}
+
+TEST(SueLockTest, UpgradeWaitsForReadersToDrain) {
+  SueLock lock;
+  lock.AcquireShared();
+  lock.AcquireUpdate();
+
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    lock.UpgradeToExclusive();
+    upgraded = true;
+    lock.DowngradeToUpdate();
+    lock.ReleaseUpdate();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(upgraded.load());  // reader still in
+  lock.ReleaseShared();
+  EXPECT_TRUE(EventuallyTrue([&] { return upgraded.load(); }));
+  upgrader.join();
+}
+
+TEST(SueLockTest, ExclusiveBlocksNewReaders) {
+  SueLock lock;
+  lock.AcquireUpdate();
+  lock.UpgradeToExclusive();
+
+  std::atomic<bool> reader_in{false};
+  std::thread reader([&] {
+    lock.AcquireShared();
+    reader_in = true;
+    lock.ReleaseShared();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(reader_in.load());
+  lock.DowngradeToUpdate();
+  EXPECT_TRUE(EventuallyTrue([&] { return reader_in.load(); }));
+  reader.join();
+  lock.ReleaseUpdate();
+}
+
+TEST(SueLockTest, PendingUpgradeBlocksNewReaders) {
+  // New readers queue behind a waiting upgrade so it cannot starve.
+  SueLock lock;
+  lock.AcquireShared();  // reader 1 in
+  lock.AcquireUpdate();
+
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    lock.UpgradeToExclusive();
+    upgraded = true;
+    lock.DowngradeToUpdate();
+    lock.ReleaseUpdate();
+  });
+  // Give the upgrader time to start waiting.
+  std::this_thread::sleep_for(50ms);
+
+  std::atomic<bool> late_reader_in{false};
+  std::thread late_reader([&] {
+    lock.AcquireShared();
+    late_reader_in = true;
+    lock.ReleaseShared();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(late_reader_in.load());  // queued behind the upgrade
+  EXPECT_FALSE(upgraded.load());        // reader 1 still in
+
+  lock.ReleaseShared();  // reader 1 leaves -> upgrade proceeds -> then the late reader
+  EXPECT_TRUE(EventuallyTrue([&] { return upgraded.load() && late_reader_in.load(); }));
+  upgrader.join();
+  late_reader.join();
+}
+
+TEST(SueLockTest, GuardLifecycles) {
+  SueLock lock;
+  {
+    SueLock::SharedGuard shared(lock);
+    EXPECT_EQ(lock.snapshot().shared_holders, 1u);
+  }
+  EXPECT_EQ(lock.snapshot().shared_holders, 0u);
+  {
+    SueLock::UpdateGuard update(lock);
+    EXPECT_TRUE(lock.snapshot().update_held);
+    update.Upgrade();
+    EXPECT_TRUE(lock.snapshot().exclusive_held);
+    update.Downgrade();
+    EXPECT_FALSE(lock.snapshot().exclusive_held);
+    update.Upgrade();  // destructor must downgrade + release
+  }
+  SueLock::Snapshot end = lock.snapshot();
+  EXPECT_FALSE(end.update_held);
+  EXPECT_FALSE(end.exclusive_held);
+}
+
+TEST(SueLockTest, StressReadersAndUpdaters) {
+  // Invariant check under contention: exclusive never overlaps shared, update never
+  // overlaps update.
+  SueLock lock;
+  std::atomic<int> shared_active{0};
+  std::atomic<int> exclusive_active{0};
+  std::atomic<int> update_active{0};
+  std::atomic<bool> violation{false};
+  constexpr int kIterations = 400;
+
+  auto reader_fn = [&] {
+    for (int i = 0; i < kIterations; ++i) {
+      SueLock::SharedGuard guard(lock);
+      shared_active.fetch_add(1);
+      if (exclusive_active.load() != 0) {
+        violation = true;
+      }
+      shared_active.fetch_sub(1);
+    }
+  };
+  auto updater_fn = [&] {
+    for (int i = 0; i < kIterations; ++i) {
+      SueLock::UpdateGuard guard(lock);
+      if (update_active.fetch_add(1) != 0) {
+        violation = true;
+      }
+      guard.Upgrade();
+      exclusive_active.fetch_add(1);
+      if (shared_active.load() != 0) {
+        violation = true;
+      }
+      exclusive_active.fetch_sub(1);
+      guard.Downgrade();
+      update_active.fetch_sub(1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back(reader_fn);
+  }
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back(updater_fn);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,76 @@
+// A small instrumented Application used by the engine tests: a string->string map
+// with controllable failure injection on apply.
+#ifndef SMALLDB_TESTS_TEST_APP_H_
+#define SMALLDB_TESTS_TEST_APP_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb::testing {
+
+struct TestRecord {
+  std::string key;
+  std::string value;
+  SDB_PICKLE_FIELDS(TestRecord, key, value)
+};
+
+class TestApp final : public Application {
+ public:
+  Status ResetState() override {
+    state.clear();
+    ++resets;
+    return OkStatus();
+  }
+
+  Result<Bytes> SerializeState() override {
+    ++serializations;
+    PickleWriter writer;
+    writer.Write(state);
+    return std::move(writer).FinishEnvelope("TestApp.state");
+  }
+
+  Status DeserializeState(ByteSpan data) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader,
+                         PickleReader::FromEnvelope(data, "TestApp.state"));
+    return reader.Read(state);
+  }
+
+  Status ApplyUpdate(ByteSpan record) override {
+    if (fail_next_apply) {
+      fail_next_apply = false;
+      return InternalError("injected apply failure");
+    }
+    SDB_ASSIGN_OR_RETURN(TestRecord update, PickleRead<TestRecord>(record));
+    state.insert_or_assign(update.key, update.value);
+    ++applies;
+    return OkStatus();
+  }
+
+  // Builds the prepare callback for Database::Update: optional precondition that the
+  // key must not yet exist.
+  std::function<Result<Bytes>()> PreparePut(std::string key, std::string value,
+                                            bool require_absent = false) {
+    return [this, key = std::move(key), value = std::move(value), require_absent]()
+               -> Result<Bytes> {
+      if (require_absent && state.count(key) != 0) {
+        return FailedPreconditionError("key exists: " + key);
+      }
+      TestRecord record{key, value};
+      return PickleWrite(record);
+    };
+  }
+
+  std::map<std::string, std::string> state;
+  int resets = 0;
+  int serializations = 0;
+  int applies = 0;
+  bool fail_next_apply = false;
+};
+
+}  // namespace sdb::testing
+
+#endif  // SMALLDB_TESTS_TEST_APP_H_

@@ -1,0 +1,294 @@
+// Unit tests for the typedheap: type registry, kind-checked field access, mark-sweep
+// collection, heap-graph pickling.
+#include <gtest/gtest.h>
+
+#include "src/typedheap/heap.h"
+#include "src/typedheap/heap_pickle.h"
+#include "src/typedheap/type_desc.h"
+
+namespace sdb::th {
+namespace {
+
+class TypedHeapTest : public ::testing::Test {
+ protected:
+  TypedHeapTest() {
+    node_type_ = registry_
+                     .Register("test.node", {{"name", FieldKind::kString},
+                                             {"weight", FieldKind::kInt},
+                                             {"score", FieldKind::kReal},
+                                             {"next", FieldKind::kRef},
+                                             {"items", FieldKind::kRefList},
+                                             {"table", FieldKind::kStringRefMap}})
+                     .value();
+  }
+
+  th::Object* NewNode(std::string name) {
+    th::Object* node = heap_.Allocate(node_type_);
+    EXPECT_TRUE(node->SetString(0, std::move(name)).ok());
+    return node;
+  }
+
+  TypeRegistry registry_;
+  const TypeDesc* node_type_;
+  Heap heap_;
+};
+
+// --- registry ---
+
+TEST_F(TypedHeapTest, RegistryFindsRegisteredType) {
+  auto found = registry_.Find("test.node");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, node_type_);
+}
+
+TEST_F(TypedHeapTest, RegistryRejectsDuplicates) {
+  EXPECT_TRUE(registry_.Register("test.node", {}).status().Is(ErrorCode::kAlreadyExists));
+}
+
+TEST_F(TypedHeapTest, RegistryMissReturnsNotFound) {
+  EXPECT_TRUE(registry_.Find("nope").status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(TypedHeapTest, FieldIndexLookup) {
+  EXPECT_EQ(*node_type_->FieldIndex("weight"), 1u);
+  EXPECT_TRUE(node_type_->FieldIndex("missing").status().Is(ErrorCode::kNotFound));
+}
+
+// --- field access ---
+
+TEST_F(TypedHeapTest, FreshObjectHasZeroedFields) {
+  th::Object* node = heap_.Allocate(node_type_);
+  EXPECT_EQ(**node->GetString(0), "");
+  EXPECT_EQ(*node->GetInt(1), 0);
+  EXPECT_EQ(*node->GetReal(2), 0.0);
+  EXPECT_EQ(*node->GetRef(3), nullptr);
+  EXPECT_EQ(*node->ListSize(4), 0u);
+  EXPECT_EQ(*node->MapSize(5), 0u);
+}
+
+TEST_F(TypedHeapTest, ScalarFieldRoundTrip) {
+  th::Object* node = NewNode("n");
+  ASSERT_TRUE(node->SetInt(1, -55).ok());
+  ASSERT_TRUE(node->SetReal(2, 1.5).ok());
+  EXPECT_EQ(*node->GetInt(1), -55);
+  EXPECT_EQ(*node->GetReal(2), 1.5);
+}
+
+TEST_F(TypedHeapTest, WrongKindAccessIsError) {
+  th::Object* node = NewNode("n");
+  EXPECT_TRUE(node->GetInt(0).status().Is(ErrorCode::kInvalidArgument));   // string field
+  EXPECT_TRUE(node->SetString(1, "x").Is(ErrorCode::kInvalidArgument));    // int field
+  EXPECT_TRUE(node->MapGet(3, "k").status().Is(ErrorCode::kInvalidArgument));  // ref field
+}
+
+TEST_F(TypedHeapTest, OutOfRangeFieldIsError) {
+  th::Object* node = NewNode("n");
+  EXPECT_TRUE(node->GetInt(99).status().Is(ErrorCode::kInvalidArgument));
+}
+
+TEST_F(TypedHeapTest, RefListOperations) {
+  th::Object* node = NewNode("list");
+  th::Object* a = NewNode("a");
+  th::Object* b = NewNode("b");
+  ASSERT_TRUE(node->ListAppend(4, a).ok());
+  ASSERT_TRUE(node->ListAppend(4, b).ok());
+  EXPECT_EQ(*node->ListSize(4), 2u);
+  EXPECT_EQ(*node->ListGet(4, 0), a);
+  ASSERT_TRUE(node->ListSet(4, 0, b).ok());
+  EXPECT_EQ(*node->ListGet(4, 0), b);
+  EXPECT_TRUE(node->ListGet(4, 5).status().Is(ErrorCode::kInvalidArgument));
+  ASSERT_TRUE(node->ListClear(4).ok());
+  EXPECT_EQ(*node->ListSize(4), 0u);
+}
+
+TEST_F(TypedHeapTest, MapOperations) {
+  th::Object* node = NewNode("map");
+  th::Object* child = NewNode("child");
+  ASSERT_TRUE(node->MapSet(5, "key", child).ok());
+  EXPECT_EQ(*node->MapGet(5, "key"), child);
+  EXPECT_TRUE(node->MapGet(5, "other").status().Is(ErrorCode::kNotFound));
+  EXPECT_EQ(*node->MapSize(5), 1u);
+  ASSERT_TRUE(node->MapErase(5, "key").ok());
+  EXPECT_TRUE(node->MapErase(5, "key").Is(ErrorCode::kNotFound));
+}
+
+// --- garbage collection ---
+
+TEST_F(TypedHeapTest, UnreachableObjectsCollected) {
+  th::Object* root = NewNode("root");
+  heap_.AddRoot(root);
+  NewNode("garbage1");
+  NewNode("garbage2");
+  EXPECT_EQ(heap_.live_objects(), 3u);
+  EXPECT_EQ(heap_.Collect(), 2u);
+  EXPECT_EQ(heap_.live_objects(), 1u);
+}
+
+TEST_F(TypedHeapTest, ReachableThroughEveryFieldKindSurvives) {
+  th::Object* root = NewNode("root");
+  heap_.AddRoot(root);
+  th::Object* via_ref = NewNode("via_ref");
+  th::Object* via_list = NewNode("via_list");
+  th::Object* via_map = NewNode("via_map");
+  ASSERT_TRUE(root->SetRef(3, via_ref).ok());
+  ASSERT_TRUE(root->ListAppend(4, via_list).ok());
+  ASSERT_TRUE(root->MapSet(5, "m", via_map).ok());
+  EXPECT_EQ(heap_.Collect(), 0u);
+  EXPECT_EQ(heap_.live_objects(), 4u);
+}
+
+TEST_F(TypedHeapTest, CyclesAreCollectedWhenUnreachable) {
+  th::Object* a = NewNode("a");
+  th::Object* b = NewNode("b");
+  ASSERT_TRUE(a->SetRef(3, b).ok());
+  ASSERT_TRUE(b->SetRef(3, a).ok());
+  EXPECT_EQ(heap_.Collect(), 2u);  // cycle with no root dies
+}
+
+TEST_F(TypedHeapTest, RemovingRootFreesSubtree) {
+  th::Object* root = NewNode("root");
+  th::Object* child = NewNode("child");
+  ASSERT_TRUE(root->SetRef(3, child).ok());
+  heap_.AddRoot(root);
+  EXPECT_EQ(heap_.Collect(), 0u);
+  heap_.RemoveRoot(root);
+  EXPECT_EQ(heap_.Collect(), 2u);
+}
+
+TEST_F(TypedHeapTest, DeepChainMarksWithoutStackOverflow) {
+  th::Object* head = NewNode("head");
+  heap_.AddRoot(head);
+  th::Object* current = head;
+  for (int i = 0; i < 100'000; ++i) {
+    th::Object* next = heap_.Allocate(node_type_);
+    ASSERT_TRUE(current->SetRef(3, next).ok());
+    current = next;
+  }
+  EXPECT_EQ(heap_.Collect(), 0u);
+  EXPECT_EQ(heap_.live_objects(), 100'001u);
+}
+
+TEST_F(TypedHeapTest, GcStatsAccumulate) {
+  NewNode("garbage");
+  heap_.Collect();
+  heap_.Collect();
+  EXPECT_EQ(heap_.gc_stats().collections, 2u);
+  EXPECT_EQ(heap_.gc_stats().objects_freed, 1u);
+}
+
+// --- heap-graph pickling ---
+
+TEST_F(TypedHeapTest, EmptyRootPickles) {
+  Bytes data = *PickleHeapGraph(nullptr);
+  Heap other;
+  auto back = UnpickleHeapGraph(other, registry_, AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nullptr);
+}
+
+TEST_F(TypedHeapTest, SingleObjectRoundTrips) {
+  th::Object* node = NewNode("solo");
+  ASSERT_TRUE(node->SetInt(1, 42).ok());
+  ASSERT_TRUE(node->SetReal(2, -2.5).ok());
+  Bytes data = *PickleHeapGraph(node);
+
+  Heap other;
+  th::Object* back = *UnpickleHeapGraph(other, registry_, AsSpan(data));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(**back->GetString(0), "solo");
+  EXPECT_EQ(*back->GetInt(1), 42);
+  EXPECT_EQ(*back->GetReal(2), -2.5);
+}
+
+TEST_F(TypedHeapTest, TreeWithMapsAndListsRoundTrips) {
+  th::Object* root = NewNode("root");
+  th::Object* left = NewNode("left");
+  th::Object* right = NewNode("right");
+  ASSERT_TRUE(root->MapSet(5, "l", left).ok());
+  ASSERT_TRUE(root->MapSet(5, "r", right).ok());
+  ASSERT_TRUE(root->ListAppend(4, left).ok());
+  ASSERT_TRUE(left->SetInt(1, 7).ok());
+
+  Bytes data = *PickleHeapGraph(root);
+  Heap other;
+  th::Object* back = *UnpickleHeapGraph(other, registry_, AsSpan(data));
+  EXPECT_EQ(other.live_objects(), 3u);
+  th::Object* back_left = *back->MapGet(5, "l");
+  EXPECT_EQ(**back_left->GetString(0), "left");
+  EXPECT_EQ(*back_left->GetInt(1), 7);
+  // Shared structure preserved: the list element is the same object as map["l"].
+  EXPECT_EQ(*back->ListGet(4, 0), back_left);
+}
+
+TEST_F(TypedHeapTest, CyclicGraphRoundTrips) {
+  th::Object* a = NewNode("a");
+  th::Object* b = NewNode("b");
+  ASSERT_TRUE(a->SetRef(3, b).ok());
+  ASSERT_TRUE(b->SetRef(3, a).ok());
+  heap_.AddRoot(a);
+
+  Bytes data = *PickleHeapGraph(a);
+  Heap other;
+  th::Object* back = *UnpickleHeapGraph(other, registry_, AsSpan(data));
+  th::Object* back_b = *back->GetRef(3);
+  EXPECT_EQ(*back_b->GetRef(3), back);
+}
+
+TEST_F(TypedHeapTest, DeepGraphPicklesWithoutRecursion) {
+  th::Object* head = NewNode("head");
+  heap_.AddRoot(head);
+  th::Object* current = head;
+  for (int i = 0; i < 50'000; ++i) {
+    th::Object* next = heap_.Allocate(node_type_);
+    ASSERT_TRUE(current->SetRef(3, next).ok());
+    current = next;
+  }
+  Bytes data = *PickleHeapGraph(head);
+  Heap other;
+  auto back = UnpickleHeapGraph(other, registry_, AsSpan(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(other.live_objects(), 50'001u);
+}
+
+TEST_F(TypedHeapTest, UnregisteredTypeRejectedOnUnpickle) {
+  th::Object* node = NewNode("x");
+  Bytes data = *PickleHeapGraph(node);
+  TypeRegistry empty_registry;
+  Heap other;
+  auto back = UnpickleHeapGraph(other, empty_registry, AsSpan(data));
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(TypedHeapTest, ChangedFieldShapeRejectedOnUnpickle) {
+  th::Object* node = NewNode("x");
+  Bytes data = *PickleHeapGraph(node);
+  TypeRegistry different;
+  ASSERT_TRUE(different.Register("test.node", {{"name", FieldKind::kString}}).ok());
+  Heap other;
+  auto back = UnpickleHeapGraph(other, different, AsSpan(data));
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(TypedHeapTest, CorruptedGraphBytesRejected) {
+  th::Object* node = NewNode("x");
+  Bytes data = *PickleHeapGraph(node);
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    Bytes corrupted = data;
+    corrupted[i] ^= 0x10;
+    Heap other;
+    EXPECT_FALSE(UnpickleHeapGraph(other, registry_, AsSpan(corrupted)).ok())
+        << "flip at " << i;
+  }
+}
+
+TEST_F(TypedHeapTest, ApproximateBytesGrowsWithContent) {
+  th::Object* node = NewNode("");
+  std::size_t before = node->ApproximateBytes();
+  ASSERT_TRUE(node->SetString(0, std::string(1000, 'x')).ok());
+  EXPECT_GT(node->ApproximateBytes(), before + 900);
+}
+
+}  // namespace
+}  // namespace sdb::th

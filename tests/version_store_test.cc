@@ -1,0 +1,201 @@
+// Tests for VersionStore: the paper's checkpoint-switch protocol and restart cleanup.
+#include <gtest/gtest.h>
+
+#include "src/core/version_store.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb {
+namespace {
+
+class VersionStoreTest : public ::testing::Test {
+ protected:
+  VersionStoreTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  VersionStore NewStore(VersionStoreOptions options = {}) {
+    return VersionStore(env_->fs(), "db", options);
+  }
+
+  Status PutFile(std::string_view path, std::string_view content) {
+    SDB_RETURN_IF_ERROR(WriteWholeFile(env_->fs(), path, AsSpan(content)));
+    return env_->fs().SyncDir("db");
+  }
+
+  bool Exists(std::string_view path) { return *env_->fs().Exists(path); }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(VersionStoreTest, NamingMatchesPaper) {
+  VersionStore store = NewStore();
+  EXPECT_EQ(store.CheckpointPath(35), "db/checkpoint35");
+  EXPECT_EQ(store.LogPath(35), "db/logfile35");
+}
+
+TEST_F(VersionStoreTest, FreshDirectoryDetected) {
+  VersionStore store = NewStore();
+  EXPECT_TRUE(*store.IsFresh());
+  ASSERT_TRUE(PutFile("db/checkpoint1", "snapshot").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  EXPECT_FALSE(*store.IsFresh());
+}
+
+TEST_F(VersionStoreTest, RecoverAfterInit) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "snapshot").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_EQ(state.checkpoint_path, "db/checkpoint1");
+  EXPECT_FALSE(state.finished_interrupted_switch);
+}
+
+TEST_F(VersionStoreTest, RecoverOnEmptyDirFails) {
+  VersionStore store = NewStore();
+  EXPECT_TRUE(store.Recover().status().Is(ErrorCode::kNotFound));
+}
+
+TEST_F(VersionStoreTest, CommitSwitchAdvancesVersionAndCleans) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "log1").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+
+  ASSERT_TRUE(PutFile("db/checkpoint2", "v2").ok());
+  ASSERT_TRUE(PutFile("db/logfile2", "").ok());
+  ASSERT_TRUE(store.CommitSwitch(1, 2).ok());
+
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_FALSE(Exists("db/logfile1"));
+  EXPECT_FALSE(Exists("db/newversion"));
+  EXPECT_TRUE(Exists("db/version"));
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 2u);
+}
+
+TEST_F(VersionStoreTest, InterruptedSwitchAfterCommitPointFinishesOnRecover) {
+  // Simulate a crash between the newversion commit and the cleanup: both generations
+  // plus `version` (old) and `newversion` (new) exist.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  ASSERT_TRUE(PutFile("db/checkpoint2", "v2").ok());
+  ASSERT_TRUE(PutFile("db/logfile2", "").ok());
+  ASSERT_TRUE(PutFile("db/newversion", "2").ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 2u);
+  EXPECT_TRUE(state.finished_interrupted_switch);
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_FALSE(Exists("db/logfile1"));
+  EXPECT_FALSE(Exists("db/newversion"));
+  // `version` now names generation 2.
+  Bytes version_bytes = *ReadWholeFile(env_->fs(), "db/version");
+  EXPECT_EQ(AsStringView(AsSpan(version_bytes)), "2");
+}
+
+TEST_F(VersionStoreTest, PartialSwitchBeforeCommitPointRollsBack) {
+  // Crash after writing checkpoint2/logfile2 but before newversion: recovery stays on
+  // version 1 and deletes the partial generation.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  ASSERT_TRUE(PutFile("db/checkpoint2", "partial").ok());
+  ASSERT_TRUE(PutFile("db/logfile2", "").ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_FALSE(Exists("db/checkpoint2"));
+  EXPECT_FALSE(Exists("db/logfile2"));
+}
+
+TEST_F(VersionStoreTest, InvalidNewversionIgnoredAndDeleted) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  ASSERT_TRUE(PutFile("db/newversion", "not a number").ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 1u);
+  EXPECT_FALSE(Exists("db/newversion"));
+}
+
+TEST_F(VersionStoreTest, NewversionNamingMissingGenerationIgnored) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  // newversion claims 9 but checkpoint9/logfile9 do not exist.
+  ASSERT_TRUE(PutFile("db/newversion", "9").ok());
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 1u);
+}
+
+TEST_F(VersionStoreTest, StaleGenerationsAndTmpFilesRemoved) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint5", "v5").ok());
+  ASSERT_TRUE(PutFile("db/logfile5", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "5").ok());
+  ASSERT_TRUE(PutFile("db/checkpoint3", "old").ok());
+  ASSERT_TRUE(PutFile("db/logfile3", "old").ok());
+  ASSERT_TRUE(PutFile("db/checkpoint6.tmp", "partial").ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 5u);
+  EXPECT_FALSE(Exists("db/checkpoint3"));
+  EXPECT_FALSE(Exists("db/logfile3"));
+  EXPECT_FALSE(Exists("db/checkpoint6.tmp"));
+  EXPECT_GE(state.removed_files.size(), 3u);
+}
+
+TEST_F(VersionStoreTest, RetentionKeepsPreviousGeneration) {
+  VersionStoreOptions options;
+  options.keep_previous_checkpoint = true;
+  VersionStore store = NewStore(options);
+  ASSERT_TRUE(PutFile("db/checkpoint1", "v1").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "log1").ok());
+  ASSERT_TRUE(store.InitFresh().ok());
+  ASSERT_TRUE(PutFile("db/checkpoint2", "v2").ok());
+  ASSERT_TRUE(PutFile("db/logfile2", "").ok());
+  ASSERT_TRUE(store.CommitSwitch(1, 2).ok());
+
+  // Generation 1 retained.
+  EXPECT_TRUE(Exists("db/checkpoint1"));
+  EXPECT_TRUE(Exists("db/logfile1"));
+
+  ASSERT_TRUE(PutFile("db/checkpoint3", "v3").ok());
+  ASSERT_TRUE(PutFile("db/logfile3", "").ok());
+  ASSERT_TRUE(store.CommitSwitch(2, 3).ok());
+
+  // Now generation 1 is gone, generation 2 retained.
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_TRUE(Exists("db/checkpoint2"));
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 3u);
+  ASSERT_TRUE(state.previous_version.has_value());
+  EXPECT_EQ(*state.previous_version, 2u);
+}
+
+TEST_F(VersionStoreTest, UnreadableVersionFileFallsBackToNewversion) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "v2").ok());
+  ASSERT_TRUE(PutFile("db/logfile2", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "1").ok());
+  ASSERT_TRUE(PutFile("db/newversion", "2").ok());
+  ASSERT_TRUE(env_->fs().InjectBadFilePage("db/version", 0).ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 2u);
+}
+
+}  // namespace
+}  // namespace sdb
