@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_cost.dir/bench_checkpoint_cost.cc.o"
+  "CMakeFiles/bench_checkpoint_cost.dir/bench_checkpoint_cost.cc.o.d"
+  "bench_checkpoint_cost"
+  "bench_checkpoint_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

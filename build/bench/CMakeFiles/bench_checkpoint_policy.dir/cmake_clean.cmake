@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_policy.dir/bench_checkpoint_policy.cc.o"
+  "CMakeFiles/bench_checkpoint_policy.dir/bench_checkpoint_policy.cc.o.d"
+  "bench_checkpoint_policy"
+  "bench_checkpoint_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_matrix.dir/bench_crash_matrix.cc.o"
+  "CMakeFiles/bench_crash_matrix.dir/bench_crash_matrix.cc.o.d"
+  "bench_crash_matrix"
+  "bench_crash_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

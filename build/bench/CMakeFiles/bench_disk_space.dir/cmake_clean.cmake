@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_space.dir/bench_disk_space.cc.o"
+  "CMakeFiles/bench_disk_space.dir/bench_disk_space.cc.o.d"
+  "bench_disk_space"
+  "bench_disk_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hard_errors.dir/bench_hard_errors.cc.o"
+  "CMakeFiles/bench_hard_errors.dir/bench_hard_errors.cc.o.d"
+  "bench_hard_errors"
+  "bench_hard_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hard_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

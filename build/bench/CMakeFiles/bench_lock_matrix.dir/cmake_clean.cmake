@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_matrix.dir/bench_lock_matrix.cc.o"
+  "CMakeFiles/bench_lock_matrix.dir/bench_lock_matrix.cc.o.d"
+  "bench_lock_matrix"
+  "bench_lock_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

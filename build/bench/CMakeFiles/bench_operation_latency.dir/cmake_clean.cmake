@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operation_latency.dir/bench_operation_latency.cc.o"
+  "CMakeFiles/bench_operation_latency.dir/bench_operation_latency.cc.o.d"
+  "bench_operation_latency"
+  "bench_operation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

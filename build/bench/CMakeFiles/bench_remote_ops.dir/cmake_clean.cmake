@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_ops.dir/bench_remote_ops.cc.o"
+  "CMakeFiles/bench_remote_ops.dir/bench_remote_ops.cc.o.d"
+  "bench_remote_ops"
+  "bench_remote_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

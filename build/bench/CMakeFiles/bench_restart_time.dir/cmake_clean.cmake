@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restart_time.dir/bench_restart_time.cc.o"
+  "CMakeFiles/bench_restart_time.dir/bench_restart_time.cc.o.d"
+  "bench_restart_time"
+  "bench_restart_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_technique_comparison.dir/bench_technique_comparison.cc.o"
+  "CMakeFiles/bench_technique_comparison.dir/bench_technique_comparison.cc.o.d"
+  "bench_technique_comparison"
+  "bench_technique_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_technique_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

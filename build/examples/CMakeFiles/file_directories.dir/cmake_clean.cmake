@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_directories.dir/file_directories.cpp.o"
+  "CMakeFiles/file_directories.dir/file_directories.cpp.o.d"
+  "file_directories"
+  "file_directories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_directories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nameserver_demo.dir/nameserver_demo.cpp.o"
+  "CMakeFiles/nameserver_demo.dir/nameserver_demo.cpp.o.d"
+  "nameserver_demo"
+  "nameserver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nameserver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

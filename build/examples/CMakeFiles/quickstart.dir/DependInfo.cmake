@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pickle/CMakeFiles/sdb_pickle.dir/DependInfo.cmake"
+  "/root/repo/build/src/typedheap/CMakeFiles/sdb_typedheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/sdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameserver/CMakeFiles/sdb_nameserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dirsvc/CMakeFiles/sdb_dirsvc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_dump.dir/sdb_dump.cpp.o"
+  "CMakeFiles/sdb_dump.dir/sdb_dump.cpp.o.d"
+  "sdb_dump"
+  "sdb_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_inspect.dir/sdb_inspect.cpp.o"
+  "CMakeFiles/sdb_inspect.dir/sdb_inspect.cpp.o.d"
+  "sdb_inspect"
+  "sdb_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_accounts.dir/user_accounts.cpp.o"
+  "CMakeFiles/user_accounts.dir/user_accounts.cpp.o.d"
+  "user_accounts"
+  "user_accounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_accounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adhoc_page_db.cc" "src/baselines/CMakeFiles/sdb_baselines.dir/adhoc_page_db.cc.o" "gcc" "src/baselines/CMakeFiles/sdb_baselines.dir/adhoc_page_db.cc.o.d"
+  "/root/repo/src/baselines/smalldb_kv.cc" "src/baselines/CMakeFiles/sdb_baselines.dir/smalldb_kv.cc.o" "gcc" "src/baselines/CMakeFiles/sdb_baselines.dir/smalldb_kv.cc.o.d"
+  "/root/repo/src/baselines/textfile_db.cc" "src/baselines/CMakeFiles/sdb_baselines.dir/textfile_db.cc.o" "gcc" "src/baselines/CMakeFiles/sdb_baselines.dir/textfile_db.cc.o.d"
+  "/root/repo/src/baselines/wal_commit_db.cc" "src/baselines/CMakeFiles/sdb_baselines.dir/wal_commit_db.cc.o" "gcc" "src/baselines/CMakeFiles/sdb_baselines.dir/wal_commit_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pickle/CMakeFiles/sdb_pickle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

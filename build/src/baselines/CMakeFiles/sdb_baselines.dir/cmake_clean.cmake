@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_baselines.dir/adhoc_page_db.cc.o"
+  "CMakeFiles/sdb_baselines.dir/adhoc_page_db.cc.o.d"
+  "CMakeFiles/sdb_baselines.dir/smalldb_kv.cc.o"
+  "CMakeFiles/sdb_baselines.dir/smalldb_kv.cc.o.d"
+  "CMakeFiles/sdb_baselines.dir/textfile_db.cc.o"
+  "CMakeFiles/sdb_baselines.dir/textfile_db.cc.o.d"
+  "CMakeFiles/sdb_baselines.dir/wal_commit_db.cc.o"
+  "CMakeFiles/sdb_baselines.dir/wal_commit_db.cc.o.d"
+  "libsdb_baselines.a"
+  "libsdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_common.dir/bytes.cc.o"
+  "CMakeFiles/sdb_common.dir/bytes.cc.o.d"
+  "CMakeFiles/sdb_common.dir/clock.cc.o"
+  "CMakeFiles/sdb_common.dir/clock.cc.o.d"
+  "CMakeFiles/sdb_common.dir/crc.cc.o"
+  "CMakeFiles/sdb_common.dir/crc.cc.o.d"
+  "CMakeFiles/sdb_common.dir/logging.cc.o"
+  "CMakeFiles/sdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/sdb_common.dir/status.cc.o"
+  "CMakeFiles/sdb_common.dir/status.cc.o.d"
+  "libsdb_common.a"
+  "libsdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

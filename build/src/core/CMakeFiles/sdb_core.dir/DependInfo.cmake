@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cc" "src/core/CMakeFiles/sdb_core.dir/audit.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/audit.cc.o.d"
+  "/root/repo/src/core/backup.cc" "src/core/CMakeFiles/sdb_core.dir/backup.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/backup.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/sdb_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/database.cc.o.d"
+  "/root/repo/src/core/integrity.cc" "src/core/CMakeFiles/sdb_core.dir/integrity.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/integrity.cc.o.d"
+  "/root/repo/src/core/log_format.cc" "src/core/CMakeFiles/sdb_core.dir/log_format.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/log_format.cc.o.d"
+  "/root/repo/src/core/log_reader.cc" "src/core/CMakeFiles/sdb_core.dir/log_reader.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/log_reader.cc.o.d"
+  "/root/repo/src/core/log_writer.cc" "src/core/CMakeFiles/sdb_core.dir/log_writer.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/log_writer.cc.o.d"
+  "/root/repo/src/core/partitioned.cc" "src/core/CMakeFiles/sdb_core.dir/partitioned.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/partitioned.cc.o.d"
+  "/root/repo/src/core/shared_log.cc" "src/core/CMakeFiles/sdb_core.dir/shared_log.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/shared_log.cc.o.d"
+  "/root/repo/src/core/sue_lock.cc" "src/core/CMakeFiles/sdb_core.dir/sue_lock.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/sue_lock.cc.o.d"
+  "/root/repo/src/core/version_store.cc" "src/core/CMakeFiles/sdb_core.dir/version_store.cc.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pickle/CMakeFiles/sdb_pickle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_core.dir/audit.cc.o"
+  "CMakeFiles/sdb_core.dir/audit.cc.o.d"
+  "CMakeFiles/sdb_core.dir/backup.cc.o"
+  "CMakeFiles/sdb_core.dir/backup.cc.o.d"
+  "CMakeFiles/sdb_core.dir/database.cc.o"
+  "CMakeFiles/sdb_core.dir/database.cc.o.d"
+  "CMakeFiles/sdb_core.dir/integrity.cc.o"
+  "CMakeFiles/sdb_core.dir/integrity.cc.o.d"
+  "CMakeFiles/sdb_core.dir/log_format.cc.o"
+  "CMakeFiles/sdb_core.dir/log_format.cc.o.d"
+  "CMakeFiles/sdb_core.dir/log_reader.cc.o"
+  "CMakeFiles/sdb_core.dir/log_reader.cc.o.d"
+  "CMakeFiles/sdb_core.dir/log_writer.cc.o"
+  "CMakeFiles/sdb_core.dir/log_writer.cc.o.d"
+  "CMakeFiles/sdb_core.dir/partitioned.cc.o"
+  "CMakeFiles/sdb_core.dir/partitioned.cc.o.d"
+  "CMakeFiles/sdb_core.dir/shared_log.cc.o"
+  "CMakeFiles/sdb_core.dir/shared_log.cc.o.d"
+  "CMakeFiles/sdb_core.dir/sue_lock.cc.o"
+  "CMakeFiles/sdb_core.dir/sue_lock.cc.o.d"
+  "CMakeFiles/sdb_core.dir/version_store.cc.o"
+  "CMakeFiles/sdb_core.dir/version_store.cc.o.d"
+  "libsdb_core.a"
+  "libsdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

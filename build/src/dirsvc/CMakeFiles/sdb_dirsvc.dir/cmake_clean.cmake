@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_dirsvc.dir/directory_service.cc.o"
+  "CMakeFiles/sdb_dirsvc.dir/directory_service.cc.o.d"
+  "CMakeFiles/sdb_dirsvc.dir/directory_service_rpc.cc.o"
+  "CMakeFiles/sdb_dirsvc.dir/directory_service_rpc.cc.o.d"
+  "libsdb_dirsvc.a"
+  "libsdb_dirsvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_dirsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_nameserver.dir/name_server.cc.o"
+  "CMakeFiles/sdb_nameserver.dir/name_server.cc.o.d"
+  "CMakeFiles/sdb_nameserver.dir/name_service_rpc.cc.o"
+  "CMakeFiles/sdb_nameserver.dir/name_service_rpc.cc.o.d"
+  "CMakeFiles/sdb_nameserver.dir/name_tree.cc.o"
+  "CMakeFiles/sdb_nameserver.dir/name_tree.cc.o.d"
+  "CMakeFiles/sdb_nameserver.dir/replication.cc.o"
+  "CMakeFiles/sdb_nameserver.dir/replication.cc.o.d"
+  "CMakeFiles/sdb_nameserver.dir/updates.cc.o"
+  "CMakeFiles/sdb_nameserver.dir/updates.cc.o.d"
+  "libsdb_nameserver.a"
+  "libsdb_nameserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_nameserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_pickle.dir/pickle.cc.o"
+  "CMakeFiles/sdb_pickle.dir/pickle.cc.o.d"
+  "libsdb_pickle.a"
+  "libsdb_pickle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_pickle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_rpc.dir/client.cc.o"
+  "CMakeFiles/sdb_rpc.dir/client.cc.o.d"
+  "CMakeFiles/sdb_rpc.dir/message.cc.o"
+  "CMakeFiles/sdb_rpc.dir/message.cc.o.d"
+  "CMakeFiles/sdb_rpc.dir/server.cc.o"
+  "CMakeFiles/sdb_rpc.dir/server.cc.o.d"
+  "libsdb_rpc.a"
+  "libsdb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

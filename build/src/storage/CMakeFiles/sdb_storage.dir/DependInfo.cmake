@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/posix_fs.cc" "src/storage/CMakeFiles/sdb_storage.dir/posix_fs.cc.o" "gcc" "src/storage/CMakeFiles/sdb_storage.dir/posix_fs.cc.o.d"
+  "/root/repo/src/storage/sim_disk.cc" "src/storage/CMakeFiles/sdb_storage.dir/sim_disk.cc.o" "gcc" "src/storage/CMakeFiles/sdb_storage.dir/sim_disk.cc.o.d"
+  "/root/repo/src/storage/sim_fs.cc" "src/storage/CMakeFiles/sdb_storage.dir/sim_fs.cc.o" "gcc" "src/storage/CMakeFiles/sdb_storage.dir/sim_fs.cc.o.d"
+  "/root/repo/src/storage/vfs.cc" "src/storage/CMakeFiles/sdb_storage.dir/vfs.cc.o" "gcc" "src/storage/CMakeFiles/sdb_storage.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

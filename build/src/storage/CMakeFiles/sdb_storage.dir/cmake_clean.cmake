@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_storage.dir/posix_fs.cc.o"
+  "CMakeFiles/sdb_storage.dir/posix_fs.cc.o.d"
+  "CMakeFiles/sdb_storage.dir/sim_disk.cc.o"
+  "CMakeFiles/sdb_storage.dir/sim_disk.cc.o.d"
+  "CMakeFiles/sdb_storage.dir/sim_fs.cc.o"
+  "CMakeFiles/sdb_storage.dir/sim_fs.cc.o.d"
+  "CMakeFiles/sdb_storage.dir/vfs.cc.o"
+  "CMakeFiles/sdb_storage.dir/vfs.cc.o.d"
+  "libsdb_storage.a"
+  "libsdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typedheap/heap.cc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/heap.cc.o" "gcc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/heap.cc.o.d"
+  "/root/repo/src/typedheap/heap_pickle.cc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/heap_pickle.cc.o" "gcc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/heap_pickle.cc.o.d"
+  "/root/repo/src/typedheap/type_desc.cc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/type_desc.cc.o" "gcc" "src/typedheap/CMakeFiles/sdb_typedheap.dir/type_desc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pickle/CMakeFiles/sdb_pickle.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_typedheap.dir/heap.cc.o"
+  "CMakeFiles/sdb_typedheap.dir/heap.cc.o.d"
+  "CMakeFiles/sdb_typedheap.dir/heap_pickle.cc.o"
+  "CMakeFiles/sdb_typedheap.dir/heap_pickle.cc.o.d"
+  "CMakeFiles/sdb_typedheap.dir/type_desc.cc.o"
+  "CMakeFiles/sdb_typedheap.dir/type_desc.cc.o.d"
+  "libsdb_typedheap.a"
+  "libsdb_typedheap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_typedheap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

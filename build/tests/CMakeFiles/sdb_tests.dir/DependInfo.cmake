@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backup_test.cc" "tests/CMakeFiles/sdb_tests.dir/backup_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/backup_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/sdb_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/sdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crash_matrix_test.cc" "tests/CMakeFiles/sdb_tests.dir/crash_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/crash_matrix_test.cc.o.d"
+  "/root/repo/tests/database_edge_test.cc" "tests/CMakeFiles/sdb_tests.dir/database_edge_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/database_edge_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/sdb_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/sdb_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/directory_service_test.cc" "tests/CMakeFiles/sdb_tests.dir/directory_service_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/directory_service_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/sdb_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/log_test.cc" "tests/CMakeFiles/sdb_tests.dir/log_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/log_test.cc.o.d"
+  "/root/repo/tests/misc_extensions_test.cc" "tests/CMakeFiles/sdb_tests.dir/misc_extensions_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/misc_extensions_test.cc.o.d"
+  "/root/repo/tests/name_server_test.cc" "tests/CMakeFiles/sdb_tests.dir/name_server_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/name_server_test.cc.o.d"
+  "/root/repo/tests/name_tree_test.cc" "tests/CMakeFiles/sdb_tests.dir/name_tree_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/name_tree_test.cc.o.d"
+  "/root/repo/tests/paper_fidelity_test.cc" "tests/CMakeFiles/sdb_tests.dir/paper_fidelity_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/paper_fidelity_test.cc.o.d"
+  "/root/repo/tests/partitioned_test.cc" "tests/CMakeFiles/sdb_tests.dir/partitioned_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/partitioned_test.cc.o.d"
+  "/root/repo/tests/pickle_extended_test.cc" "tests/CMakeFiles/sdb_tests.dir/pickle_extended_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/pickle_extended_test.cc.o.d"
+  "/root/repo/tests/pickle_test.cc" "tests/CMakeFiles/sdb_tests.dir/pickle_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/pickle_test.cc.o.d"
+  "/root/repo/tests/posix_fs_test.cc" "tests/CMakeFiles/sdb_tests.dir/posix_fs_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/posix_fs_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/sdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/sdb_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/rpc_test.cc" "tests/CMakeFiles/sdb_tests.dir/rpc_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/rpc_test.cc.o.d"
+  "/root/repo/tests/shared_log_test.cc" "tests/CMakeFiles/sdb_tests.dir/shared_log_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/shared_log_test.cc.o.d"
+  "/root/repo/tests/sim_disk_test.cc" "tests/CMakeFiles/sdb_tests.dir/sim_disk_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/sim_disk_test.cc.o.d"
+  "/root/repo/tests/sim_fs_test.cc" "tests/CMakeFiles/sdb_tests.dir/sim_fs_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/sim_fs_test.cc.o.d"
+  "/root/repo/tests/sue_lock_test.cc" "tests/CMakeFiles/sdb_tests.dir/sue_lock_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/sue_lock_test.cc.o.d"
+  "/root/repo/tests/typedheap_test.cc" "tests/CMakeFiles/sdb_tests.dir/typedheap_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/typedheap_test.cc.o.d"
+  "/root/repo/tests/version_store_test.cc" "tests/CMakeFiles/sdb_tests.dir/version_store_test.cc.o" "gcc" "tests/CMakeFiles/sdb_tests.dir/version_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pickle/CMakeFiles/sdb_pickle.dir/DependInfo.cmake"
+  "/root/repo/build/src/typedheap/CMakeFiles/sdb_typedheap.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/sdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nameserver/CMakeFiles/sdb_nameserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/dirsvc/CMakeFiles/sdb_dirsvc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
