@@ -13,6 +13,7 @@ Database::Database(Application& app, DatabaseOptions options)
                                          options_.retain_logs_for_audit}) {}
 
 Database::~Database() {
+  committer_.reset();  // no batch may outlive the log writer
   if (log_ != nullptr) {
     Status status = log_->Close();
     if (!status.ok()) {
@@ -27,6 +28,13 @@ Result<std::unique_ptr<Database>> Database::Open(Application& app, DatabaseOptio
   }
   std::unique_ptr<Database> db(new Database(app, std::move(options)));
   SDB_RETURN_IF_ERROR(db->Recover().WithContext("opening database in " + db->options_.dir));
+  if (db->options_.group_commit.enabled) {
+    // The private-base upcast must happen here, inside a member, not in make_unique.
+    GroupCommitHost& host = *db;
+    db->committer_ = std::make_unique<GroupCommitter>(db->lock_, *db->clock_, host,
+                                                      db->log_.get(), &db->counters_,
+                                                      db->options_.group_commit);
+  }
   return db;
 }
 
@@ -56,7 +64,8 @@ Status Database::Recover() {
     SDB_RETURN_IF_ERROR(LoadCheckpointAndReplay(state));
   }
   SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(version_store_.LogPath(version_)));
-  last_checkpoint_time_ = clock_->NowMicros();
+  counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
+  last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -126,7 +135,8 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
   stats_.restart.entries_replayed += replay.entries_replayed;
   stats_.restart.entries_skipped += replay.entries_skipped;
   stats_.restart.partial_tail_discarded = replay.partial_tail_discarded;
-  stats_.log_entries_since_checkpoint = replay.entries_replayed;
+  counters_.log_entries_since_checkpoint.store(replay.entries_replayed,
+                                               std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -154,19 +164,40 @@ Status Database::CheckPoisoned() const {
 }
 
 namespace {
+
 Status ReadOnlyError() {
   return FailedPreconditionError("database was opened read-only");
 }
+
+// Quiesces the commit pipeline for the guard's scope (no-op when group commit is
+// off). Taken BEFORE the update lock: an in-flight batch needs the lock to finish,
+// so pausing after acquiring it would deadlock.
+class PipelinePause {
+ public:
+  explicit PipelinePause(GroupCommitter* committer) : committer_(committer) {
+    if (committer_ != nullptr) {
+      committer_->Pause();
+    }
+  }
+  ~PipelinePause() {
+    if (committer_ != nullptr) {
+      committer_->Resume();
+    }
+  }
+  PipelinePause(const PipelinePause&) = delete;
+  PipelinePause& operator=(const PipelinePause&) = delete;
+
+ private:
+  GroupCommitter* committer_;
+};
+
 }  // namespace
 
 Status Database::Enquire(const std::function<Status()>& enquiry) {
   SueLock::SharedGuard guard(lock_);
   SDB_RETURN_IF_ERROR(CheckPoisoned());
   Status status = enquiry();
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.enquiries;
-  }
+  enquiries_.fetch_add(1, std::memory_order_relaxed);
   return status;
 }
 
@@ -182,10 +213,22 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
   if (read_only_) {
     return ReadOnlyError();
   }
+  if (committer_ != nullptr) {
+    SDB_RETURN_IF_ERROR(committer_->Submit({prepares.data(), prepares.size()}));
+    MaybeAutoCheckpoint();
+    return OkStatus();
+  }
+  return UpdateSerial(prepares);
+}
+
+// The paper's base protocol: one commit fsync per UpdateBatch call, the update lock
+// held across the disk write. Used when group commit is disabled.
+Status Database::UpdateSerial(const std::vector<std::function<Result<Bytes>()>>& prepares) {
   UpdateBreakdown breakdown;
   {
     SueLock::UpdateGuard guard(lock_);
     SDB_RETURN_IF_ERROR(CheckPoisoned());
+    commit_epoch_.fetch_add(1, std::memory_order_relaxed);
 
     // Step 1: verify preconditions and gather the parameters of each update into a
     // record, under the update lock (enquiries continue concurrently).
@@ -195,8 +238,7 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
     for (const auto& prepare : prepares) {
       Result<Bytes> record = prepare();
       if (!record.ok()) {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.update_precondition_failures;
+        counters_.precondition_failures.fetch_add(1, std::memory_order_relaxed);
         return record.status();
       }
       records.push_back(std::move(*record));
@@ -208,15 +250,14 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
     for (const Bytes& record : records) {
       Status status = log_->Append(AsSpan(record));
       if (!status.ok()) {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++stats_.update_commit_failures;
+        counters_.commit_failures.fetch_add(1, std::memory_order_relaxed);
         return status.WithContext("appending log entry");
       }
     }
     Status commit = log_->Commit();
+    counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
     if (!commit.ok()) {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.update_commit_failures;
+      counters_.commit_failures.fetch_add(1, std::memory_order_relaxed);
       return commit.WithContext("committing log entry");
     }
     breakdown.log_micros = log_watch.ElapsedMicros();
@@ -238,10 +279,11 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
     breakdown.total_micros =
         breakdown.prepare_micros + breakdown.log_micros + breakdown.apply_micros;
 
+    counters_.updates.fetch_add(records.size(), std::memory_order_relaxed);
+    counters_.log_entries_since_checkpoint.fetch_add(records.size(),
+                                                     std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      stats_.updates += records.size();
-      stats_.log_entries_since_checkpoint += records.size();
       stats_.last_update = breakdown;
     }
   }
@@ -249,10 +291,30 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
   return OkStatus();
 }
 
+Status Database::BatchBegin() {
+  commit_epoch_.fetch_add(1, std::memory_order_relaxed);
+  return CheckPoisoned();
+}
+
+Status Database::BatchApply(ByteSpan record) { return app_.ApplyUpdate(record); }
+
+void Database::BatchPoisoned(const Status& cause) {
+  // Called under the exclusive lock; readers check via CheckPoisoned under at least
+  // the shared lock, so the lock's ordering publishes the flag.
+  (void)cause;
+  poisoned_ = true;
+}
+
+void Database::BatchCommitted(const UpdateBreakdown& breakdown) {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  stats_.last_update = breakdown;
+}
+
 Status Database::ReplaceState(ByteSpan state) {
   if (read_only_) {
     return ReadOnlyError();
   }
+  PipelinePause pause(committer_.get());
   SueLock::UpdateGuard guard(lock_);
   guard.Upgrade();
   SDB_RETURN_IF_ERROR(app_.ResetState());
@@ -266,6 +328,7 @@ Status Database::Checkpoint() {
   if (read_only_) {
     return ReadOnlyError();
   }
+  PipelinePause pause(committer_.get());
   SueLock::UpdateGuard guard(lock_);
   SDB_RETURN_IF_ERROR(CheckPoisoned());
   return CheckpointLocked();
@@ -291,7 +354,8 @@ Status Database::CheckpointLocked() {
           .WithContext("creating empty log"));
   SDB_RETURN_IF_ERROR(version_store_.CommitSwitch(version_, new_version));
 
-  // Swap the live log writer to the new (empty) log.
+  // Swap the live log writer to the new (empty) log. The pipeline is paused, so no
+  // batch can be holding the old writer.
   SDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> new_log,
                        OpenLogForAppend(version_store_.LogPath(new_version)));
   Status closed = log_->Close();
@@ -299,15 +363,20 @@ Status Database::CheckpointLocked() {
     SDB_LOG(kWarning) << "closing old log: " << closed;
   }
   log_ = std::move(new_log);
+  if (committer_ != nullptr) {
+    committer_->set_log(log_.get());
+  }
   version_ = new_version;
-  last_checkpoint_time_ = clock_->NowMicros();
+  commit_epoch_.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
+  counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
+  counters_.log_entries_since_checkpoint.store(0, std::memory_order_relaxed);
   breakdown.disk_micros = disk_watch.ElapsedMicros();
   breakdown.total_micros = total_watch.ElapsedMicros();
 
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.checkpoints;
-    stats_.log_entries_since_checkpoint = 0;
     stats_.last_checkpoint = breakdown;
   }
   return OkStatus();
@@ -316,24 +385,30 @@ Status Database::CheckpointLocked() {
 void Database::MaybeAutoCheckpoint() {
   const CheckpointPolicy& policy = options_.checkpoint_policy;
   bool trigger = false;
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    if (policy.every_n_updates != 0 &&
-        stats_.log_entries_since_checkpoint >= policy.every_n_updates) {
-      trigger = true;
-    }
+  if (policy.every_n_updates != 0 &&
+      counters_.log_entries_since_checkpoint.load(std::memory_order_relaxed) >=
+          policy.every_n_updates) {
+    trigger = true;
   }
   if (!trigger && policy.log_bytes_threshold != 0 && log_bytes() >= policy.log_bytes_threshold) {
     trigger = true;
   }
   if (!trigger && policy.interval_micros != 0 &&
-      clock_->NowMicros() - last_checkpoint_time_ >= policy.interval_micros) {
+      clock_->NowMicros() - last_checkpoint_time_.load(std::memory_order_relaxed) >=
+          policy.interval_micros) {
     trigger = true;
   }
   if (!trigger) {
     return;
   }
+  // One auto-checkpoint at a time: with concurrent updaters, every waiter of the
+  // triggering batch would otherwise pile into Checkpoint back-to-back.
+  bool expected = false;
+  if (!auto_checkpoint_running_.compare_exchange_strong(expected, true)) {
+    return;
+  }
   Status status = Checkpoint();
+  auto_checkpoint_running_.store(false);
   if (status.ok()) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.auto_checkpoints;
@@ -344,11 +419,32 @@ void Database::MaybeAutoCheckpoint() {
 
 std::uint64_t Database::current_version() const { return version_; }
 
-std::uint64_t Database::log_bytes() const { return log_ != nullptr ? log_->size() : 0; }
+std::uint64_t Database::log_bytes() const {
+  return counters_.log_bytes.load(std::memory_order_relaxed);
+}
+
+LogWriterStats Database::log_writer_stats() const {
+  return log_ != nullptr ? log_->stats() : LogWriterStats{};
+}
 
 DatabaseStats Database::stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  return stats_;
+  DatabaseStats snapshot;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.enquiries = enquiries_.load(std::memory_order_relaxed);
+  snapshot.updates = counters_.updates.load(std::memory_order_relaxed);
+  snapshot.update_precondition_failures =
+      counters_.precondition_failures.load(std::memory_order_relaxed);
+  snapshot.update_commit_failures =
+      counters_.commit_failures.load(std::memory_order_relaxed);
+  snapshot.log_entries_since_checkpoint =
+      counters_.log_entries_since_checkpoint.load(std::memory_order_relaxed);
+  if (committer_ != nullptr) {
+    snapshot.group_commit = committer_->stats();
+  }
+  return snapshot;
 }
 
 }  // namespace sdb

@@ -13,12 +13,19 @@
 //     (Checkpoint; also automatic via CheckpointPolicy).
 //   - Restart = load checkpoint, replay log (Open).
 //
+// Concurrent updates are coalesced by the group-commit pipeline (GroupCommitter):
+// N simultaneous Update() callers share one log disk write and one fsync, and the
+// fsync happens with no lock held — enquiries are never excluded during disk
+// transfers (Section 3's rule), and updaters queue in the pipeline instead of on
+// the update lock.
+//
 // The engine is application-agnostic: the Application interface supplies state
 // (de)serialization and update application; the engine owns locking, logging,
 // checkpointing and recovery.
 #ifndef SMALLDB_SRC_CORE_DATABASE_H_
 #define SMALLDB_SRC_CORE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +37,7 @@
 #include "src/common/cost_model.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/core/group_commit.h"
 #include "src/core/log_reader.h"
 #include "src/core/log_writer.h"
 #include "src/core/sue_lock.h"
@@ -94,15 +102,12 @@ struct DatabaseOptions {
   bool skip_damaged_log_entries = false;   // hard-error mode: ignore damaged entries
   bool fallback_to_previous_checkpoint = false;  // hard-error mode: use version N-1
 
+  // Cross-thread group commit (Section 5). Enabled by default; disable to get the
+  // one-fsync-per-update serial path.
+  GroupCommitOptions group_commit;
+
   LogWriterOptions log_writer;
   std::size_t log_replay_page_size = 512;
-};
-
-struct UpdateBreakdown {
-  Micros prepare_micros = 0;  // precondition check + pickling the record
-  Micros log_micros = 0;      // disk write of the log entry (the commit)
-  Micros apply_micros = 0;    // exclusive-mode in-memory modification
-  Micros total_micros = 0;
 };
 
 struct CheckpointBreakdown {
@@ -133,9 +138,10 @@ struct DatabaseStats {
   UpdateBreakdown last_update;
   CheckpointBreakdown last_checkpoint;
   RestartBreakdown restart;
+  GroupCommitStats group_commit;
 };
 
-class Database {
+class Database : private GroupCommitHost {
  public:
   // Opens (or creates) the database in options.dir, recovering state into `app`:
   // determine the current version, load its checkpoint, replay its log. The
@@ -164,6 +170,10 @@ class Database {
   // then appends the record to the log and forces it to disk — the commit point —
   // upgrades to exclusive, and applies the record through the application.
   //
+  // With group commit enabled (the default), concurrent callers' records share one
+  // log write and one fsync; this never weakens the contract below — Update returns
+  // OK only after this update's record is durable and applied, in log order.
+  //
   // If `prepare` fails, nothing is logged and the state is untouched. If the disk
   // write fails, the update is not applied (and will not be visible after restart).
   // If ApplyUpdate fails after a successful commit, the in-memory state can no longer
@@ -177,7 +187,8 @@ class Database {
 
   // Writes a checkpoint of the current state and resets the log, holding the update
   // lock throughout ("An update lock is held while writing a checkpoint") — enquiries
-  // proceed, updates wait.
+  // proceed, updates wait. Quiesces the commit pipeline first so the log is never
+  // switched under an in-flight batch.
   Status Checkpoint();
 
   // Replaces the entire in-memory state and immediately checkpoints it, discarding the
@@ -190,6 +201,19 @@ class Database {
   std::uint64_t log_bytes() const;
   DatabaseStats stats() const;
 
+  // Monotone counter bumped at the start of every commit batch (and every serial
+  // update / checkpoint). Applications whose prepares derive values from in-memory
+  // state that the same batch will modify (e.g. replication sequence numbers) compare
+  // this across prepares to detect "the state I read has pending, not-yet-applied
+  // records in front of it"; see NameServer::SyncReservations.
+  std::uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Snapshot of the live log writer's counters (entries, fsyncs, bytes). Meaningful
+  // only while no update is in flight; benchmarks read it after joining workers.
+  LogWriterStats log_writer_stats() const;
+
   const std::string& dir() const { return options_.dir; }
   VersionStore& version_store() { return version_store_; }
 
@@ -200,9 +224,16 @@ class Database {
   Status InitFreshDatabase();
   Status LoadCheckpointAndReplay(const VersionState& state);
   Result<std::unique_ptr<LogWriter>> OpenLogForAppend(const std::string& path);
+  Status UpdateSerial(const std::vector<std::function<Result<Bytes>()>>& prepares);
   Status CheckpointLocked();
   void MaybeAutoCheckpoint();
   Status CheckPoisoned() const;
+
+  // GroupCommitHost (called by committer_ on a leader thread; see group_commit.h).
+  Status BatchBegin() override;
+  Status BatchApply(ByteSpan record) override;
+  void BatchPoisoned(const Status& cause) override;
+  void BatchCommitted(const UpdateBreakdown& breakdown) override;
 
   Application& app_;
   DatabaseOptions options_;
@@ -211,13 +242,27 @@ class Database {
   VersionStore version_store_;
   SueLock lock_;
 
-  // The following are mutated only while holding the update lock (or in Open).
+  // The following are mutated only while holding the update lock (or in Open), with
+  // the pipeline paused where the live log is swapped.
   std::unique_ptr<LogWriter> log_;
   std::uint64_t version_ = 0;
-  Micros last_checkpoint_time_ = 0;
   bool poisoned_ = false;
   bool read_only_ = false;
 
+  // Created after recovery when writable and group commit is enabled. Declared after
+  // log_ so it is destroyed first.
+  std::unique_ptr<GroupCommitter> committer_;
+
+  // Hot-path counters: plain atomics so overlapping commits never serialize on the
+  // stats mutex. counters_.log_bytes mirrors log_->size() so log_bytes() is readable
+  // without any lock while a batch is streaming to disk.
+  UpdateCounters counters_;
+  std::atomic<std::uint64_t> enquiries_{0};
+  std::atomic<std::uint64_t> commit_epoch_{0};
+  std::atomic<Micros> last_checkpoint_time_{0};
+  std::atomic<bool> auto_checkpoint_running_{false};
+
+  // Guards only the cold breakdown structs and checkpoint counters.
   mutable std::mutex stats_mutex_;
   DatabaseStats stats_;
 };

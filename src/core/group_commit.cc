@@ -1,0 +1,215 @@
+#include "src/core/group_commit.h"
+
+namespace sdb {
+
+GroupCommitter::GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host,
+                               LogWriter* log, UpdateCounters* counters,
+                               GroupCommitOptions options)
+    : lock_(lock),
+      clock_(clock),
+      host_(host),
+      counters_(counters),
+      options_(options),
+      log_(log) {}
+
+Status GroupCommitter::Submit(std::span<const PrepareFn> prepares) {
+  Request req(prepares);
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&req);
+  for (;;) {
+    if (req.done) {
+      if (req.rode_along) {
+        ++stats_.sync_waits;
+      }
+      return req.status;
+    }
+    if (!batch_in_progress_ && !paused_) {
+      LeadBatch(lock, req);
+      continue;  // re-check done: the led batch normally contained our request
+    }
+    cv_.wait(lock);
+  }
+}
+
+void GroupCommitter::LeadBatch(std::unique_lock<std::mutex>& lock, Request& self) {
+  std::vector<Request*> batch;
+  std::size_t records = 0;
+  while (!queue_.empty()) {
+    Request* next = queue_.front();
+    std::size_t next_records = next->prepares.size();
+    if (!batch.empty() && options_.max_batch_records != 0 &&
+        records + next_records > options_.max_batch_records) {
+      break;  // the tail of the queue rides the next batch
+    }
+    batch.push_back(next);
+    records += next_records;
+    queue_.pop_front();
+  }
+  batch_in_progress_ = true;
+  lock.unlock();
+
+  RunBatch(batch);
+
+  lock.lock();
+  batch_in_progress_ = false;
+  for (Request* request : batch) {
+    request->rode_along = request != &self;
+    request->done = true;
+  }
+  cv_.notify_all();
+}
+
+void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
+  UpdateBreakdown breakdown;
+
+  // Phase 1: preconditions + record gathering, under the update lock. Enquiries run
+  // concurrently; other updaters queue behind us in the pipeline, not on this lock.
+  lock_.AcquireUpdate();
+  Stopwatch prepare_watch(clock_);
+  Status ready = host_.BatchBegin();
+  std::vector<ByteSpan> payloads;
+  std::size_t write_set = 0;
+  for (Request* request : batch) {
+    if (!ready.ok()) {
+      request->status = ready;
+      continue;
+    }
+    request->records.reserve(request->prepares.size());
+    Status failed = OkStatus();
+    for (const PrepareFn& prepare : request->prepares) {
+      Result<Bytes> record = prepare();
+      if (!record.ok()) {
+        failed = record.status();
+        break;
+      }
+      request->records.push_back(std::move(*record));
+    }
+    if (!failed.ok()) {
+      // All-or-nothing per request (the manual UpdateBatch contract): none of this
+      // request's records reach the log. Other requests in the batch are unaffected.
+      request->status = failed;
+      request->records.clear();
+      counters_->precondition_failures.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      request->prepared_ok = true;
+      ++write_set;
+    }
+  }
+  breakdown.prepare_micros = prepare_watch.ElapsedMicros();
+  lock_.ReleaseUpdate();
+  if (write_set == 0) {
+    return;  // nothing to commit; every caller already has its error
+  }
+
+  for (Request* request : batch) {
+    if (request->prepared_ok) {
+      for (const Bytes& record : request->records) {
+        payloads.push_back(AsSpan(record));
+      }
+    }
+  }
+
+  // Phase 2: the commit point. One contiguous append, one padding, one fsync — and no
+  // lock of any mode held, so enquiries and next-batch arrivals proceed throughout.
+  Stopwatch log_watch(clock_);
+  Status committed = log_->AppendBatch(payloads);
+  if (!committed.ok()) {
+    committed = committed.WithContext("appending log entry");
+  } else {
+    committed = log_->Commit();
+    if (!committed.ok()) {
+      committed = committed.WithContext("committing log entry");
+    }
+  }
+  breakdown.log_micros = log_watch.ElapsedMicros();
+  counters_->log_bytes.store(log_->size(), std::memory_order_relaxed);
+  if (!committed.ok()) {
+    for (Request* request : batch) {
+      if (request->prepared_ok) {
+        request->status = committed;
+        counters_->commit_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+
+  // Phase 3: apply in log order, in exclusive mode — the only step that excludes
+  // enquiries, and it is purely an in-memory modification.
+  lock_.AcquireUpdate();
+  lock_.UpgradeToExclusive();
+  Stopwatch apply_watch(clock_);
+  Status poisoned = OkStatus();
+  for (Request* request : batch) {
+    if (!request->prepared_ok) {
+      continue;
+    }
+    if (!poisoned.ok()) {
+      // A durable record could not be applied: every later record in the batch is
+      // also durable but must not be applied out of order. Fail them all.
+      request->status = InternalError(
+          "database poisoned by an earlier apply failure in this commit batch");
+      continue;
+    }
+    for (const Bytes& record : request->records) {
+      Status applied = host_.BatchApply(AsSpan(record));
+      if (!applied.ok()) {
+        poisoned = applied;
+        host_.BatchPoisoned(applied);
+        request->status = applied.WithContext("applying committed update (database poisoned)");
+        break;
+      }
+    }
+    if (poisoned.ok()) {
+      request->status = OkStatus();
+      counters_->updates.fetch_add(request->records.size(), std::memory_order_relaxed);
+      counters_->log_entries_since_checkpoint.fetch_add(request->records.size(),
+                                                        std::memory_order_relaxed);
+    }
+  }
+  breakdown.apply_micros = apply_watch.ElapsedMicros();
+  lock_.DowngradeToUpdate();
+  lock_.ReleaseUpdate();
+
+  breakdown.total_micros =
+      breakdown.prepare_micros + breakdown.log_micros + breakdown.apply_micros;
+  host_.BatchCommitted(breakdown);
+
+  std::lock_guard<std::mutex> stats_lock(mu_);
+  ++stats_.batches;
+  ++stats_.syncs;
+  stats_.records_committed += payloads.size();
+  stats_.max_records_per_sync = std::max<std::uint64_t>(stats_.max_records_per_sync,
+                                                        payloads.size());
+  std::size_t bucket = payloads.size() <= 2   ? payloads.size() - 1
+                       : payloads.size() <= 4 ? 2
+                       : payloads.size() <= 8 ? 3
+                       : payloads.size() <= 16 ? 4
+                                               : 5;
+  ++stats_.records_per_sync_hist[bucket];
+}
+
+void GroupCommitter::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  cv_.wait(lock, [this] { return !batch_in_progress_; });
+}
+
+void GroupCommitter::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void GroupCommitter::set_log(LogWriter* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_ = log;
+}
+
+GroupCommitStats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sdb

@@ -1,0 +1,197 @@
+// GroupCommitter: the automatic cross-thread group-commit pipeline.
+//
+// The paper's Section 5 observes that the only way past one-fsync-per-update
+// throughput is "arranging to record multiple commit records in a single log entry".
+// The engine's manual Database::UpdateBatch does that for updates a single caller
+// already holds in hand; this subsystem does it for *concurrent* callers with no API
+// change: N threads calling Database::Update() at once share one log disk write.
+//
+// Protocol (leader election among waiters; no background thread):
+//   - Each caller enqueues its prepare callback(s) and blocks.
+//   - When no batch is in flight, one waiter elects itself leader, seals the whole
+//     queue as a batch, and drives the batch through three phases:
+//       1. prepare  — under the UPDATE lock: run every request's prepare callbacks in
+//          queue order, collecting the pickled records. A request whose prepare fails
+//          is dropped from the batch (its caller gets the error); the rest proceed.
+//       2. commit   — with NO lock held: append every surviving record to the log as
+//          one contiguous write, pad once, fsync ONCE. This is the commit point for
+//          the entire batch. Enquiries and new Update() arrivals run concurrently.
+//       3. apply    — under the EXCLUSIVE lock: apply the records in log order.
+//   - The leader completes every request in the batch and wakes its waiters; one of
+//     the waiters that arrived during the flush leads the next batch.
+//
+// Invariants preserved from the paper's Section 3 discipline:
+//   - A caller's Update() returns OK only after its record is durable (the batch
+//     fsync precedes every acknowledgement).
+//   - ApplyUpdate runs only for durable records, in exactly log order, so replay
+//     after a crash reconstructs the same state.
+//   - No disk transfer happens while the exclusive lock is held: enquiries are never
+//     blocked during disk writes. (The fsync holds no lock at all.)
+//   - Batches are strictly sequential: batch N+1's prepares run only after batch N's
+//     applies, so a prepare always sees every earlier-logged update applied — the
+//     same serializability a single update lock gave the one-at-a-time path.
+//
+// Within one batch, prepares run back-to-back before any of the batch's applies
+// (exactly like the pre-existing manual UpdateBatch): a prepare does not see the
+// effects of earlier records *of the same batch*. Applications whose records carry
+// state derived from the in-memory database (e.g. the name server's replication
+// sequence numbers) can detect batch boundaries via Database::commit_epoch() and
+// reserve against in-flight records; see NameServer::SyncReservations.
+#ifndef SMALLDB_SRC_CORE_GROUP_COMMIT_H_
+#define SMALLDB_SRC_CORE_GROUP_COMMIT_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/log_writer.h"
+#include "src/core/sue_lock.h"
+
+namespace sdb {
+
+struct GroupCommitOptions {
+  // When false, Database::Update falls back to the one-fsync-per-update serial path
+  // (the paper's base protocol). Used by benchmarks as the baseline and available as
+  // an escape hatch.
+  bool enabled = true;
+
+  // Upper bound on records sealed into one batch (one fsync). 0 = unlimited. Bounds
+  // both the single contiguous log write and the exclusive-mode apply span.
+  std::size_t max_batch_records = 1024;
+};
+
+struct GroupCommitStats {
+  std::uint64_t batches = 0;             // batches that reached the disk phase
+  std::uint64_t syncs = 0;               // fsyncs issued (== successful batches)
+  std::uint64_t records_committed = 0;   // records made durable
+  std::uint64_t sync_waits = 0;          // requests completed by a batch they did not lead
+  std::uint64_t max_records_per_sync = 0;
+  // Histogram of records per sync: buckets 1, 2, 3-4, 5-8, 9-16, 17+.
+  std::array<std::uint64_t, 6> records_per_sync_hist{};
+
+  double records_per_sync() const {
+    return syncs == 0 ? 0.0 : static_cast<double>(records_committed) / static_cast<double>(syncs);
+  }
+  double fsyncs_per_record() const {
+    return records_committed == 0 ? 0.0
+                                  : static_cast<double>(syncs) / static_cast<double>(records_committed);
+  }
+};
+
+// Hot-path counters shared between the Database and the committer. Plain atomics so
+// overlapping commits never serialize on a stats mutex.
+struct UpdateCounters {
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> precondition_failures{0};
+  std::atomic<std::uint64_t> commit_failures{0};
+  std::atomic<std::uint64_t> log_entries_since_checkpoint{0};
+  // Mirror of the live log's size, refreshed after every batch/serial commit, so
+  // Database::log_bytes() needs no lock while a batch is streaming to disk.
+  std::atomic<std::uint64_t> log_bytes{0};
+};
+
+// Per-batch phase timing (also the shape of DatabaseStats::last_update; with the
+// pipeline enabled it describes the last *batch*).
+struct UpdateBreakdown {
+  Micros prepare_micros = 0;  // precondition checks + pickling, under the update lock
+  Micros log_micros = 0;      // the batch disk write + fsync (the commit), no lock held
+  Micros apply_micros = 0;    // exclusive-mode in-memory modification
+  Micros total_micros = 0;
+};
+
+// What the committer needs from the Database. All methods are called on a leader
+// thread under the locking regime stated for each.
+class GroupCommitHost {
+ public:
+  virtual ~GroupCommitHost() = default;
+
+  // Called under the update lock before a batch's prepares: bump the commit epoch and
+  // refuse the batch (poisoned database) by returning non-OK.
+  virtual Status BatchBegin() = 0;
+
+  // Called under the exclusive lock for each durable record, in log order.
+  virtual Status BatchApply(ByteSpan record) = 0;
+
+  // Called under the exclusive lock when BatchApply failed: memory and log have
+  // diverged; the database must fail closed until reopened.
+  virtual void BatchPoisoned(const Status& cause) = 0;
+
+  // Called with no lock held after a batch commits, with the phase breakdown.
+  virtual void BatchCommitted(const UpdateBreakdown& breakdown) = 0;
+};
+
+class GroupCommitter {
+ public:
+  using PrepareFn = std::function<Result<Bytes>()>;
+
+  // `log` is the live log writer; the committer uses it only inside a batch, so it may
+  // be swapped with set_log() whenever the pipeline is paused (checkpoint switch).
+  GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host, LogWriter* log,
+                 UpdateCounters* counters, GroupCommitOptions options);
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  // Submits one request (one or more prepares, all-or-nothing at prepare time) and
+  // blocks until it is durable and applied, or failed. Returns the request's outcome:
+  // the prepare's own error, the disk error that aborted the commit, or kInternal if
+  // the database was poisoned before/while applying.
+  Status Submit(std::span<const PrepareFn> prepares);
+
+  // Quiesces the pipeline: returns once no batch is in flight, and prevents new
+  // batches from starting until Resume(). Queued requests simply wait. Used by
+  // checkpoint/state-replacement so the log is never switched under an in-flight
+  // batch (records already fsynced into the old log must be applied and acknowledged
+  // before the log is reset). Not reentrant.
+  void Pause();
+  void Resume();
+
+  void set_log(LogWriter* log);  // only while paused or provably idle
+
+  GroupCommitStats stats() const;
+
+ private:
+  struct Request {
+    explicit Request(std::span<const PrepareFn> p) : prepares(p) {}
+    std::span<const PrepareFn> prepares;
+    std::vector<Bytes> records;  // filled by the leader's prepare phase
+    Status status;
+    bool prepared_ok = false;  // part of the batch write set
+    bool done = false;
+    bool rode_along = false;  // completed by a leader other than itself
+  };
+
+  // Seals `queue_` (up to max_batch_records) into a batch and runs it to completion.
+  // Called with `lock` held; releases it for the batch's duration and reacquires it
+  // to publish completion.
+  void LeadBatch(std::unique_lock<std::mutex>& lock, Request& self);
+  void RunBatch(const std::vector<Request*>& batch);
+
+  SueLock& lock_;
+  Clock& clock_;
+  GroupCommitHost& host_;
+  UpdateCounters* counters_;
+  const GroupCommitOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  LogWriter* log_;
+  bool batch_in_progress_ = false;
+  bool paused_ = false;
+  GroupCommitStats stats_;
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_CORE_GROUP_COMMIT_H_

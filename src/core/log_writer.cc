@@ -4,13 +4,17 @@
 
 namespace sdb {
 
-Status LogWriter::Append(ByteSpan payload) {
-  ByteWriter framed;
-  EncodeLogEntry(payload, framed);
-  SDB_RETURN_IF_ERROR(file_->Append(AsSpan(framed.buffer())));
-  size_ += framed.size();
-  ++stats_.entries_appended;
-  stats_.bytes_appended += framed.size();
+Status LogWriter::AppendBatch(std::span<const ByteSpan> payloads) {
+  scratch_.clear();
+  ByteWriter framed(std::move(scratch_));
+  for (ByteSpan payload : payloads) {
+    EncodeLogEntry(payload, framed);
+  }
+  scratch_ = std::move(framed).Take();
+  SDB_RETURN_IF_ERROR(file_->Append(AsSpan(scratch_)));
+  size_ += scratch_.size();
+  stats_.entries_appended += payloads.size();
+  stats_.bytes_appended += scratch_.size();
   return OkStatus();
 }
 
@@ -23,8 +27,10 @@ Status LogWriter::PadToPageBoundary() {
     return OkStatus();
   }
   std::size_t pad = options_.page_size - remainder;
-  Bytes zeros(pad, 0);
-  SDB_RETURN_IF_ERROR(file_->Append(AsSpan(zeros)));
+  if (padding_.size() < pad) {
+    padding_.assign(options_.page_size, 0);
+  }
+  SDB_RETURN_IF_ERROR(file_->Append(ByteSpan(padding_.data(), pad)));
   size_ += pad;
   stats_.padding_bytes += pad;
   return OkStatus();

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -40,7 +41,13 @@ class LogWriter {
       : file_(std::move(file)), size_(initial_size), options_(options) {}
 
   // Buffers one framed entry into the OS cache (not yet durable).
-  Status Append(ByteSpan payload);
+  Status Append(ByteSpan payload) { return AppendBatch({&payload, 1}); }
+
+  // Buffers several framed entries as ONE contiguous file append (not yet durable).
+  // The group-commit pipeline hands a whole batch here so the file system sees a
+  // single streaming write instead of one syscall per record. The internal encode
+  // buffer is reused across calls, so a steady-state commit allocates nothing.
+  Status AppendBatch(std::span<const ByteSpan> payloads);
 
   // Makes everything appended so far durable. Returns only after the data is on the
   // medium — or an error, in which case nothing appended since the last successful
@@ -65,6 +72,8 @@ class LogWriter {
   std::uint64_t size_;
   LogWriterOptions options_;
   LogWriterStats stats_;
+  Bytes scratch_;  // reusable encode buffer (capacity persists across batches)
+  Bytes padding_;  // reusable zero page for PadToPageBoundary
 };
 
 }  // namespace sdb

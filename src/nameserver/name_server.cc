@@ -1,5 +1,7 @@
 #include "src/nameserver/name_server.h"
 
+#include <algorithm>
+
 namespace sdb::ns {
 namespace {
 
@@ -51,10 +53,33 @@ Result<std::vector<std::string>> NameServer::List(std::string_view path) {
   return labels;
 }
 
+void NameServer::SyncReservations() {
+  std::uint64_t epoch = db_->commit_epoch();
+  if (epoch != reserve_epoch_) {
+    // A new batch: everything the previous batch sealed is either applied (visible
+    // in version_vector_/lamport_) or failed to commit (its numbers may be reused).
+    reserve_epoch_ = epoch;
+    pending_seen_.clear();
+    pending_lamport_ = lamport_;
+  }
+}
+
+std::uint64_t NameServer::EffectiveSeen(const std::string& origin) const {
+  std::uint64_t seen = 0;
+  if (auto it = version_vector_.find(origin); it != version_vector_.end()) {
+    seen = it->second;
+  }
+  if (auto it = pending_seen_.find(origin); it != pending_seen_.end()) {
+    seen = std::max(seen, it->second);
+  }
+  return seen;
+}
+
 Result<Bytes> NameServer::PrepareLocalUpdate(UpdateKind kind, std::string_view path,
                                              std::string_view value) {
   // Step 1 of the paper's update: verify preconditions against the virtual memory
   // data, then gather the parameters of the update into a (pickled) record.
+  SyncReservations();
   SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   if (parts.empty()) {
     return InvalidArgumentError("the root cannot be the target of an update");
@@ -67,9 +92,14 @@ Result<Bytes> NameServer::PrepareLocalUpdate(UpdateKind kind, std::string_view p
   update.kind = static_cast<std::uint8_t>(kind);
   update.path = std::string(path);
   update.value = std::string(value);
-  update.lamport = lamport_ + 1;
+  update.lamport = std::max(lamport_, pending_lamport_) + 1;
   update.origin = options_.replica_id;
-  update.sequence = version_vector_[options_.replica_id] + 1;
+  update.sequence = EffectiveSeen(options_.replica_id) + 1;
+  // Reserve only once the prepare is certain to succeed, so a failed prepare never
+  // leaves a sequence gap. (This relies on every name-server request being a single
+  // prepare: a successful prepare is exactly a record sealed into the batch.)
+  pending_seen_[update.origin] = update.sequence;
+  pending_lamport_ = update.lamport;
   return EncodeUpdate(update, options_.cost);
 }
 
@@ -108,10 +138,10 @@ Result<std::vector<std::pair<std::string, std::string>>> NameServer::Export(
 
 Status NameServer::ApplyRemoteUpdate(const NameServerUpdate& update) {
   Status status = db_->Update([this, &update]() -> Result<Bytes> {
-    std::uint64_t seen = 0;
-    if (auto it = version_vector_.find(update.origin); it != version_vector_.end()) {
-      seen = it->second;
-    }
+    SyncReservations();
+    // Gap/duplicate checks run against the effective horizon: what is applied plus
+    // what the current batch already has in flight from this origin.
+    std::uint64_t seen = EffectiveSeen(update.origin);
     if (update.sequence <= seen) {
       // Already incorporated (propagation retry / overlapping anti-entropy).
       return AlreadyExistsError("update already applied");
@@ -121,6 +151,8 @@ Status NameServer::ApplyRemoteUpdate(const NameServerUpdate& update) {
                                      ": have " + std::to_string(seen) + ", got " +
                                      std::to_string(update.sequence));
     }
+    pending_seen_[update.origin] = update.sequence;
+    pending_lamport_ = std::max(pending_lamport_, update.lamport);
     return EncodeUpdate(update, options_.cost);
   });
   if (status.Is(ErrorCode::kAlreadyExists)) {

@@ -107,6 +107,14 @@ class NameServer final : public Application {
                                    std::string_view value);
   void JournalAppend(const NameServerUpdate& update);
 
+  // With group commit, several prepares run back-to-back in one batch before any of
+  // them is applied, so version_vector_/lamport_ lag the records already sealed into
+  // the batch. These helpers maintain a reservation overlay of in-flight sequence
+  // numbers, reset whenever Database::commit_epoch() moves (i.e. at every batch
+  // boundary). Called only inside prepare callbacks, under the engine's update lock.
+  void SyncReservations();
+  std::uint64_t EffectiveSeen(const std::string& origin) const;
+
   NameServerOptions options_;
   NameTree tree_;
   std::unique_ptr<Database> db_;
@@ -117,6 +125,12 @@ class NameServer final : public Application {
   std::uint64_t lamport_ = 0;
   std::deque<NameServerUpdate> journal_;
   VersionVector journal_base_;  // per origin: lowest sequence still in the journal
+
+  // Reservation overlay for records prepared but not yet applied in the current
+  // commit batch (see SyncReservations). Guarded by the engine's update lock.
+  std::uint64_t reserve_epoch_ = 0;
+  VersionVector pending_seen_;
+  std::uint64_t pending_lamport_ = 0;
 };
 
 }  // namespace sdb::ns
