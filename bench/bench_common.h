@@ -9,6 +9,8 @@
 #define SMALLDB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -21,6 +23,36 @@
 #include "src/storage/sim_env.h"
 
 namespace sdb::bench {
+
+// --- run modes & machine-readable output ---
+
+// SDB_BENCH_QUICK=1 shrinks workloads to CI-smoke size (seconds, not minutes).
+// Numbers from quick runs are not comparable to EXPERIMENTS.md.
+inline bool QuickMode() {
+  static const bool quick = std::getenv("SDB_BENCH_QUICK") != nullptr;
+  return quick;
+}
+
+// When SDB_BENCH_JSON is set, writes `json` to BENCH_<name>.json — in the directory
+// the variable names, or the working directory when it is "1". Benches call this at
+// the end of a run with their headline numbers plus a metrics registry dump, so CI
+// can validate the stage breakdown without scraping tables.
+inline void MaybeWriteBenchJson(const std::string& name, const std::string& json) {
+  const char* env = std::getenv("SDB_BENCH_JSON");
+  if (env == nullptr) {
+    return;
+  }
+  std::string dir(env);
+  std::string path = (dir.empty() || dir == "1") ? "" : dir + "/";
+  path += "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << json << "\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+}
 
 // --- table printing ---
 

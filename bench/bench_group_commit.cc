@@ -26,8 +26,12 @@
 namespace sdb::bench {
 namespace {
 
-constexpr int kTotalUpdates = 240;  // divisible by every thread count below
-constexpr int kThreadCounts[] = {1, 2, 4, 8, 16};
+// Full run: 240 updates (divisible by every thread count) across {1..16} threads.
+// Quick mode shrinks both so CI can smoke the bench in seconds.
+int TotalUpdates() { return QuickMode() ? 64 : 240; }
+std::vector<int> ThreadCounts() {
+  return QuickMode() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+}
 
 // Wraps a Vfs so every File::Sync also takes ~`delay` of wall time. SimDisk charges
 // simulated time but returns instantly in wall time, which would leave concurrent
@@ -88,6 +92,7 @@ struct RunResult {
   std::uint64_t updates = 0;
   std::uint64_t fsyncs = 0;
   double records_per_sync = 0;
+  std::string metrics_json;  // the database's registry dump at end of run
 };
 
 // Drives `threads` workers, kTotalUpdates updates in total, against a database in
@@ -110,7 +115,7 @@ RunResult RunWorkload(Vfs& vfs, Clock& clock, const std::string& dir, int thread
   std::uint64_t fsyncs_before = db->log_writer_stats().commits;
 
   RunResult result;
-  int per_thread = kTotalUpdates / threads;
+  int per_thread = TotalUpdates() / threads;
   Micros sim_start = clock.NowMicros();
   auto wall_start = std::chrono::steady_clock::now();
 
@@ -140,6 +145,7 @@ RunResult RunWorkload(Vfs& vfs, Clock& clock, const std::string& dir, int thread
   result.elapsed_micros = sim_elapsed > 0 ? static_cast<double>(sim_elapsed) : wall_elapsed;
 
   DatabaseStats stats = db->stats();
+  result.metrics_json = db->MetricsReportJson();
   result.updates = stats.updates;
   if (pipeline) {
     result.fsyncs = stats.group_commit.syncs;
@@ -169,8 +175,9 @@ void AddRows(Table& table, const char* backend, int threads, const RunResult& se
                 Num(pipeline_rate), Num(pipeline_rate / serial_rate, "x")});
 }
 
-void RunSimBackend(Table& table, double* single_thread_regression) {
-  for (int threads : kThreadCounts) {
+void RunSimBackend(Table& table, double* single_thread_regression,
+                   std::string* pipeline_metrics_json) {
+  for (int threads : ThreadCounts()) {
     RunResult results[2];
     for (bool pipeline : {false, true}) {
       SimEnvOptions env_options;
@@ -185,6 +192,10 @@ void RunSimBackend(Table& table, double* single_thread_regression) {
       *single_thread_regression =
           results[1].elapsed_micros / results[0].elapsed_micros - 1.0;
     }
+    if (pipeline_metrics_json != nullptr) {
+      // Keep the highest-concurrency pipeline dump: the one with real batching.
+      *pipeline_metrics_json = results[1].metrics_json;
+    }
   }
 }
 
@@ -197,7 +208,7 @@ void RunPosixBackend(Table& table, double* single_thread_regression) {
 
   WallClock wall;
   int run = 0;
-  for (int threads : kThreadCounts) {
+  for (int threads : ThreadCounts()) {
     RunResult results[2];
     for (bool pipeline : {false, true}) {
       std::string dir = "run" + std::to_string(run++);
@@ -210,7 +221,7 @@ void RunPosixBackend(Table& table, double* single_thread_regression) {
   if (single_thread_regression != nullptr) {
     // Wall-clock fsync latency is noisy (single runs vary tens of percent), so the
     // latency comparison takes the best of several alternating trials per mode.
-    constexpr int kTrials = 5;
+    const int kTrials = QuickMode() ? 2 : 5;
     double best[2] = {1e18, 1e18};
     for (int trial = 0; trial < kTrials; ++trial) {
       for (bool pipeline : {false, true}) {
@@ -234,7 +245,8 @@ void Run() {
                "updates/s", "speedup"});
   double sim_regression = 0.0;
   double posix_regression = 0.0;
-  RunSimBackend(table, &sim_regression);
+  std::string pipeline_metrics_json;
+  RunSimBackend(table, &sim_regression, &pipeline_metrics_json);
   RunPosixBackend(table, &posix_regression);
   table.Print();
 
@@ -245,6 +257,12 @@ void Run() {
   std::printf(
       "SimFs rows: elapsed is simulated time (the charged cost of the disk ops); "
       "PosixFs rows: wall-clock with real fsyncs.\n");
+
+  std::string json = "{\"bench\":\"group_commit\",\"quick\":";
+  json += QuickMode() ? "true" : "false";
+  json += ",\"single_thread_regression_sim\":" + std::to_string(sim_regression);
+  json += ",\"metrics\":" + pipeline_metrics_json + "}";
+  MaybeWriteBenchJson("group_commit", json);
 }
 
 }  // namespace

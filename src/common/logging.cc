@@ -1,15 +1,31 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
 namespace sdb {
 namespace {
 
-std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
 std::mutex g_emit_mutex;
+LogSinkFn g_sink;  // guarded by g_emit_mutex; empty = stderr
+
+// Initialized on first use so SMALLDB_LOG_LEVEL takes effect no matter which
+// translation unit logs first.
+std::atomic<int>& Threshold() {
+  static std::atomic<int> threshold = [] {
+    if (const char* env = std::getenv("SMALLDB_LOG_LEVEL")) {
+      if (std::optional<LogLevel> parsed = ParseLogLevel(env)) {
+        return static_cast<int>(*parsed);
+      }
+    }
+    return static_cast<int>(LogLevel::kWarning);
+  }();
+  return threshold;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,10 +41,44 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+// Small per-thread id (t1, t2, ...) in arrival order — stable within a process and
+// far more readable than pthread ids when interleaving multi-threaded commit logs.
+int ThreadId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void SetLogThreshold(LogLevel level) { g_threshold.store(static_cast<int>(level)); }
-LogLevel GetLogThreshold() { return static_cast<LogLevel>(g_threshold.load()); }
+void SetLogThreshold(LogLevel level) { Threshold().store(static_cast<int>(level)); }
+LogLevel GetLogThreshold() { return static_cast<LogLevel>(Threshold().load()); }
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "d") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "i") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "w") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "e") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
+void SetLogSinkForTest(LogSinkFn sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
 
 namespace internal {
 
@@ -39,8 +89,16 @@ void EmitLogLine(LogLevel level, std::string_view file, int line, std::string_vi
     file.remove_prefix(slash + 1);
   }
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelTag(level), static_cast<int>(file.size()),
-               file.data(), line, static_cast<int>(message.size()), message.data());
+  if (g_sink) {
+    std::string formatted = "[" + std::string(LevelTag(level)) + " t" +
+                            std::to_string(ThreadId()) + " " + std::string(file) + ":" +
+                            std::to_string(line) + "] " + std::string(message);
+    g_sink(level, formatted);
+    return;
+  }
+  std::fprintf(stderr, "[%s t%d %.*s:%d] %.*s\n", LevelTag(level), ThreadId(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace internal

@@ -1,8 +1,12 @@
 // Minimal leveled diagnostic logging. Off by default except warnings/errors; tests and
-// examples can raise verbosity. Not to be confused with the database redo log.
+// examples can raise verbosity, and the SMALLDB_LOG_LEVEL environment variable sets
+// the initial threshold (e.g. SMALLDB_LOG_LEVEL=debug). Not to be confused with the
+// database redo log.
 #ifndef SMALLDB_SRC_COMMON_LOGGING_H_
 #define SMALLDB_SRC_COMMON_LOGGING_H_
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
@@ -10,9 +14,20 @@ namespace sdb {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Global threshold; messages below it are discarded.
+// Global threshold; messages below it are discarded. The initial value comes from
+// SMALLDB_LOG_LEVEL if set and parseable, else kWarning.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+// Parses "debug" / "info" / "warning" / "error" (case-insensitive; "warn" and the
+// single letters d/i/w/e also work). Returns nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+// Redirects formatted log lines (without the trailing newline) to `sink` instead of
+// stderr; pass nullptr to restore stderr. For tests only — not thread-safe against
+// concurrent emission while swapping.
+using LogSinkFn = std::function<void(LogLevel, std::string_view line)>;
+void SetLogSinkForTest(LogSinkFn sink);
 
 namespace internal {
 

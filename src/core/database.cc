@@ -10,7 +10,21 @@ Database::Database(Application& app, DatabaseOptions options)
       clock_(options_.clock != nullptr ? options_.clock : &wall_clock_),
       version_store_(*options_.vfs, options_.dir,
                      VersionStoreOptions{options_.keep_previous_checkpoint,
-                                         options_.retain_logs_for_audit}) {}
+                                         options_.retain_logs_for_audit}) {
+  if (options_.trace_ring_capacity > 0) {
+    trace_ring_ = std::make_unique<obs::TraceRing>(options_.trace_ring_capacity);
+  }
+  stage_metrics_ = obs::CommitStageMetrics::Register(registry_, trace_ring_.get());
+  counters_.updates = &registry_.GetCounter("db.updates");
+  counters_.precondition_failures = &registry_.GetCounter("db.update_precondition_failures");
+  counters_.commit_failures = &registry_.GetCounter("db.update_commit_failures");
+  counters_.log_entries_since_checkpoint =
+      &registry_.GetGauge("db.log_entries_since_checkpoint");
+  counters_.log_bytes = &registry_.GetGauge("db.log_bytes");
+  enquiries_ = &registry_.GetCounter("db.enquiries");
+  checkpoints_ = &registry_.GetCounter("db.checkpoints");
+  auto_checkpoints_ = &registry_.GetCounter("db.auto_checkpoints");
+}
 
 Database::~Database() {
   committer_.reset();  // no batch may outlive the log writer
@@ -33,6 +47,7 @@ Result<std::unique_ptr<Database>> Database::Open(Application& app, DatabaseOptio
     GroupCommitHost& host = *db;
     db->committer_ = std::make_unique<GroupCommitter>(db->lock_, *db->clock_, host,
                                                       db->log_.get(), &db->counters_,
+                                                      db->stage_metrics_,
                                                       db->options_.group_commit);
   }
   return db;
@@ -46,7 +61,7 @@ Result<std::unique_ptr<Database>> Database::OpenReadOnly(Application& app,
   std::unique_ptr<Database> db(new Database(app, std::move(options)));
   db->read_only_ = true;
   SDB_ASSIGN_OR_RETURN(VersionState state, db->version_store_.PeekCurrent());
-  db->version_ = state.version;
+  db->version_.store(state.version, std::memory_order_relaxed);
   SDB_RETURN_IF_ERROR(db->LoadCheckpointAndReplay(state).WithContext(
       "opening database read-only in " + db->options_.dir));
   return db;
@@ -59,18 +74,18 @@ Status Database::Recover() {
     SDB_RETURN_IF_ERROR(InitFreshDatabase());
   } else {
     SDB_ASSIGN_OR_RETURN(VersionState state, version_store_.Recover());
-    version_ = state.version;
+    version_.store(state.version, std::memory_order_relaxed);
     stats_.restart.finished_interrupted_switch = state.finished_interrupted_switch;
     SDB_RETURN_IF_ERROR(LoadCheckpointAndReplay(state));
   }
   SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(version_store_.LogPath(version_)));
-  counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
+  counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
   last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
   return OkStatus();
 }
 
 Status Database::InitFreshDatabase() {
-  version_ = 1;
+  version_.store(1, std::memory_order_relaxed);
   SDB_RETURN_IF_ERROR(app_.ResetState());
   SDB_ASSIGN_OR_RETURN(Bytes snapshot, app_.SerializeState());
   SDB_RETURN_IF_ERROR(
@@ -135,8 +150,18 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
   stats_.restart.entries_replayed += replay.entries_replayed;
   stats_.restart.entries_skipped += replay.entries_skipped;
   stats_.restart.partial_tail_discarded = replay.partial_tail_discarded;
-  counters_.log_entries_since_checkpoint.store(replay.entries_replayed,
-                                               std::memory_order_relaxed);
+  counters_.log_entries_since_checkpoint->Set(
+      static_cast<std::int64_t>(replay.entries_replayed));
+  // Restart timings, mirrored into the registry for MetricsReport.
+  registry_.GetGauge("restart.checkpoint_read_us")
+      .Set(stats_.restart.checkpoint_read_micros);
+  registry_.GetGauge("restart.replay_us").Set(stats_.restart.replay_micros);
+  registry_.GetGauge("restart.entries_replayed")
+      .Set(static_cast<std::int64_t>(stats_.restart.entries_replayed));
+  SDB_LOG(kDebug) << "recovered " << options_.dir << ": checkpoint read in "
+                  << stats_.restart.checkpoint_read_micros << " us, "
+                  << stats_.restart.entries_replayed << " log entries replayed in "
+                  << stats_.restart.replay_micros << " us";
   return OkStatus();
 }
 
@@ -197,7 +222,7 @@ Status Database::Enquire(const std::function<Status()>& enquiry) {
   SueLock::SharedGuard guard(lock_);
   SDB_RETURN_IF_ERROR(CheckPoisoned());
   Status status = enquiry();
-  enquiries_.fetch_add(1, std::memory_order_relaxed);
+  enquiries_->Increment();
   return status;
 }
 
@@ -222,50 +247,57 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
 }
 
 // The paper's base protocol: one commit fsync per UpdateBatch call, the update lock
-// held across the disk write. Used when group commit is disabled.
+// held across the disk write. Used when group commit is disabled. Stage timings are
+// recorded exactly like the pipeline's (queue wait is structurally zero here).
 Status Database::UpdateSerial(const std::vector<std::function<Result<Bytes>()>>& prepares) {
   UpdateBreakdown breakdown;
+  const bool timing = obs::Enabled();
+  obs::CommitTrace trace;
   {
+    Micros t_start = timing ? clock_->NowMicros() : 0;
     SueLock::UpdateGuard guard(lock_);
+    Micros t_locked = clock_->NowMicros();
     SDB_RETURN_IF_ERROR(CheckPoisoned());
-    commit_epoch_.fetch_add(1, std::memory_order_relaxed);
+    trace.epoch = commit_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
 
     // Step 1: verify preconditions and gather the parameters of each update into a
     // record, under the update lock (enquiries continue concurrently).
-    Stopwatch prepare_watch(*clock_);
     std::vector<Bytes> records;
     records.reserve(prepares.size());
     for (const auto& prepare : prepares) {
       Result<Bytes> record = prepare();
       if (!record.ok()) {
-        counters_.precondition_failures.fetch_add(1, std::memory_order_relaxed);
+        counters_.precondition_failures->Increment();
         return record.status();
       }
       records.push_back(std::move(*record));
     }
-    breakdown.prepare_micros = prepare_watch.ElapsedMicros();
+    Micros t_prepared = clock_->NowMicros();
+    breakdown.prepare_micros = t_prepared - t_locked;
 
     // Step 2: record the updates in the disk log. The fsync is the commit point.
-    Stopwatch log_watch(*clock_);
     for (const Bytes& record : records) {
       Status status = log_->Append(AsSpan(record));
       if (!status.ok()) {
-        counters_.commit_failures.fetch_add(1, std::memory_order_relaxed);
+        counters_.commit_failures->Increment();
         return status.WithContext("appending log entry");
       }
     }
+    Micros t_appended = timing ? clock_->NowMicros() : t_prepared;
     Status commit = log_->Commit();
-    counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
+    Micros t_synced = clock_->NowMicros();
+    counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
     if (!commit.ok()) {
-      counters_.commit_failures.fetch_add(1, std::memory_order_relaxed);
+      counters_.commit_failures->Increment();
       return commit.WithContext("committing log entry");
     }
-    breakdown.log_micros = log_watch.ElapsedMicros();
+    breakdown.log_micros = t_synced - t_prepared;
+    stage_metrics_.fsyncs->Increment();
 
     // Step 3: apply to the virtual memory structure, in exclusive mode (enquiries are
     // excluded only for this in-memory step, never during the disk write).
-    Stopwatch apply_watch(*clock_);
     guard.Upgrade();
+    Micros t_exclusive = clock_->NowMicros();
     for (const Bytes& record : records) {
       Status status = app_.ApplyUpdate(AsSpan(record));
       if (!status.ok()) {
@@ -275,13 +307,25 @@ Status Database::UpdateSerial(const std::vector<std::function<Result<Bytes>()>>&
         return status.WithContext("applying committed update (database poisoned)");
       }
     }
-    breakdown.apply_micros = apply_watch.ElapsedMicros();
+    Micros t_applied = clock_->NowMicros();
+    breakdown.apply_micros = t_applied - t_exclusive;
     breakdown.total_micros =
         breakdown.prepare_micros + breakdown.log_micros + breakdown.apply_micros;
 
-    counters_.updates.fetch_add(records.size(), std::memory_order_relaxed);
-    counters_.log_entries_since_checkpoint.fetch_add(records.size(),
-                                                     std::memory_order_relaxed);
+    counters_.updates->Add(records.size());
+    counters_.log_entries_since_checkpoint->Add(static_cast<std::int64_t>(records.size()));
+    if (timing) {
+      trace.records = records.size();
+      trace.start_micros = t_start;
+      trace.set_stage(obs::CommitStage::kLockWait, t_locked - t_start);
+      trace.set_stage(obs::CommitStage::kPrepare, t_prepared - t_locked);
+      trace.set_stage(obs::CommitStage::kAppend, t_appended - t_prepared);
+      trace.set_stage(obs::CommitStage::kFsync, t_synced - t_appended);
+      trace.set_stage(obs::CommitStage::kExclusiveWait, t_exclusive - t_synced);
+      trace.set_stage(obs::CommitStage::kApply, t_applied - t_exclusive);
+      trace.total_micros = t_applied - t_start;
+      stage_metrics_.RecordBatch(trace);
+    }
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       stats_.last_update = breakdown;
@@ -291,9 +335,10 @@ Status Database::UpdateSerial(const std::vector<std::function<Result<Bytes>()>>&
   return OkStatus();
 }
 
-Status Database::BatchBegin() {
-  commit_epoch_.fetch_add(1, std::memory_order_relaxed);
-  return CheckPoisoned();
+Result<std::uint64_t> Database::BatchBegin() {
+  std::uint64_t epoch = commit_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  SDB_RETURN_IF_ERROR(CheckPoisoned());
+  return epoch;
 }
 
 Status Database::BatchApply(ByteSpan record) { return app_.ApplyUpdate(record); }
@@ -345,14 +390,15 @@ Status Database::CheckpointLocked() {
   breakdown.serialize_micros = serialize_watch.ElapsedMicros();
 
   Stopwatch disk_watch(*clock_);
-  std::uint64_t new_version = version_ + 1;
+  std::uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
   SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, version_store_.CheckpointPath(new_version),
                                      AsSpan(snapshot))
                           .WithContext("writing checkpoint"));
   SDB_RETURN_IF_ERROR(
       WriteWholeFile(*options_.vfs, version_store_.LogPath(new_version), ByteSpan{})
           .WithContext("creating empty log"));
-  SDB_RETURN_IF_ERROR(version_store_.CommitSwitch(version_, new_version));
+  SDB_RETURN_IF_ERROR(
+      version_store_.CommitSwitch(version_.load(std::memory_order_relaxed), new_version));
 
   // Swap the live log writer to the new (empty) log. The pipeline is paused, so no
   // batch can be holding the old writer.
@@ -366,17 +412,22 @@ Status Database::CheckpointLocked() {
   if (committer_ != nullptr) {
     committer_->set_log(log_.get());
   }
-  version_ = new_version;
+  version_.store(new_version, std::memory_order_relaxed);
   commit_epoch_.fetch_add(1, std::memory_order_relaxed);
   last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
-  counters_.log_bytes.store(log_->size(), std::memory_order_relaxed);
-  counters_.log_entries_since_checkpoint.store(0, std::memory_order_relaxed);
+  counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
+  counters_.log_entries_since_checkpoint->Set(0);
   breakdown.disk_micros = disk_watch.ElapsedMicros();
   breakdown.total_micros = total_watch.ElapsedMicros();
 
+  checkpoints_->Increment();
+  if (obs::Enabled()) {
+    registry_.GetHistogram("checkpoint.serialize_us").Record(breakdown.serialize_micros);
+    registry_.GetHistogram("checkpoint.disk_us").Record(breakdown.disk_micros);
+    registry_.GetHistogram("checkpoint.total_us").Record(breakdown.total_micros);
+  }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.checkpoints;
     stats_.last_checkpoint = breakdown;
   }
   return OkStatus();
@@ -386,7 +437,7 @@ void Database::MaybeAutoCheckpoint() {
   const CheckpointPolicy& policy = options_.checkpoint_policy;
   bool trigger = false;
   if (policy.every_n_updates != 0 &&
-      counters_.log_entries_since_checkpoint.load(std::memory_order_relaxed) >=
+      static_cast<std::uint64_t>(counters_.log_entries_since_checkpoint->value()) >=
           policy.every_n_updates) {
     trigger = true;
   }
@@ -410,17 +461,18 @@ void Database::MaybeAutoCheckpoint() {
   Status status = Checkpoint();
   auto_checkpoint_running_.store(false);
   if (status.ok()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.auto_checkpoints;
+    auto_checkpoints_->Increment();
   } else {
     SDB_LOG(kWarning) << "automatic checkpoint failed: " << status;
   }
 }
 
-std::uint64_t Database::current_version() const { return version_; }
+std::uint64_t Database::current_version() const {
+  return version_.load(std::memory_order_relaxed);
+}
 
 std::uint64_t Database::log_bytes() const {
-  return counters_.log_bytes.load(std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(counters_.log_bytes->value());
 }
 
 LogWriterStats Database::log_writer_stats() const {
@@ -433,18 +485,33 @@ DatabaseStats Database::stats() const {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     snapshot = stats_;
   }
-  snapshot.enquiries = enquiries_.load(std::memory_order_relaxed);
-  snapshot.updates = counters_.updates.load(std::memory_order_relaxed);
-  snapshot.update_precondition_failures =
-      counters_.precondition_failures.load(std::memory_order_relaxed);
-  snapshot.update_commit_failures =
-      counters_.commit_failures.load(std::memory_order_relaxed);
+  snapshot.enquiries = enquiries_->value();
+  snapshot.updates = counters_.updates->value();
+  snapshot.update_precondition_failures = counters_.precondition_failures->value();
+  snapshot.update_commit_failures = counters_.commit_failures->value();
+  snapshot.checkpoints = checkpoints_->value();
+  snapshot.auto_checkpoints = auto_checkpoints_->value();
   snapshot.log_entries_since_checkpoint =
-      counters_.log_entries_since_checkpoint.load(std::memory_order_relaxed);
+      static_cast<std::uint64_t>(counters_.log_entries_since_checkpoint->value());
   if (committer_ != nullptr) {
     snapshot.group_commit = committer_->stats();
   }
   return snapshot;
+}
+
+std::string Database::MetricsReport() const {
+  std::string out = "== database metrics: " + options_.dir + " ==\n";
+  out += registry_.DumpText();
+  return out;
+}
+
+std::string Database::MetricsReportJson() const { return registry_.DumpJson(); }
+
+std::vector<obs::CommitTrace> Database::DumpTrace() const {
+  if (trace_ring_ == nullptr) {
+    return {};
+  }
+  return trace_ring_->Dump();
 }
 
 }  // namespace sdb

@@ -42,6 +42,8 @@
 #include "src/core/log_writer.h"
 #include "src/core/sue_lock.h"
 #include "src/core/version_store.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/vfs.h"
 
 namespace sdb {
@@ -108,6 +110,10 @@ struct DatabaseOptions {
 
   LogWriterOptions log_writer;
   std::size_t log_replay_page_size = 512;
+
+  // Capacity of the per-commit trace ring buffer (DumpTrace). 0 disables raw trace
+  // capture; per-stage histograms keep aggregating either way.
+  std::size_t trace_ring_capacity = 256;
 };
 
 struct CheckpointBreakdown {
@@ -126,6 +132,9 @@ struct RestartBreakdown {
   bool finished_interrupted_switch = false;
 };
 
+// Compatibility view over the database's metrics registry: every counter below is
+// backed by a registry metric (see Database::metrics()); stats() snapshots them into
+// this struct so existing callers keep working. New code should prefer the registry.
 struct DatabaseStats {
   std::uint64_t enquiries = 0;
   std::uint64_t updates = 0;
@@ -201,6 +210,27 @@ class Database : private GroupCommitHost {
   std::uint64_t log_bytes() const;
   DatabaseStats stats() const;
 
+  // --- observability ---
+
+  // This database's metrics registry: commit-stage histograms
+  // ("commit.stage.<lock_wait|queue_wait|prepare|append|fsync|excl_wait|apply|ack>_us"),
+  // commit totals, checkpoint phase histograms, and the db.* counters DatabaseStats
+  // mirrors. Process-wide subsystem metrics (vfs.*, rpc.*, heap.*, pickle.*) live in
+  // obs::GlobalRegistry().
+  obs::Registry& metrics() { return registry_; }
+
+  // Human-readable report: every metric in this database's registry, one line each,
+  // histograms as count/mean/p50/p95/p99/max. The per-stage commit breakdown is the
+  // reproduction's answer to the paper's measured-cost table.
+  std::string MetricsReport() const;
+
+  // The same data as JSON: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  std::string MetricsReportJson() const;
+
+  // The most recent per-commit trace events (oldest first), each a full per-stage
+  // timing breakdown of one commit batch.
+  std::vector<obs::CommitTrace> DumpTrace() const;
+
   // Monotone counter bumped at the start of every commit batch (and every serial
   // update / checkpoint). Applications whose prepares derive values from in-memory
   // state that the same batch will modify (e.g. replication sequence numbers) compare
@@ -230,7 +260,7 @@ class Database : private GroupCommitHost {
   Status CheckPoisoned() const;
 
   // GroupCommitHost (called by committer_ on a leader thread; see group_commit.h).
-  Status BatchBegin() override;
+  Result<std::uint64_t> BatchBegin() override;
   Status BatchApply(ByteSpan record) override;
   void BatchPoisoned(const Status& cause) override;
   void BatchCommitted(const UpdateBreakdown& breakdown) override;
@@ -242,10 +272,17 @@ class Database : private GroupCommitHost {
   VersionStore version_store_;
   SueLock lock_;
 
+  // Per-database metrics: the single source of truth for all hot-path counters (the
+  // DatabaseStats struct is a snapshot view over it) and the commit-stage histograms.
+  // Declared before everything that holds pointers into it.
+  obs::Registry registry_;
+  std::unique_ptr<obs::TraceRing> trace_ring_;
+  obs::CommitStageMetrics stage_metrics_;
+
   // The following are mutated only while holding the update lock (or in Open), with
   // the pipeline paused where the live log is swapped.
   std::unique_ptr<LogWriter> log_;
-  std::uint64_t version_ = 0;
+  std::atomic<std::uint64_t> version_{0};  // atomic: read lock-free by observers
   bool poisoned_ = false;
   bool read_only_ = false;
 
@@ -253,11 +290,13 @@ class Database : private GroupCommitHost {
   // log_ so it is destroyed first.
   std::unique_ptr<GroupCommitter> committer_;
 
-  // Hot-path counters: plain atomics so overlapping commits never serialize on the
-  // stats mutex. counters_.log_bytes mirrors log_->size() so log_bytes() is readable
-  // without any lock while a batch is streaming to disk.
+  // Hot-path counters: registry-owned lock-free metrics so overlapping commits never
+  // serialize on the stats mutex. counters_.log_bytes mirrors log_->size() so
+  // log_bytes() is readable without any lock while a batch is streaming to disk.
   UpdateCounters counters_;
-  std::atomic<std::uint64_t> enquiries_{0};
+  obs::Counter* enquiries_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* auto_checkpoints_ = nullptr;
   std::atomic<std::uint64_t> commit_epoch_{0};
   std::atomic<Micros> last_checkpoint_time_{0};
   std::atomic<bool> auto_checkpoint_running_{false};

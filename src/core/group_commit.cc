@@ -1,25 +1,39 @@
 #include "src/core/group_commit.h"
 
+#include <algorithm>
+
 namespace sdb {
 
 GroupCommitter::GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host,
                                LogWriter* log, UpdateCounters* counters,
+                               obs::CommitStageMetrics stage_metrics,
                                GroupCommitOptions options)
     : lock_(lock),
       clock_(clock),
       host_(host),
       counters_(counters),
+      stage_metrics_(stage_metrics),
       options_(options),
       log_(log) {}
 
 Status GroupCommitter::Submit(std::span<const PrepareFn> prepares) {
   Request req(prepares);
+  const bool timing = obs::Enabled();
+  if (timing) {
+    req.enqueued_micros = clock_.NowMicros();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   queue_.push_back(&req);
   for (;;) {
     if (req.done) {
       if (req.rode_along) {
         ++stats_.sync_waits;
+        // Ack stage: the gap between the leader finishing the batch and this rider
+        // thread observing completion (scheduler + condvar latency).
+        if (timing && req.completed_micros != 0) {
+          stage_metrics_.stage[static_cast<int>(obs::CommitStage::kAck)]->Record(
+              clock_.NowMicros() - req.completed_micros);
+        }
       }
       return req.status;
     }
@@ -46,32 +60,53 @@ void GroupCommitter::LeadBatch(std::unique_lock<std::mutex>& lock, Request& self
     queue_.pop_front();
   }
   batch_in_progress_ = true;
+
+  // Queue-wait stage: how long each sealed request sat in the queue before a leader
+  // picked it up. The batch's trace event carries the worst (oldest) wait.
+  Micros queue_wait_max = 0;
+  if (obs::Enabled()) {
+    Micros now = clock_.NowMicros();
+    obs::Histogram* hist =
+        stage_metrics_.stage[static_cast<int>(obs::CommitStage::kQueueWait)];
+    for (Request* request : batch) {
+      Micros wait = now - request->enqueued_micros;
+      hist->Record(wait);
+      queue_wait_max = std::max(queue_wait_max, wait);
+    }
+  }
   lock.unlock();
 
-  RunBatch(batch);
+  RunBatch(batch, queue_wait_max);
 
   lock.lock();
   batch_in_progress_ = false;
+  Micros completed = obs::Enabled() ? clock_.NowMicros() : 0;
   for (Request* request : batch) {
     request->rode_along = request != &self;
+    request->completed_micros = completed;
     request->done = true;
   }
   cv_.notify_all();
 }
 
-void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
+void GroupCommitter::RunBatch(const std::vector<Request*>& batch, Micros queue_wait_max) {
   UpdateBreakdown breakdown;
+  const bool timing = obs::Enabled();
 
   // Phase 1: preconditions + record gathering, under the update lock. Enquiries run
   // concurrently; other updaters queue behind us in the pipeline, not on this lock.
+  // Stage timestamps are chained (each boundary is read once) to keep the enabled
+  // path at ~8 clock reads per batch.
+  Micros t_start = timing ? clock_.NowMicros() : 0;
   lock_.AcquireUpdate();
-  Stopwatch prepare_watch(clock_);
-  Status ready = host_.BatchBegin();
+  Micros t_locked = clock_.NowMicros();
+  Result<std::uint64_t> ready = host_.BatchBegin();
+  std::uint64_t epoch = ready.ok() ? *ready : 0;
   std::vector<ByteSpan> payloads;
   std::size_t write_set = 0;
   for (Request* request : batch) {
     if (!ready.ok()) {
-      request->status = ready;
+      request->status = ready.status();
       continue;
     }
     request->records.reserve(request->prepares.size());
@@ -89,13 +124,14 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
       // request's records reach the log. Other requests in the batch are unaffected.
       request->status = failed;
       request->records.clear();
-      counters_->precondition_failures.fetch_add(1, std::memory_order_relaxed);
+      counters_->precondition_failures->Increment();
     } else {
       request->prepared_ok = true;
       ++write_set;
     }
   }
-  breakdown.prepare_micros = prepare_watch.ElapsedMicros();
+  Micros t_prepared = clock_.NowMicros();
+  breakdown.prepare_micros = t_prepared - t_locked;
   lock_.ReleaseUpdate();
   if (write_set == 0) {
     return;  // nothing to commit; every caller already has its error
@@ -111,8 +147,9 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
 
   // Phase 2: the commit point. One contiguous append, one padding, one fsync — and no
   // lock of any mode held, so enquiries and next-batch arrivals proceed throughout.
-  Stopwatch log_watch(clock_);
+  Micros t_log_start = clock_.NowMicros();
   Status committed = log_->AppendBatch(payloads);
+  Micros t_appended = timing ? clock_.NowMicros() : t_log_start;
   if (!committed.ok()) {
     committed = committed.WithContext("appending log entry");
   } else {
@@ -121,13 +158,14 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
       committed = committed.WithContext("committing log entry");
     }
   }
-  breakdown.log_micros = log_watch.ElapsedMicros();
-  counters_->log_bytes.store(log_->size(), std::memory_order_relaxed);
+  Micros t_synced = clock_.NowMicros();
+  breakdown.log_micros = t_synced - t_log_start;
+  counters_->log_bytes->Set(static_cast<std::int64_t>(log_->size()));
   if (!committed.ok()) {
     for (Request* request : batch) {
       if (request->prepared_ok) {
         request->status = committed;
-        counters_->commit_failures.fetch_add(1, std::memory_order_relaxed);
+        counters_->commit_failures->Increment();
       }
     }
     return;
@@ -137,7 +175,7 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
   // enquiries, and it is purely an in-memory modification.
   lock_.AcquireUpdate();
   lock_.UpgradeToExclusive();
-  Stopwatch apply_watch(clock_);
+  Micros t_exclusive = clock_.NowMicros();
   Status poisoned = OkStatus();
   for (Request* request : batch) {
     if (!request->prepared_ok) {
@@ -161,18 +199,36 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch) {
     }
     if (poisoned.ok()) {
       request->status = OkStatus();
-      counters_->updates.fetch_add(request->records.size(), std::memory_order_relaxed);
-      counters_->log_entries_since_checkpoint.fetch_add(request->records.size(),
-                                                        std::memory_order_relaxed);
+      counters_->updates->Add(request->records.size());
+      counters_->log_entries_since_checkpoint->Add(
+          static_cast<std::int64_t>(request->records.size()));
     }
   }
-  breakdown.apply_micros = apply_watch.ElapsedMicros();
+  Micros t_applied = clock_.NowMicros();
+  breakdown.apply_micros = t_applied - t_exclusive;
   lock_.DowngradeToUpdate();
   lock_.ReleaseUpdate();
 
   breakdown.total_micros =
       breakdown.prepare_micros + breakdown.log_micros + breakdown.apply_micros;
   host_.BatchCommitted(breakdown);
+
+  if (timing) {
+    obs::CommitTrace trace;
+    trace.records = payloads.size();
+    trace.start_micros = t_start;
+    trace.set_stage(obs::CommitStage::kLockWait, t_locked - t_start);
+    trace.set_stage(obs::CommitStage::kQueueWait, queue_wait_max);
+    trace.set_stage(obs::CommitStage::kPrepare, t_prepared - t_locked);
+    trace.set_stage(obs::CommitStage::kAppend, t_appended - t_log_start);
+    trace.set_stage(obs::CommitStage::kFsync, t_synced - t_appended);
+    trace.set_stage(obs::CommitStage::kExclusiveWait, t_exclusive - t_synced);
+    trace.set_stage(obs::CommitStage::kApply, t_applied - t_exclusive);
+    trace.total_micros = t_applied - t_start;
+    trace.epoch = epoch;
+    stage_metrics_.RecordBatch(trace);
+  }
+  stage_metrics_.fsyncs->Increment();
 
   std::lock_guard<std::mutex> stats_lock(mu_);
   ++stats_.batches;

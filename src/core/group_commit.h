@@ -56,6 +56,8 @@
 #include "src/common/status.h"
 #include "src/core/log_writer.h"
 #include "src/core/sue_lock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sdb {
 
@@ -88,16 +90,18 @@ struct GroupCommitStats {
   }
 };
 
-// Hot-path counters shared between the Database and the committer. Plain atomics so
-// overlapping commits never serialize on a stats mutex.
+// Hot-path counters shared between the Database and the committer: lock-free
+// registry-owned metrics (the Database registers them in its own obs::Registry, so
+// DatabaseStats and MetricsReport read the same source of truth). These stay live
+// even under SDB_OBS_DISABLED — the checkpoint policy depends on them.
 struct UpdateCounters {
-  std::atomic<std::uint64_t> updates{0};
-  std::atomic<std::uint64_t> precondition_failures{0};
-  std::atomic<std::uint64_t> commit_failures{0};
-  std::atomic<std::uint64_t> log_entries_since_checkpoint{0};
+  obs::Counter* updates = nullptr;
+  obs::Counter* precondition_failures = nullptr;
+  obs::Counter* commit_failures = nullptr;
+  obs::Gauge* log_entries_since_checkpoint = nullptr;
   // Mirror of the live log's size, refreshed after every batch/serial commit, so
   // Database::log_bytes() needs no lock while a batch is streaming to disk.
-  std::atomic<std::uint64_t> log_bytes{0};
+  obs::Gauge* log_bytes = nullptr;
 };
 
 // Per-batch phase timing (also the shape of DatabaseStats::last_update; with the
@@ -116,8 +120,9 @@ class GroupCommitHost {
   virtual ~GroupCommitHost() = default;
 
   // Called under the update lock before a batch's prepares: bump the commit epoch and
-  // refuse the batch (poisoned database) by returning non-OK.
-  virtual Status BatchBegin() = 0;
+  // return its new value (stamped into the batch's trace event), or refuse the batch
+  // (poisoned database) by returning non-OK.
+  virtual Result<std::uint64_t> BatchBegin() = 0;
 
   // Called under the exclusive lock for each durable record, in log order.
   virtual Status BatchApply(ByteSpan record) = 0;
@@ -136,8 +141,11 @@ class GroupCommitter {
 
   // `log` is the live log writer; the committer uses it only inside a batch, so it may
   // be swapped with set_log() whenever the pipeline is paused (checkpoint switch).
+  // `stage_metrics` is the owning database's per-stage aggregation (histograms +
+  // optional trace ring); the committer records one CommitTrace per committed batch.
   GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host, LogWriter* log,
-                 UpdateCounters* counters, GroupCommitOptions options);
+                 UpdateCounters* counters, obs::CommitStageMetrics stage_metrics,
+                 GroupCommitOptions options);
 
   GroupCommitter(const GroupCommitter&) = delete;
   GroupCommitter& operator=(const GroupCommitter&) = delete;
@@ -169,18 +177,21 @@ class GroupCommitter {
     bool prepared_ok = false;  // part of the batch write set
     bool done = false;
     bool rode_along = false;  // completed by a leader other than itself
+    Micros enqueued_micros = 0;   // stamp at Submit (queue-wait stage), obs only
+    Micros completed_micros = 0;  // stamp when the leader publishes done (ack stage)
   };
 
   // Seals `queue_` (up to max_batch_records) into a batch and runs it to completion.
   // Called with `lock` held; releases it for the batch's duration and reacquires it
   // to publish completion.
   void LeadBatch(std::unique_lock<std::mutex>& lock, Request& self);
-  void RunBatch(const std::vector<Request*>& batch);
+  void RunBatch(const std::vector<Request*>& batch, Micros queue_wait_max);
 
   SueLock& lock_;
   Clock& clock_;
   GroupCommitHost& host_;
   UpdateCounters* counters_;
+  obs::CommitStageMetrics stage_metrics_;
   const GroupCommitOptions options_;
 
   mutable std::mutex mu_;

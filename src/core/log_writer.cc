@@ -12,9 +12,9 @@ Status LogWriter::AppendBatch(std::span<const ByteSpan> payloads) {
   }
   scratch_ = std::move(framed).Take();
   SDB_RETURN_IF_ERROR(file_->Append(AsSpan(scratch_)));
-  size_ += scratch_.size();
-  stats_.entries_appended += payloads.size();
-  stats_.bytes_appended += scratch_.size();
+  size_.fetch_add(scratch_.size(), std::memory_order_relaxed);
+  entries_appended_.fetch_add(payloads.size(), std::memory_order_relaxed);
+  bytes_appended_.fetch_add(scratch_.size(), std::memory_order_relaxed);
   return OkStatus();
 }
 
@@ -22,7 +22,7 @@ Status LogWriter::PadToPageBoundary() {
   if (!options_.pad_to_page_boundary) {
     return OkStatus();
   }
-  std::size_t remainder = static_cast<std::size_t>(size_ % options_.page_size);
+  std::size_t remainder = static_cast<std::size_t>(size() % options_.page_size);
   if (remainder == 0) {
     return OkStatus();
   }
@@ -31,15 +31,15 @@ Status LogWriter::PadToPageBoundary() {
     padding_.assign(options_.page_size, 0);
   }
   SDB_RETURN_IF_ERROR(file_->Append(ByteSpan(padding_.data(), pad)));
-  size_ += pad;
-  stats_.padding_bytes += pad;
+  size_.fetch_add(pad, std::memory_order_relaxed);
+  padding_bytes_.fetch_add(pad, std::memory_order_relaxed);
   return OkStatus();
 }
 
 Status LogWriter::Commit() {
   SDB_RETURN_IF_ERROR(PadToPageBoundary());
   SDB_RETURN_IF_ERROR(file_->Sync());
-  ++stats_.commits;
+  commits_.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 

@@ -6,6 +6,7 @@
 #ifndef SMALLDB_SRC_CORE_LOG_WRITER_H_
 #define SMALLDB_SRC_CORE_LOG_WRITER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -16,6 +17,9 @@
 
 namespace sdb {
 
+// Snapshot of a LogWriter's counters. The writer keeps these internally as relaxed
+// atomics — they are mutated by whichever thread leads a commit batch and read
+// lock-free by observers (Database::log_writer_stats) while batches are in flight.
 struct LogWriterStats {
   std::uint64_t entries_appended = 0;
   std::uint64_t commits = 0;  // fsyncs
@@ -60,8 +64,17 @@ class LogWriter {
     return Commit();
   }
 
-  std::uint64_t size() const { return size_; }
-  const LogWriterStats& stats() const { return stats_; }
+  std::uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // By-value snapshot, safe to call from any thread at any time.
+  LogWriterStats stats() const {
+    LogWriterStats snapshot;
+    snapshot.entries_appended = entries_appended_.load(std::memory_order_relaxed);
+    snapshot.commits = commits_.load(std::memory_order_relaxed);
+    snapshot.bytes_appended = bytes_appended_.load(std::memory_order_relaxed);
+    snapshot.padding_bytes = padding_bytes_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
 
   Status Close() { return file_->Close(); }
 
@@ -69,9 +82,12 @@ class LogWriter {
   Status PadToPageBoundary();
 
   std::unique_ptr<File> file_;
-  std::uint64_t size_;
+  std::atomic<std::uint64_t> size_;
   LogWriterOptions options_;
-  LogWriterStats stats_;
+  std::atomic<std::uint64_t> entries_appended_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> bytes_appended_{0};
+  std::atomic<std::uint64_t> padding_bytes_{0};
   Bytes scratch_;  // reusable encode buffer (capacity persists across batches)
   Bytes padding_;  // reusable zero page for PadToPageBoundary
 };

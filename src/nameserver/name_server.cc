@@ -2,8 +2,34 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace sdb::ns {
 namespace {
+
+// Process-wide name-service operation counters ("ns.*" in obs::GlobalRegistry()),
+// one per client-visible verb, aggregated across replicas in this process.
+struct OpMetrics {
+  obs::Counter* lookups;
+  obs::Counter* lists;
+  obs::Counter* sets;
+  obs::Counter* removes;
+  obs::Counter* compare_and_sets;
+  obs::Counter* remote_updates;
+};
+
+OpMetrics& Metrics() {
+  static OpMetrics m = [] {
+    obs::Registry& registry = obs::GlobalRegistry();
+    return OpMetrics{&registry.GetCounter("ns.lookups"),
+                     &registry.GetCounter("ns.lists"),
+                     &registry.GetCounter("ns.sets"),
+                     &registry.GetCounter("ns.removes"),
+                     &registry.GetCounter("ns.compare_and_sets"),
+                     &registry.GetCounter("ns.remote_updates")};
+  }();
+  return m;
+}
 
 // What a checkpoint of the name server actually contains: the pickled tree plus the
 // replication bookkeeping, so a restart recovers both together.
@@ -36,6 +62,7 @@ Result<std::unique_ptr<NameServer>> NameServer::Open(NameServerOptions options) 
 // --- client operations ---
 
 Result<std::string> NameServer::Lookup(std::string_view path) {
+  Metrics().lookups->Increment();
   Result<std::string> value = NotFoundError("");
   SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &value] {
     value = tree_.Lookup(path);
@@ -45,6 +72,7 @@ Result<std::string> NameServer::Lookup(std::string_view path) {
 }
 
 Result<std::vector<std::string>> NameServer::List(std::string_view path) {
+  Metrics().lists->Increment();
   Result<std::vector<std::string>> labels = NotFoundError("");
   SDB_RETURN_IF_ERROR(db_->Enquire([this, path, &labels] {
     labels = tree_.List(path);
@@ -104,17 +132,20 @@ Result<Bytes> NameServer::PrepareLocalUpdate(UpdateKind kind, std::string_view p
 }
 
 Status NameServer::Set(std::string_view path, std::string_view value) {
+  Metrics().sets->Increment();
   return db_->Update(
       [this, path, value] { return PrepareLocalUpdate(UpdateKind::kSet, path, value); });
 }
 
 Status NameServer::Remove(std::string_view path) {
+  Metrics().removes->Increment();
   return db_->Update(
       [this, path] { return PrepareLocalUpdate(UpdateKind::kRemove, path, ""); });
 }
 
 Status NameServer::CompareAndSet(std::string_view path, std::string_view expected,
                                  std::string_view value) {
+  Metrics().compare_and_sets->Increment();
   return db_->Update([this, path, expected, value]() -> Result<Bytes> {
     SDB_ASSIGN_OR_RETURN(std::string current, tree_.Lookup(path));
     if (current != expected) {
@@ -137,6 +168,7 @@ Result<std::vector<std::pair<std::string, std::string>>> NameServer::Export(
 // --- replication surface ---
 
 Status NameServer::ApplyRemoteUpdate(const NameServerUpdate& update) {
+  Metrics().remote_updates->Increment();
   Status status = db_->Update([this, &update]() -> Result<Bytes> {
     SyncReservations();
     // Gap/duplicate checks run against the effective horizon: what is applied plus

@@ -1,0 +1,229 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdb::obs {
+
+// --- histogram bucket bounds ---
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t i) {
+  if (i < kSubBuckets) {
+    return i;
+  }
+  if (i >= kBucketCount - 1) {
+    return std::uint64_t{1} << kMaxMagnitude;  // overflow bucket
+  }
+  std::size_t rel = i - kSubBuckets;
+  int msb = kSubBucketBits + static_cast<int>(rel / 4);
+  std::uint64_t offset = rel % 4;
+  return (std::uint64_t{4} + offset) << (msb - 2);
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t i) {
+  if (i >= kBucketCount - 1) {
+    return ~std::uint64_t{0};
+  }
+  return BucketLowerBound(i + 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the cumulative counts.
+  double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    std::uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      double lower = static_cast<double>(Histogram::BucketLowerBound(i));
+      double upper = static_cast<double>(
+          std::min(Histogram::BucketUpperBound(i), max == 0 ? std::uint64_t{1} : max + 1));
+      if (upper < lower) {
+        upper = lower;
+      }
+      double within = rank - static_cast<double>(cumulative);
+      double fraction = within / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
+// --- registry ---
+
+namespace {
+
+template <typename Map>
+auto& GetOrCreate(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+template <typename Map>
+auto* Find(std::mutex& mutex, const Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", v);
+  return buffer;
+}
+
+}  // namespace
+
+Counter& Registry::GetCounter(std::string_view name) {
+  return GetOrCreate(mutex_, counters_, name);
+}
+Gauge& Registry::GetGauge(std::string_view name) { return GetOrCreate(mutex_, gauges_, name); }
+Histogram& Registry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mutex_, histograms_, name);
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  return Find(mutex_, counters_, name);
+}
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  return Find(mutex_, gauges_, name);
+}
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  return Find(mutex_, histograms_, name);
+}
+
+std::string Registry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::size_t width = 0;
+  for (const auto& [name, metric] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, metric] : gauges_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, metric] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  auto pad = [width](const std::string& name) {
+    return name + std::string(width - name.size() + 2, ' ');
+  };
+  for (const auto& [name, metric] : counters_) {
+    out += pad(name) + std::to_string(metric->value()) + "\n";
+  }
+  for (const auto& [name, metric] : gauges_) {
+    out += pad(name) + std::to_string(metric->value()) + "\n";
+  }
+  for (const auto& [name, metric] : histograms_) {
+    HistogramSnapshot snap = metric->Snapshot();
+    out += pad(name) + "count=" + std::to_string(snap.count) +
+           " mean=" + FormatDouble(snap.mean()) + " p50=" + FormatDouble(snap.p50()) +
+           " p95=" + FormatDouble(snap.p95()) + " p99=" + FormatDouble(snap.p99()) +
+           " max=" + std::to_string(snap.max) + "\n";
+  }
+  return out;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string Registry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, metric] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out += ':' + std::to_string(metric->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, metric] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    AppendJsonString(out, name);
+    out += ':' + std::to_string(metric->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, metric] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    HistogramSnapshot snap = metric->Snapshot();
+    AppendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(snap.count) +
+           ",\"sum\":" + std::to_string(snap.sum) +
+           ",\"mean\":" + FormatDouble(snap.mean()) +
+           ",\"p50\":" + FormatDouble(snap.p50()) +
+           ",\"p95\":" + FormatDouble(snap.p95()) +
+           ",\"p99\":" + FormatDouble(snap.p99()) +
+           ",\"max\":" + std::to_string(snap.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace sdb::obs

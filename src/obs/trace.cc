@@ -1,0 +1,104 @@
+#include "src/obs/trace.h"
+
+namespace sdb::obs {
+
+const char* CommitStageName(CommitStage stage) {
+  switch (stage) {
+    case CommitStage::kLockWait:
+      return "lock_wait";
+    case CommitStage::kQueueWait:
+      return "queue_wait";
+    case CommitStage::kPrepare:
+      return "prepare";
+    case CommitStage::kAppend:
+      return "append";
+    case CommitStage::kFsync:
+      return "fsync";
+    case CommitStage::kExclusiveWait:
+      return "excl_wait";
+    case CommitStage::kApply:
+      return "apply";
+    case CommitStage::kAck:
+      return "ack";
+  }
+  return "unknown";
+}
+
+std::string CommitTrace::ToString() const {
+  std::string out = "epoch=" + std::to_string(epoch) +
+                    " records=" + std::to_string(records) +
+                    " total=" + std::to_string(total_micros) + "us";
+  for (std::size_t i = 0; i < kCommitStageCount; ++i) {
+    out += std::string(" ") + CommitStageName(static_cast<CommitStage>(i)) + "=" +
+           std::to_string(stage_micros[i]);
+  }
+  return out;
+}
+
+void TraceRing::Record(const CommitTrace& trace) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<CommitTrace> TraceRing::Dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CommitTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+CommitStageMetrics CommitStageMetrics::Register(Registry& registry, TraceRing* ring) {
+  CommitStageMetrics metrics;
+  for (std::size_t i = 0; i < kCommitStageCount; ++i) {
+    metrics.stage[i] = &registry.GetHistogram(
+        std::string("commit.stage.") + CommitStageName(static_cast<CommitStage>(i)) + "_us");
+  }
+  metrics.total = &registry.GetHistogram("commit.total_us");
+  metrics.batch_records = &registry.GetHistogram("commit.batch_records");
+  metrics.batches = &registry.GetCounter("commit.batches");
+  metrics.fsyncs = &registry.GetCounter("commit.fsyncs");
+  metrics.ring = ring;
+  return metrics;
+}
+
+void CommitStageMetrics::RecordBatch(const CommitTrace& trace) {
+  for (std::size_t i = 0; i < kCommitStageCount; ++i) {
+    // Ack and queue wait are recorded per request by the pipeline itself (the trace
+    // only carries the batch's worst queue wait); everything else is per batch.
+    CommitStage s = static_cast<CommitStage>(i);
+    if (s == CommitStage::kAck || s == CommitStage::kQueueWait) {
+      continue;
+    }
+    stage[i]->Record(trace.stage_micros[i]);
+  }
+  total->Record(trace.total_micros);
+  batch_records->Record(static_cast<std::int64_t>(trace.records));
+  batches->Increment();
+  if (ring != nullptr) {
+    ring->Record(trace);
+  }
+}
+
+}  // namespace sdb::obs

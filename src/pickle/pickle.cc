@@ -1,12 +1,33 @@
 #include "src/pickle/pickle.h"
 
 #include "src/common/crc.h"
+#include "src/obs/metrics.h"
 
 namespace sdb {
 namespace {
 
 constexpr std::string_view kMagic = "SDBP";
 constexpr std::uint8_t kVersion = 1;
+
+// Process-wide envelope traffic counters ("pickle.*" in obs::GlobalRegistry()):
+// how many whole-state pickles were produced/consumed and their byte volume.
+struct EnvelopeMetrics {
+  obs::Counter* writes;
+  obs::Counter* write_bytes;
+  obs::Counter* reads;
+  obs::Counter* read_bytes;
+};
+
+EnvelopeMetrics& Metrics() {
+  static EnvelopeMetrics m = [] {
+    obs::Registry& registry = obs::GlobalRegistry();
+    return EnvelopeMetrics{&registry.GetCounter("pickle.envelope.writes"),
+                           &registry.GetCounter("pickle.envelope.write_bytes"),
+                           &registry.GetCounter("pickle.envelope.reads"),
+                           &registry.GetCounter("pickle.envelope.read_bytes")};
+  }();
+  return m;
+}
 
 }  // namespace
 
@@ -29,6 +50,8 @@ Bytes PickleWriter::FinishEnvelope(std::string_view type_name, const CostModel* 
   std::uint32_t crc = Crc32c(AsSpan(envelope.buffer()));
   envelope.PutU32(MaskCrc(crc));
   Bytes out = std::move(envelope).Take();
+  Metrics().writes->Increment();
+  Metrics().write_bytes->Add(out.size());
   if (cost != nullptr) {
     cost->ChargePickleWrite(out.size());
   }
@@ -37,6 +60,8 @@ Bytes PickleWriter::FinishEnvelope(std::string_view type_name, const CostModel* 
 
 Result<PickleReader> PickleReader::FromEnvelope(ByteSpan data, std::string_view expected_type,
                                                 const CostModel* cost) {
+  Metrics().reads->Increment();
+  Metrics().read_bytes->Add(data.size());
   if (cost != nullptr) {
     cost->ChargePickleRead(data.size());
   }

@@ -4,6 +4,31 @@
 
 namespace sdb::rpc {
 
+namespace internal {
+
+ClientStubMetrics& StubMetrics() {
+  static ClientStubMetrics metrics = [] {
+    obs::Registry& registry = obs::GlobalRegistry();
+    ClientStubMetrics m;
+    m.calls = &registry.GetCounter("rpc.client.calls");
+    m.errors = &registry.GetCounter("rpc.client.errors");
+    m.request_bytes = &registry.GetCounter("rpc.client.request_bytes");
+    m.response_bytes = &registry.GetCounter("rpc.client.response_bytes");
+    m.marshal_us = &registry.GetHistogram("rpc.client.marshal_us");
+    m.round_trip_us = &registry.GetHistogram("rpc.client.round_trip_us");
+    m.unmarshal_us = &registry.GetHistogram("rpc.client.unmarshal_us");
+    return m;
+  }();
+  return metrics;
+}
+
+Micros StubNowMicros() {
+  static WallClock clock;
+  return clock.NowMicros();
+}
+
+}  // namespace internal
+
 Result<Bytes> LoopbackChannel::RoundTrip(ByteSpan request) {
   if (!connected_.load()) {
     return UnavailableError("network partition: server unreachable");

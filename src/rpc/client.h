@@ -8,6 +8,8 @@
 #include <atomic>
 #include <string>
 
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
 #include "src/pickle/pickle.h"
 #include "src/pickle/traits.h"
 #include "src/rpc/message.h"
@@ -18,12 +20,31 @@ namespace sdb::rpc {
 
 namespace internal {
 inline std::atomic<std::uint64_t> g_next_call_id{1};
+
+// Process-wide client-stub metrics ("rpc.client.*" in obs::GlobalRegistry()):
+// call/error/byte counters always, marshal/round-trip/unmarshal latency while
+// obs::Enabled(). Shared by every CallMethod instantiation.
+struct ClientStubMetrics {
+  obs::Counter* calls;
+  obs::Counter* errors;
+  obs::Counter* request_bytes;
+  obs::Counter* response_bytes;
+  obs::Histogram* marshal_us;
+  obs::Histogram* round_trip_us;
+  obs::Histogram* unmarshal_us;
+};
+ClientStubMetrics& StubMetrics();
+Micros StubNowMicros();  // monotonic wall clock for stage timing
 }  // namespace internal
 
 // Client-side stub: pickle the request, round-trip, unpickle the response.
 template <typename Req, typename Resp>
 Result<Resp> CallMethod(Channel& channel, std::string_view service, std::string_view method,
                         const Req& request_body) {
+  internal::ClientStubMetrics& metrics = internal::StubMetrics();
+  const bool timing = obs::Enabled();
+  Micros t_start = timing ? internal::StubNowMicros() : 0;
+
   Request request;
   request.call_id = internal::g_next_call_id.fetch_add(1);
   request.service = std::string(service);
@@ -33,16 +54,46 @@ Result<Resp> CallMethod(Channel& channel, std::string_view service, std::string_
     writer.Write(request_body);
     request.payload = std::move(writer).TakeRaw();
   }
+  Bytes encoded = EncodeRequest(request);
+  metrics.calls->Increment();
+  metrics.request_bytes->Add(encoded.size());
+  Micros t_marshalled = timing ? internal::StubNowMicros() : 0;
 
-  SDB_ASSIGN_OR_RETURN(Bytes response_bytes, channel.RoundTrip(AsSpan(EncodeRequest(request))));
-  SDB_ASSIGN_OR_RETURN(Response response, DecodeResponse(AsSpan(response_bytes)));
-  if (response.call_id != request.call_id) {
+  Result<Bytes> response_bytes = channel.RoundTrip(AsSpan(encoded));
+  Micros t_returned = timing ? internal::StubNowMicros() : 0;
+  if (timing) {
+    metrics.marshal_us->Record(t_marshalled - t_start);
+    metrics.round_trip_us->Record(t_returned - t_marshalled);
+  }
+  if (!response_bytes.ok()) {
+    metrics.errors->Increment();
+    return response_bytes.status();
+  }
+  metrics.response_bytes->Add(response_bytes->size());
+
+  Result<Response> response = DecodeResponse(AsSpan(*response_bytes));
+  if (!response.ok()) {
+    metrics.errors->Increment();
+    return response.status();
+  }
+  if (response->call_id != request.call_id) {
+    metrics.errors->Increment();
     return InternalError("RPC response call id mismatch");
   }
-  SDB_RETURN_IF_ERROR(response.status);
-  PickleReader reader = PickleReader::Raw(AsSpan(response.payload));
+  if (!response->status.ok()) {
+    metrics.errors->Increment();
+    return response->status;
+  }
+  PickleReader reader = PickleReader::Raw(AsSpan(response->payload));
   Resp response_body{};
-  SDB_RETURN_IF_ERROR(reader.Read(response_body).WithContext("unmarshalling RPC response"));
+  Status unmarshalled = reader.Read(response_body).WithContext("unmarshalling RPC response");
+  if (timing) {
+    metrics.unmarshal_us->Record(internal::StubNowMicros() - t_returned);
+  }
+  if (!unmarshalled.ok()) {
+    metrics.errors->Increment();
+    return unmarshalled;
+  }
   return response_body;
 }
 

@@ -1,6 +1,30 @@
 #include "src/rpc/server.h"
 
+#include "src/obs/metrics.h"
+
 namespace sdb::rpc {
+
+namespace {
+
+// Process-wide mirror of the per-server dispatch counters, so MetricsReport-style
+// dumps see RPC traffic without access to individual RpcServer instances.
+struct ServerMetrics {
+  obs::Counter* dispatches;
+  obs::Counter* handler_errors;
+  obs::Histogram* handler_us;
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics m = [] {
+    obs::Registry& registry = obs::GlobalRegistry();
+    return ServerMetrics{&registry.GetCounter("rpc.server.dispatches"),
+                         &registry.GetCounter("rpc.server.handler_errors"),
+                         &registry.GetHistogram("rpc.server.handler_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 void RpcServer::Register(std::string service, std::string method, RawHandler handler) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -32,10 +56,15 @@ Bytes RpcServer::Dispatch(ByteSpan request_bytes) const {
   Micros start = clock_ != nullptr ? clock_->NowMicros() : 0;
   Result<Bytes> payload = handler(AsSpan(request->payload));
   Micros elapsed = clock_ != nullptr ? clock_->NowMicros() - start : 0;
+  Metrics().dispatches->Increment();
   if (!payload.ok()) {
+    Metrics().handler_errors->Increment();
     response.status = payload.status();
   } else {
     response.payload = std::move(*payload);
+  }
+  if (obs::Enabled() && clock_ != nullptr) {
+    Metrics().handler_us->Record(elapsed);
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);

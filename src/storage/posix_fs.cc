@@ -10,8 +10,21 @@
 #include <filesystem>
 #include <system_error>
 
+#include "src/common/clock.h"
+#include "src/storage/vfs_metrics.h"
+
 namespace sdb {
 namespace {
+
+VfsOpMetrics& Metrics() {
+  static VfsOpMetrics m = VfsOpMetrics::Register(obs::GlobalRegistry(), "vfs.posix");
+  return m;
+}
+
+WallClock& SyncClock() {
+  static WallClock clock;
+  return clock;
+}
 
 Status ErrnoStatus(std::string_view op, std::string_view path, int err) {
   std::string message = std::string(op) + " " + std::string(path) + ": " + std::strerror(err);
@@ -57,6 +70,8 @@ class PosixFile final : public File {
       total += static_cast<std::size_t>(n);
     }
     out.resize(total);
+    Metrics().reads->Increment();
+    Metrics().read_bytes->Add(total);
     return out;
   }
 
@@ -78,6 +93,8 @@ class PosixFile final : public File {
       }
       total += static_cast<std::size_t>(n);
     }
+    Metrics().writes->Increment();
+    Metrics().write_bytes->Add(data.size());
     return OkStatus();
   }
 
@@ -89,7 +106,17 @@ class PosixFile final : public File {
   }
 
   Status Sync() override {
-    if (::fsync(fd_) != 0) {
+    Metrics().syncs->Increment();
+    if (!obs::Enabled()) {
+      if (::fsync(fd_) != 0) {
+        return ErrnoStatus("fsync", path_, errno);
+      }
+      return OkStatus();
+    }
+    Stopwatch watch(SyncClock());
+    int rc = ::fsync(fd_);
+    Metrics().sync_us->Record(watch.ElapsedMicros());
+    if (rc != 0) {
       return ErrnoStatus("fsync", path_, errno);
     }
     return OkStatus();
@@ -154,6 +181,7 @@ Result<std::unique_ptr<File>> PosixFs::Open(std::string_view path, OpenMode mode
   if (fd < 0) {
     return ErrnoStatus("open", full, errno);
   }
+  Metrics().opens->Increment();
   return {std::make_unique<PosixFile>(fd, full)};
 }
 
@@ -162,6 +190,7 @@ Status PosixFs::Delete(std::string_view path) {
   if (::unlink(full.c_str()) != 0) {
     return ErrnoStatus("unlink", full, errno);
   }
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
@@ -171,6 +200,7 @@ Status PosixFs::Rename(std::string_view from, std::string_view to) {
   if (::rename(full_from.c_str(), full_to.c_str()) != 0) {
     return ErrnoStatus("rename", full_from, errno);
   }
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
@@ -204,6 +234,7 @@ Status PosixFs::CreateDir(std::string_view path) {
   if (ec) {
     return IoError("mkdir " + std::string(path) + ": " + ec.message());
   }
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
@@ -221,6 +252,7 @@ Status PosixFs::SyncDir(std::string_view dir) {
     status = ErrnoStatus("fsync dir", full, errno);
   }
   ::close(fd);
+  Metrics().metadata_ops->Increment();
   return status;
 }
 

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/clock.h"
+#include "src/storage/vfs_metrics.h"
+
 namespace sdb {
 
 namespace {
 
 std::size_t PagesFor(std::uint64_t size, std::size_t page_size) {
   return static_cast<std::size_t>((size + page_size - 1) / page_size);
+}
+
+VfsOpMetrics& Metrics() {
+  static VfsOpMetrics m = VfsOpMetrics::Register(obs::GlobalRegistry(), "vfs.sim");
+  return m;
+}
+
+WallClock& SyncClock() {
+  static WallClock clock;
+  return clock;
 }
 
 }  // namespace
@@ -23,6 +36,7 @@ class SimFsFile final : public File {
   Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) override {
     std::lock_guard<std::mutex> lock(fs_->mutex_);
     SDB_RETURN_IF_ERROR(CheckUsableLocked());
+    Metrics().reads->Increment();
     const Bytes& cache = inode_->cache;
     if (offset >= cache.size()) {
       return Bytes{};
@@ -41,6 +55,7 @@ class SimFsFile final : public File {
         }
       }
     }
+    Metrics().read_bytes->Add(end - static_cast<std::size_t>(offset));
     return Bytes(cache.begin() + static_cast<std::ptrdiff_t>(offset),
                  cache.begin() + static_cast<std::ptrdiff_t>(end));
   }
@@ -88,7 +103,14 @@ class SimFsFile final : public File {
   Status Sync() override {
     std::lock_guard<std::mutex> lock(fs_->mutex_);
     SDB_RETURN_IF_ERROR(CheckWritableLocked());
-    return fs_->SyncInodeLocked(*inode_);
+    Metrics().syncs->Increment();
+    if (!obs::Enabled()) {
+      return fs_->SyncInodeLocked(*inode_);
+    }
+    Stopwatch watch(SyncClock());
+    Status status = fs_->SyncInodeLocked(*inode_);
+    Metrics().sync_us->Record(watch.ElapsedMicros());
+    return status;
   }
 
   Result<std::uint64_t> Size() override {
@@ -125,6 +147,8 @@ class SimFsFile final : public File {
     if (data.empty()) {
       return OkStatus();
     }
+    Metrics().writes->Increment();
+    Metrics().write_bytes->Add(data.size());
     std::size_t page_size = fs_->disk_->page_size();
     Bytes& cache = inode_->cache;
     std::uint64_t end = offset + data.size();
@@ -160,6 +184,7 @@ Status SimFs::CheckAlive() const {
 Result<std::unique_ptr<File>> SimFs::Open(std::string_view path, OpenMode mode) {
   std::lock_guard<std::mutex> lock(mutex_);
   SDB_RETURN_IF_ERROR(CheckAlive());
+  Metrics().opens->Increment();
   auto it = names_.find(path);
   bool exists = it != names_.end();
   bool writable = mode != OpenMode::kRead;
@@ -204,6 +229,7 @@ Status SimFs::Delete(std::string_view path) {
   }
   names_.erase(it);
   ++pending_meta_ops_;
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
@@ -218,6 +244,7 @@ Status SimFs::Rename(std::string_view from, std::string_view to) {
   names_.erase(it);
   names_.insert_or_assign(std::string(to), std::move(inode));
   ++pending_meta_ops_;
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
@@ -249,12 +276,14 @@ Status SimFs::CreateDir(std::string_view path) {
   SDB_RETURN_IF_ERROR(CheckAlive());
   dirs_.insert(std::string(path));
   ++pending_meta_ops_;
+  Metrics().metadata_ops->Increment();
   return OkStatus();
 }
 
 Status SimFs::SyncDir(std::string_view dir) {
   std::lock_guard<std::mutex> lock(mutex_);
   SDB_RETURN_IF_ERROR(CheckAlive());
+  Metrics().metadata_ops->Increment();
   FaultAction action = disk_->BeginMetadataSync(std::string(dir));
   switch (action) {
     case FaultAction::kCrashBefore:

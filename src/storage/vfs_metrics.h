@@ -1,0 +1,40 @@
+// Per-backend Vfs operation metrics, registered in the process-wide registry
+// (obs::GlobalRegistry()) under "vfs.<backend>.*". Each backend keeps one lazily
+// initialized bundle; data-path counters are always live, sync latency is recorded
+// only while timing instrumentation is enabled (obs::Enabled()).
+#ifndef SMALLDB_SRC_STORAGE_VFS_METRICS_H_
+#define SMALLDB_SRC_STORAGE_VFS_METRICS_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace sdb {
+
+struct VfsOpMetrics {
+  obs::Counter* opens = nullptr;
+  obs::Counter* reads = nullptr;
+  obs::Counter* read_bytes = nullptr;
+  obs::Counter* writes = nullptr;
+  obs::Counter* write_bytes = nullptr;
+  obs::Counter* syncs = nullptr;
+  obs::Counter* metadata_ops = nullptr;  // delete, rename, mkdir, dir sync
+  obs::Histogram* sync_us = nullptr;     // wall-clock fsync latency
+
+  static VfsOpMetrics Register(obs::Registry& registry, const std::string& prefix) {
+    VfsOpMetrics m;
+    m.opens = &registry.GetCounter(prefix + ".opens");
+    m.reads = &registry.GetCounter(prefix + ".reads");
+    m.read_bytes = &registry.GetCounter(prefix + ".read_bytes");
+    m.writes = &registry.GetCounter(prefix + ".writes");
+    m.write_bytes = &registry.GetCounter(prefix + ".write_bytes");
+    m.syncs = &registry.GetCounter(prefix + ".syncs");
+    m.metadata_ops = &registry.GetCounter(prefix + ".metadata_ops");
+    m.sync_us = &registry.GetHistogram(prefix + ".sync_us");
+    return m;
+  }
+};
+
+}  // namespace sdb
+
+#endif  // SMALLDB_SRC_STORAGE_VFS_METRICS_H_

@@ -2,7 +2,42 @@
 
 #include <algorithm>
 
+#include "src/common/clock.h"
+#include "src/obs/metrics.h"
+
 namespace sdb::th {
+
+namespace {
+
+// Process-wide GC metrics ("heap.*" in obs::GlobalRegistry()), aggregated across
+// every Heap instance: pause latency, sweep volume, and a live-set gauge tracking
+// the most recently collected heap.
+struct GcMetrics {
+  obs::Counter* collections;
+  obs::Counter* objects_swept;
+  obs::Gauge* live_objects;
+  obs::Gauge* live_bytes;
+  obs::Histogram* pause_us;
+};
+
+GcMetrics& Metrics() {
+  static GcMetrics m = [] {
+    obs::Registry& registry = obs::GlobalRegistry();
+    return GcMetrics{&registry.GetCounter("heap.gc.collections"),
+                     &registry.GetCounter("heap.gc.objects_swept"),
+                     &registry.GetGauge("heap.live_objects"),
+                     &registry.GetGauge("heap.live_bytes"),
+                     &registry.GetHistogram("heap.gc.pause_us")};
+  }();
+  return m;
+}
+
+WallClock& PauseClock() {
+  static WallClock clock;
+  return clock;
+}
+
+}  // namespace
 
 Object::Object(const TypeDesc* type) : type_(type) {
   slots_.reserve(type->field_count());
@@ -217,6 +252,8 @@ void Heap::Mark(Object* object) {
 }
 
 std::uint64_t Heap::Collect() {
+  const bool timing = obs::Enabled();
+  Stopwatch pause(PauseClock());
   for (const auto& object : objects_) {
     object->marked_ = false;
   }
@@ -237,6 +274,14 @@ std::uint64_t Heap::Collect() {
   gc_stats_.objects_freed += freed;
   gc_stats_.last_freed = freed;
   gc_stats_.last_live = objects_.size();
+  GcMetrics& metrics = Metrics();
+  metrics.collections->Increment();
+  metrics.objects_swept->Add(freed);
+  metrics.live_objects->Set(static_cast<std::int64_t>(objects_.size()));
+  if (timing) {
+    metrics.live_bytes->Set(static_cast<std::int64_t>(approximate_bytes()));
+    metrics.pause_us->Record(pause.ElapsedMicros());
+  }
   return freed;
 }
 

@@ -1,0 +1,117 @@
+// Tests for the diagnostic logging satellite: level parsing, threshold filtering,
+// and the line format (level tag, thread id, basename:line).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace sdb {
+namespace {
+
+// Captures emitted log lines and restores the previous threshold/sink on exit.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() : saved_threshold_(GetLogThreshold()) {
+    SetLogSinkForTest([this](LogLevel level, std::string_view line) {
+      levels_.push_back(level);
+      lines_.emplace_back(line);
+    });
+  }
+  ~ScopedLogCapture() {
+    SetLogSinkForTest(nullptr);
+    SetLogThreshold(saved_threshold_);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<LogLevel>& levels() const { return levels_; }
+
+ private:
+  LogLevel saved_threshold_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST(ParseLogLevel, AcceptsNamesAndAbbreviations) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("d"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("I"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("W"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("e"), LogLevel::kError);
+}
+
+TEST(ParseLogLevel, RejectsGarbage) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("2"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("debugg"), std::nullopt);
+}
+
+TEST(Logging, ThresholdFiltersLowerLevels) {
+  ScopedLogCapture capture;
+  SetLogThreshold(LogLevel::kWarning);
+  SDB_LOG(kDebug) << "dropped debug";
+  SDB_LOG(kInfo) << "dropped info";
+  SDB_LOG(kWarning) << "kept warning";
+  SDB_LOG(kError) << "kept error";
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("kept warning"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("kept error"), std::string::npos);
+  EXPECT_EQ(capture.levels()[0], LogLevel::kWarning);
+  EXPECT_EQ(capture.levels()[1], LogLevel::kError);
+}
+
+TEST(Logging, LoweringThresholdAdmitsMoreLevels) {
+  ScopedLogCapture capture;
+  SetLogThreshold(LogLevel::kWarning);
+  SDB_LOG(kInfo) << "invisible";
+  ASSERT_TRUE(capture.lines().empty());
+  SetLogThreshold(LogLevel::kDebug);
+  SDB_LOG(kDebug) << "now visible";
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("now visible"), std::string::npos);
+}
+
+TEST(Logging, LineFormatHasTagThreadIdAndBasename) {
+  ScopedLogCapture capture;
+  SetLogThreshold(LogLevel::kDebug);
+  SDB_LOG(kWarning) << "format probe";
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_EQ(line.rfind("[W t", 0), 0u) << line;  // "[<tag> t<id> ..." prefix
+  EXPECT_NE(line.find("logging_test.cc:"), std::string::npos) << line;
+  EXPECT_EQ(line.find('/'), std::string::npos) << "path not stripped: " << line;
+  EXPECT_NE(line.find("] format probe"), std::string::npos) << line;
+}
+
+TEST(Logging, DistinctThreadsGetDistinctIds) {
+  ScopedLogCapture capture;
+  SetLogThreshold(LogLevel::kDebug);
+  SDB_LOG(kInfo) << "from main";
+  std::thread worker([] { SDB_LOG(kInfo) << "from worker"; });
+  worker.join();
+  ASSERT_EQ(capture.lines().size(), 2u);
+  auto thread_token = [](const std::string& line) {
+    std::size_t start = line.find(" t") + 2;
+    return line.substr(start, line.find(' ', start) - start);
+  };
+  EXPECT_NE(thread_token(capture.lines()[0]), thread_token(capture.lines()[1]));
+}
+
+TEST(Logging, StreamFormattingWorks) {
+  ScopedLogCapture capture;
+  SetLogThreshold(LogLevel::kDebug);
+  SDB_LOG(kInfo) << "answer=" << 42 << " pi=" << 3.5;
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("answer=42 pi=3.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdb
