@@ -397,13 +397,34 @@ Status Database::CheckpointLocked() {
   SDB_RETURN_IF_ERROR(
       WriteWholeFile(*options_.vfs, version_store_.LogPath(new_version), ByteSpan{})
           .WithContext("creating empty log"));
-  SDB_RETURN_IF_ERROR(
-      version_store_.CommitSwitch(version_.load(std::memory_order_relaxed), new_version));
+  bool switch_ambiguous = false;
+  Status switched = version_store_.CommitSwitch(version_.load(std::memory_order_relaxed),
+                                                new_version, &switch_ambiguous);
+  if (!switched.ok()) {
+    if (switch_ambiguous) {
+      // The switch may have committed (or may still commit once pending metadata is
+      // flushed): a restart could resolve to the new generation and ignore the old
+      // log. Committing further updates to it would lose them, so fail-stop until a
+      // reopen re-resolves the version. (Found by the simulation harness: a transient
+      // fsync error here, followed by acknowledged updates, is a lost-update bug.)
+      poisoned_ = true;
+      return switched.WithContext(
+          "checkpoint switch outcome ambiguous; database fail-stops until reopened");
+    }
+    return switched.WithContext("checkpoint switch aborted");
+  }
 
   // Swap the live log writer to the new (empty) log. The pipeline is paused, so no
-  // batch can be holding the old writer.
-  SDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> new_log,
-                       OpenLogForAppend(version_store_.LogPath(new_version)));
+  // batch can be holding the old writer. The switch has committed, so failing to open
+  // the new log is also fail-stop: the old writer must not be used again.
+  Result<std::unique_ptr<LogWriter>> new_log_result =
+      OpenLogForAppend(version_store_.LogPath(new_version));
+  if (!new_log_result.ok()) {
+    poisoned_ = true;
+    return new_log_result.status().WithContext(
+        "opening log after committed switch; database fail-stops until reopened");
+  }
+  std::unique_ptr<LogWriter> new_log = std::move(new_log_result).value();
   Status closed = log_->Close();
   if (!closed.ok()) {
     SDB_LOG(kWarning) << "closing old log: " << closed;

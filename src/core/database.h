@@ -283,7 +283,9 @@ class Database : private GroupCommitHost {
   // the pipeline paused where the live log is swapped.
   std::unique_ptr<LogWriter> log_;
   std::atomic<std::uint64_t> version_{0};  // atomic: read lock-free by observers
-  bool poisoned_ = false;
+  // Atomic: set under the update lock (apply divergence, ambiguous checkpoint
+  // switch) while enquiries — which only hold shared mode — read it concurrently.
+  std::atomic<bool> poisoned_{false};
   bool read_only_ = false;
 
   // Created after recovery when writable and group commit is enabled. Declared after

@@ -1,5 +1,7 @@
 #include "src/core/log_reader.h"
 
+#include <cstdlib>
+
 #include "src/core/log_format.h"
 
 namespace sdb {
@@ -9,6 +11,15 @@ namespace {
 // sync marker's low byte is 0x5A) nor look like padding (zeros), so the framing layer
 // classifies poisoned regions as corruption, which is exactly what a hard error is.
 constexpr std::uint8_t kPoisonByte = 0xFF;
+
+// SDB_SIM_CANARY=1 plants a bug: replay silently drops the final log entry — a lost
+// acknowledged update. It exists so the simulation harness can prove its oracle
+// catches exactly this class of bug (tests/harness). Re-read on every replay so tests
+// can flip it with setenv() in-process.
+bool CanaryDropsLastEntry() {
+  const char* canary = std::getenv("SDB_SIM_CANARY");
+  return canary != nullptr && canary[0] == '1' && canary[1] == '\0';
+}
 
 }  // namespace
 
@@ -45,6 +56,12 @@ Result<LogReplayStats> ReplayLogWithOffsets(
     log.insert(log.end(), chunk->begin(), chunk->end());
   }
 
+  // Canary mode applies entries one behind, so the final entry can be dropped.
+  const bool canary = CanaryDropsLastEntry();
+  bool have_held = false;
+  std::uint64_t held_offset = 0;
+  Bytes held_payload;
+
   ByteSpan view = AsSpan(log);
   std::size_t offset = 0;
   while (offset < view.size()) {
@@ -69,8 +86,18 @@ Result<LogReplayStats> ReplayLogWithOffsets(
     LogDecodeResult decoded = DecodeLogEntry(view, offset);
     switch (decoded.outcome) {
       case LogDecodeOutcome::kEntry:
-        SDB_RETURN_IF_ERROR(apply(offset, decoded.payload));
-        ++stats.entries_replayed;
+        if (canary) {
+          if (have_held) {
+            SDB_RETURN_IF_ERROR(apply(held_offset, AsSpan(held_payload)));
+            ++stats.entries_replayed;
+          }
+          held_offset = offset;
+          held_payload.assign(decoded.payload.begin(), decoded.payload.end());
+          have_held = true;
+        } else {
+          SDB_RETURN_IF_ERROR(apply(offset, decoded.payload));
+          ++stats.entries_replayed;
+        }
         offset = decoded.next_offset;
         continue;
       case LogDecodeOutcome::kCleanEnd:

@@ -202,14 +202,23 @@ Status VersionStore::RemoveStaleFiles(std::uint64_t current, VersionState& state
   return OkStatus();
 }
 
-Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t new_version) {
+Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t new_version,
+                                  bool* switch_ambiguous) {
+  if (switch_ambiguous != nullptr) {
+    *switch_ambiguous = false;
+  }
   // The new checkpoint and log files exist and are synced; make their directory
   // entries durable before committing to them.
   SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
 
-  // Commit point: `newversion` durably names the new generation.
+  // Commit point: `newversion` durably names the new generation. (A failure inside
+  // the write leaves its content unsynced or truncated — either resolves back to the
+  // old generation on restart, so the attempt is still cleanly abortable.)
   std::string digits = std::to_string(new_version);
   SDB_RETURN_IF_ERROR(WriteWholeFile(vfs_, JoinPath(dir_, kNewVersionFile), AsSpan(digits)));
+  if (switch_ambiguous != nullptr) {
+    *switch_ambiguous = true;
+  }
   SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
 
   // Cleanup after the commit point: delete the superseded generation (respecting

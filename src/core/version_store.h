@@ -85,7 +85,17 @@ class VersionStore {
   // CheckpointPath(new_version) and an empty LogPath(new_version), both synced.
   // Executes: sync dir, write `newversion` (the commit point), delete superseded
   // generation files and `version`, rename `newversion` -> `version`.
-  Status CommitSwitch(std::uint64_t current_version, std::uint64_t new_version);
+  //
+  // On failure, *switch_ambiguous reports whether the commit point may already be —
+  // or may still become — durable: once `newversion` holds synced content, a later
+  // directory sync can make its name durable, after which a restart resolves to the
+  // NEW generation. A caller that kept committing to the old log past that point
+  // would lose acknowledged updates on the next crash, so it must fail-stop until a
+  // restart re-resolves the version. Failures with *switch_ambiguous == false
+  // aborted cleanly: the old generation remains authoritative and the orphaned new
+  // files are swept by the next open.
+  Status CommitSwitch(std::uint64_t current_version, std::uint64_t new_version,
+                      bool* switch_ambiguous = nullptr);
 
   const std::string& dir() const { return dir_; }
 

@@ -1,0 +1,130 @@
+#include "src/sim/fault_schedule.h"
+
+namespace sdb::sim {
+
+std::string FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kCrashBefore:
+      return "crash-before";
+    case FaultAction::kCrashTorn:
+      return "crash-torn";
+    case FaultAction::kCrashAfter:
+      return "crash-after";
+    case FaultAction::kTransientError:
+      return "transient-error";
+  }
+  return "?";
+}
+
+std::string FaultPointToString(const FaultPoint& point) {
+  std::string out = (point.read_op ? "read-op " : "durable-op ") +
+                    std::to_string(point.sequence) + " -> " +
+                    FaultActionName(point.action);
+  if (point.metadata_only) {
+    out += " (metadata syncs only)";
+  }
+  return out;
+}
+
+FaultAction ScriptedFaultSchedule::Decide(const DurableOp& op) {
+  bool is_read = op.kind == DurableOp::Kind::kPageRead;
+  for (const FaultPoint& point : points_) {
+    if (point.read_op != is_read || point.sequence != op.sequence) {
+      continue;
+    }
+    if (point.metadata_only && op.kind != DurableOp::Kind::kMetadataSync) {
+      continue;
+    }
+    if (point.action != FaultAction::kNone) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return point.action;
+  }
+  return FaultAction::kNone;
+}
+
+namespace {
+
+// SplitMix64 finalizer: a well-mixed 64-bit hash.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RandomFaultSchedule::DrawFor(const DurableOp& op) const {
+  std::uint64_t op_class = op.kind == DurableOp::Kind::kPageRead ? 2 : 1;
+  std::uint64_t h = Mix64(seed_ ^ Mix64(op.sequence ^ (op_class << 56)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultAction RandomFaultSchedule::Decide(const DurableOp& op) {
+  double u = DrawFor(op);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  auto fire = [&](FaultAction action) {
+    fired_.push_back(FaultPoint{op.sequence, action,
+                                op.kind == DurableOp::Kind::kPageRead, false});
+    return action;
+  };
+
+  if (op.kind == DurableOp::Kind::kPageRead) {
+    if (transients_ < options_.max_transients && u < options_.transient_read) {
+      ++transients_;
+      return fire(FaultAction::kTransientError);
+    }
+    return FaultAction::kNone;
+  }
+
+  // Durable op: stack the thresholds so one draw picks at most one fault.
+  double torn = options_.crash_torn +
+                (op.kind == DurableOp::Kind::kMetadataSync ? options_.torn_metadata_sync : 0);
+  double p_before = options_.crash_before;
+  double p_torn = p_before + torn;
+  double p_after = p_torn + options_.crash_after;
+  double p_transient = p_after + options_.transient_write;
+
+  if (u < p_after) {
+    if (crashes_ >= options_.max_crashes) {
+      return FaultAction::kNone;
+    }
+    ++crashes_;
+    if (u < p_before) {
+      return fire(FaultAction::kCrashBefore);
+    }
+    if (u < p_torn) {
+      return fire(FaultAction::kCrashTorn);
+    }
+    return fire(FaultAction::kCrashAfter);
+  }
+  if (u < p_transient) {
+    if (transients_ >= options_.max_transients) {
+      return FaultAction::kNone;
+    }
+    ++transients_;
+    return fire(FaultAction::kTransientError);
+  }
+  return FaultAction::kNone;
+}
+
+std::vector<FaultPoint> RandomFaultSchedule::fired_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+std::uint64_t RandomFaultSchedule::crashes_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashes_;
+}
+
+std::uint64_t RandomFaultSchedule::transients_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return transients_;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,113 @@
+// Fault schedules: the simulation harness's generalization of CrashPlan.
+//
+// CrashPlan (src/storage/fault.h) fires once, at one durable operation. Recovery bugs
+// hide in *sequences* of failures — a crash during recovery from a crash, a torn
+// metadata sync during the checkpoint switch followed by a second crash mid-replay,
+// transient controller errors that fail an fsync without cutting power. The two
+// injectors here manufacture those sequences:
+//
+//   - ScriptedFaultSchedule replays an explicit list of FaultPoints. Because SimDisk's
+//     op counters never reset across ClearCrash, one script can span many
+//     crash/recover cycles; this is also the shrinker's replay vehicle.
+//   - RandomFaultSchedule derives every decision statelessly from (seed, op class,
+//     op ordinal), so a run is a pure function of its seed regardless of retry loops
+//     or thread interleaving, and records what fired as FaultPoints for replay.
+#ifndef SMALLDB_SRC_SIM_FAULT_SCHEDULE_H_
+#define SMALLDB_SRC_SIM_FAULT_SCHEDULE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/fault.h"
+
+namespace sdb::sim {
+
+// One injection point. Durable ops (page writes + metadata syncs) and page reads count
+// on independent sequences (see DurableOp), so (sequence, read_op) names an op
+// uniquely within a deterministic run.
+struct FaultPoint {
+  std::uint64_t sequence = 0;             // 1-based ordinal within its class
+  FaultAction action = FaultAction::kNone;
+  bool read_op = false;                   // false: durable sequence; true: read sequence
+  bool metadata_only = false;             // durable points: fire only on metadata syncs
+};
+
+std::string FaultActionName(FaultAction action);
+std::string FaultPointToString(const FaultPoint& point);
+
+// Fires each point when the matching op comes by. Thread-safe (immutable script,
+// atomic counters) and deterministic.
+class ScriptedFaultSchedule {
+ public:
+  explicit ScriptedFaultSchedule(std::vector<FaultPoint> points)
+      : points_(std::move(points)) {}
+
+  FaultAction Decide(const DurableOp& op);
+
+  FaultInjector AsInjector() {
+    return [this](const DurableOp& op) { return Decide(op); };
+  }
+
+  std::uint64_t fired_count() const { return fired_.load(std::memory_order_relaxed); }
+  const std::vector<FaultPoint>& points() const { return points_; }
+
+ private:
+  std::vector<FaultPoint> points_;
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+// Per-op fault probabilities. All default to zero; a default-constructed schedule
+// injects nothing.
+struct RandomFaultOptions {
+  // Durable-op crash flavours (power failures).
+  double crash_before = 0;
+  double crash_torn = 0;
+  double crash_after = 0;
+  // Extra torn probability applied only to metadata syncs — concentrates crashes on
+  // the checkpoint version-file switch protocol, which is where SyncDir happens.
+  double torn_metadata_sync = 0;
+  // Non-crashing transient I/O errors.
+  double transient_write = 0;  // per durable page write
+  double transient_read = 0;   // per disk page read (post-crash reload — faults recovery)
+  // Budgets, so every run terminates: once exhausted, the schedule goes quiet.
+  std::uint64_t max_crashes = 4;
+  std::uint64_t max_transients = 32;
+};
+
+class RandomFaultSchedule {
+ public:
+  RandomFaultSchedule(std::uint64_t seed, RandomFaultOptions options)
+      : seed_(seed), options_(options) {}
+
+  FaultAction Decide(const DurableOp& op);
+
+  FaultInjector AsInjector() {
+    return [this](const DurableOp& op) { return Decide(op); };
+  }
+
+  // Everything that fired, in firing order — a ScriptedFaultSchedule built from this
+  // list reproduces the run exactly (all other decisions were kNone).
+  std::vector<FaultPoint> fired_points() const;
+
+  std::uint64_t crashes_fired() const;
+  std::uint64_t transients_fired() const;
+
+ private:
+  // Uniform draw in [0,1) derived purely from (seed, op class, op ordinal): decisions
+  // do not depend on call order, so retries and concurrency cannot perturb them.
+  double DrawFor(const DurableOp& op) const;
+
+  const std::uint64_t seed_;
+  const RandomFaultOptions options_;
+  mutable std::mutex mutex_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t transients_ = 0;
+  std::vector<FaultPoint> fired_;
+};
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_FAULT_SCHEDULE_H_

@@ -1,0 +1,383 @@
+#include "src/sim/harness.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/core/backup.h"
+#include "src/core/database.h"
+#include "src/sim/kv_app.h"
+#include "src/sim/oracle.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/sim_fs.h"
+
+namespace sdb::sim {
+
+std::string ScheduleKindName(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kNone:
+      return "none";
+    case ScheduleKind::kMultiCrash:
+      return "multi-crash";
+    case ScheduleKind::kTransient:
+      return "transient";
+    case ScheduleKind::kTornSwitch:
+      return "torn-switch";
+    case ScheduleKind::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+bool ParseScheduleKind(std::string_view name, ScheduleKind* out) {
+  for (ScheduleKind kind :
+       {ScheduleKind::kNone, ScheduleKind::kMultiCrash, ScheduleKind::kTransient,
+        ScheduleKind::kTornSwitch, ScheduleKind::kMixed}) {
+    if (name == ScheduleKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+RandomFaultOptions FaultOptionsFor(ScheduleKind kind) {
+  RandomFaultOptions o;
+  switch (kind) {
+    case ScheduleKind::kNone:
+      break;
+    case ScheduleKind::kMultiCrash:
+      o.crash_before = 0.010;
+      o.crash_torn = 0.015;
+      o.crash_after = 0.010;
+      o.max_crashes = 4;
+      o.max_transients = 0;
+      break;
+    case ScheduleKind::kTransient:
+      o.transient_write = 0.010;
+      o.transient_read = 0.020;
+      o.max_crashes = 0;
+      o.max_transients = 24;
+      break;
+    case ScheduleKind::kTornSwitch:
+      o.torn_metadata_sync = 0.25;
+      o.max_crashes = 3;
+      o.max_transients = 0;
+      break;
+    case ScheduleKind::kMixed:
+      o.crash_before = 0.005;
+      o.crash_torn = 0.008;
+      o.crash_after = 0.005;
+      o.torn_metadata_sync = 0.10;
+      o.transient_write = 0.008;
+      o.transient_read = 0.010;
+      o.max_crashes = 4;
+      o.max_transients = 16;
+      break;
+  }
+  return o;
+}
+
+namespace {
+
+std::string Hex(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+class Runner {
+ public:
+  Runner(const std::vector<WorkloadStep>& steps, const HarnessOptions& options)
+      : steps_(steps), options_(options), disk_(DiskOptions()), fs_(&disk_) {}
+
+  RunReport Run(FaultInjector injector) {
+    report_.steps = steps_;
+    (void)fs_.CreateDir("/db");
+    disk_.SetFaultInjector(std::move(injector));
+
+    Status boot = Reboot();
+    if (!boot.ok()) {
+      return Fail(boot);
+    }
+
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      const WorkloadStep& step = steps_[i];
+      trace_.Mix("step");
+      trace_.Mix(static_cast<std::uint64_t>(i));
+      trace_.Mix(StepKindName(step.kind));
+      Status engine = ExecuteStep(step);
+      ++report_.steps_executed;
+      trace_.Mix(engine.ok() ? "ok" : "err");
+      if (!violation_.ok()) {
+        return Fail(violation_.WithContext("at step " + std::to_string(i) + " (" +
+                                           StepToString(step) + ")"));
+      }
+      if (engine.ok()) {
+        soft_failures_ = 0;
+        continue;
+      }
+      // The engine refused the step — fault-induced. A crashed disk means power is
+      // out: reboot (recover, verify, adopt) and carry on. A persistent run of
+      // non-crash failures (a transient wedged an in-flight log switch) gets a
+      // deliberate power cycle too, so the loop always makes progress.
+      if (disk_.crashed()) {
+        trace_.Mix("crash-reboot");
+        Status reboot = Reboot();
+        if (!reboot.ok()) {
+          return Fail(reboot);
+        }
+        soft_failures_ = 0;
+      } else if (++soft_failures_ >= options_.max_soft_failures) {
+        trace_.Mix("forced-reboot");
+        Status reboot = Reboot();
+        if (!reboot.ok()) {
+          return Fail(reboot);
+        }
+        soft_failures_ = 0;
+      }
+    }
+
+    // Every run ends by proving the durable state: one last power cut + recovery.
+    trace_.Mix("final");
+    Status final_check = Reboot();
+    if (!final_check.ok()) {
+      return Fail(final_check);
+    }
+
+    report_.ok = true;
+    report_.trace_hash = trace_.hash();
+    report_.transient_errors = disk_.stats().transient_errors;
+    return std::move(report_);
+  }
+
+ private:
+  SimDiskOptions DiskOptions() {
+    SimDiskOptions o;
+    o.page_size = options_.disk_page_size;
+    o.clock = &clock_;
+    return o;
+  }
+
+  DatabaseOptions DbOptions() {
+    DatabaseOptions o;
+    o.vfs = &fs_;
+    o.dir = "/db";
+    o.clock = &clock_;
+    o.log_writer.page_size = options_.disk_page_size;
+    o.log_replay_page_size = options_.disk_page_size;
+    return o;
+  }
+
+  RunReport Fail(const Status& status) {
+    report_.ok = false;
+    report_.failure = status.ToString();
+    report_.trace_hash = trace_.hash();
+    report_.transient_errors = disk_.stats().transient_errors;
+    return std::move(report_);
+  }
+
+  // Power cycle: cut power, recover the file system, reopen the database, check the
+  // recovered state against the oracle, adopt it. Retries absorb faults injected into
+  // recovery itself (reads are faultable); the schedule's budgets bound the retries.
+  Status Reboot() {
+    if (static_cast<int>(++report_.reboots) > options_.max_reboots) {
+      return InternalError("exceeded max_reboots — fault schedule never went quiet");
+    }
+    db_.reset();
+    Status last_error = OkStatus();
+    for (int attempt = 0; attempt < options_.max_recovery_attempts; ++attempt) {
+      ++report_.recovery_attempts;
+      fs_.Crash();
+      Status recovered = fs_.Recover();
+      if (!recovered.ok()) {
+        trace_.Mix("recover-fault");
+        last_error = recovered;
+        continue;
+      }
+      app_ = std::make_unique<KvApp>();
+      auto opened = Database::Open(*app_, DbOptions());
+      if (!opened.ok()) {
+        trace_.Mix("open-fault");
+        last_error = opened.status();
+        continue;
+      }
+      db_ = std::move(opened).value();
+      Status check = oracle_.CheckRecovered(app_->state);
+      if (!check.ok()) {
+        return check.WithContext("reboot " + std::to_string(report_.reboots));
+      }
+      oracle_.Adopt(app_->state);
+      trace_.Mix("recovered");
+      for (const auto& [key, value] : app_->state) {
+        trace_.Mix(key);
+        trace_.Mix(value);
+      }
+      return OkStatus();
+    }
+    return InternalError("recovery did not converge after " +
+                         std::to_string(options_.max_recovery_attempts) +
+                         " attempts; last error: " + last_error.ToString());
+  }
+
+  // Returns the engine's verdict on the step. Oracle violations (and terminal reboot
+  // failures inside a restart step) land in violation_ instead — they fail the run.
+  Status ExecuteStep(const WorkloadStep& step) {
+    switch (step.kind) {
+      case StepKind::kPut: {
+        Status st = db_->Update(app_->PreparePut(step.key, step.value));
+        if (st.ok()) {
+          oracle_.AckPut(step.key, step.value);
+        } else {
+          // Unacknowledged: the record may or may not have reached the durable log
+          // (a later successful fsync can flush it). The oracle must tolerate both.
+          oracle_.PendingPut(step.key, step.value);
+        }
+        return st;
+      }
+      case StepKind::kDelete: {
+        Status st = db_->Update(app_->PrepareDelete(step.key));
+        if (st.ok()) {
+          oracle_.AckDelete(step.key);
+        } else {
+          oracle_.PendingDelete(step.key);
+        }
+        return st;
+      }
+      case StepKind::kLookup:
+        return db_->Enquire([&]() -> Status {
+          auto live = app_->state.find(step.key);
+          auto want = oracle_.model().find(step.key);
+          bool live_has = live != app_->state.end();
+          bool want_has = want != oracle_.model().end();
+          if (live_has != want_has ||
+              (live_has && live->second != want->second)) {
+            violation_ = InternalError(
+                "oracle: lookup of " + step.key + " saw " +
+                (live_has ? "\"" + live->second + "\"" : "nothing") + ", expected " +
+                (want_has ? "\"" + want->second + "\"" : "nothing"));
+          }
+          return OkStatus();
+        });
+      case StepKind::kEnumerate:
+        return db_->Enquire([&]() -> Status {
+          Status live = oracle_.CheckLive(app_->state);
+          if (!live.ok()) {
+            violation_ = live;
+          }
+          return OkStatus();
+        });
+      case StepKind::kCheckpoint:
+        return db_->Checkpoint();
+      case StepKind::kBackup: {
+        // Offline backup + restore + read-only verification against the model. Each
+        // attempt gets fresh directory names; a fault mid-copy abandons the partials.
+        const std::string bdir = "/bk" + std::to_string(backup_counter_);
+        const std::string rdir = "/rs" + std::to_string(backup_counter_);
+        ++backup_counter_;
+        auto backed = BackupDatabaseDir(fs_, "/db", fs_, bdir);
+        if (!backed.ok()) {
+          return backed.status();
+        }
+        auto restored = RestoreDatabaseDir(fs_, bdir, fs_, rdir);
+        if (!restored.ok()) {
+          return restored.status();
+        }
+        KvApp replica;
+        DatabaseOptions opts = DbOptions();
+        opts.dir = rdir;
+        auto ro = Database::OpenReadOnly(replica, std::move(opts));
+        if (!ro.ok()) {
+          return ro.status();
+        }
+        // The backup captured the live log's cache view: acknowledged state plus
+        // possibly unacknowledged records — exactly what CheckRecovered models.
+        Status check = oracle_.CheckRecovered(replica.state);
+        if (!check.ok()) {
+          violation_ = check.WithContext("restored backup " + rdir);
+        }
+        return OkStatus();
+      }
+      case StepKind::kRestart: {
+        // A deliberate power cut at a step boundary (the paper's nightly restart,
+        // minus the graceful shutdown our crash model doesn't need).
+        Status st = Reboot();
+        if (!st.ok()) {
+          violation_ = st;
+        }
+        return OkStatus();
+      }
+    }
+    return InternalError("unknown step kind");
+  }
+
+  const std::vector<WorkloadStep>& steps_;
+  const HarnessOptions& options_;
+  SimClock clock_;
+  SimDisk disk_;
+  SimFs fs_;
+  std::unique_ptr<KvApp> app_;
+  std::unique_ptr<Database> db_;
+  ModelOracle oracle_;
+  TraceHasher trace_;
+  RunReport report_;
+  Status violation_ = OkStatus();
+  int soft_failures_ = 0;
+  std::uint64_t backup_counter_ = 0;
+};
+
+}  // namespace
+
+RunReport RunSeed(std::uint64_t seed, const HarnessOptions& options) {
+  std::vector<WorkloadStep> steps = GenerateWorkload(seed, options.workload);
+  RandomFaultSchedule schedule(seed, FaultOptionsFor(options.schedule));
+  Runner runner(steps, options);
+  RunReport report = runner.Run(schedule.AsInjector());
+  report.seed = seed;
+  report.schedule = options.schedule;
+  report.fired_points = schedule.fired_points();
+  return report;
+}
+
+RunReport RunScript(const std::vector<WorkloadStep>& steps,
+                    const std::vector<FaultPoint>& points, const HarnessOptions& options,
+                    std::uint64_t seed) {
+  ScriptedFaultSchedule schedule(points);
+  Runner runner(steps, options);
+  RunReport report = runner.Run(schedule.AsInjector());
+  report.seed = seed;
+  report.schedule = options.schedule;
+  report.fired_points = points;
+  return report;
+}
+
+std::string ReportToString(const RunReport& report) {
+  std::string out;
+  if (report.ok) {
+    out = "ok seed=" + std::to_string(report.seed) +
+          " schedule=" + ScheduleKindName(report.schedule) +
+          " steps=" + std::to_string(report.steps_executed) +
+          " reboots=" + std::to_string(report.reboots) +
+          " trace=" + Hex(report.trace_hash);
+    return out;
+  }
+  out = "FAILED seed=" + std::to_string(report.seed) +
+        " schedule=" + ScheduleKindName(report.schedule) + ": " + report.failure +
+        "\n  repro: sim_fuzz --seed=" + std::to_string(report.seed) +
+        " --schedule=" + ScheduleKindName(report.schedule) +
+        " --steps=" + std::to_string(report.steps.size()) +
+        "\n  trace=" + Hex(report.trace_hash) + "\n  fault script (" +
+        std::to_string(report.fired_points.size()) + " points):";
+  for (const FaultPoint& point : report.fired_points) {
+    out += "\n    " + FaultPointToString(point);
+  }
+  out += "\n  steps (" + std::to_string(report.steps.size()) + "):";
+  for (const WorkloadStep& step : report.steps) {
+    out += "\n    " + StepToString(step);
+  }
+  return out;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,108 @@
+// The simulation harness: runs a seeded workload against a Database on SimFs under a
+// fault schedule, checking every observable state against the ModelOracle.
+//
+// The loop is the FoundationDB recipe scaled to this engine: generate a workload from
+// the seed, execute it step by step, and whenever a fault cuts power, recover, verify
+// the recovered state against the model, adopt it, and continue — many crash/recover
+// cycles per run. The run is a pure function of (seed, options): the disk clock is
+// simulated, fault decisions are stateless hashes of op ordinals, and the workload is
+// seeded, so two runs of the same seed produce the identical trace hash. A failing
+// seed therefore reproduces with `sim_fuzz --seed=N`, and the (steps, fired fault
+// points) pair is replayable — and shrinkable — via RunScript.
+#ifndef SMALLDB_SRC_SIM_HARNESS_H_
+#define SMALLDB_SRC_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/fault_schedule.h"
+#include "src/sim/workload.h"
+
+namespace sdb::sim {
+
+// FNV-1a over everything deterministic a run observes: step outcomes, fault firings,
+// and the full recovered state after every reboot. Asserting equal hashes across two
+// runs of one seed is the reproducibility check.
+class TraceHasher {
+ public:
+  void Mix(std::string_view text) {
+    for (char c : text) {
+      MixByte(static_cast<unsigned char>(c));
+    }
+    MixByte(0xFF);  // delimiter so Mix("ab"),Mix("c") != Mix("a"),Mix("bc")
+  }
+  void Mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<unsigned char>(value >> (i * 8)));
+    }
+  }
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  void MixByte(unsigned char byte) {
+    hash_ ^= byte;
+    hash_ *= 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+// Named fault-probability presets — the vocabulary `sim_fuzz --schedule=` accepts.
+enum class ScheduleKind {
+  kNone,        // no faults: workload + final reboot only
+  kMultiCrash,  // repeated power failures, including crash-during-recovery
+  kTransient,   // non-crashing I/O errors on writes and reads
+  kTornSwitch,  // torn metadata syncs concentrated on the checkpoint switch
+  kMixed,       // everything at once
+};
+
+std::string ScheduleKindName(ScheduleKind kind);
+bool ParseScheduleKind(std::string_view name, ScheduleKind* out);
+RandomFaultOptions FaultOptionsFor(ScheduleKind kind);
+
+struct HarnessOptions {
+  WorkloadOptions workload;
+  ScheduleKind schedule = ScheduleKind::kMixed;
+  std::size_t disk_page_size = 512;
+  // Safety rails; fault budgets make runs terminate long before these.
+  int max_reboots = 64;
+  int max_recovery_attempts = 64;
+  // Forced reboot after this many consecutive non-crash step failures (a transient
+  // error can wedge an in-flight log switch; power-cycling restores a known state).
+  int max_soft_failures = 8;
+};
+
+struct RunReport {
+  bool ok = false;
+  std::string failure;  // oracle violation or non-convergence, empty when ok
+
+  std::uint64_t seed = 0;
+  ScheduleKind schedule = ScheduleKind::kNone;
+  std::uint64_t trace_hash = 0;
+
+  std::uint64_t reboots = 0;             // power cycles, incl. the boot and final verify
+  std::uint64_t recovery_attempts = 0;   // recover+reopen tries (faults retry them)
+  std::uint64_t transient_errors = 0;    // delivered by the disk
+  std::size_t steps_executed = 0;
+
+  // Replay material: RunScript(steps, fired_points, ...) reproduces this run.
+  std::vector<WorkloadStep> steps;
+  std::vector<FaultPoint> fired_points;
+};
+
+// One-line repro plus the shrunk script, printable by drivers and CI logs.
+std::string ReportToString(const RunReport& report);
+
+// Executes seed-derived workload + schedule. Pure function of (seed, options).
+RunReport RunSeed(std::uint64_t seed, const HarnessOptions& options);
+
+// Replays an explicit step list under an explicit fault script (shrinker vehicle).
+// `seed` and `schedule` label the report only; options.schedule is ignored.
+RunReport RunScript(const std::vector<WorkloadStep>& steps,
+                    const std::vector<FaultPoint>& points, const HarnessOptions& options,
+                    std::uint64_t seed = 0);
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_HARNESS_H_

@@ -1,0 +1,72 @@
+// KvApp: the Application the simulation harness drives — a string map whose update
+// records carry an op byte (put / delete), so workloads can exercise both growth and
+// erasure through the engine's log.
+#ifndef SMALLDB_SRC_SIM_KV_APP_H_
+#define SMALLDB_SRC_SIM_KV_APP_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/pickle/pickle.h"
+#include "src/pickle/traits.h"
+
+namespace sdb::sim {
+
+struct KvRecord {
+  std::uint8_t op = 0;  // 0 = put, 1 = delete
+  std::string key;
+  std::string value;
+  SDB_PICKLE_FIELDS(KvRecord, op, key, value)
+};
+
+class KvApp final : public Application {
+ public:
+  static constexpr std::uint8_t kPut = 0;
+  static constexpr std::uint8_t kDelete = 1;
+
+  Status ResetState() override {
+    state.clear();
+    return OkStatus();
+  }
+
+  Result<Bytes> SerializeState() override {
+    PickleWriter writer;
+    writer.Write(state);
+    return std::move(writer).FinishEnvelope("sim.KvApp.state");
+  }
+
+  Status DeserializeState(ByteSpan data) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader,
+                         PickleReader::FromEnvelope(data, "sim.KvApp.state"));
+    return reader.Read(state);
+  }
+
+  Status ApplyUpdate(ByteSpan record) override {
+    SDB_ASSIGN_OR_RETURN(KvRecord update, PickleRead<KvRecord>(record));
+    if (update.op == kDelete) {
+      state.erase(update.key);
+    } else {
+      state.insert_or_assign(update.key, update.value);
+    }
+    return OkStatus();
+  }
+
+  std::function<Result<Bytes>()> PreparePut(std::string key, std::string value) {
+    return [key = std::move(key), value = std::move(value)]() -> Result<Bytes> {
+      return PickleWrite(KvRecord{kPut, key, value});
+    };
+  }
+
+  std::function<Result<Bytes>()> PrepareDelete(std::string key) {
+    return [key = std::move(key)]() -> Result<Bytes> {
+      return PickleWrite(KvRecord{kDelete, key, {}});
+    };
+  }
+
+  std::map<std::string, std::string> state;
+};
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_KV_APP_H_

@@ -1,0 +1,94 @@
+#include "src/sim/oracle.h"
+
+namespace sdb::sim {
+
+void ModelOracle::AckPut(const std::string& key, const std::string& value) {
+  model_.insert_or_assign(key, value);
+}
+
+void ModelOracle::AckDelete(const std::string& key) { model_.erase(key); }
+
+void ModelOracle::PendingPut(const std::string& key, const std::string& value) {
+  pending_[key].push_back(PendingOp{false, value});
+}
+
+void ModelOracle::PendingDelete(const std::string& key) {
+  pending_[key].push_back(PendingOp{true, {}});
+}
+
+Status ModelOracle::CheckLive(const std::map<std::string, std::string>& live) const {
+  if (live == model_) {
+    return OkStatus();
+  }
+  for (const auto& [key, value] : model_) {
+    auto it = live.find(key);
+    if (it == live.end()) {
+      return InternalError("oracle: live state lost acknowledged key " + key);
+    }
+    if (it->second != value) {
+      return InternalError("oracle: live value of " + key + " is \"" + it->second +
+                           "\", expected \"" + value + "\"");
+    }
+  }
+  for (const auto& [key, value] : live) {
+    if (model_.count(key) == 0) {
+      return InternalError("oracle: live state grew phantom key " + key + " = \"" +
+                           value + "\"");
+    }
+  }
+  return InternalError("oracle: live state diverged from model");
+}
+
+Status ModelOracle::CheckRecovered(
+    const std::map<std::string, std::string>& recovered) const {
+  auto pending_explains = [this](const std::string& key, const std::string* value) {
+    auto it = pending_.find(key);
+    if (it == pending_.end()) {
+      return false;
+    }
+    for (const PendingOp& op : it->second) {
+      if (value == nullptr ? op.is_delete : (!op.is_delete && op.value == *value)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto& [key, value] : model_) {
+    auto it = recovered.find(key);
+    if (it == recovered.end()) {
+      if (!pending_explains(key, nullptr)) {
+        return InternalError("oracle: recovery lost acknowledged key " + key +
+                             " (was \"" + value + "\")");
+      }
+      continue;
+    }
+    if (it->second != value && !pending_explains(key, &it->second)) {
+      return InternalError("oracle: recovered value of " + key + " is \"" + it->second +
+                           "\", expected \"" + value +
+                           "\" and no unacknowledged update explains it");
+    }
+  }
+  for (const auto& [key, value] : recovered) {
+    if (model_.count(key) == 0 && !pending_explains(key, &value)) {
+      return InternalError("oracle: recovery produced phantom key " + key + " = \"" +
+                           value + "\"");
+    }
+  }
+  return OkStatus();
+}
+
+void ModelOracle::Adopt(const std::map<std::string, std::string>& recovered) {
+  model_ = recovered;
+  pending_.clear();
+}
+
+std::size_t ModelOracle::pending_ops() const {
+  std::size_t n = 0;
+  for (const auto& [key, ops] : pending_) {
+    n += ops.size();
+  }
+  return n;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,64 @@
+// ModelOracle: the in-memory reference model of acknowledged-only state.
+//
+// The paper's Section 4 guarantee, made checkable: at every moment the durable
+// database equals {every acknowledged update, in order} plus possibly a suffix of
+// updates that were submitted but never acknowledged (their Update() call returned an
+// error — a commit whose fsync failed may still have reached the log and will then be
+// replayed). The oracle tracks both sets:
+//
+//   - model_:   the acknowledged state. Live reads between faults must match exactly.
+//   - pending_: per key, the values (or deletions) of unacknowledged updates since the
+//               last recovery. After a crash, each divergence of the recovered state
+//               from model_ must be explained by one of these.
+//
+// After a recovery verifies, Adopt() snaps the model to the recovered state (the
+// durable truth is now known exactly) and clears the pending set.
+#ifndef SMALLDB_SRC_SIM_ORACLE_H_
+#define SMALLDB_SRC_SIM_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sdb::sim {
+
+class ModelOracle {
+ public:
+  // Acknowledged updates (Update() returned OK).
+  void AckPut(const std::string& key, const std::string& value);
+  void AckDelete(const std::string& key);
+
+  // Unacknowledged updates (Update() returned an error): durable or not, unknown.
+  void PendingPut(const std::string& key, const std::string& value);
+  void PendingDelete(const std::string& key);
+
+  // Live in-memory state between faults must equal the model exactly (a failed update
+  // is never applied in memory).
+  Status CheckLive(const std::map<std::string, std::string>& live) const;
+
+  // Recovered state after a crash: every acknowledged update present with its exact
+  // value unless superseded by a pending op for that key; nothing present that neither
+  // the model nor the pending set explains.
+  Status CheckRecovered(const std::map<std::string, std::string>& recovered) const;
+
+  // Accept the recovered state as the new acknowledged baseline.
+  void Adopt(const std::map<std::string, std::string>& recovered);
+
+  const std::map<std::string, std::string>& model() const { return model_; }
+  std::size_t pending_ops() const;
+
+ private:
+  struct PendingOp {
+    bool is_delete = false;
+    std::string value;
+  };
+
+  std::map<std::string, std::string> model_;
+  std::map<std::string, std::vector<PendingOp>> pending_;
+};
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_ORACLE_H_

@@ -1,0 +1,103 @@
+#include "src/sim/shrink.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdb::sim {
+
+namespace {
+
+// One ddmin sweep: try removing chunks, halving the chunk size down to 1. Keeps any
+// removal after which `still_fails` says the run still fails. Returns whether the
+// list got smaller.
+template <typename T, typename StillFails>
+bool DdminPass(std::vector<T>& items, StillFails&& still_fails) {
+  bool removed_any = false;
+  std::size_t chunk = (items.size() + 1) / 2;
+  while (chunk >= 1 && !items.empty()) {
+    for (std::size_t start = 0; start < items.size();) {
+      std::size_t end = std::min(items.size(), start + chunk);
+      std::vector<T> candidate;
+      candidate.reserve(items.size() - (end - start));
+      candidate.insert(candidate.end(), items.begin(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(), items.begin() + static_cast<std::ptrdiff_t>(end),
+                       items.end());
+      if (still_fails(candidate)) {
+        items = std::move(candidate);
+        removed_any = true;
+        // The next chunk has slid into `start`; retry at the same position.
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) {
+      break;
+    }
+    chunk /= 2;
+  }
+  return removed_any;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFailure(const RunReport& failing, const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.report = failing;
+  result.steps = failing.steps;
+  result.points = failing.fired_points;
+
+  auto replay_fails = [&](const std::vector<WorkloadStep>& steps,
+                          const std::vector<FaultPoint>& points,
+                          RunReport* out) -> bool {
+    if (result.runs_used >= options.max_runs) {
+      return false;  // budget exhausted: treat as "cannot remove"
+    }
+    ++result.runs_used;
+    RunReport report = RunScript(steps, points, options.harness, failing.seed);
+    if (!report.ok && out != nullptr) {
+      *out = std::move(report);
+      return true;
+    }
+    return !report.ok;
+  };
+
+  // The fired points must reproduce the failure as a script before shrinking means
+  // anything. (They should: every non-fired decision in the original run was kNone.)
+  RunReport reproduced;
+  if (!replay_fails(result.steps, result.points, &reproduced)) {
+    return result;
+  }
+  result.reproduced = true;
+  result.report = std::move(reproduced);
+
+  // Alternate step- and fault-shrinking passes until a full round removes nothing:
+  // dropping steps can make fault points unreachable (removable), and vice versa.
+  bool progress = true;
+  while (progress && result.runs_used < options.max_runs) {
+    progress = false;
+    progress |= DdminPass(result.steps, [&](const std::vector<WorkloadStep>& candidate) {
+      RunReport report;
+      if (!replay_fails(candidate, result.points, &report)) {
+        return false;
+      }
+      result.report = std::move(report);
+      return true;
+    });
+    progress |= DdminPass(result.points, [&](const std::vector<FaultPoint>& candidate) {
+      RunReport report;
+      if (!replay_fails(result.steps, candidate, &report)) {
+        return false;
+      }
+      result.report = std::move(report);
+      return true;
+    });
+    result.shrunk |= progress;
+  }
+
+  result.report.steps = result.steps;
+  result.report.fired_points = result.points;
+  return result;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,37 @@
+// Greedy shrinker for failing simulation runs.
+//
+// A failing RunSeed leaves a replayable pair (steps, fired fault points). Debugging
+// wants the smallest such pair that still fails, so the shrinker runs ddmin-style
+// chunk removal over the step list and the fault script, re-running the scripted
+// harness after each candidate removal and keeping any that still fails (any failure
+// counts — a shrink that morphs one oracle violation into another is still progress).
+// The replay budget bounds total work; shrinking is best-effort within it.
+#ifndef SMALLDB_SRC_SIM_SHRINK_H_
+#define SMALLDB_SRC_SIM_SHRINK_H_
+
+#include "src/sim/harness.h"
+
+namespace sdb::sim {
+
+struct ShrinkOptions {
+  // Must match the options of the failing run being shrunk.
+  HarnessOptions harness;
+  // Total scripted replays the shrinker may spend.
+  int max_runs = 200;
+};
+
+struct ShrinkResult {
+  // The minimized failing run (== the input failure if nothing could be removed).
+  RunReport report;
+  std::vector<WorkloadStep> steps;
+  std::vector<FaultPoint> points;
+  int runs_used = 0;
+  bool reproduced = false;  // the scripted replay of the failure failed too
+  bool shrunk = false;      // at least one step or fault point was removed
+};
+
+ShrinkResult ShrinkFailure(const RunReport& failing, const ShrinkOptions& options);
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_SHRINK_H_

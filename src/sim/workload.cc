@@ -1,0 +1,112 @@
+#include "src/sim/workload.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace sdb::sim {
+
+namespace {
+
+// snprintf instead of std::to_string concatenation: GCC 12's -Wrestrict false
+// positive (PR 105329) fires on the inlined string ops otherwise.
+std::string KeyName(std::uint64_t n) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+
+std::string ValueTag(int client, int step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%d-s%d-", client, step);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<WorkloadStep> GenerateWorkload(std::uint64_t seed,
+                                           const WorkloadOptions& options) {
+  // Salted so the workload stream and a RandomFaultSchedule built from the same seed
+  // draw from unrelated sequences.
+  Rng rng(seed ^ 0x574F524B4C4F4144ull);  // "WORKLOAD"
+
+  const double weights[] = {options.put_weight,        options.delete_weight,
+                            options.lookup_weight,     options.enumerate_weight,
+                            options.checkpoint_weight, options.backup_weight,
+                            options.restart_weight};
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+
+  std::vector<WorkloadStep> steps;
+  steps.reserve(static_cast<std::size_t>(options.steps));
+  for (int i = 0; i < options.steps; ++i) {
+    WorkloadStep step;
+    step.client = static_cast<int>(rng.NextBelow(static_cast<std::uint64_t>(
+        options.clients > 0 ? options.clients : 1)));
+
+    double dice = rng.NextDouble() * total;
+    int kind = 0;
+    for (; kind < 6; ++kind) {
+      if (dice < weights[kind]) {
+        break;
+      }
+      dice -= weights[kind];
+    }
+    step.kind = static_cast<StepKind>(kind);
+
+    switch (step.kind) {
+      case StepKind::kPut:
+        step.key = KeyName(rng.NextBelow(static_cast<std::uint64_t>(options.keyspace)));
+        // Client/step-tagged values: any value the oracle ever sees is attributable.
+        step.value = ValueTag(step.client, i);
+        step.value += rng.NextString(1 + rng.NextBelow(options.max_value_bytes));
+        break;
+      case StepKind::kDelete:
+      case StepKind::kLookup:
+        step.key = KeyName(rng.NextBelow(static_cast<std::uint64_t>(options.keyspace)));
+        break;
+      case StepKind::kEnumerate:
+      case StepKind::kCheckpoint:
+      case StepKind::kBackup:
+      case StepKind::kRestart:
+        break;
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+std::string StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kPut:
+      return "put";
+    case StepKind::kDelete:
+      return "delete";
+    case StepKind::kLookup:
+      return "lookup";
+    case StepKind::kEnumerate:
+      return "enumerate";
+    case StepKind::kCheckpoint:
+      return "checkpoint";
+    case StepKind::kBackup:
+      return "backup";
+    case StepKind::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
+std::string StepToString(const WorkloadStep& step) {
+  std::string out = "client" + std::to_string(step.client) + " " + StepKindName(step.kind);
+  if (!step.key.empty()) {
+    out += " " + step.key;
+  }
+  if (!step.value.empty()) {
+    out += " = " + step.value;
+  }
+  return out;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,63 @@
+// Seeded workload DSL for the simulation harness.
+//
+// A workload is a flat list of steps — update / lookup / enumerate / checkpoint /
+// backup / restart — attributed to logical clients. The generator is a pure function
+// of its seed; the steps are plain data so a failing run can be shrunk (steps removed)
+// and printed as a human-readable repro script.
+//
+// Clients are *logical*: the harness executes steps on one OS thread in list order
+// (deterministic scheduling on the SimClock), interleaving clients the way the seeded
+// generator shuffled them. Values are tagged with client and step ordinals so the
+// oracle can attribute any stray value it finds.
+#ifndef SMALLDB_SRC_SIM_WORKLOAD_H_
+#define SMALLDB_SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdb::sim {
+
+enum class StepKind : std::uint8_t {
+  kPut,         // update: insert-or-assign key=value
+  kDelete,      // update: erase key (blind; deleting a missing key is a no-op update)
+  kLookup,      // enquiry: one key must match the model exactly
+  kEnumerate,   // enquiry: the full state must match the model exactly
+  kCheckpoint,  // explicit checkpoint (the switch protocol under fault fire)
+  kBackup,      // offline backup + restore + read-only verify against the oracle
+  kRestart,     // clean close + reopen (no power cut)
+};
+
+struct WorkloadStep {
+  StepKind kind = StepKind::kPut;
+  int client = 0;
+  std::string key;
+  std::string value;
+};
+
+struct WorkloadOptions {
+  int steps = 60;
+  int clients = 3;
+  int keyspace = 16;              // keys are k0..k<keyspace-1>
+  std::size_t max_value_bytes = 40;
+
+  // Relative step-kind weights (normalized internally).
+  double put_weight = 0.50;
+  double delete_weight = 0.12;
+  double lookup_weight = 0.15;
+  double enumerate_weight = 0.07;
+  double checkpoint_weight = 0.08;
+  double backup_weight = 0.04;
+  double restart_weight = 0.04;
+};
+
+// Pure function of (seed, options).
+std::vector<WorkloadStep> GenerateWorkload(std::uint64_t seed,
+                                           const WorkloadOptions& options);
+
+std::string StepKindName(StepKind kind);
+std::string StepToString(const WorkloadStep& step);
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_WORKLOAD_H_

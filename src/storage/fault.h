@@ -5,36 +5,57 @@
 // the checkpoint-switch sequence. CrashPlan lets a test enumerate exactly those points:
 // it counts durable operations (page writes and metadata syncs) and triggers a crash on
 // the Nth one, optionally tearing the page being written.
+//
+// Richer schedules — repeated crashes, crash-during-recovery, seeded-probabilistic
+// faults, transient (non-crashing) I/O errors — live in src/sim/fault_schedule.h and
+// plug in through the same FaultInjector hook.
 #ifndef SMALLDB_SRC_STORAGE_FAULT_H_
 #define SMALLDB_SRC_STORAGE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 namespace sdb {
 
-// What the injector decides for one durable operation.
+// What the injector decides for one disk operation.
 enum class FaultAction : std::uint8_t {
   kNone = 0,       // proceed normally
   kCrashBefore,    // power fails before the medium is touched
   kCrashTorn,      // power fails mid-write: page is partially written and unreadable
   kCrashAfter,     // power fails just after the write completes durably
+  kTransientError, // the operation fails with kIoError but nothing crashes: the
+                   // medium is untouched and an identical retry may succeed (a
+                   // controller hiccup, not a power failure)
 };
 
-// Description of a durable operation, passed to the injector for each decision.
+// Description of a disk operation, passed to the injector for each decision.
 struct DurableOp {
-  enum class Kind : std::uint8_t { kPageWrite, kMetadataSync } kind = Kind::kPageWrite;
+  enum class Kind : std::uint8_t {
+    kPageWrite,     // durable: a page reaching the medium
+    kMetadataSync,  // durable: a directory fsync
+    kPageRead,      // not durable: a page fetched from the medium (post-crash reload,
+                    // cold restarts) — lets schedules fault recovery itself
+  };
+  Kind kind = Kind::kPageWrite;
   std::string target;       // file path (page writes) or directory (metadata syncs)
-  std::uint64_t sequence = 0;  // global ordinal of this durable op, starting at 1
+  // Ordinal of this op, starting at 1. Durable ops (page writes + metadata syncs)
+  // share one sequence; page reads count on their own independent sequence, so adding
+  // read injection did not renumber the crash points existing tests enumerate.
+  std::uint64_t sequence = 0;
 };
 
 // Injector callback: inspect the op, return an action. Must be deterministic for
-// reproducibility; CrashPlan below is the standard implementation.
+// reproducibility; CrashPlan below is the standard one-shot implementation.
 using FaultInjector = std::function<FaultAction(const DurableOp& op)>;
 
 // Crashes on the Nth durable operation with the given action. N is 1-based; a plan with
-// crash_at_op == 0 never fires.
+// crash_at_op == 0 never fires. Reads are ignored (they carry a different sequence).
+//
+// Thread-safe: Decide may be consulted from concurrent group-commit leaders racing
+// through SimDisk and SimFs; the configuration is immutable after construction and
+// fired() is an atomic, so concurrent decisions are deterministic per op.
 class CrashPlan {
  public:
   CrashPlan() = default;
@@ -42,14 +63,17 @@ class CrashPlan {
       : crash_at_op_(crash_at_op), action_(action) {}
 
   FaultAction Decide(const DurableOp& op) {
+    if (op.kind == DurableOp::Kind::kPageRead) {
+      return FaultAction::kNone;
+    }
     if (crash_at_op_ != 0 && op.sequence == crash_at_op_) {
-      fired_ = true;
+      fired_.store(true, std::memory_order_relaxed);
       return action_;
     }
     return FaultAction::kNone;
   }
 
-  bool fired() const { return fired_; }
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
 
   FaultInjector AsInjector() {
     return [this](const DurableOp& op) { return Decide(op); };
@@ -58,7 +82,7 @@ class CrashPlan {
  private:
   std::uint64_t crash_at_op_ = 0;
   FaultAction action_ = FaultAction::kNone;
-  bool fired_ = false;
+  std::atomic<bool> fired_{false};
 };
 
 }  // namespace sdb

@@ -46,6 +46,11 @@ Status SimDisk::WritePage(PageId page, ByteSpan data) {
   Page& p = pages_[page];
 
   switch (action) {
+    case FaultAction::kTransientError:
+      // The controller hiccupped: nothing reached the medium, nothing crashed, and an
+      // identical retry will be consulted afresh (at a new durable-op ordinal).
+      ++stats_.transient_errors;
+      return IoError("simulated transient write error");
     case FaultAction::kCrashBefore:
       crashed_ = true;
       return IoError("simulated crash before page write");
@@ -88,6 +93,26 @@ Status SimDisk::ReadPage(PageId page, Bytes& out) {
   }
   if (page >= options_.capacity_pages) {
     return InvalidArgumentError("page id beyond disk capacity");
+  }
+  if (injector_) {
+    DurableOp op;
+    op.kind = DurableOp::Kind::kPageRead;
+    op.target = "page:" + std::to_string(page);
+    op.sequence = ++read_op_counter_;
+    switch (injector_(op)) {
+      case FaultAction::kNone:
+        break;
+      case FaultAction::kTransientError:
+        ++stats_.transient_errors;
+        return IoError("simulated transient read error");
+      case FaultAction::kCrashBefore:
+      case FaultAction::kCrashTorn:
+      case FaultAction::kCrashAfter:
+        // Any crash flavour on a read is simply power failing mid-read; the medium is
+        // untouched either way.
+        crashed_ = true;
+        return IoError("simulated crash during page read");
+    }
   }
   ++stats_.page_reads;
   stats_.bytes_read += options_.page_size;
@@ -169,13 +194,20 @@ FaultAction SimDisk::BeginMetadataSync(const std::string& target) {
   op.target = target;
   op.sequence = ++durable_op_counter_;
   FaultAction action = injector_ ? injector_(op) : FaultAction::kNone;
-  if (action != FaultAction::kNone) {
+  if (action == FaultAction::kTransientError) {
+    ++stats_.transient_errors;
+  } else if (action != FaultAction::kNone) {
     crashed_ = true;
   }
   if (options_.clock != nullptr && action == FaultAction::kNone) {
     options_.clock->Charge(options_.seek_micros);
   }
   return action;
+}
+
+std::uint64_t SimDisk::next_read_op_sequence() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return read_op_counter_ + 1;
 }
 
 std::uint64_t SimDisk::next_durable_op_sequence() const {

@@ -47,6 +47,7 @@ struct SimDiskStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t seeks = 0;
   std::uint64_t torn_writes = 0;
+  std::uint64_t transient_errors = 0;  // kTransientError faults delivered (any op kind)
 };
 
 class SimDisk {
@@ -61,11 +62,14 @@ class SimDisk {
 
   // Writes one page durably. `data` must be at most page_size bytes (short writes are
   // zero-padded). Consults the fault injector; on a crash action the disk transitions
-  // to the crashed state and the call returns kIoError.
+  // to the crashed state and the call returns kIoError; on kTransientError the call
+  // returns kIoError with the medium untouched and the disk still healthy.
   Status WritePage(PageId page, ByteSpan data);
 
   // Reads one page into `out` (resized to page_size). Unwritten pages read as zeroes.
-  // Torn or hard-failed pages return kUnreadable.
+  // Torn or hard-failed pages return kUnreadable. The fault injector is consulted with
+  // a kPageRead op (its own sequence): kTransientError fails just this read (a retry
+  // re-consults the injector at the next read ordinal); any crash action cuts power.
   Status ReadPage(PageId page, Bytes& out);
 
   // Allocation of page numbers: the file system above asks the disk for fresh pages.
@@ -107,6 +111,10 @@ class SimDisk {
   // after a scripted run to size their crash-point enumeration.
   std::uint64_t next_durable_op_sequence() const;
 
+  // Ordinal that the next page read will carry (1-based, independent of the durable
+  // sequence above).
+  std::uint64_t next_read_op_sequence() const;
+
   SimDiskStats stats() const;
   void ResetStats();
 
@@ -132,6 +140,7 @@ class SimDisk {
   PageId next_unallocated_ = 0;
   FaultInjector injector_;
   std::uint64_t durable_op_counter_ = 0;
+  std::uint64_t read_op_counter_ = 0;
   bool crashed_ = false;
   PageId last_page_ = kNoPage;
   SimDiskStats stats_;

@@ -286,6 +286,10 @@ Status SimFs::SyncDir(std::string_view dir) {
   Metrics().metadata_ops->Increment();
   FaultAction action = disk_->BeginMetadataSync(std::string(dir));
   switch (action) {
+    case FaultAction::kTransientError:
+      // The sync failed but nothing crashed: the namespace changes are still pending
+      // (not durable) and a retry of SyncDir may succeed.
+      return IoError("simulated transient directory sync error");
     case FaultAction::kCrashBefore:
     case FaultAction::kCrashTorn:
       // Power failed before the directory blocks hit the medium: the pending namespace

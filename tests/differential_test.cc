@@ -4,11 +4,20 @@
 // clean restart.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
 #include "src/baselines/adhoc_page_db.h"
 #include "src/baselines/smalldb_kv.h"
 #include "src/baselines/textfile_db.h"
 #include "src/baselines/wal_commit_db.h"
 #include "src/common/rng.h"
+#include "src/sim/kv_app.h"
+#include "src/sim/workload.h"
+#include "src/storage/posix_fs.h"
 #include "src/storage/sim_env.h"
 
 namespace sdb::baselines {
@@ -98,6 +107,115 @@ TEST_P(DifferentialTest, AllImplementationsAgreeOnRandomStreams) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range<std::uint64_t>(900, 910));
+
+// --- harness-workload differential: simulated vs real file system ---
+//
+// The same harness-generated workload (no faults) is executed by the real engine on
+// SimFs and on PosixFs. After a clean restart both must recover the same state, byte
+// for byte in the serialized snapshot — pinning the engine's durable behaviour on the
+// simulated disk to its behaviour on the host file system.
+
+// Runs the update/checkpoint/restart steps of `steps` against a fresh database in
+// `dir` on `fs`, restarts, and returns the recovered snapshot's serialized bytes.
+// Enquiry and backup steps are skipped: with no faults and no oracle attached they
+// have no observable effect on the durable state under comparison.
+void RunHarnessWorkload(Vfs& fs, const std::string& dir,
+                        const std::vector<sim::WorkloadStep>& steps,
+                        Bytes* snapshot_out,
+                        std::map<std::string, std::string>* state_out) {
+  sim::KvApp app;
+  DatabaseOptions options;
+  options.vfs = &fs;
+  options.dir = dir;
+
+  auto db_or = Database::Open(app, options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  for (const sim::WorkloadStep& step : steps) {
+    switch (step.kind) {
+      case sim::StepKind::kPut:
+        ASSERT_TRUE(db->Update(app.PreparePut(step.key, step.value)).ok())
+            << sim::StepToString(step);
+        break;
+      case sim::StepKind::kDelete:
+        ASSERT_TRUE(db->Update(app.PrepareDelete(step.key)).ok())
+            << sim::StepToString(step);
+        break;
+      case sim::StepKind::kCheckpoint:
+        ASSERT_TRUE(db->Checkpoint().ok()) << sim::StepToString(step);
+        break;
+      case sim::StepKind::kRestart: {
+        db.reset();
+        auto reopened = Database::Open(app, options);
+        ASSERT_TRUE(reopened.ok()) << reopened.status();
+        db = std::move(*reopened);
+        break;
+      }
+      case sim::StepKind::kLookup:
+      case sim::StepKind::kEnumerate:
+      case sim::StepKind::kBackup:
+        break;
+    }
+  }
+
+  // Clean restart, then capture the recovered snapshot.
+  db.reset();
+  sim::KvApp recovered;
+  auto final_db = Database::Open(recovered, options);
+  ASSERT_TRUE(final_db.ok()) << final_db.status();
+  auto serialized = recovered.SerializeState();
+  ASSERT_TRUE(serialized.ok()) << serialized.status();
+  *snapshot_out = std::move(*serialized);
+  *state_out = recovered.state;
+}
+
+class HarnessWorkloadDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HarnessWorkloadDifferentialTest, SimFsAndPosixFsRecoverIdenticalSnapshots) {
+  sim::WorkloadOptions workload_options;
+  workload_options.steps = 80;
+  std::vector<sim::WorkloadStep> steps =
+      sim::GenerateWorkload(GetParam(), workload_options);
+
+  Bytes sim_snapshot;
+  std::map<std::string, std::string> sim_state;
+  {
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv env(env_options);
+    RunHarnessWorkload(env.fs(), "db", steps, &sim_snapshot, &sim_state);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+
+  Bytes posix_snapshot;
+  std::map<std::string, std::string> posix_state;
+  {
+    std::filesystem::path root =
+        std::filesystem::temp_directory_path() /
+        ("sdb_diff_harness_" + std::to_string(::getpid()) + "_" +
+         std::to_string(GetParam()));
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    PosixFs posix_fs(root.string());
+    RunHarnessWorkload(posix_fs, "db", steps, &posix_snapshot, &posix_state);
+    std::filesystem::remove_all(root);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+
+  EXPECT_EQ(sim_state, posix_state);
+  ASSERT_EQ(sim_snapshot.size(), posix_snapshot.size());
+  EXPECT_TRUE(std::equal(sim_snapshot.begin(), sim_snapshot.end(),
+                         posix_snapshot.begin()))
+      << "recovered snapshots differ between SimFs and PosixFs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarnessWorkloadDifferentialTest,
+                         ::testing::Values(7001, 7002, 7003));
 
 }  // namespace
 }  // namespace sdb::baselines

@@ -1,0 +1,272 @@
+// Tests for the simulation harness itself: the oracle's semantics, seed determinism,
+// fault-schedule injectors (including thread-safety, exercised under TSan via the CI
+// *Concurrent* filter), scripted replay fidelity, the planted-bug canary, and the
+// shrinker.
+#include <cstdlib>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/fault_schedule.h"
+#include "src/sim/harness.h"
+#include "src/sim/oracle.h"
+#include "src/sim/shrink.h"
+#include "src/sim/workload.h"
+#include "src/storage/sim_disk.h"
+
+namespace sdb::sim {
+namespace {
+
+HarnessOptions SmallOptions(ScheduleKind schedule) {
+  HarnessOptions options;
+  options.workload.steps = 40;
+  options.schedule = schedule;
+  return options;
+}
+
+TEST(ModelOracleTest, TracksAcknowledgedState) {
+  ModelOracle oracle;
+  oracle.AckPut("a", "1");
+  oracle.AckPut("b", "2");
+  oracle.AckDelete("a");
+  EXPECT_TRUE(oracle.CheckLive({{"b", "2"}}).ok());
+  EXPECT_FALSE(oracle.CheckLive({{"a", "1"}, {"b", "2"}}).ok());
+  EXPECT_FALSE(oracle.CheckLive({{"b", "stale"}}).ok());
+  EXPECT_FALSE(oracle.CheckLive({}).ok());
+}
+
+TEST(ModelOracleTest, PendingOpsExplainRecoveryDivergence) {
+  ModelOracle oracle;
+  oracle.AckPut("k", "acked");
+  oracle.PendingPut("k", "maybe");
+  oracle.PendingPut("x", "phantom");
+  oracle.PendingDelete("k");
+
+  // Any combination of the unacknowledged ops being durable is legal...
+  EXPECT_TRUE(oracle.CheckRecovered({{"k", "acked"}}).ok());
+  EXPECT_TRUE(oracle.CheckRecovered({{"k", "maybe"}}).ok());
+  EXPECT_TRUE(oracle.CheckRecovered({{"k", "maybe"}, {"x", "phantom"}}).ok());
+  EXPECT_TRUE(oracle.CheckRecovered({}).ok());  // pending delete of k
+  // ...but unexplained values and losses are not.
+  EXPECT_FALSE(oracle.CheckRecovered({{"k", "garbage"}}).ok());
+  EXPECT_FALSE(oracle.CheckRecovered({{"k", "acked"}, {"y", "who"}}).ok());
+
+  // Adopt snaps the model to the recovered truth and clears the pending set.
+  oracle.Adopt({{"k", "maybe"}});
+  EXPECT_EQ(oracle.pending_ops(), 0u);
+  EXPECT_FALSE(oracle.CheckRecovered({}).ok());  // "maybe" is acknowledged now
+}
+
+TEST(WorkloadTest, PureFunctionOfSeed) {
+  WorkloadOptions options;
+  auto a = GenerateWorkload(7, options);
+  auto b = GenerateWorkload(7, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(StepToString(a[i]), StepToString(b[i]));
+  }
+  auto c = GenerateWorkload(8, options);
+  bool identical = a.size() == c.size();
+  for (std::size_t i = 0; identical && i < a.size(); ++i) {
+    identical = StepToString(a[i]) == StepToString(c[i]);
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(HarnessTest, SameSeedSameTraceHash) {
+  for (ScheduleKind schedule :
+       {ScheduleKind::kMultiCrash, ScheduleKind::kTransient, ScheduleKind::kMixed}) {
+    HarnessOptions options = SmallOptions(schedule);
+    RunReport first = RunSeed(3, options);
+    RunReport second = RunSeed(3, options);
+    ASSERT_TRUE(first.ok) << first.failure;
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_EQ(first.trace_hash, second.trace_hash)
+        << "schedule " << ScheduleKindName(schedule);
+    EXPECT_EQ(first.fired_points.size(), second.fired_points.size());
+  }
+}
+
+TEST(HarnessTest, SurvivesMultiCrashSchedules) {
+  // Across a few seeds the multi-crash schedule must actually crash (several times,
+  // including during recovery) and every recovery must satisfy the oracle.
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_reboots = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunReport report = RunSeed(seed, SmallOptions(ScheduleKind::kMultiCrash));
+    ASSERT_TRUE(report.ok) << ReportToString(report);
+    total_faults += report.fired_points.size();
+    total_reboots += report.reboots;
+  }
+  EXPECT_GT(total_faults, 0u);
+  // Boot + final verify alone are 2 per run; more means mid-run power cycles.
+  EXPECT_GT(total_reboots, 2u * 8);
+}
+
+TEST(HarnessTest, SurvivesTransientErrorsWithoutCrashing) {
+  std::uint64_t total_transients = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunReport report = RunSeed(seed, SmallOptions(ScheduleKind::kTransient));
+    ASSERT_TRUE(report.ok) << ReportToString(report);
+    total_transients += report.transient_errors;
+  }
+  EXPECT_GT(total_transients, 0u);
+}
+
+TEST(HarnessTest, SurvivesTornSwitchSchedules) {
+  std::uint64_t torn_fired = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunReport report = RunSeed(seed, SmallOptions(ScheduleKind::kTornSwitch));
+    ASSERT_TRUE(report.ok) << ReportToString(report);
+    for (const FaultPoint& point : report.fired_points) {
+      torn_fired += point.action == FaultAction::kCrashTorn ? 1 : 0;
+    }
+  }
+  EXPECT_GT(torn_fired, 0u);
+}
+
+TEST(HarnessTest, ScriptedReplayReproducesSeededRun) {
+  // Replaying (steps, fired points) through the scripted schedule is the exact same
+  // run: every decision the random schedule made besides the fired ones was kNone.
+  HarnessOptions options = SmallOptions(ScheduleKind::kMixed);
+  RunReport seeded = RunSeed(11, options);
+  ASSERT_TRUE(seeded.ok) << ReportToString(seeded);
+  RunReport replayed = RunScript(seeded.steps, seeded.fired_points, options, 11);
+  ASSERT_TRUE(replayed.ok) << ReportToString(replayed);
+  EXPECT_EQ(seeded.trace_hash, replayed.trace_hash);
+}
+
+TEST(HarnessTest, CanaryRecoveryBugIsCaughtAndShrinks) {
+  // SDB_SIM_CANARY=1 plants a real lost-acknowledged-update bug in log replay
+  // (src/core/log_reader.cc drops the final entry). The oracle must catch it within
+  // a small sweep, the failure must replay as a script, and the shrinker must strip
+  // it down.
+  ASSERT_EQ(setenv("SDB_SIM_CANARY", "1", 1), 0);
+  HarnessOptions options = SmallOptions(ScheduleKind::kMultiCrash);
+  RunReport failure;
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !caught; ++seed) {
+    failure = RunSeed(seed, options);
+    caught = !failure.ok;
+  }
+  ASSERT_TRUE(caught) << "planted recovery bug escaped a 20-seed sweep";
+  EXPECT_NE(failure.failure.find("oracle"), std::string::npos) << failure.failure;
+
+  ShrinkOptions shrink_options;
+  shrink_options.harness = options;
+  ShrinkResult shrunk = ShrinkFailure(failure, shrink_options);
+  EXPECT_TRUE(shrunk.reproduced) << "fired points did not replay the failure";
+  EXPECT_FALSE(shrunk.report.ok);
+  EXPECT_LE(shrunk.steps.size(), failure.steps.size());
+  EXPECT_LT(shrunk.steps.size(), failure.steps.size())
+      << "shrinker removed nothing from a " << failure.steps.size() << "-step repro";
+  ASSERT_EQ(unsetenv("SDB_SIM_CANARY"), 0);
+
+  // With the canary off the shrunk script must pass again — the bug was the canary.
+  RunReport clean = RunScript(shrunk.steps, shrunk.points, options, failure.seed);
+  EXPECT_TRUE(clean.ok) << ReportToString(clean);
+}
+
+TEST(HarnessTest, CanaryOffByDefault) {
+  ASSERT_EQ(unsetenv("SDB_SIM_CANARY"), 0);
+  RunReport report = RunSeed(1, SmallOptions(ScheduleKind::kNone));
+  EXPECT_TRUE(report.ok) << ReportToString(report);
+  EXPECT_TRUE(report.fired_points.empty());
+}
+
+TEST(FaultScheduleTest, TransientPointFailsOnceThenRetrySucceeds) {
+  ScriptedFaultSchedule schedule(
+      {FaultPoint{1, FaultAction::kTransientError, false, false}});
+  SimDisk disk;
+  disk.SetFaultInjector(schedule.AsInjector());
+  Bytes page(disk.page_size(), 0x5A);
+  EXPECT_FALSE(disk.WritePage(0, AsSpan(page)).ok());  // durable op 1: transient
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_TRUE(disk.WritePage(0, AsSpan(page)).ok());  // durable op 2: clean retry
+  EXPECT_EQ(disk.stats().transient_errors, 1u);
+  Bytes out;
+  EXPECT_TRUE(disk.ReadPage(0, out).ok());
+  EXPECT_EQ(out, page);
+}
+
+// Runs under TSan in CI (the thread-sanitizer job's *Concurrent* filter): concurrent
+// injector decisions must be race-free and identical to a single-threaded oracle —
+// fault decisions are stateless hashes of op ordinals, not RNG-stream draws.
+TEST(FaultScheduleConcurrentTest, RandomScheduleDecisionsAreOrderIndependent) {
+  RandomFaultOptions options;
+  options.crash_before = 0.02;
+  options.crash_torn = 0.02;
+  options.transient_write = 0.05;
+  options.transient_read = 0.05;
+  // Unbounded budgets: with budgets in play, outcomes near exhaustion legitimately
+  // depend on arrival order; determinism is claimed for the stateless draws.
+  options.max_crashes = ~std::uint64_t{0};
+  options.max_transients = ~std::uint64_t{0};
+
+  constexpr std::uint64_t kOps = 4096;
+  RandomFaultSchedule reference(99, options);
+  std::vector<FaultAction> expected(kOps + 1);
+  for (std::uint64_t seq = 1; seq <= kOps; ++seq) {
+    DurableOp op;
+    op.kind = seq % 3 == 0 ? DurableOp::Kind::kPageRead : DurableOp::Kind::kPageWrite;
+    op.sequence = seq;
+    expected[seq] = reference.Decide(op);
+  }
+
+  RandomFaultSchedule schedule(99, options);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<FaultAction>> got(kThreads,
+                                            std::vector<FaultAction>(kOps + 1));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      // Every thread decides every op — decisions must agree regardless of
+      // interleaving or repetition.
+      for (std::uint64_t seq = 1; seq <= kOps; ++seq) {
+        DurableOp op;
+        op.kind =
+            seq % 3 == 0 ? DurableOp::Kind::kPageRead : DurableOp::Kind::kPageWrite;
+        op.sequence = seq;
+        got[static_cast<std::size_t>(t)][seq] = schedule.Decide(op);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t seq = 1; seq <= kOps; ++seq) {
+      ASSERT_EQ(got[static_cast<std::size_t>(t)][seq], expected[seq])
+          << "thread " << t << " op " << seq;
+    }
+  }
+}
+
+TEST(FaultScheduleConcurrentTest, CrashPlanDecideIsThreadSafe) {
+  CrashPlan plan(500, FaultAction::kCrashTorn);
+  constexpr int kThreads = 8;
+  std::atomic<int> fired_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (std::uint64_t seq = 1 + static_cast<std::uint64_t>(t); seq <= 1000;
+           seq += kThreads) {
+        DurableOp op;
+        op.sequence = seq;
+        if (plan.Decide(op) != FaultAction::kNone) {
+          fired_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(fired_count.load(), 1);
+  EXPECT_TRUE(plan.fired());
+}
+
+}  // namespace
+}  // namespace sdb::sim

@@ -1,0 +1,190 @@
+// sim_fuzz: the simulation-fuzzing driver.
+//
+//   sim_fuzz --seeds=1:200 --schedule=all        # sweep (ctest runs this bounded form)
+//   sim_fuzz --seed=42 --schedule=multi-crash    # reproduce one failing seed
+//
+// Every run is a pure function of its seed. On failure the driver prints the one-line
+// repro, shrinks the (steps, fault script) pair, prints the minimized script, and
+// exits nonzero. --artifacts=DIR additionally writes one repro file per failing seed
+// (CI uploads these).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/harness.h"
+#include "src/sim/shrink.h"
+
+namespace {
+
+using sdb::sim::HarnessOptions;
+using sdb::sim::ReportToString;
+using sdb::sim::RunReport;
+using sdb::sim::RunSeed;
+using sdb::sim::ScheduleKind;
+using sdb::sim::ScheduleKindName;
+using sdb::sim::ShrinkFailure;
+using sdb::sim::ShrinkOptions;
+using sdb::sim::ShrinkResult;
+
+struct Flags {
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 50;
+  bool single_seed = false;
+  std::string schedule = "all";  // one ScheduleKindName, or "all"
+  int steps = 40;
+  int recheck = 0;        // re-run the first N seeds and assert identical trace hashes
+  std::string artifacts;  // directory for per-failure repro files
+  bool quiet = false;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      std::size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        return arg + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v = nullptr;
+    if ((v = value_of("--seed")) != nullptr) {
+      flags->seed_lo = flags->seed_hi = std::strtoull(v, nullptr, 10);
+      flags->single_seed = true;
+    } else if ((v = value_of("--seeds")) != nullptr) {
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--seeds wants LO:HI, got %s\n", v);
+        return false;
+      }
+      flags->seed_lo = std::strtoull(v, nullptr, 10);
+      flags->seed_hi = std::strtoull(colon + 1, nullptr, 10);
+    } else if ((v = value_of("--schedule")) != nullptr) {
+      flags->schedule = v;
+    } else if ((v = value_of("--steps")) != nullptr) {
+      flags->steps = std::atoi(v);
+    } else if ((v = value_of("--recheck")) != nullptr) {
+      flags->recheck = std::atoi(v);
+    } else if ((v = value_of("--artifacts")) != nullptr) {
+      flags->artifacts = v;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      flags->quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return false;
+    }
+  }
+  if (flags->seed_hi < flags->seed_lo) {
+    std::fprintf(stderr, "empty seed range\n");
+    return false;
+  }
+  return true;
+}
+
+std::vector<ScheduleKind> SchedulesFor(const std::string& name) {
+  if (name == "all") {
+    return {ScheduleKind::kMultiCrash, ScheduleKind::kTransient,
+            ScheduleKind::kTornSwitch, ScheduleKind::kMixed};
+  }
+  ScheduleKind kind;
+  if (!sdb::sim::ParseScheduleKind(name, &kind)) {
+    return {};
+  }
+  return {kind};
+}
+
+void WriteArtifact(const std::string& dir, const RunReport& failure,
+                   const ShrinkResult& shrunk) {
+  std::string path = dir + "/seed-" + std::to_string(failure.seed) + "-" +
+                     ScheduleKindName(failure.schedule) + ".txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write artifact %s\n", path.c_str());
+    return;
+  }
+  std::string text = ReportToString(failure);
+  text += "\n\nshrunk (";
+  text += std::to_string(shrunk.runs_used);
+  text += " replays):\n";
+  text += ReportToString(shrunk.report);
+  text += "\n";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    return 2;
+  }
+  // Crash paths log warnings by design; a fuzzer would drown in them.
+  sdb::SetLogThreshold(sdb::LogLevel::kError);
+
+  std::vector<ScheduleKind> schedules = SchedulesFor(flags.schedule);
+  if (schedules.empty()) {
+    std::fprintf(stderr, "unknown schedule %s\n", flags.schedule.c_str());
+    return 2;
+  }
+
+  HarnessOptions options;
+  options.workload.steps = flags.steps;
+
+  int failures = 0;
+  std::uint64_t runs = 0;
+  for (std::uint64_t seed = flags.seed_lo; seed <= flags.seed_hi; ++seed) {
+    for (ScheduleKind schedule : schedules) {
+      options.schedule = schedule;
+      RunReport report = RunSeed(seed, options);
+      ++runs;
+      if (report.ok) {
+        if (!flags.quiet && flags.single_seed) {
+          std::printf("%s\n", ReportToString(report).c_str());
+        }
+        continue;
+      }
+      ++failures;
+      std::printf("%s\n", ReportToString(report).c_str());
+      ShrinkOptions shrink_options;
+      shrink_options.harness = options;
+      ShrinkResult shrunk = ShrinkFailure(report, shrink_options);
+      std::printf("shrunk to %zu steps / %zu fault points in %d replays:\n%s\n",
+                  shrunk.steps.size(), shrunk.points.size(), shrunk.runs_used,
+                  ReportToString(shrunk.report).c_str());
+      if (!flags.artifacts.empty()) {
+        WriteArtifact(flags.artifacts, report, shrunk);
+      }
+    }
+  }
+
+  // Reproducibility sweep: the same seed twice must yield the identical trace hash.
+  int recheck = flags.recheck;
+  for (std::uint64_t seed = flags.seed_lo; recheck > 0 && seed <= flags.seed_hi;
+       ++seed, --recheck) {
+    for (ScheduleKind schedule : schedules) {
+      options.schedule = schedule;
+      RunReport first = RunSeed(seed, options);
+      RunReport second = RunSeed(seed, options);
+      ++runs;
+      ++runs;
+      if (first.trace_hash != second.trace_hash) {
+        ++failures;
+        std::printf(
+            "NONDETERMINISM seed=%llu schedule=%s: trace hashes differ across "
+            "identical runs\n",
+            static_cast<unsigned long long>(seed), ScheduleKindName(schedule).c_str());
+      }
+    }
+  }
+
+  if (!flags.quiet) {
+    std::printf("sim_fuzz: %llu runs, %d failure(s)\n",
+                static_cast<unsigned long long>(runs), failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
