@@ -45,6 +45,14 @@ int main(int argc, char** argv) {
                 "restore from a replica)\n",
                 static_cast<unsigned long long>(report->log_damaged_entries));
   }
+  if (!report->pending_logs.empty()) {
+    std::printf("  pending rotation   : live log is logfile%llu; chain log(s) verified:",
+                static_cast<unsigned long long>(report->live_log_version));
+    for (std::uint64_t version : report->pending_logs) {
+      std::printf(" logfile%llu", static_cast<unsigned long long>(version));
+    }
+    std::printf("\n");
+  }
   if (report->previous_version.has_value()) {
     std::printf("  previous generation: %llu retained (hard-error fallback available)\n",
                 static_cast<unsigned long long>(*report->previous_version));

@@ -54,6 +54,20 @@ Result<BackupInfo> CopyGeneration(Vfs& src_vfs, const std::string& src_dir, Vfs&
   SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(version), dst_vfs,
                                dst_names.LogPath(version), &info.log_bytes)
                           .WithContext("copying log"));
+  // A pending concurrent-checkpoint rotation extends the generation with rotated
+  // logs; copy the chain and the marker so the restored directory replays them too.
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> pending, src_names.ReadPendingMarker());
+  if (pending.has_value() && *pending > version) {
+    for (std::uint64_t v = version + 1; v <= *pending; ++v) {
+      std::uint64_t chain_bytes = 0;
+      SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(v), dst_vfs,
+                                   dst_names.LogPath(v), &chain_bytes)
+                              .WithContext("copying rotated log"));
+      info.log_bytes += chain_bytes;
+    }
+    SDB_RETURN_IF_ERROR(WriteWholeFile(dst_vfs, dst_names.PendingMarkerPath(),
+                                       AsSpan(std::to_string(*pending))));
+  }
   SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
   SDB_RETURN_IF_ERROR(WriteWholeFile(dst_vfs, JoinPath(dst_dir, "version"),
                                      AsSpan(std::to_string(version))));
@@ -115,6 +129,18 @@ Result<IncrementalBackupInfo> IncrementalBackupDatabaseDir(Vfs& src_vfs,
     SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(*src_version), dst_vfs,
                                  dst_names.LogPath(*src_version), &result.info.log_bytes)
                             .WithContext("refreshing backup log"));
+    SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> pending, src_names.ReadPendingMarker());
+    if (pending.has_value() && *pending > *src_version) {
+      for (std::uint64_t v = *src_version + 1; v <= *pending; ++v) {
+        std::uint64_t chain_bytes = 0;
+        SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(v), dst_vfs,
+                                     dst_names.LogPath(v), &chain_bytes)
+                                .WithContext("refreshing rotated log"));
+        result.info.log_bytes += chain_bytes;
+      }
+      SDB_RETURN_IF_ERROR(WriteWholeFile(dst_vfs, dst_names.PendingMarkerPath(),
+                                         AsSpan(std::to_string(*pending))));
+    }
     SDB_RETURN_IF_ERROR(dst_vfs.SyncDir(dst_dir));
     auto checkpoint = ReadWholeFile(dst_vfs, dst_names.CheckpointPath(*src_version));
     if (checkpoint.ok()) {
@@ -127,7 +153,7 @@ Result<IncrementalBackupInfo> IncrementalBackupDatabaseDir(Vfs& src_vfs,
   SDB_ASSIGN_OR_RETURN(std::vector<std::string> names, dst_vfs.List(dst_dir));
   for (const std::string& name : names) {
     if (name.rfind("checkpoint", 0) == 0 || name.rfind("logfile", 0) == 0 ||
-        name == "version" || name == "newversion") {
+        name == "version" || name == "newversion" || name == "pending") {
       SDB_RETURN_IF_ERROR(dst_vfs.Delete(JoinPath(dst_dir, name)));
     }
   }

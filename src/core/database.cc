@@ -24,9 +24,20 @@ Database::Database(Application& app, DatabaseOptions options)
   enquiries_ = &registry_.GetCounter("db.enquiries");
   checkpoints_ = &registry_.GetCounter("db.checkpoints");
   auto_checkpoints_ = &registry_.GetCounter("db.auto_checkpoints");
+  checkpoint_in_progress_ = &registry_.GetGauge("checkpoint.in_progress");
+  checkpoint_failures_ = &registry_.GetCounter("db.checkpoint_failures");
 }
 
 Database::~Database() {
+  // Drain the checkpoint slot first: a background persist may still be streaming the
+  // snapshot, and it must finish (and be joined) before the log and committer go.
+  {
+    std::unique_lock<std::mutex> gate(checkpoint_mu_);
+    checkpoint_cv_.wait(gate, [this] { return !checkpoint_in_flight_; });
+    if (checkpoint_thread_.joinable()) {
+      checkpoint_thread_.join();
+    }
+  }
   committer_.reset();  // no batch may outlive the log writer
   if (log_ != nullptr) {
     Status status = log_->Close();
@@ -62,6 +73,7 @@ Result<std::unique_ptr<Database>> Database::OpenReadOnly(Application& app,
   db->read_only_ = true;
   SDB_ASSIGN_OR_RETURN(VersionState state, db->version_store_.PeekCurrent());
   db->version_.store(state.version, std::memory_order_relaxed);
+  db->live_log_version_.store(state.live_log_version, std::memory_order_relaxed);
   SDB_RETURN_IF_ERROR(db->LoadCheckpointAndReplay(state).WithContext(
       "opening database read-only in " + db->options_.dir));
   return db;
@@ -72,13 +84,19 @@ Status Database::Recover() {
   SDB_ASSIGN_OR_RETURN(bool fresh, version_store_.IsFresh());
   if (fresh) {
     SDB_RETURN_IF_ERROR(InitFreshDatabase());
+    live_log_version_.store(1, std::memory_order_relaxed);
   } else {
     SDB_ASSIGN_OR_RETURN(VersionState state, version_store_.Recover());
     version_.store(state.version, std::memory_order_relaxed);
+    // A pending rotation is adopted as-is: updates keep committing to the rotated
+    // log (its `pending` marker stays) and the next checkpoint collapses the chain.
+    live_log_version_.store(state.live_log_version, std::memory_order_relaxed);
     stats_.restart.finished_interrupted_switch = state.finished_interrupted_switch;
     SDB_RETURN_IF_ERROR(LoadCheckpointAndReplay(state));
   }
-  SDB_ASSIGN_OR_RETURN(log_, OpenLogForAppend(version_store_.LogPath(version_)));
+  SDB_ASSIGN_OR_RETURN(
+      log_, OpenLogForAppend(version_store_.LogPath(
+                live_log_version_.load(std::memory_order_relaxed))));
   counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
   last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
   return OkStatus();
@@ -142,22 +160,39 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
   stats_.restart.checkpoint_read_micros = restart_watch.ElapsedMicros();
   stats_.restart.used_previous_checkpoint = used_previous;
 
-  // Step 3: replay the updates from the log.
+  // Step 3: replay the updates from the log — then any rotated-but-unswitched logs a
+  // pending concurrent checkpoint left behind, in generation order (dual-log
+  // resolution: acknowledged updates kept committing to the rotated log while the
+  // checkpoint that would have covered them was still in flight at the crash).
   Stopwatch replay_watch(*clock_);
   SDB_ASSIGN_OR_RETURN(LogReplayStats replay,
                        ReplayLogFile(*options_.vfs, state.log_path, replay_options, apply));
-  stats_.restart.replay_micros = replay_watch.ElapsedMicros();
+  std::uint64_t entries_since_checkpoint = replay.entries_replayed;
   stats_.restart.entries_replayed += replay.entries_replayed;
   stats_.restart.entries_skipped += replay.entries_skipped;
   stats_.restart.partial_tail_discarded = replay.partial_tail_discarded;
+  for (std::uint64_t pending_version : state.pending_log_versions) {
+    SDB_ASSIGN_OR_RETURN(
+        LogReplayStats pending_replay,
+        ReplayLogFile(*options_.vfs, version_store_.LogPath(pending_version),
+                      replay_options, apply));
+    entries_since_checkpoint += pending_replay.entries_replayed;
+    stats_.restart.entries_replayed += pending_replay.entries_replayed;
+    stats_.restart.entries_skipped += pending_replay.entries_skipped;
+    stats_.restart.partial_tail_discarded |= pending_replay.partial_tail_discarded;
+    ++stats_.restart.pending_logs_replayed;
+  }
+  stats_.restart.replay_micros = replay_watch.ElapsedMicros();
   counters_.log_entries_since_checkpoint->Set(
-      static_cast<std::int64_t>(replay.entries_replayed));
+      static_cast<std::int64_t>(entries_since_checkpoint));
   // Restart timings, mirrored into the registry for MetricsReport.
   registry_.GetGauge("restart.checkpoint_read_us")
       .Set(stats_.restart.checkpoint_read_micros);
   registry_.GetGauge("restart.replay_us").Set(stats_.restart.replay_micros);
   registry_.GetGauge("restart.entries_replayed")
       .Set(static_cast<std::int64_t>(stats_.restart.entries_replayed));
+  registry_.GetGauge("restart.pending_logs_replayed")
+      .Set(static_cast<std::int64_t>(stats_.restart.pending_logs_replayed));
   SDB_LOG(kDebug) << "recovered " << options_.dir << ": checkpoint read in "
                   << stats_.restart.checkpoint_read_micros << " us, "
                   << stats_.restart.entries_replayed << " log entries replayed in "
@@ -359,48 +394,149 @@ Status Database::ReplaceState(ByteSpan state) {
   if (read_only_) {
     return ReadOnlyError();
   }
-  PipelinePause pause(committer_.get());
-  SueLock::UpdateGuard guard(lock_);
-  guard.Upgrade();
-  SDB_RETURN_IF_ERROR(app_.ResetState());
-  SDB_RETURN_IF_ERROR(app_.DeserializeState(state).WithContext("installing replacement state"));
-  guard.Downgrade();
-  poisoned_ = false;
-  return CheckpointLocked();
+  AcquireCheckpointSlot();
+  Status status = [&]() -> Status {
+    PipelinePause pause(committer_.get());
+    SueLock::UpdateGuard guard(lock_);
+    guard.Upgrade();
+    SDB_RETURN_IF_ERROR(app_.ResetState());
+    SDB_RETURN_IF_ERROR(
+        app_.DeserializeState(state).WithContext("installing replacement state"));
+    guard.Downgrade();
+    poisoned_ = false;
+    CheckpointRotation rotation;
+    SDB_RETURN_IF_ERROR(RotateForCheckpointLocked(&rotation));
+    // Persist while still holding the update lock, even with concurrent_checkpoint:
+    // an update committed against the replacement state must never land in a log
+    // that a pre-switch recovery would replay on top of the OLD state.
+    return PersistCheckpoint(std::move(rotation));
+  }();
+  ReleaseCheckpointSlot();
+  return status;
 }
 
 Status Database::Checkpoint() {
   if (read_only_) {
     return ReadOnlyError();
   }
-  PipelinePause pause(committer_.get());
-  SueLock::UpdateGuard guard(lock_);
-  SDB_RETURN_IF_ERROR(CheckPoisoned());
-  return CheckpointLocked();
+  AcquireCheckpointSlot();
+  CheckpointRotation rotation;
+  Status status;
+  bool persist_unlocked = false;
+  {
+    PipelinePause pause(committer_.get());
+    SueLock::UpdateGuard guard(lock_);
+    status = CheckPoisoned();
+    if (status.ok()) {
+      status = RotateForCheckpointLocked(&rotation);
+    }
+    if (status.ok() && !options_.concurrent_checkpoint) {
+      // Paper-original behaviour: the whole write happens under the update lock.
+      status = PersistCheckpoint(std::move(rotation));
+    } else if (status.ok()) {
+      persist_unlocked = true;
+    }
+  }
+  if (persist_unlocked) {
+    status = PersistCheckpoint(std::move(rotation));
+  }
+  ReleaseCheckpointSlot();
+  return status;
 }
 
-Status Database::CheckpointLocked() {
-  CheckpointBreakdown breakdown;
-  Stopwatch total_watch(*clock_);
+// Phase A. Caller holds the update lock with the pipeline paused. On success the
+// live log is generation rotation->target and the durable `pending` marker makes it
+// recoverable; on failure the engine keeps running on whatever log was live (a
+// durable marker with an aborted rotation is harmless: it only extends the replay
+// chain with logs that already exist).
+Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation) {
+  Stopwatch stall_watch(*clock_);
+  rotation->start_micros = clock_->NowMicros();
 
-  // Serialize the entire state. Holding update (not exclusive) mode: the state cannot
-  // change, but enquiries proceed throughout.
+  // Capture a consistent snapshot — the only O(state) work updates must wait for.
+  Stopwatch capture_watch(*clock_);
+  SDB_ASSIGN_OR_RETURN(rotation->serialize, app_.CaptureSnapshot());
+  rotation->capture_micros = capture_watch.ElapsedMicros();
+
+  rotation->base = version_.load(std::memory_order_relaxed);
+  rotation->target = live_log_version_.load(std::memory_order_relaxed) + 1;
+
+  // Durably create the next log generation and record it as live before any update
+  // can commit to it: recovery must know to replay it on top of the base generation
+  // while checkpoint `target` does not exist yet. The marker's directory sync also
+  // makes the new log's name durable.
+  SDB_RETURN_IF_ERROR(
+      WriteWholeFile(*options_.vfs, version_store_.LogPath(rotation->target), ByteSpan{})
+          .WithContext("creating rotated log"));
+  SDB_RETURN_IF_ERROR(version_store_.WritePendingMarker(rotation->target)
+                          .WithContext("recording pending checkpoint rotation"));
+
+  // Swap the live writer. The pipeline is paused, so no batch holds the old one.
+  SDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> new_log,
+                       OpenLogForAppend(version_store_.LogPath(rotation->target)));
+  Status closed = log_->Close();
+  if (!closed.ok()) {
+    SDB_LOG(kWarning) << "closing rotated-out log: " << closed;
+  }
+  log_ = std::move(new_log);
+  if (committer_ != nullptr) {
+    committer_->set_log(log_.get());
+  }
+  live_log_version_.store(rotation->target, std::memory_order_relaxed);
+  commit_epoch_.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
+  counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
+  counters_.log_entries_since_checkpoint->Set(0);
+
+  rotation->stall_micros = stall_watch.ElapsedMicros();
+  if (obs::Enabled()) {
+    registry_.GetHistogram("checkpoint.stall_us").Record(rotation->stall_micros);
+    registry_.GetHistogram("checkpoint.snapshot_us").Record(rotation->capture_micros);
+  }
+  return OkStatus();
+}
+
+// Phase B. Needs no engine lock: it touches only the vfs, the version store, and
+// atomics/registry. May run on the calling thread (manual checkpoints), under the
+// update lock (legacy mode, ReplaceState), or on the background thread (automatic
+// checkpoints).
+Status Database::PersistCheckpoint(CheckpointRotation rotation) {
+  CheckpointBreakdown breakdown;
+  breakdown.stall_micros = rotation.stall_micros;
+
   Stopwatch serialize_watch(*clock_);
-  SDB_ASSIGN_OR_RETURN(Bytes snapshot, app_.SerializeState());
-  breakdown.serialize_micros = serialize_watch.ElapsedMicros();
+  Result<Bytes> snapshot = rotation.serialize();
+  if (!snapshot.ok()) {
+    checkpoint_failures_->Increment();
+    return snapshot.status().WithContext("serializing checkpoint snapshot");
+  }
+  breakdown.serialize_micros = rotation.capture_micros + serialize_watch.ElapsedMicros();
 
   Stopwatch disk_watch(*clock_);
-  std::uint64_t new_version = version_.load(std::memory_order_relaxed) + 1;
-  SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, version_store_.CheckpointPath(new_version),
-                                     AsSpan(snapshot))
-                          .WithContext("writing checkpoint"));
-  SDB_RETURN_IF_ERROR(
-      WriteWholeFile(*options_.vfs, version_store_.LogPath(new_version), ByteSpan{})
-          .WithContext("creating empty log"));
+  std::string checkpoint_path = version_store_.CheckpointPath(rotation.target);
+  Stopwatch write_watch(*clock_);
+  Status written = WriteWholeFile(*options_.vfs, checkpoint_path, AsSpan(*snapshot));
+  Micros write_micros = write_watch.ElapsedMicros();
+  if (!written.ok()) {
+    checkpoint_failures_->Increment();
+    // Don't leak a partial checkpoint; the rotated log is live and stays.
+    Result<bool> partial = options_.vfs->Exists(checkpoint_path);
+    if (partial.ok() && *partial) {
+      Status removed = options_.vfs->Delete(checkpoint_path);
+      if (!removed.ok()) {
+        SDB_LOG(kWarning) << "removing partial checkpoint: " << removed;
+      }
+    }
+    return written.WithContext("writing checkpoint");
+  }
+
   bool switch_ambiguous = false;
-  Status switched = version_store_.CommitSwitch(version_.load(std::memory_order_relaxed),
-                                                new_version, &switch_ambiguous);
+  Stopwatch switch_watch(*clock_);
+  Status switched =
+      version_store_.CommitSwitch(rotation.base, rotation.target, &switch_ambiguous);
+  Micros switch_micros = switch_watch.ElapsedMicros();
   if (!switched.ok()) {
+    checkpoint_failures_->Increment();
     if (switch_ambiguous) {
       // The switch may have committed (or may still commit once pending metadata is
       // flushed): a restart could resolve to the new generation and ignore the old
@@ -411,39 +547,25 @@ Status Database::CheckpointLocked() {
       return switched.WithContext(
           "checkpoint switch outcome ambiguous; database fail-stops until reopened");
     }
+    // Clean abort: the base generation plus the pending log chain stays
+    // authoritative. Remove the orphaned checkpoint so aborted switches don't leak a
+    // generation; the next checkpoint re-targets past it.
+    Status removed = options_.vfs->Delete(checkpoint_path);
+    if (!removed.ok()) {
+      SDB_LOG(kWarning) << "removing checkpoint after aborted switch: " << removed;
+    }
     return switched.WithContext("checkpoint switch aborted");
   }
 
-  // Swap the live log writer to the new (empty) log. The pipeline is paused, so no
-  // batch can be holding the old writer. The switch has committed, so failing to open
-  // the new log is also fail-stop: the old writer must not be used again.
-  Result<std::unique_ptr<LogWriter>> new_log_result =
-      OpenLogForAppend(version_store_.LogPath(new_version));
-  if (!new_log_result.ok()) {
-    poisoned_ = true;
-    return new_log_result.status().WithContext(
-        "opening log after committed switch; database fail-stops until reopened");
-  }
-  std::unique_ptr<LogWriter> new_log = std::move(new_log_result).value();
-  Status closed = log_->Close();
-  if (!closed.ok()) {
-    SDB_LOG(kWarning) << "closing old log: " << closed;
-  }
-  log_ = std::move(new_log);
-  if (committer_ != nullptr) {
-    committer_->set_log(log_.get());
-  }
-  version_.store(new_version, std::memory_order_relaxed);
-  commit_epoch_.fetch_add(1, std::memory_order_relaxed);
-  last_checkpoint_time_.store(clock_->NowMicros(), std::memory_order_relaxed);
-  counters_.log_bytes->Set(static_cast<std::int64_t>(log_->size()));
-  counters_.log_entries_since_checkpoint->Set(0);
+  version_.store(rotation.target, std::memory_order_relaxed);
   breakdown.disk_micros = disk_watch.ElapsedMicros();
-  breakdown.total_micros = total_watch.ElapsedMicros();
+  breakdown.total_micros = clock_->NowMicros() - rotation.start_micros;
 
   checkpoints_->Increment();
   if (obs::Enabled()) {
     registry_.GetHistogram("checkpoint.serialize_us").Record(breakdown.serialize_micros);
+    registry_.GetHistogram("checkpoint.write_us").Record(write_micros);
+    registry_.GetHistogram("checkpoint.switch_us").Record(switch_micros);
     registry_.GetHistogram("checkpoint.disk_us").Record(breakdown.disk_micros);
     registry_.GetHistogram("checkpoint.total_us").Record(breakdown.total_micros);
   }
@@ -454,42 +576,99 @@ Status Database::CheckpointLocked() {
   return OkStatus();
 }
 
-void Database::MaybeAutoCheckpoint() {
+bool Database::AutoCheckpointDue() const {
   const CheckpointPolicy& policy = options_.checkpoint_policy;
-  bool trigger = false;
   if (policy.every_n_updates != 0 &&
       static_cast<std::uint64_t>(counters_.log_entries_since_checkpoint->value()) >=
           policy.every_n_updates) {
-    trigger = true;
+    return true;
   }
-  if (!trigger && policy.log_bytes_threshold != 0 && log_bytes() >= policy.log_bytes_threshold) {
-    trigger = true;
+  if (policy.log_bytes_threshold != 0 && log_bytes() >= policy.log_bytes_threshold) {
+    return true;
   }
-  if (!trigger && policy.interval_micros != 0 &&
+  if (policy.interval_micros != 0 &&
       clock_->NowMicros() - last_checkpoint_time_.load(std::memory_order_relaxed) >=
           policy.interval_micros) {
-    trigger = true;
+    return true;
   }
-  if (!trigger) {
+  return false;
+}
+
+void Database::AcquireCheckpointSlot() {
+  std::unique_lock<std::mutex> gate(checkpoint_mu_);
+  checkpoint_cv_.wait(gate, [this] { return !checkpoint_in_flight_; });
+  if (checkpoint_thread_.joinable()) {
+    checkpoint_thread_.join();  // already released the slot; reap it
+  }
+  checkpoint_in_flight_ = true;
+  checkpoint_in_progress_->Set(1);
+}
+
+void Database::ReleaseCheckpointSlot() {
+  {
+    std::lock_guard<std::mutex> gate(checkpoint_mu_);
+    checkpoint_in_flight_ = false;
+    checkpoint_in_progress_->Set(0);
+  }
+  checkpoint_cv_.notify_all();
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (!AutoCheckpointDue()) {
     return;
   }
-  // One auto-checkpoint at a time: with concurrent updaters, every waiter of the
-  // triggering batch would otherwise pile into Checkpoint back-to-back.
-  bool expected = false;
-  if (!auto_checkpoint_running_.compare_exchange_strong(expected, true)) {
+  // One checkpoint at a time: with concurrent updaters, every waiter of the
+  // triggering batch would otherwise pile in back-to-back. Waiting (rather than
+  // skipping) keeps the policy exact — and the wait is for the previous
+  // checkpoint's background persist, not for a lock-holding stall.
+  AcquireCheckpointSlot();
+  if (!AutoCheckpointDue()) {  // the checkpoint we waited on reset the trigger
+    ReleaseCheckpointSlot();
     return;
   }
-  Status status = Checkpoint();
-  auto_checkpoint_running_.store(false);
-  if (status.ok()) {
-    auto_checkpoints_->Increment();
-  } else {
+  CheckpointRotation rotation;
+  Status status;
+  {
+    PipelinePause pause(committer_.get());
+    SueLock::UpdateGuard guard(lock_);
+    status = CheckPoisoned();
+    if (status.ok()) {
+      status = RotateForCheckpointLocked(&rotation);
+    }
+  }
+  if (!status.ok()) {
+    ReleaseCheckpointSlot();
     SDB_LOG(kWarning) << "automatic checkpoint failed: " << status;
+    return;
   }
+  auto_checkpoints_->Increment();
+  if (!options_.concurrent_checkpoint) {
+    Status persisted = PersistCheckpoint(std::move(rotation));
+    ReleaseCheckpointSlot();
+    if (!persisted.ok()) {
+      SDB_LOG(kWarning) << "automatic checkpoint failed: " << persisted;
+    }
+    return;
+  }
+  // Hand the slot to a background thread: the triggering updater returns while the
+  // snapshot streams to disk. The thread is reaped by the next slot acquirer (or the
+  // destructor).
+  std::lock_guard<std::mutex> gate(checkpoint_mu_);
+  checkpoint_thread_ = std::thread([this, r = std::move(rotation)]() mutable {
+    Status persisted = PersistCheckpoint(std::move(r));
+    if (!persisted.ok()) {
+      SDB_LOG(kWarning) << "background checkpoint persist failed: " << persisted;
+    }
+    ReleaseCheckpointSlot();
+  });
 }
 
 std::uint64_t Database::current_version() const {
   return version_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Database::live_log_version() const {
+  return live_log_version_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t Database::log_bytes() const {

@@ -85,24 +85,64 @@ Result<IntegrityReport> VerifyDatabaseDir(Vfs& vfs, const std::string& dir,
 
   // Log: decode every entry (tolerating unreadable pages so damage is counted, not
   // fatal).
-  {
+  auto verify_log = [&](std::uint64_t version, const char* label) {
     LogReplayOptions options;
     options.skip_damaged_entries = true;
     options.page_size = log_page_size;
-    Result<LogReplayStats> stats = ReplayLogFile(
-        vfs, names.LogPath(report.version), options, [](ByteSpan) { return OkStatus(); });
+    Result<LogReplayStats> stats = ReplayLogFile(vfs, names.LogPath(version), options,
+                                                 [](ByteSpan) { return OkStatus(); });
     if (!stats.ok()) {
-      report.problems.push_back("log unreadable: " + stats.status().ToString());
-    } else {
-      report.log_ok = true;
-      report.log_entries = stats->entries_replayed;
-      report.log_bytes = stats->bytes_consumed;
-      report.log_has_partial_tail = stats->partial_tail_discarded;
-      report.log_damaged_entries = stats->entries_skipped;
-      if (stats->entries_skipped > 0) {
-        report.problems.push_back(std::to_string(stats->entries_skipped) +
-                                  " damaged log entr(y/ies): hard-error recovery needed");
+      report.log_ok = false;
+      report.problems.push_back(std::string(label) + " unreadable: " +
+                                stats.status().ToString());
+      return;
+    }
+    report.log_entries += stats->entries_replayed;
+    report.log_bytes += stats->bytes_consumed;
+    report.log_has_partial_tail |= stats->partial_tail_discarded;
+    report.log_damaged_entries += stats->entries_skipped;
+    if (stats->entries_skipped > 0) {
+      report.problems.push_back(std::to_string(stats->entries_skipped) + " damaged " +
+                                label + " entr(y/ies): hard-error recovery needed");
+    }
+  };
+  report.log_ok = true;
+  verify_log(report.version, "log");
+
+  // Pending rotation chain (concurrent checkpointing): logs version+1..marker hold
+  // acknowledged updates that recovery replays after the main log — verify them
+  // with the same rigor.
+  report.live_log_version = report.version;
+  {
+    std::string marker_path = JoinPath(dir, "pending");
+    SDB_ASSIGN_OR_RETURN(bool marker_exists, vfs.Exists(marker_path));
+    if (marker_exists) {
+      Result<Bytes> content = ReadWholeFile(vfs, marker_path);
+      std::optional<std::uint64_t> live;
+      if (content.ok()) {
+        live = ParseDecimal(AsStringView(AsSpan(*content)));
       }
+      if (!live.has_value()) {
+        report.log_ok = false;
+        report.problems.push_back(
+            "pending marker unreadable or garbled: acknowledged updates may hide in "
+            "rotated logs");
+      } else if (*live > report.version) {
+        report.live_log_version = *live;
+        for (std::uint64_t v = report.version + 1; v <= *live; ++v) {
+          SDB_ASSIGN_OR_RETURN(bool chain_log_exists, vfs.Exists(names.LogPath(v)));
+          if (!chain_log_exists) {
+            report.log_ok = false;
+            report.problems.push_back("pending marker names live log " +
+                                      std::to_string(*live) + " but logfile" +
+                                      std::to_string(v) + " is missing");
+            continue;
+          }
+          report.pending_logs.push_back(v);
+          verify_log(v, "pending log");
+        }
+      }
+      // A marker at or below the current version is stale: recovery deletes it.
     }
   }
 

@@ -32,6 +32,14 @@ struct IntegrityReport {
   bool log_has_partial_tail = false;  // torn final entry (harmless: discarded at replay)
   std::uint64_t log_damaged_entries = 0;  // mid-log damage (hard error territory)
 
+  // Pending rotation chain: a concurrent checkpoint rotated the live log to
+  // `live_log_version` (recorded in the `pending` marker) but its switch has not
+  // committed. The logs in `pending_logs` hold acknowledged updates and are
+  // verified exactly like the main log (their entries are included in the log
+  // totals above).
+  std::uint64_t live_log_version = 0;  // == version when no rotation is pending
+  std::vector<std::uint64_t> pending_logs;
+
   std::optional<std::uint64_t> previous_version;  // retained generation, if present
   std::vector<std::uint64_t> audit_logs;          // retained audit trail versions
   std::vector<std::string> problems;              // human-readable findings

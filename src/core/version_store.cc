@@ -8,6 +8,7 @@ namespace {
 
 constexpr std::string_view kVersionFile = "version";
 constexpr std::string_view kNewVersionFile = "newversion";
+constexpr std::string_view kPendingFile = "pending";
 constexpr std::string_view kCheckpointPrefix = "checkpoint";
 constexpr std::string_view kLogPrefix = "logfile";
 constexpr std::string_view kAuditPrefix = "audit";
@@ -79,6 +80,49 @@ Result<std::optional<std::uint64_t>> VersionStore::ReadVersionFile(std::string_v
   return {ParseDecimal(AsStringView(AsSpan(*content)))};
 }
 
+std::string VersionStore::PendingMarkerPath() const {
+  return JoinPath(dir_, kPendingFile);
+}
+
+Status VersionStore::WritePendingMarker(std::uint64_t live_version) {
+  std::string digits = std::to_string(live_version);
+  return AtomicWriteFile(vfs_, dir_, PendingMarkerPath(), AsSpan(digits));
+}
+
+Result<std::optional<std::uint64_t>> VersionStore::ReadPendingMarker() {
+  std::string path = PendingMarkerPath();
+  SDB_ASSIGN_OR_RETURN(bool exists, vfs_.Exists(path));
+  if (!exists) {
+    return {std::optional<std::uint64_t>{}};
+  }
+  // The marker was written atomically (content synced before the rename), so it is
+  // never torn; an unreadable or garbled one means media decay and must fail loudly.
+  SDB_ASSIGN_OR_RETURN(Bytes content, ReadWholeFile(vfs_, path));
+  std::optional<std::uint64_t> value = ParseDecimal(AsStringView(AsSpan(content)));
+  if (!value.has_value()) {
+    return CorruptionError("pending marker " + path + " holds no valid version");
+  }
+  return {value};
+}
+
+Status VersionStore::ResolvePendingChain(VersionState& state) {
+  state.live_log_version = state.version;
+  SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> pending, ReadPendingMarker());
+  if (!pending.has_value() || *pending <= state.version) {
+    return OkStatus();  // no marker, or one made stale by a completed switch
+  }
+  for (std::uint64_t v = state.version + 1; v <= *pending; ++v) {
+    SDB_ASSIGN_OR_RETURN(bool log_ok, vfs_.Exists(LogPath(v)));
+    if (!log_ok) {
+      return CorruptionError("pending marker names live log " + std::to_string(*pending) +
+                             " but " + LogPath(v) + " is missing");
+    }
+    state.pending_log_versions.push_back(v);
+  }
+  state.live_log_version = *pending;
+  return OkStatus();
+}
+
 Result<bool> VersionStore::IsFresh() {
   SDB_ASSIGN_OR_RETURN(bool has_version, vfs_.Exists(JoinPath(dir_, kVersionFile)));
   if (has_version) {
@@ -130,11 +174,22 @@ Result<VersionState> VersionStore::PeekCurrent() {
       state.previous_version = prev;
     }
   }
+  SDB_RETURN_IF_ERROR(ResolvePendingChain(state));
   return state;
 }
 
 Result<VersionState> VersionStore::Recover() {
   SDB_ASSIGN_OR_RETURN(VersionState state, PeekCurrent());
+
+  // A marker at or below the resolved version is leftover from a switch that already
+  // committed (the chain it described was collapsed); sweep it.
+  if (state.pending_log_versions.empty()) {
+    SDB_ASSIGN_OR_RETURN(bool stale_marker, vfs_.Exists(PendingMarkerPath()));
+    if (stale_marker) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(PendingMarkerPath()));
+      state.removed_files.push_back(PendingMarkerPath());
+    }
+  }
 
   if (state.finished_interrupted_switch) {
     // Complete the interrupted switch: delete superseded files and the old `version`,
@@ -182,7 +237,9 @@ Status VersionStore::RemoveStaleFiles(std::uint64_t current, VersionState& state
     bool stale = false;
     if (version.has_value()) {
       bool keep = *version == current ||
-                  (options_.keep_previous_checkpoint && *version + 1 == current);
+                  (options_.keep_previous_checkpoint && *version + 1 == current) ||
+                  // Rotated-but-unswitched logs hold acknowledged updates.
+                  (is_log && *version > current && *version <= state.live_log_version);
       stale = !keep;
     } else if (is_tmp) {
       stale = true;
@@ -221,24 +278,34 @@ Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t n
   }
   SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
 
-  // Cleanup after the commit point: delete the superseded generation (respecting
-  // retention), delete `version`, rename newversion -> version.
-  std::uint64_t doomed = options_.keep_previous_checkpoint
-                             ? (current_version > 0 ? current_version - 1 : 0)
-                             : current_version;
-  if (doomed > 0) {
-    SDB_ASSIGN_OR_RETURN(bool checkpoint_exists, vfs_.Exists(CheckpointPath(doomed)));
-    if (checkpoint_exists) {
-      SDB_RETURN_IF_ERROR(vfs_.Delete(CheckpointPath(doomed)));
+  // Cleanup after the commit point: delete every superseded generation (the old
+  // current plus any rotated-but-unswitched logs the new checkpoint collapsed,
+  // respecting retention), the pending marker, and `version`; rename
+  // newversion -> version.
+  std::uint64_t doomed_from = current_version;
+  if (options_.keep_previous_checkpoint && current_version > 1) {
+    doomed_from = current_version - 1;
+  }
+  for (std::uint64_t v = doomed_from; v < new_version && v > 0; ++v) {
+    SDB_ASSIGN_OR_RETURN(bool checkpoint_exists, vfs_.Exists(CheckpointPath(v)));
+    if (options_.keep_previous_checkpoint && v + 1 == new_version && checkpoint_exists) {
+      continue;  // this generation becomes the retained previous one
     }
-    SDB_ASSIGN_OR_RETURN(bool log_exists, vfs_.Exists(LogPath(doomed)));
+    if (checkpoint_exists) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(CheckpointPath(v)));
+    }
+    SDB_ASSIGN_OR_RETURN(bool log_exists, vfs_.Exists(LogPath(v)));
     if (log_exists) {
       if (options_.retain_logs_for_audit) {
-        SDB_RETURN_IF_ERROR(vfs_.Rename(LogPath(doomed), AuditPath(doomed)));
+        SDB_RETURN_IF_ERROR(vfs_.Rename(LogPath(v), AuditPath(v)));
       } else {
-        SDB_RETURN_IF_ERROR(vfs_.Delete(LogPath(doomed)));
+        SDB_RETURN_IF_ERROR(vfs_.Delete(LogPath(v)));
       }
     }
+  }
+  SDB_ASSIGN_OR_RETURN(bool marker_exists, vfs_.Exists(PendingMarkerPath()));
+  if (marker_exists) {
+    SDB_RETURN_IF_ERROR(vfs_.Delete(PendingMarkerPath()));
   }
   SDB_ASSIGN_OR_RETURN(bool has_version, vfs_.Exists(JoinPath(dir_, kVersionFile)));
   if (has_version) {

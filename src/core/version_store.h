@@ -15,6 +15,16 @@
 // With keep_previous_checkpoint, one older generation (checkpoint + its complete log)
 // is retained for hard-error recovery (Section 4): current state = previous checkpoint
 // + previous log + current log.
+//
+// Concurrent checkpointing extends the protocol with a `pending` marker: when the
+// engine rotates to log generation N+1 *before* checkpoint N+1 exists (updates keep
+// committing while the checkpoint is written in the background), it durably writes
+// the characters "N+1" to `pending` first. The recovery invariant: if `pending`
+// durably names P and the resolved current version is C < P, then logs C+1..P all
+// exist and the authoritative state is checkpoint C + logs C..P replayed in order.
+// CommitSwitch removes the marker (and every superseded generation in [C, P)) after
+// its commit point; a crash in between leaves a stale marker (P <= C) that recovery
+// deletes.
 #ifndef SMALLDB_SRC_CORE_VERSION_STORE_H_
 #define SMALLDB_SRC_CORE_VERSION_STORE_H_
 
@@ -50,6 +60,12 @@ struct VersionState {
   std::vector<std::string> removed_files;
   // The retained previous generation, when present.
   std::optional<std::uint64_t> previous_version;
+  // Rotated-but-unswitched log generations (ascending), from a `pending` marker left
+  // by an in-flight concurrent checkpoint. Replay them after `log_path`, in order.
+  std::vector<std::uint64_t> pending_log_versions;
+  // The generation updates were last committing to: `version` normally, the marker's
+  // value while a rotation is pending.
+  std::uint64_t live_log_version = 0;
 };
 
 class VersionStore {
@@ -97,11 +113,25 @@ class VersionStore {
   Status CommitSwitch(std::uint64_t current_version, std::uint64_t new_version,
                       bool* switch_ambiguous = nullptr);
 
+  // Durably records (write tmp, fsync, rename, sync dir) that LogPath(live_version)
+  // is the live log while the version files still name an older generation. Must be
+  // called after LogPath(live_version) has been created and synced: the marker's
+  // directory sync is also what makes the rotated log's name durable.
+  Status WritePendingMarker(std::uint64_t live_version);
+
+  // The marker's value, or nullopt if absent. Unlike the version files, an unreadable
+  // or garbled marker is a hard error, not "no marker": treating it as absent would
+  // let cleanup sweep rotated logs that hold acknowledged updates.
+  Result<std::optional<std::uint64_t>> ReadPendingMarker();
+
+  std::string PendingMarkerPath() const;
+
   const std::string& dir() const { return dir_; }
 
  private:
   Result<std::optional<std::uint64_t>> ReadVersionFile(std::string_view name);
   Status RemoveStaleFiles(std::uint64_t current, VersionState& state);
+  Status ResolvePendingChain(VersionState& state);
 
   Vfs& vfs_;
   std::string dir_;

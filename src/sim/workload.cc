@@ -78,6 +78,18 @@ std::vector<WorkloadStep> GenerateWorkload(std::uint64_t seed,
   return steps;
 }
 
+WorkloadOptions CheckpointHeavyWorkload() {
+  WorkloadOptions options;
+  options.put_weight = 0.40;
+  options.delete_weight = 0.10;
+  options.lookup_weight = 0.06;
+  options.enumerate_weight = 0.04;
+  options.checkpoint_weight = 0.32;
+  options.backup_weight = 0.04;
+  options.restart_weight = 0.04;
+  return options;
+}
+
 std::string StepKindName(StepKind kind) {
   switch (kind) {
     case StepKind::kPut:

@@ -55,6 +55,11 @@ struct WorkloadOptions {
 std::vector<WorkloadStep> GenerateWorkload(std::uint64_t seed,
                                            const WorkloadOptions& options);
 
+// A mix that keeps the checkpoint pipeline constantly busy (one step in three is a
+// checkpoint), so fault schedules land inside the snapshot / rotation / background
+// write / switch window instead of almost always on update commits.
+WorkloadOptions CheckpointHeavyWorkload();
+
 std::string StepKindName(StepKind kind);
 std::string StepToString(const WorkloadStep& step);
 

@@ -1,0 +1,425 @@
+// Concurrent checkpointing: the update stall is bounded by the snapshot-and-rotate
+// step, the checkpoint is persisted in the background, and a crash at any point in
+// between recovers through the pending marker + rotated-log chain (dual-log
+// resolution). The suite name matches the CI thread-sanitizer filter (*Concurrent*),
+// so every test here also runs under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/core/backup.h"
+#include "src/core/database.h"
+#include "src/core/integrity.h"
+#include "src/storage/sim_env.h"
+#include "tests/test_app.h"
+
+namespace sdb {
+namespace {
+
+using ::sdb::testing::TestApp;
+
+// Forwarding Vfs that can fail one exact Open target or one numbered SyncDir call.
+class FailingVfs : public Vfs {
+ public:
+  explicit FailingVfs(Vfs& base) : base_(base) {}
+
+  std::string fail_open_path;          // Open of exactly this path fails while set
+  std::atomic<int> fail_syncdir_at{0}; // 1-based SyncDir ordinal to fail (once)
+  std::atomic<int> syncdirs{0};
+
+  Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) override {
+    if (!fail_open_path.empty() && path == fail_open_path) {
+      return IoError("injected open failure");
+    }
+    return base_.Open(path, mode);
+  }
+  Status Delete(std::string_view path) override { return base_.Delete(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return base_.Rename(from, to);
+  }
+  Result<bool> Exists(std::string_view path) override { return base_.Exists(path); }
+  Result<std::vector<std::string>> List(std::string_view dir) override {
+    return base_.List(dir);
+  }
+  Status CreateDir(std::string_view path) override { return base_.CreateDir(path); }
+  Status SyncDir(std::string_view dir) override {
+    int n = syncdirs.fetch_add(1) + 1;
+    if (n == fail_syncdir_at.load()) {
+      return IoError("injected syncdir failure");
+    }
+    return base_.SyncDir(dir);
+  }
+
+ private:
+  Vfs& base_;
+};
+
+DatabaseOptions BaseOptions(SimEnv& env) {
+  DatabaseOptions options;
+  options.vfs = &env.fs();
+  options.dir = "db";
+  options.clock = &env.clock();
+  return options;
+}
+
+bool FileExists(SimEnv& env, const std::string& path) {
+  auto exists = env.fs().Exists(path);
+  return exists.ok() && *exists;
+}
+
+TEST(ConcurrentCheckpointTest, AckedUpdatesFromConcurrentWritersSurviveCrash) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::vector<std::string> acked;
+  std::mutex mu;
+  {
+    TestApp app;
+    auto db_or = Database::Open(app, BaseOptions(env));
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    std::unique_ptr<Database> db = std::move(*db_or);
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+          if (db->Update(app.PreparePut(key, "value-of-" + key)).ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            acked.push_back(key);
+          }
+        }
+      });
+    }
+    // Checkpoints run concurrently with the writers; each release of the update
+    // lock after the rotation lets commits flow while the snapshot persists.
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_TRUE(db->Checkpoint().ok());
+    }
+    for (std::thread& w : writers) {
+      w.join();
+    }
+  }
+
+  env.fs().Crash();
+  ASSERT_TRUE(env.fs().Recover().ok());
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(acked.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& key : acked) {
+    ASSERT_EQ(recovered.state.count(key), 1u) << "acknowledged update " << key << " lost";
+    EXPECT_EQ(recovered.state[key], "value-of-" + key);
+  }
+}
+
+TEST(ConcurrentCheckpointTest, AutoCheckpointPersistsInBackground) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.checkpoint_policy.every_n_updates = 3;
+    auto db_or = Database::Open(app, options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    std::unique_ptr<Database> db = std::move(*db_or);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(db->Update(app.PreparePut("k" + std::to_string(i), "v")).ok());
+    }
+    // The rotation happened inline on the triggering update; the persist may still
+    // be in flight on the background thread.
+    EXPECT_EQ(db->stats().auto_checkpoints, 1u);
+    EXPECT_EQ(db->live_log_version(), 2u);
+    // Destruction drains the background persist.
+  }
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->current_version(), 2u);
+  EXPECT_EQ(recovered.state.size(), 3u);
+}
+
+// The correctness crux: a cleanly-failed background persist leaves the engine
+// committing acknowledged updates to the rotated log while the version files still
+// name the old generation. Recovery must replay BOTH logs; the next checkpoint must
+// collapse the chain.
+TEST(ConcurrentCheckpointTest, FailedPersistLeavesRecoverableChainThatNextCheckpointCollapses) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  FailingVfs vfs(env.fs());
+
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.vfs = &vfs;
+    auto db_or = Database::Open(app, options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    std::unique_ptr<Database> db = std::move(*db_or);
+    for (const char* key : {"u1", "u2", "u3"}) {
+      ASSERT_TRUE(db->Update(app.PreparePut(key, std::string("val-") + key)).ok());
+    }
+
+    // Phase A succeeds (log rotated, marker durable); Phase B fails writing the
+    // checkpoint. Clean abort: no poison, the rotated log stays live.
+    vfs.fail_open_path = "db/checkpoint2";
+    EXPECT_FALSE(db->Checkpoint().ok());
+    vfs.fail_open_path.clear();
+    EXPECT_EQ(db->current_version(), 1u);
+    EXPECT_EQ(db->live_log_version(), 2u);
+    EXPECT_TRUE(FileExists(env, "db/pending"));
+    EXPECT_FALSE(FileExists(env, "db/checkpoint2"));  // no orphan from the abort
+
+    // Updates keep committing — into the rotated log.
+    for (const char* key : {"u4", "u5"}) {
+      ASSERT_TRUE(db->Update(app.PreparePut(key, std::string("val-") + key)).ok());
+    }
+  }
+
+  // The offline integrity checker understands the chain directory: healthy, and
+  // the rotated log's entries are verified along with the main log's.
+  {
+    auto integrity = VerifyDatabaseDir(env.fs(), "db");
+    ASSERT_TRUE(integrity.ok()) << integrity.status();
+    EXPECT_TRUE(integrity->healthy());
+    EXPECT_EQ(integrity->version, 1u);
+    EXPECT_EQ(integrity->live_log_version, 2u);
+    EXPECT_EQ(integrity->pending_logs, (std::vector<std::uint64_t>{2}));
+  }
+
+  // Power cut. Recovery loads checkpoint 1 and replays log 1 then log 2.
+  env.fs().Crash();
+  ASSERT_TRUE(env.fs().Recover().ok());
+  TestApp recovered;
+  auto db_or = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  std::unique_ptr<Database> db = std::move(*db_or);
+  EXPECT_EQ(recovered.state.size(), 5u);
+  for (const char* key : {"u1", "u2", "u3", "u4", "u5"}) {
+    EXPECT_EQ(recovered.state[key], std::string("val-") + key);
+  }
+  EXPECT_EQ(db->stats().restart.pending_logs_replayed, 1u);
+  EXPECT_EQ(db->current_version(), 1u);       // chain adopted lazily, not collapsed
+  EXPECT_EQ(db->live_log_version(), 2u);
+
+  // The next checkpoint collapses the chain past the orphaned generation number.
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_EQ(db->current_version(), 3u);
+  EXPECT_EQ(db->live_log_version(), 3u);
+  EXPECT_FALSE(FileExists(env, "db/pending"));
+  EXPECT_FALSE(FileExists(env, "db/logfile1"));
+  EXPECT_FALSE(FileExists(env, "db/logfile2"));
+  EXPECT_TRUE(FileExists(env, "db/checkpoint3"));
+
+  // And the collapsed state is durable across another power cut.
+  db.reset();
+  env.fs().Crash();
+  ASSERT_TRUE(env.fs().Recover().ok());
+  TestApp final_state;
+  auto reopened = Database::Open(final_state, BaseOptions(env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->current_version(), 3u);
+  EXPECT_EQ(final_state.state.size(), 5u);
+}
+
+TEST(ConcurrentCheckpointTest, ReadOnlyOpenReplaysPendingChain) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  FailingVfs vfs(env.fs());
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.vfs = &vfs;
+    auto db = Database::Open(app, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("a", "1")).ok());
+    vfs.fail_open_path = "db/checkpoint2";
+    EXPECT_FALSE((*db)->Checkpoint().ok());
+    vfs.fail_open_path.clear();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("b", "2")).ok());
+  }
+  TestApp ro;
+  auto db = Database::OpenReadOnly(ro, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->current_version(), 1u);
+  EXPECT_EQ((*db)->live_log_version(), 2u);
+  EXPECT_EQ((*db)->stats().restart.pending_logs_replayed, 1u);
+  EXPECT_EQ(ro.state["a"], "1");
+  EXPECT_EQ(ro.state["b"], "2");
+  // Read-only: the chain is left exactly as found.
+  EXPECT_TRUE(FileExists(env, "db/pending"));
+}
+
+TEST(ConcurrentCheckpointTest, BackupCopiesPendingChain) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  FailingVfs vfs(env.fs());
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.vfs = &vfs;
+    auto db = Database::Open(app, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("a", "1")).ok());
+    vfs.fail_open_path = "db/checkpoint2";
+    EXPECT_FALSE((*db)->Checkpoint().ok());
+    vfs.fail_open_path.clear();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("b", "2")).ok());
+  }
+  ASSERT_TRUE(BackupDatabaseDir(env.fs(), "db", env.fs(), "backup").ok());
+  ASSERT_TRUE(RestoreDatabaseDir(env.fs(), "backup", env.fs(), "restored").ok());
+
+  TestApp ro;
+  DatabaseOptions options = BaseOptions(env);
+  options.dir = "restored";
+  auto db = Database::OpenReadOnly(ro, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(ro.state["a"], "1");
+  EXPECT_EQ(ro.state["b"], "2");  // committed to the rotated log after the failure
+}
+
+// Satellite regression: the ambiguity fail-stop now fires on the background persist
+// thread, off every committing thread. It must still reject subsequent updates and
+// checkpoints, and a reopen must recover cleanly.
+TEST(ConcurrentCheckpointTest, AmbiguousBackgroundSwitchPoisonsUntilReopen) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  FailingVfs vfs(env.fs());
+
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.vfs = &vfs;
+    options.checkpoint_policy.every_n_updates = 3;
+    auto db_or = Database::Open(app, options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    std::unique_ptr<Database> db = std::move(*db_or);
+
+    // SyncDir sequence from open: #1 fresh-init dir sync, #2 version-file sync,
+    // #3 pending-marker sync (rotation), #4 switch pre-sync, #5 the commit-point
+    // sync after `newversion` holds synced content — failing it leaves the switch
+    // ambiguous, and it happens on the background thread.
+    vfs.fail_syncdir_at.store(5);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(db->Update(app.PreparePut("k" + std::to_string(i), "v")).ok());
+    }
+
+    // Checkpoint() waits for the background persist's slot, then must see poison.
+    Status checkpoint = db->Checkpoint();
+    ASSERT_FALSE(checkpoint.ok());
+    EXPECT_TRUE(checkpoint.Is(ErrorCode::kInternal)) << checkpoint;
+    Status update = db->Update(app.PreparePut("rejected", "x"));
+    ASSERT_FALSE(update.ok());
+    EXPECT_TRUE(update.Is(ErrorCode::kInternal)) << update;
+  }
+
+  // Reopen re-resolves the version (the switch's `newversion` content survived, so
+  // it completes to generation 2) and recovers every acknowledged update.
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(recovered.state.size(), 3u);
+  ASSERT_TRUE((*db)->Update(recovered.PreparePut("post-reopen", "works")).ok());
+  EXPECT_EQ(recovered.state["post-reopen"], "works");
+}
+
+TEST(ConcurrentCheckpointTest, StartupSweepRemovesOrphanedGenerations) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  {
+    TestApp app;
+    auto db = Database::Open(app, BaseOptions(env));
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("keep", "me")).ok());
+  }
+  // Plant stale generations an interrupted/aborted checkpoint could have left: a
+  // higher-numbered orphan pair and a bare checkpoint (no marker names them).
+  ASSERT_TRUE(WriteWholeFile(env.fs(), "db/checkpoint9", AsSpan(std::string_view("junk"))).ok());
+  ASSERT_TRUE(WriteWholeFile(env.fs(), "db/logfile9", AsSpan(std::string_view("junk"))).ok());
+  ASSERT_TRUE(WriteWholeFile(env.fs(), "db/checkpoint3", AsSpan(std::string_view("junk"))).ok());
+
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_FALSE(FileExists(env, "db/checkpoint9"));
+  EXPECT_FALSE(FileExists(env, "db/logfile9"));
+  EXPECT_FALSE(FileExists(env, "db/checkpoint3"));
+  EXPECT_EQ(recovered.state["keep"], "me");
+  EXPECT_TRUE((*db)->Update(recovered.PreparePut("still", "works")).ok());
+}
+
+TEST(ConcurrentCheckpointTest, LegacyModeHoldsLockButStillCorrect) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  {
+    TestApp app;
+    DatabaseOptions options = BaseOptions(env);
+    options.concurrent_checkpoint = false;
+    options.checkpoint_policy.every_n_updates = 3;
+    auto db_or = Database::Open(app, options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    std::unique_ptr<Database> db = std::move(*db_or);
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(db->Update(app.PreparePut("k" + std::to_string(i), "v")).ok());
+    }
+    // Legacy persists synchronously under the lock: version has already advanced.
+    EXPECT_EQ(db->stats().auto_checkpoints, 2u);
+    EXPECT_EQ(db->current_version(), 3u);
+    EXPECT_EQ(db->current_version(), db->live_log_version());
+  }
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(recovered.state.size(), 7u);
+}
+
+class SnapshotCountingApp : public TestApp {
+ public:
+  int captures = 0;
+  std::atomic<int> closure_runs{0};
+
+  Result<std::function<Result<Bytes>()>> CaptureSnapshot() override {
+    ++captures;  // under the update lock
+    SDB_ASSIGN_OR_RETURN(Bytes snapshot, SerializeState());
+    auto holder = std::make_shared<Bytes>(std::move(snapshot));
+    auto* runs = &closure_runs;
+    return std::function<Result<Bytes>()>([holder, runs]() -> Result<Bytes> {
+      runs->fetch_add(1);
+      return std::move(*holder);
+    });
+  }
+};
+
+TEST(ConcurrentCheckpointTest, ApplicationSnapshotOverrideIsUsed) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  {
+    SnapshotCountingApp app;
+    auto db = Database::Open(app, BaseOptions(env));
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE((*db)->Update(app.PreparePut("a", "1")).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ(app.captures, 1);
+    EXPECT_EQ(app.closure_runs.load(), 1);
+  }
+  TestApp recovered;
+  auto db = Database::Open(recovered, BaseOptions(env));
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db)->current_version(), 2u);
+  EXPECT_EQ(recovered.state["a"], "1");
+}
+
+}  // namespace
+}  // namespace sdb

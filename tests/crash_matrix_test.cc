@@ -471,6 +471,74 @@ TEST(SwitchWindowCrashTest, TornMetadataSyncAtEverySwitchSyncIsCrashSafe) {
   EXPECT_GE(syncs_hit, 3);
 }
 
+// --- pending-rotation matrix ---
+//
+// Concurrent checkpointing splits the protocol in two: the rotation (snapshot, empty
+// logfile<N+1>, `pending` marker — all inside the update-lock window) and the
+// background persist (checkpoint write, switch commit). A fault between the two
+// leaves the engine acknowledging updates into the rotated log while the version
+// files still name the old generation. This matrix injects a TRANSIENT fault at
+// every durable op of the checkpoint window — the process survives and keeps
+// committing — and then cuts power. Dual-log recovery (checkpoint N + log N + log
+// N+1) must preserve every acknowledged update, at every fault point.
+TEST(PendingRotationCrashTest, TransientFaultThenPowerCutIsSafeAtEveryCheckpointOp) {
+  std::uint64_t window_first = 0;
+  std::uint64_t window_last = 0;
+  {
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv dry_env(env_options);
+    SwitchWindowResult dry = RunSwitchScript(dry_env);
+    ASSERT_TRUE(dry.checkpoint_ok);
+    ASSERT_EQ(dry.acknowledged.size(), 6u);
+    window_first = dry.window_first;
+    window_last = dry.window_last;
+  }
+
+  int chain_runs = 0;  // runs that power-cut with a live pending chain
+  for (std::uint64_t crash_at = window_first; crash_at <= window_last; ++crash_at) {
+    SCOPED_TRACE("transient fault at checkpoint op " + std::to_string(crash_at) +
+                 " (window " + std::to_string(window_first) + ".." +
+                 std::to_string(window_last) + ")");
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv env(env_options);
+    sim::ScriptedFaultSchedule schedule(
+        {sim::FaultPoint{crash_at, FaultAction::kTransientError, /*read_op=*/false,
+                         /*metadata_only=*/false}});
+    env.disk().SetFaultInjector(schedule.AsInjector());
+
+    SwitchWindowResult script = RunSwitchScript(env);
+    EXPECT_EQ(schedule.fired_count(), 1);
+    EXPECT_FALSE(script.checkpoint_ok);
+    EXPECT_EQ(script.acknowledged.size() + script.failed.size(), 6u);
+
+    // A fault past the switch's commit point poisons the engine (ambiguity
+    // fail-stop) and s4..s6 are rejected; any earlier fault aborts cleanly and
+    // s4..s6 are acknowledged into whichever log is live. On the clean-abort path
+    // the aborted generation must not survive as an orphan (the abort deletes it,
+    // and CommitSwitch's later cleanup loop would also collapse it).
+    if (script.failed.empty()) {
+      auto orphan = env.fs().Exists("db/checkpoint2");
+      ASSERT_TRUE(orphan.ok());
+      EXPECT_FALSE(*orphan) << "clean persist abort left an orphaned checkpoint";
+      auto chain = env.fs().Exists("db/pending");
+      ASSERT_TRUE(chain.ok());
+      if (*chain) {
+        ++chain_runs;  // rotation finished before the fault: the dual-log path
+      }
+    }
+
+    CheckSwitchRecovery(env, script, crash_at);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  // The sweep must actually have produced runs where acknowledged updates sat in a
+  // rotated log with no checkpoint behind it — the scenario this PR introduces.
+  EXPECT_GE(chain_runs, 2);
+}
+
 TEST(CrashMatrixDoubleFailureTest, CrashDuringRecoveryIsAlsoSafe) {
   // Crash once mid-script, then crash AGAIN during the recovery-time cleanup, then
   // recover fully. The protocol must tolerate repeated failures.

@@ -35,6 +35,7 @@ struct Flags {
   std::uint64_t seed_hi = 50;
   bool single_seed = false;
   std::string schedule = "all";  // one ScheduleKindName, or "all"
+  std::string mix = "default";   // "default" or "checkpoint-heavy"
   int steps = 40;
   int recheck = 0;        // re-run the first N seeds and assert identical trace hashes
   std::string artifacts;  // directory for per-failure repro files
@@ -65,6 +66,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->seed_hi = std::strtoull(colon + 1, nullptr, 10);
     } else if ((v = value_of("--schedule")) != nullptr) {
       flags->schedule = v;
+    } else if ((v = value_of("--mix")) != nullptr) {
+      flags->mix = v;
     } else if ((v = value_of("--steps")) != nullptr) {
       flags->steps = std::atoi(v);
     } else if ((v = value_of("--recheck")) != nullptr) {
@@ -133,6 +136,13 @@ int main(int argc, char** argv) {
   }
 
   HarnessOptions options;
+  if (flags.mix == "checkpoint-heavy") {
+    options.workload = sdb::sim::CheckpointHeavyWorkload();
+  } else if (flags.mix != "default") {
+    std::fprintf(stderr, "unknown mix %s (want default or checkpoint-heavy)\n",
+                 flags.mix.c_str());
+    return 2;
+  }
   options.workload.steps = flags.steps;
 
   int failures = 0;

@@ -18,7 +18,7 @@ struct TestRecord {
   SDB_PICKLE_FIELDS(TestRecord, key, value)
 };
 
-class TestApp final : public Application {
+class TestApp : public Application {
  public:
   Status ResetState() override {
     state.clear();
