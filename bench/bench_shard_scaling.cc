@@ -1,0 +1,308 @@
+// Experiment: sharded engine scaling (paper Section 7).
+//
+// "It seems likely that many larger databases ... could be handled by considering
+// them as multiple separate databases for the purpose of writing checkpoints ...
+// [with] a single log file with more complicated rules for flushing the log." This
+// bench sweeps shard count x writer threads through ShardedDatabase and reports
+// aggregate updates/s and physical fsyncs per update.
+//
+// Methodology: every configuration runs with the per-shard batch bound pinned to ONE
+// record, so a shard's pipeline pays a full device-latency fsync window per update —
+// the paper's serial commit discipline. What the sweep then isolates is exactly the
+// tentpole mechanism: with N shards, N pipelines ride the cross-shard coalescer and
+// one covering fsync commits batches from many shards at once, so aggregate
+// throughput multiplies and fsyncs/update collapses below 1. Device latency is a
+// wall-clock dilation of Sync (SimDisk charges simulated time but returns instantly
+// in wall time), which makes the scaling ratio a property of commit-path overlap,
+// not of host core count — it holds on a single-core CI runner.
+//
+// `--enforce` fails the run unless, at 8 writer threads, 8 shards deliver >= 3x the
+// aggregate update throughput of 1 shard AND fsyncs/update < 1.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/core/sharded.h"
+
+namespace sdb::bench {
+namespace {
+
+// Wraps a Vfs so every File::Sync also takes ~`delay` of wall time, standing in for
+// device latency (same idiom as bench_group_commit).
+class WallDelaySyncFile final : public File {
+ public:
+  WallDelaySyncFile(std::unique_ptr<File> inner, std::chrono::microseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+
+  Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) override {
+    return inner_->ReadAt(offset, length);
+  }
+  Status Append(ByteSpan data) override { return inner_->Append(data); }
+  Status WriteAt(std::uint64_t offset, ByteSpan data) override {
+    return inner_->WriteAt(offset, data);
+  }
+  Status Truncate(std::uint64_t new_size) override { return inner_->Truncate(new_size); }
+  Status Sync() override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->Sync();
+  }
+  Result<std::uint64_t> Size() override { return inner_->Size(); }
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  std::unique_ptr<File> inner_;
+  std::chrono::microseconds delay_;
+};
+
+class WallDelaySyncFs final : public Vfs {
+ public:
+  WallDelaySyncFs(Vfs& inner, std::chrono::microseconds delay)
+      : inner_(inner), delay_(delay) {}
+
+  Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) override {
+    SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, inner_.Open(path, mode));
+    return std::unique_ptr<File>(new WallDelaySyncFile(std::move(file), delay_));
+  }
+  Status Delete(std::string_view path) override { return inner_.Delete(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return inner_.Rename(from, to);
+  }
+  Result<bool> Exists(std::string_view path) override { return inner_.Exists(path); }
+  Result<std::vector<std::string>> List(std::string_view dir) override {
+    return inner_.List(dir);
+  }
+  Status CreateDir(std::string_view path) override { return inner_.CreateDir(path); }
+  Status SyncDir(std::string_view dir) override { return inner_.SyncDir(dir); }
+
+ private:
+  Vfs& inner_;
+  std::chrono::microseconds delay_;
+};
+
+// One shard's application: a plain KV map.
+class ShardKvApp final : public Application {
+ public:
+  Status ResetState() override {
+    state_.clear();
+    return OkStatus();
+  }
+  Result<Bytes> SerializeState() override {
+    PickleWriter writer;
+    writer.Write(state_);
+    return std::move(writer).FinishEnvelope("BenchShardKv.state");
+  }
+  Status DeserializeState(ByteSpan data) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader,
+                         PickleReader::FromEnvelope(data, "BenchShardKv.state"));
+    return reader.Read(state_);
+  }
+  Status ApplyUpdate(ByteSpan record) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader, PickleReader::FromEnvelope(
+                                                  record, "BenchShardKv.update"));
+    std::pair<std::string, std::string> kv;
+    SDB_RETURN_IF_ERROR(reader.Read(kv));
+    state_.insert_or_assign(std::move(kv.first), std::move(kv.second));
+    return OkStatus();
+  }
+
+  static Result<Bytes> EncodePut(const std::string& key, const std::string& value) {
+    PickleWriter writer;
+    writer.Write(std::make_pair(key, value));
+    return std::move(writer).FinishEnvelope("BenchShardKv.update");
+  }
+
+ private:
+  std::map<std::string, std::string> state_;
+};
+
+int TotalUpdates() { return QuickMode() ? 160 : 1600; }
+std::chrono::microseconds SyncDelay() {
+  return std::chrono::microseconds(QuickMode() ? 300 : 1000);
+}
+std::vector<int> ShardCounts() { return {1, 2, 4, 8}; }
+std::vector<int> ThreadCounts() {
+  return QuickMode() ? std::vector<int>{1, 8} : std::vector<int>{1, 2, 4, 8};
+}
+
+struct RunResult {
+  int shards = 0;
+  int threads = 0;
+  std::uint64_t updates = 0;
+  double wall_micros = 0;
+  double updates_per_sec = 0;
+  std::uint64_t covering_fsyncs = 0;
+  double fsyncs_per_update = 0;
+  std::uint64_t max_batches_per_fsync = 0;
+};
+
+RunResult RunWorkload(int shards, int threads) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+  WallDelaySyncFs vfs(env.fs(), SyncDelay());
+
+  std::vector<std::unique_ptr<ShardKvApp>> apps;
+  std::vector<Application*> raw;
+  for (int p = 0; p < shards; ++p) {
+    apps.push_back(std::make_unique<ShardKvApp>());
+    raw.push_back(apps.back().get());
+  }
+  ShardedOptions options;
+  options.vfs = &vfs;
+  options.dir = "bench";
+  options.clock = &env.clock();
+  // One record per batch: each pipeline runs the paper's serial commit discipline,
+  // so any fsync sharing is the cross-shard coalescer's doing, not in-shard batching.
+  options.group_commit.max_batch_records = 1;
+
+  auto db_or = ShardedDatabase::Open(raw, std::move(options));
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db_or.status().ToString().c_str());
+    std::abort();
+  }
+  std::unique_ptr<ShardedDatabase> db = std::move(*db_or);
+
+  const int per_thread = TotalUpdates() / threads;
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+        Status status = db->UpdateKey(key, [&key]() -> Result<Bytes> {
+          return ShardKvApp::EncodePut(key, "value-" + key);
+        });
+        if (!status.ok()) {
+          std::fprintf(stderr, "update failed: %s\n", status.ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  double wall_micros = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+
+  const ShardedStats stats = db->stats();
+  RunResult result;
+  result.shards = shards;
+  result.threads = threads;
+  result.updates = stats.updates;
+  result.wall_micros = wall_micros;
+  result.updates_per_sec =
+      wall_micros == 0 ? 0 : static_cast<double>(stats.updates) * 1e6 / wall_micros;
+  result.covering_fsyncs = stats.covering_fsyncs;
+  result.fsyncs_per_update = stats.fsyncs_per_update();
+  result.max_batches_per_fsync = stats.max_batches_per_fsync;
+  return result;
+}
+
+std::string Format(const char* fmt, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, v);
+  return buffer;
+}
+
+int Run(bool enforce) {
+  Banner("Shard scaling: N-way key-routed shards, one cross-shard fsync coalescer",
+         "multiple separate databases over a single log file with more complicated "
+         "rules for flushing (Section 7)");
+  std::printf("\n%d updates per configuration, %lld us device sync latency%s\n\n",
+              TotalUpdates(),
+              static_cast<long long>(SyncDelay().count()),
+              QuickMode() ? " (quick mode)" : "");
+
+  Table table({"shards", "threads", "updates/s", "fsyncs/update", "max batches/fsync"});
+  std::vector<RunResult> results;
+  for (int shards : ShardCounts()) {
+    for (int threads : ThreadCounts()) {
+      RunResult r = RunWorkload(shards, threads);
+      results.push_back(r);
+      table.AddRow({std::to_string(r.shards), std::to_string(r.threads),
+                    Format("%.0f", r.updates_per_sec),
+                    Format("%.3f", r.fsyncs_per_update),
+                    std::to_string(r.max_batches_per_fsync)});
+    }
+  }
+  table.Print();
+
+  // The headline comparison: most-parallel writer count, 8 shards vs 1.
+  const int peak_threads = ThreadCounts().back();
+  const RunResult* base = nullptr;
+  const RunResult* wide = nullptr;
+  for (const RunResult& r : results) {
+    if (r.threads != peak_threads) {
+      continue;
+    }
+    if (r.shards == 1) {
+      base = &r;
+    }
+    if (r.shards == 8) {
+      wide = &r;
+    }
+  }
+  double ratio = (base != nullptr && wide != nullptr && base->updates_per_sec > 0)
+                     ? wide->updates_per_sec / base->updates_per_sec
+                     : 0;
+  std::printf("\n8 shards vs 1 at %d threads: %.1fx aggregate throughput, "
+              "%.3f fsyncs/update\n",
+              peak_threads, ratio, wide != nullptr ? wide->fsyncs_per_update : 0.0);
+
+  std::string json = "{\n  \"bench\": \"shard_scaling\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json += "    {\"shards\": " + std::to_string(r.shards) +
+            ", \"threads\": " + std::to_string(r.threads) +
+            ", \"updates\": " + std::to_string(r.updates) +
+            ", \"updates_per_sec\": " + Format("%.1f", r.updates_per_sec) +
+            ", \"covering_fsyncs\": " + std::to_string(r.covering_fsyncs) +
+            ", \"fsyncs_per_update\": " + Format("%.4f", r.fsyncs_per_update) +
+            ", \"max_batches_per_fsync\": " + std::to_string(r.max_batches_per_fsync) +
+            "}";
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"scaling_8v1\": " + Format("%.3f", ratio) + ",\n";
+  json += "  \"fsyncs_per_update_8shards\": " +
+          Format("%.4f", wide != nullptr ? wide->fsyncs_per_update : 0.0) + "\n}";
+  MaybeWriteBenchJson("shard_scaling", json);
+
+  if (enforce) {
+    bool ok = true;
+    if (ratio < 3.0) {
+      std::printf("enforce: FAIL (8-shard scaling %.2fx < 3x)\n", ratio);
+      ok = false;
+    }
+    if (wide == nullptr || wide->fsyncs_per_update >= 1.0) {
+      std::printf("enforce: FAIL (fsyncs/update %.3f >= 1 at 8 shards)\n",
+                  wide != nullptr ? wide->fsyncs_per_update : -1.0);
+      ok = false;
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::printf("enforce: OK (%.1fx >= 3x, %.3f fsyncs/update < 1)\n", ratio,
+                wide->fsyncs_per_update);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdb::bench
+
+int main(int argc, char** argv) {
+  bool enforce = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
+    }
+  }
+  return sdb::bench::Run(enforce);
+}

@@ -56,8 +56,9 @@ Result<std::unique_ptr<Database>> Database::Open(Application& app, DatabaseOptio
   if (db->options_.group_commit.enabled) {
     // The private-base upcast must happen here, inside a member, not in make_unique.
     GroupCommitHost& host = *db;
+    db->log_sink_.set_log(db->log_.get());
     db->committer_ = std::make_unique<GroupCommitter>(db->lock_, *db->clock_, host,
-                                                      db->log_.get(), &db->counters_,
+                                                      &db->log_sink_, &db->counters_,
                                                       db->stage_metrics_,
                                                       db->options_.group_commit);
   }
@@ -480,7 +481,7 @@ Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation) {
   }
   log_ = std::move(new_log);
   if (committer_ != nullptr) {
-    committer_->set_log(log_.get());
+    log_sink_.set_log(log_.get());
   }
   live_log_version_.store(rotation->target, std::memory_order_relaxed);
   commit_epoch_.fetch_add(1, std::memory_order_relaxed);

@@ -343,6 +343,9 @@ class Database : private GroupCommitHost {
   // The following are mutated only while holding the update lock (or in Open), with
   // the pipeline paused where the live log is swapped.
   std::unique_ptr<LogWriter> log_;
+  // The committer's durability sink: a private fsync per batch over log_. Retargeted
+  // (set_log) alongside log_ swaps, under the same pipeline pause.
+  LogWriterSink log_sink_;
   std::atomic<std::uint64_t> version_{0};  // atomic: read lock-free by observers
   // The log generation updates commit to. Equals version_ except between a
   // checkpoint's rotation (Phase A) and its switch commit (Phase B).

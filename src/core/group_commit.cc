@@ -5,7 +5,7 @@
 namespace sdb {
 
 GroupCommitter::GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host,
-                               LogWriter* log, UpdateCounters* counters,
+                               CommitSink* sink, UpdateCounters* counters,
                                obs::CommitStageMetrics stage_metrics,
                                GroupCommitOptions options)
     : lock_(lock),
@@ -14,7 +14,7 @@ GroupCommitter::GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& hos
       counters_(counters),
       stage_metrics_(stage_metrics),
       options_(options),
-      log_(log) {}
+      sink_(sink) {}
 
 Status GroupCommitter::Submit(std::span<const PrepareFn> prepares) {
   Request req(prepares);
@@ -145,22 +145,26 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch, Micros queue_w
     }
   }
 
-  // Phase 2: the commit point. One contiguous append, one padding, one fsync — and no
-  // lock of any mode held, so enquiries and next-batch arrivals proceed throughout.
+  // Phase 2: the commit point. One contiguous append, then the sink's durability
+  // step (a private fsync, or a wait on a covering cross-shard fsync) — and no lock
+  // of any mode held, so enquiries and next-batch arrivals proceed throughout.
   Micros t_log_start = clock_.NowMicros();
-  Status committed = log_->AppendBatch(payloads);
+  Status committed = sink_->AppendRecords(payloads);
   Micros t_appended = timing ? clock_.NowMicros() : t_log_start;
+  std::uint64_t physical_syncs = 0;
   if (!committed.ok()) {
     committed = committed.WithContext("appending log entry");
   } else {
-    committed = log_->Commit();
-    if (!committed.ok()) {
-      committed = committed.WithContext("committing log entry");
+    Result<std::uint64_t> synced = sink_->SyncRecords();
+    if (synced.ok()) {
+      physical_syncs = *synced;
+    } else {
+      committed = synced.status().WithContext("committing log entry");
     }
   }
   Micros t_synced = clock_.NowMicros();
   breakdown.log_micros = t_synced - t_log_start;
-  counters_->log_bytes->Set(static_cast<std::int64_t>(log_->size()));
+  counters_->log_bytes->Set(static_cast<std::int64_t>(sink_->log_bytes()));
   if (!committed.ok()) {
     for (Request* request : batch) {
       if (request->prepared_ok) {
@@ -228,11 +232,11 @@ void GroupCommitter::RunBatch(const std::vector<Request*>& batch, Micros queue_w
     trace.epoch = epoch;
     stage_metrics_.RecordBatch(trace);
   }
-  stage_metrics_.fsyncs->Increment();
+  stage_metrics_.fsyncs->Add(physical_syncs);
 
   std::lock_guard<std::mutex> stats_lock(mu_);
   ++stats_.batches;
-  ++stats_.syncs;
+  stats_.syncs += physical_syncs;
   stats_.records_committed += payloads.size();
   stats_.max_records_per_sync = std::max<std::uint64_t>(stats_.max_records_per_sync,
                                                         payloads.size());
@@ -258,12 +262,123 @@ void GroupCommitter::Resume() {
   cv_.notify_all();
 }
 
-void GroupCommitter::set_log(LogWriter* log) {
+GroupCommitStats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- CrossShardCoalescer ---
+
+Result<std::uint64_t> CrossShardCoalescer::AppendBatch(
+    std::span<const ByteSpan> payloads) {
+  arriving_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !frozen_ || poisoned_; });
+  auto leave_doorway = [this] {
+    arriving_.fetch_sub(1, std::memory_order_acq_rel);
+    cv_.notify_all();  // a deferring flush leader may be waiting on the doorway
+  };
+  if (poisoned_) {
+    leave_doorway();
+    return InternalError("cross-shard flush pipeline fail-stopped by an aborted log rotation");
+  }
+  Status appended = log_->AppendBatch(payloads);
+  leave_doorway();
+  SDB_RETURN_IF_ERROR(appended);
+  ++stats_.batches_appended;
+  return ++appended_seq_;
+}
+
+Result<std::uint64_t> CrossShardCoalescer::AwaitDurable(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool window_open = coalesce_window_.count() > 0;
+  for (;;) {
+    if (durable_seq_ >= ticket) {
+      // An fsync led on behalf of a later-arriving batch covered our append while
+      // we queued on the mutex: the whole point of the coalescer.
+      ++stats_.batches_coalesced;
+      return std::uint64_t{0};
+    }
+    if (poisoned_) {
+      return InternalError(
+          "cross-shard flush pipeline fail-stopped by an aborted log rotation");
+    }
+    if (!frozen_) {
+      if (arriving_.load(std::memory_order_acquire) > 0) {
+        // Batches from other shards are mid-append: defer the fsync (releasing mu_
+        // so they can get through) and let one covering sync commit all of us.
+        // Bounded wait: every doorway occupant appends (or bails) and notifies, and
+        // whoever arrives after we finally lead simply rides the next sync.
+        cv_.wait(lock);
+        continue;
+      }
+      if (window_open) {
+        // Batch window: linger briefly for pipelines still finishing their apply
+        // phase. Re-arms while appends keep landing; the first quiet interval
+        // closes it for good, so under sustained load the linger is bounded by the
+        // number of concurrent pipelines and a lone committer pays one window.
+        std::uint64_t before = appended_seq_;
+        cv_.wait_for(lock, coalesce_window_);
+        window_open = appended_seq_ != before ||
+                      arriving_.load(std::memory_order_acquire) > 0;
+        continue;  // re-check: a covering fsync may have landed while we lingered
+      }
+      // Lead: one fsync covering every batch appended so far — ours and, typically,
+      // batches from other shards. The fsync runs with mu_ held, so appends and
+      // competing leads queue on the mutex behind it and the next leader's fsync
+      // covers them all at once. A failed fsync does not advance durable_seq_, so
+      // every batch always gets a definitive fsync attempt covering it: either a
+      // covering success (OK) or its own led failure (possibly-durable verdict —
+      // the same outcome a failed private fsync yields).
+      std::uint64_t cover = appended_seq_;
+      std::uint64_t covered_batches = cover - durable_seq_;
+      Status synced = log_->Commit();
+      if (!synced.ok()) {
+        ++stats_.failed_fsyncs;
+        return synced;
+      }
+      durable_seq_ = std::max(durable_seq_, cover);
+      ++stats_.covering_fsyncs;
+      stats_.max_batches_per_fsync =
+          std::max(stats_.max_batches_per_fsync, covered_batches);
+      return std::uint64_t{1};
+    }
+    cv_.wait(lock);
+  }
+}
+
+void CrossShardCoalescer::Freeze() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frozen_ = true;  // acquiring mu_ already waited out any in-flight fsync
+}
+
+void CrossShardCoalescer::Unfreeze() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frozen_ = false;
+  }
+  cv_.notify_all();
+}
+
+void CrossShardCoalescer::Poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+void CrossShardCoalescer::set_log(LogWriter* log) {
   std::lock_guard<std::mutex> lock(mu_);
   log_ = log;
 }
 
-GroupCommitStats GroupCommitter::stats() const {
+std::uint64_t CrossShardCoalescer::log_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_->size();
+}
+
+CrossShardCoalescer::Stats CrossShardCoalescer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

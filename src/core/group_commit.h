@@ -42,6 +42,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -74,7 +75,12 @@ struct GroupCommitOptions {
 
 struct GroupCommitStats {
   std::uint64_t batches = 0;             // batches that reached the disk phase
-  std::uint64_t syncs = 0;               // fsyncs issued (== successful batches)
+  // Physical fsyncs this pipeline issued. With the default LogWriterSink this equals
+  // successful batches; behind a CrossShardCoalescer a batch whose durability was
+  // covered by an fsync led on another shard's behalf contributes 0 here, so summing
+  // `syncs` across shard pipelines yields exactly the coalescer's covering fsyncs —
+  // never an overstatement.
+  std::uint64_t syncs = 0;
   std::uint64_t records_committed = 0;   // records made durable
   std::uint64_t sync_waits = 0;          // requests completed by a batch they did not lead
   std::uint64_t max_records_per_sync = 0;
@@ -102,6 +108,149 @@ struct UpdateCounters {
   // Mirror of the live log's size, refreshed after every batch/serial commit, so
   // Database::log_bytes() needs no lock while a batch is streaming to disk.
   obs::Gauge* log_bytes = nullptr;
+};
+
+// Where a sealed batch's records go to become durable. The committer drives the
+// disk phase through this interface so the same pipeline serves both a private log
+// (LogWriterSink: append, pad, one fsync per batch) and a log shared across shards
+// (ShardedDatabase's sink: tagged appends into one file, durability awaited from the
+// CrossShardCoalescer so one fsync covers batches from many shards). Append and Sync
+// are separate calls because they are separate trace stages (kAppend / kFsync).
+// All calls are made by one batch leader at a time (batches are sequential within a
+// pipeline) with no engine lock held.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+
+  // Buffers the batch's records into the log (not yet durable).
+  virtual Status AppendRecords(std::span<const ByteSpan> payloads) = 0;
+
+  // Makes everything this sink appended so far durable. Returns the number of
+  // physical fsyncs issued on behalf of this batch: 1 when the sink syncs its own
+  // log, 0 when a covering fsync led for another batch already did the work. The
+  // pipeline adds the result to its fsync counters, so aggregate fsync accounting
+  // stays truthful under coalescing.
+  virtual Result<std::uint64_t> SyncRecords() = 0;
+
+  // Current byte size of the underlying log (mirrors into the log_bytes gauge).
+  virtual std::uint64_t log_bytes() const = 0;
+};
+
+// The default sink: the database's own live LogWriter.
+class LogWriterSink final : public CommitSink {
+ public:
+  explicit LogWriterSink(LogWriter* log = nullptr) : log_(log) {}
+
+  // Only while the owning pipeline is paused (checkpoint rotation swaps the log).
+  void set_log(LogWriter* log) { log_ = log; }
+
+  Status AppendRecords(std::span<const ByteSpan> payloads) override {
+    return log_->AppendBatch(payloads);
+  }
+  Result<std::uint64_t> SyncRecords() override {
+    SDB_RETURN_IF_ERROR(log_->Commit());
+    return std::uint64_t{1};
+  }
+  std::uint64_t log_bytes() const override { return log_->size(); }
+
+ private:
+  LogWriter* log_;
+};
+
+// CrossShardCoalescer: the global flush pipeline behind a sharded engine.
+//
+// N shards each run their own GroupCommitter (per-shard update lock, per-shard
+// batches), but all of them append to ONE shared log. The coalescer extends the
+// group-commit idea one level up: instead of each shard's batch paying its own
+// fsync, batch leaders append (serialized, ticketed) and then await coverage; the
+// first awaiting thread elects itself the flush leader and issues a single fsync
+// that covers every batch appended before it — typically batches from several
+// shards at once. Per-shard acks release as soon as the covering fsync returns, so
+// N shards multiply throughput without multiplying disk syncs.
+//
+// Protocol (single mutex; the fsync itself runs with the mutex held, so at most one
+// fsync is ever in flight and appends from other shards queue behind it exactly the
+// way riders queue behind a group-commit leader):
+//   - AppendBatch buffers the batch's (already shard-tagged) records as one
+//     contiguous write and returns a monotone ticket.
+//   - AwaitDurable(ticket) returns once some successful fsync started after that
+//     ticket's append. If none has, the caller leads: it snapshots the newest
+//     ticket (`cover`), fsyncs, and publishes durable_seq = cover.
+//   - A failed fsync does not advance durable_seq and fails only its leader (whose
+//     records may or may not have reached the medium — the same possibly-durable
+//     verdict a failed single-database commit yields); every other batch retries
+//     with a fresh fsync of its own, so each gets a definitive verdict.
+//
+// Freeze()/Unfreeze() quiesce the whole flush pipeline (no appends, no new fsyncs)
+// so the shared log can be rotated; the caller must already know no batch is awaiting
+// durability (the rotation rule guarantees it — see ShardedDatabase::MaybeRotateLog).
+class CrossShardCoalescer {
+ public:
+  struct Stats {
+    std::uint64_t covering_fsyncs = 0;   // successful fsyncs issued
+    std::uint64_t failed_fsyncs = 0;
+    std::uint64_t batches_appended = 0;
+    std::uint64_t batches_coalesced = 0;  // batches made durable by a covering fsync
+                                          // they did not lead
+    std::uint64_t max_batches_per_fsync = 0;
+  };
+
+  // `coalesce_window`: how long a would-be flush leader lingers for more batches
+  // before issuing its covering fsync. The window re-arms while traffic keeps
+  // arriving and closes on the first quiet interval, so under load one sync commits
+  // every pipeline's batch, while a solo committer pays at most one idle window.
+  // Zero disables the linger (the leader still defers to mid-append batches).
+  explicit CrossShardCoalescer(
+      LogWriter* log,
+      std::chrono::microseconds coalesce_window = std::chrono::microseconds(50))
+      : log_(log), coalesce_window_(coalesce_window) {}
+  CrossShardCoalescer(const CrossShardCoalescer&) = delete;
+  CrossShardCoalescer& operator=(const CrossShardCoalescer&) = delete;
+
+  // Appends the batch's framed records as one contiguous write and returns the
+  // ticket AwaitDurable needs. Blocks while the log is frozen or an fsync is in
+  // flight (the append itself is a buffered write — cheap next to the fsync).
+  Result<std::uint64_t> AppendBatch(std::span<const ByteSpan> payloads);
+
+  // Blocks until a covering fsync succeeds (returns the number of physical fsyncs
+  // this caller issued: 1 if it led, 0 if it rode) or the covering attempt fails
+  // (returns that error; the records are possibly durable).
+  Result<std::uint64_t> AwaitDurable(std::uint64_t ticket);
+
+  // Quiesces the pipeline for a log rotation: appends and fsyncs block until
+  // Unfreeze. Returns with no fsync in flight. Not reentrant.
+  void Freeze();
+  void Unfreeze();
+
+  // Fail-stops the pipeline: every subsequent AppendBatch (and any AwaitDurable not
+  // already covered) returns kInternal. Used when an aborted log rotation leaves the
+  // manifest and the live writer possibly naming different files — committing more
+  // batches could acknowledge updates recovery would replay from the wrong log.
+  void Poison();
+
+  // Only meaningful between Freeze and Unfreeze.
+  void set_log(LogWriter* log);
+
+  std::uint64_t log_bytes() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  LogWriter* log_;
+  std::chrono::microseconds coalesce_window_;
+  bool frozen_ = false;
+  bool poisoned_ = false;
+  // Shard pipelines that have entered AppendBatch but not yet appended. A would-be
+  // flush leader defers its fsync while this doorway is occupied, so one covering
+  // sync picks up every batch already racing toward the log instead of each batch
+  // paying a private sync because the leader beat it to the mutex. Atomic because
+  // it is incremented before mu_ is taken; every decrement happens under mu_ and
+  // notifies, so a deferring leader always re-checks.
+  std::atomic<std::uint64_t> arriving_{0};
+  std::uint64_t appended_seq_ = 0;  // tickets issued (one per appended batch)
+  std::uint64_t durable_seq_ = 0;   // highest ticket covered by a successful fsync
+  Stats stats_;
 };
 
 // Per-batch phase timing (also the shape of DatabaseStats::last_update; with the
@@ -139,11 +288,12 @@ class GroupCommitter {
  public:
   using PrepareFn = std::function<Result<Bytes>()>;
 
-  // `log` is the live log writer; the committer uses it only inside a batch, so it may
-  // be swapped with set_log() whenever the pipeline is paused (checkpoint switch).
-  // `stage_metrics` is the owning database's per-stage aggregation (histograms +
-  // optional trace ring); the committer records one CommitTrace per committed batch.
-  GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host, LogWriter* log,
+  // `sink` is where sealed batches go to become durable; the committer uses it only
+  // inside a batch, so its underlying log may be swapped (LogWriterSink::set_log)
+  // whenever the pipeline is paused (checkpoint switch). `stage_metrics` is the
+  // owning database's per-stage aggregation (histograms + optional trace ring); the
+  // committer records one CommitTrace per committed batch.
+  GroupCommitter(SueLock& lock, Clock& clock, GroupCommitHost& host, CommitSink* sink,
                  UpdateCounters* counters, obs::CommitStageMetrics stage_metrics,
                  GroupCommitOptions options);
 
@@ -163,8 +313,6 @@ class GroupCommitter {
   // before the log is reset). Not reentrant.
   void Pause();
   void Resume();
-
-  void set_log(LogWriter* log);  // only while paused or provably idle
 
   GroupCommitStats stats() const;
 
@@ -197,7 +345,7 @@ class GroupCommitter {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request*> queue_;
-  LogWriter* log_;
+  CommitSink* sink_;
   bool batch_in_progress_ = false;
   bool paused_ = false;
   GroupCommitStats stats_;

@@ -46,6 +46,19 @@ class PartitionedDatabase {
     std::uint64_t enquiries = 0;
     std::uint64_t checkpoints = 0;
     std::uint64_t log_bytes = 0;
+
+    // Physical fsyncs, summed from each partition's GroupCommitStats.syncs — the
+    // pipeline's own count of syncs it actually issued. Partitions here own private
+    // logs, so the sum is exact; under a shared-log coalescer the same field still
+    // sums truthfully because covered batches report 0 (see GroupCommitStats::syncs).
+    std::uint64_t fsyncs = 0;
+
+    // Physical fsyncs per acknowledged update. 1.0 for serial writers on private
+    // logs; below 1 only when batching or coalescing shares a sync.
+    double fsyncs_per_update() const {
+      return updates == 0 ? 0.0
+                          : static_cast<double>(fsyncs) / static_cast<double>(updates);
+    }
   };
   AggregateStats aggregate_stats() const;
 

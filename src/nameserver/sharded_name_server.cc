@@ -1,0 +1,210 @@
+#include "src/nameserver/sharded_name_server.h"
+
+#include <algorithm>
+
+namespace sdb::ns {
+
+// --- ShardTree ---
+
+Status ShardedNameServer::ShardTree::ResetState() {
+  lamport_watermark_ = 0;
+  return tree_.Reset();
+}
+
+Result<Bytes> ShardedNameServer::ShardTree::SerializeState() {
+  SDB_ASSIGN_OR_RETURN(Bytes tree_bytes, tree_.Serialize());
+  ByteWriter out;
+  out.PutU64(lamport_watermark_);
+  out.PutBytes(AsSpan(tree_bytes));
+  return std::move(out).Take();
+}
+
+Status ShardedNameServer::ShardTree::DeserializeState(ByteSpan data) {
+  ByteReader in(data);
+  SDB_ASSIGN_OR_RETURN(lamport_watermark_, in.ReadU64());
+  SDB_ASSIGN_OR_RETURN(ByteSpan tree_bytes, in.ReadBytes(in.remaining()));
+  return tree_.Deserialize(tree_bytes);
+}
+
+Status ShardedNameServer::ShardTree::ApplyUpdate(ByteSpan record) {
+  SDB_ASSIGN_OR_RETURN(NameServerUpdate update, DecodeUpdate(record, cost_));
+  SDB_ASSIGN_OR_RETURN(bool applied, ApplyUpdateToTree(tree_, update));
+  (void)applied;  // superseded-by-newer-stamp is a successful no-op
+  lamport_watermark_ = std::max(lamport_watermark_, update.lamport);
+  return OkStatus();
+}
+
+// --- ShardedNameServer ---
+
+ShardedNameServer::ShardedNameServer(ShardedNameServerOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<ShardedNameServer>> ShardedNameServer::Open(
+    ShardedNameServerOptions options) {
+  if (options.shards == 0) {
+    return InvalidArgumentError("ShardedNameServer requires >= 1 shard");
+  }
+  std::unique_ptr<ShardedNameServer> server(new ShardedNameServer(std::move(options)));
+  std::vector<Application*> apps;
+  apps.reserve(server->options_.shards);
+  for (std::size_t p = 0; p < server->options_.shards; ++p) {
+    server->trees_.push_back(std::make_unique<ShardTree>(server->options_.cost));
+    apps.push_back(server->trees_.back().get());
+  }
+  SDB_ASSIGN_OR_RETURN(server->db_,
+                       ShardedDatabase::Open(std::move(apps), server->options_.db));
+  std::uint64_t lamport = 0;
+  for (const auto& shard : server->trees_) {
+    lamport = std::max(lamport, shard->lamport_watermark());
+  }
+  server->lamport_.store(lamport, std::memory_order_relaxed);
+  return server;
+}
+
+Result<std::size_t> ShardedNameServer::ShardForPath(std::string_view path) const {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return std::size_t{0};  // the virtual root's home shard
+  }
+  // Routing on the first component keeps each top-level subtree whole within one
+  // shard, so subtree operations (Remove's tombstones, List, Export of "a/...")
+  // stay single-shard.
+  return db_->ShardForKey(parts.front());
+}
+
+NameServerUpdate ShardedNameServer::MakeUpdate(UpdateKind kind, std::string_view path,
+                                               std::string_view value) {
+  NameServerUpdate update;
+  update.kind = static_cast<std::uint8_t>(kind);
+  update.path = std::string(path);
+  update.value = std::string(value);
+  update.lamport = lamport_.fetch_add(1, std::memory_order_relaxed) + 1;
+  update.origin = options_.replica_id;
+  update.sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return update;
+}
+
+Result<std::string> ShardedNameServer::Lookup(std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(std::size_t p, ShardForPath(path));
+  Result<std::string> value = NotFoundError("");
+  SDB_RETURN_IF_ERROR(db_->Enquire(p, [this, p, path, &value] {
+    value = trees_[p]->tree().Lookup(path);
+    return OkStatus();
+  }));
+  return value;
+}
+
+Result<std::vector<std::string>> ShardedNameServer::List(std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (!parts.empty()) {
+    std::size_t p = db_->ShardForKey(parts.front());
+    Result<std::vector<std::string>> labels = NotFoundError("");
+    SDB_RETURN_IF_ERROR(db_->Enquire(p, [this, p, path, &labels] {
+      labels = trees_[p]->tree().List(path);
+      return OkStatus();
+    }));
+    return labels;
+  }
+  // The root spans every shard: merge the shard roots' child labels. Routing makes
+  // the label sets disjoint (a label lives only on its home shard), so this is a
+  // concatenation restored to sorted order, not a dedup.
+  std::vector<std::string> merged;
+  Status status = db_->EnquireAll([this, &merged]() -> Status {
+    for (auto& shard : trees_) {
+      SDB_ASSIGN_OR_RETURN(std::vector<std::string> labels, shard->tree().List(""));
+      merged.insert(merged.end(), std::make_move_iterator(labels.begin()),
+                    std::make_move_iterator(labels.end()));
+    }
+    return OkStatus();
+  });
+  SDB_RETURN_IF_ERROR(status);
+  std::sort(merged.begin(), merged.end());
+  return merged;
+}
+
+Status ShardedNameServer::Set(std::string_view path, std::string_view value) {
+  SDB_ASSIGN_OR_RETURN(std::size_t p, ShardForPath(path));
+  return db_->Update(p, [this, path, value]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("the root cannot be the target of an update");
+    }
+    return EncodeUpdate(MakeUpdate(UpdateKind::kSet, path, value), options_.cost);
+  });
+}
+
+Status ShardedNameServer::Remove(std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(std::size_t p, ShardForPath(path));
+  return db_->Update(p, [this, p, path]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+    if (parts.empty()) {
+      return InvalidArgumentError("the root cannot be the target of an update");
+    }
+    if (!trees_[p]->tree().Exists(path)) {
+      return FailedPreconditionError("no such name: " + std::string(path));
+    }
+    return EncodeUpdate(MakeUpdate(UpdateKind::kRemove, path, ""), options_.cost);
+  });
+}
+
+Status ShardedNameServer::CompareAndSet(std::string_view path, std::string_view expected,
+                                        std::string_view value) {
+  SDB_ASSIGN_OR_RETURN(std::size_t p, ShardForPath(path));
+  return db_->Update(p, [this, p, path, expected, value]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::string current, trees_[p]->tree().Lookup(path));
+    if (current != expected) {
+      return FailedPreconditionError("value mismatch at " + std::string(path));
+    }
+    return EncodeUpdate(MakeUpdate(UpdateKind::kSet, path, value), options_.cost);
+  });
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ShardedNameServer::Export(
+    std::string_view path) {
+  SDB_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (!parts.empty()) {
+    std::size_t p = db_->ShardForKey(parts.front());
+    Result<std::vector<std::pair<std::string, std::string>>> bindings = NotFoundError("");
+    SDB_RETURN_IF_ERROR(db_->Enquire(p, [this, p, path, &bindings] {
+      bindings = trees_[p]->tree().Export(path);
+      return OkStatus();
+    }));
+    return bindings;
+  }
+  // Whole-database export: one consistent instant across every shard, merged back
+  // into global name order. Each shard's stream is already sorted, so this is a
+  // k-way merge over per-shard cursors.
+  std::vector<std::vector<std::pair<std::string, std::string>>> streams(trees_.size());
+  Status status = db_->EnquireAll([this, &streams]() -> Status {
+    for (std::size_t p = 0; p < trees_.size(); ++p) {
+      SDB_ASSIGN_OR_RETURN(streams[p], trees_[p]->tree().Export(""));
+    }
+    return OkStatus();
+  });
+  SDB_RETURN_IF_ERROR(status);
+
+  std::size_t total = 0;
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  for (const auto& stream : streams) {
+    total += stream.size();
+  }
+  std::vector<std::pair<std::string, std::string>> merged;
+  merged.reserve(total);
+  while (merged.size() < total) {
+    std::size_t best = streams.size();
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+      if (cursor[p] >= streams[p].size()) {
+        continue;
+      }
+      if (best == streams.size() ||
+          streams[p][cursor[p]].first < streams[best][cursor[best]].first) {
+        best = p;
+      }
+    }
+    merged.push_back(std::move(streams[best][cursor[best]]));
+    ++cursor[best];
+  }
+  return merged;
+}
+
+}  // namespace sdb::ns

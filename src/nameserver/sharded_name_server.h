@@ -1,0 +1,126 @@
+// ShardedNameServer: the paper's example application on the sharded engine.
+//
+// N NameTrees, one per shard, behind ShardedDatabase's consistent-hash router. A
+// name routes on its FIRST path component, so every subtree below a top-level name
+// lives whole within one shard: Set/Remove/Lookup/List on "a/b/c" touch only the
+// shard owning "a", and a Remove's subtree tombstone semantics never span shards.
+// Only the root is virtual: List("") merges the shard roots' child labels and
+// Export("") k-way merges the per-shard exports — both under EnquireAll's
+// all-shards read instant, preserving global name order.
+//
+// Updates reuse the single-engine name server's record format (NameServerUpdate,
+// EncodeUpdate/DecodeUpdate/ApplyUpdateToTree), so a shard's log entries are
+// bit-compatible with the unsharded engine's. Replication bookkeeping is out of
+// scope here — this is the client-facing sharded surface; replicating each shard is
+// ROADMAP item 4's transport work.
+#ifndef SMALLDB_SRC_NAMESERVER_SHARDED_NAME_SERVER_H_
+#define SMALLDB_SRC_NAMESERVER_SHARDED_NAME_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/core/sharded.h"
+#include "src/nameserver/name_tree.h"
+#include "src/nameserver/updates.h"
+
+namespace sdb::ns {
+
+struct ShardedNameServerOptions {
+  // db.vfs and db.dir are required; the rest of db tunes the engine (coalescer,
+  // rotation threshold, recovery threads).
+  ShardedOptions db;
+  std::size_t shards = 4;  // fixed at open; must match the directory on reopen
+  const CostModel* cost = nullptr;
+  std::string replica_id = "replica-1";  // stamped into update records
+};
+
+class ShardedNameServer {
+ public:
+  static Result<std::unique_ptr<ShardedNameServer>> Open(ShardedNameServerOptions options);
+
+  ~ShardedNameServer() = default;
+  ShardedNameServer(const ShardedNameServer&) = delete;
+  ShardedNameServer& operator=(const ShardedNameServer&) = delete;
+
+  // --- client operations (same surface as NameServer) ---
+
+  Result<std::string> Lookup(std::string_view path);
+
+  // Child labels at `path`, sorted. List("") merges every shard root's children.
+  Result<std::vector<std::string>> List(std::string_view path);
+
+  Status Set(std::string_view path, std::string_view value);
+
+  // Precondition: the name exists (checked under the owning shard's update lock).
+  Status Remove(std::string_view path);
+
+  Status CompareAndSet(std::string_view path, std::string_view expected,
+                       std::string_view value);
+
+  // Every (path, value) binding under `path` in sorted path order. Export("") holds
+  // every shard's shared lock at one instant and k-way merges the shard streams.
+  Result<std::vector<std::pair<std::string, std::string>>> Export(std::string_view path);
+
+  // --- maintenance ---
+
+  Status Checkpoint(std::size_t shard) { return db_->Checkpoint(shard); }
+  Status CheckpointAll() { return db_->CheckpointAll(); }
+
+  // --- introspection ---
+
+  std::size_t shard_count() const { return db_->shard_count(); }
+  // The shard owning `path` (by its first component; "" = shard 0, the root's home).
+  Result<std::size_t> ShardForPath(std::string_view path) const;
+  ShardedDatabase& database() { return *db_; }
+  NameTree& shard_tree(std::size_t p) { return trees_[p]->tree(); }
+
+ private:
+  // One shard's application: a NameTree behind the engine's Application interface,
+  // replaying the standard name-server record format. The checkpoint body carries a
+  // lamport watermark ahead of the tree bytes: LWW stamps must restart above every
+  // stamp already applied, and the tree itself has no max-stamp query.
+  class ShardTree final : public Application {
+   public:
+    explicit ShardTree(const CostModel* cost) : cost_(cost), tree_(cost) {}
+
+    NameTree& tree() { return tree_; }
+    std::uint64_t lamport_watermark() const { return lamport_watermark_; }
+
+    Status ResetState() override;
+    Result<Bytes> SerializeState() override;
+    Status DeserializeState(ByteSpan data) override;
+    Status ApplyUpdate(ByteSpan record) override;
+
+   private:
+    const CostModel* cost_;
+    NameTree tree_;
+    // Highest lamport applied to this shard. Mutated under the shard's exclusive
+    // lock (ApplyUpdate) or during single-threaded recovery.
+    std::uint64_t lamport_watermark_ = 0;
+  };
+
+  explicit ShardedNameServer(ShardedNameServerOptions options);
+
+  // Builds the (stamped, pickled) record for one local update. Called inside a
+  // prepare callback, under the owning shard's update lock.
+  NameServerUpdate MakeUpdate(UpdateKind kind, std::string_view path,
+                              std::string_view value);
+
+  ShardedNameServerOptions options_;
+  std::vector<std::unique_ptr<ShardTree>> trees_;
+  std::unique_ptr<ShardedDatabase> db_;
+
+  // Lamport stamp source. Atomic, not lock-protected: updates on different shards
+  // stamp concurrently; uniqueness per (lamport, origin) pair is all LWW needs, and
+  // fetch_add provides it. Recovered to max-over-tree at open.
+  std::atomic<std::uint64_t> lamport_{0};
+  std::atomic<std::uint64_t> sequence_{0};
+};
+
+}  // namespace sdb::ns
+
+#endif  // SMALLDB_SRC_NAMESERVER_SHARDED_NAME_SERVER_H_

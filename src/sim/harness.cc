@@ -1,12 +1,14 @@
 #include "src/sim/harness.h"
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <utility>
 
 #include "src/common/clock.h"
 #include "src/core/backup.h"
 #include "src/core/database.h"
+#include "src/core/sharded.h"
 #include "src/sim/kv_app.h"
 #include "src/sim/oracle.h"
 #include "src/storage/sim_disk.h"
@@ -171,6 +173,50 @@ class Runner {
     return o;
   }
 
+  bool sharded() const { return options_.shards > 1; }
+
+  ShardedOptions SdbOptions() {
+    ShardedOptions o;
+    o.vfs = &fs_;
+    o.dir = "/db";
+    o.clock = &clock_;
+    o.log_writer.page_size = options_.disk_page_size;
+    o.log_replay_page_size = options_.disk_page_size;
+    // Determinism: parallel shard recovery would permute SimDisk op ordinals, so
+    // fault points would fire at different ops across identical runs.
+    o.recovery_threads = 1;
+    return o;
+  }
+
+  // The observable state of the sharded ensemble is the union of the per-shard
+  // maps; the router makes the shards disjoint, so plain insertion merges cleanly
+  // (and std::map keeps the merged view sorted — deterministic for trace mixing).
+  std::map<std::string, std::string> MergedState() const {
+    std::map<std::string, std::string> merged;
+    for (const auto& app : shard_apps_) {
+      merged.insert(app->state.begin(), app->state.end());
+    }
+    return merged;
+  }
+
+  // Sharding's structural invariant: every recovered key lives on its home shard.
+  // Replay bucketing or router nondeterminism would break this silently — the
+  // merged-state oracle check alone cannot see a key applied to the wrong shard
+  // (same union), so it is checked separately after every recovery.
+  Status CheckRouting() const {
+    for (std::size_t p = 0; p < shard_apps_.size(); ++p) {
+      for (const auto& [key, value] : shard_apps_[p]->state) {
+        std::size_t home = sdb_->ShardForKey(key);
+        if (home != p) {
+          return InternalError("routing invariant: key " + key + " recovered on shard " +
+                               std::to_string(p) + " but routes to shard " +
+                               std::to_string(home));
+        }
+      }
+    }
+    return OkStatus();
+  }
+
   RunReport Fail(const Status& status) {
     report_.ok = false;
     report_.failure = status.ToString();
@@ -187,6 +233,7 @@ class Runner {
       return InternalError("exceeded max_reboots — fault schedule never went quiet");
     }
     db_.reset();
+    sdb_.reset();
     Status last_error = OkStatus();
     for (int attempt = 0; attempt < options_.max_recovery_attempts; ++attempt) {
       ++report_.recovery_attempts;
@@ -197,21 +244,45 @@ class Runner {
         last_error = recovered;
         continue;
       }
-      app_ = std::make_unique<KvApp>();
-      auto opened = Database::Open(*app_, DbOptions());
-      if (!opened.ok()) {
-        trace_.Mix("open-fault");
-        last_error = opened.status();
-        continue;
+      if (sharded()) {
+        shard_apps_.clear();
+        std::vector<Application*> apps;
+        for (int p = 0; p < options_.shards; ++p) {
+          shard_apps_.push_back(std::make_unique<KvApp>());
+          apps.push_back(shard_apps_.back().get());
+        }
+        auto opened = ShardedDatabase::Open(std::move(apps), SdbOptions());
+        if (!opened.ok()) {
+          trace_.Mix("open-fault");
+          last_error = opened.status();
+          continue;
+        }
+        sdb_ = std::move(opened).value();
+      } else {
+        app_ = std::make_unique<KvApp>();
+        auto opened = Database::Open(*app_, DbOptions());
+        if (!opened.ok()) {
+          trace_.Mix("open-fault");
+          last_error = opened.status();
+          continue;
+        }
+        db_ = std::move(opened).value();
       }
-      db_ = std::move(opened).value();
-      Status check = oracle_.CheckRecovered(app_->state);
+      std::map<std::string, std::string> state =
+          sharded() ? MergedState() : app_->state;
+      Status check = oracle_.CheckRecovered(state);
       if (!check.ok()) {
         return check.WithContext("reboot " + std::to_string(report_.reboots));
       }
-      oracle_.Adopt(app_->state);
+      if (sharded()) {
+        Status routing = CheckRouting();
+        if (!routing.ok()) {
+          return routing.WithContext("reboot " + std::to_string(report_.reboots));
+        }
+      }
+      oracle_.Adopt(state);
       trace_.Mix("recovered");
-      for (const auto& [key, value] : app_->state) {
+      for (const auto& [key, value] : state) {
         trace_.Mix(key);
         trace_.Mix(value);
       }
@@ -225,6 +296,9 @@ class Runner {
   // Returns the engine's verdict on the step. Oracle violations (and terminal reboot
   // failures inside a restart step) land in violation_ instead — they fail the run.
   Status ExecuteStep(const WorkloadStep& step) {
+    if (sharded()) {
+      return ExecuteStepSharded(step);
+    }
     switch (step.kind) {
       case StepKind::kPut: {
         Status st = db_->Update(app_->PreparePut(step.key, step.value));
@@ -313,6 +387,86 @@ class Runner {
     return InternalError("unknown step kind");
   }
 
+  // The sharded interpretation of the same step vocabulary. Two steps change
+  // meaning: kCheckpoint covers one shard (round-robin, so a workload's checkpoint
+  // steps sweep the ensemble), and kBackup becomes a rotation attempt — checkpoint
+  // every shard, then apply the shared-log flushing rule — because rotation is the
+  // sharded engine's analogue of "capture and truncate the durable state" and is
+  // exactly the multi-step protocol worth aiming faults at.
+  Status ExecuteStepSharded(const WorkloadStep& step) {
+    switch (step.kind) {
+      case StepKind::kPut: {
+        std::size_t p = sdb_->ShardForKey(step.key);
+        Status st =
+            sdb_->UpdateKey(step.key, shard_apps_[p]->PreparePut(step.key, step.value));
+        if (st.ok()) {
+          oracle_.AckPut(step.key, step.value);
+        } else {
+          oracle_.PendingPut(step.key, step.value);
+        }
+        return st;
+      }
+      case StepKind::kDelete: {
+        std::size_t p = sdb_->ShardForKey(step.key);
+        Status st = sdb_->UpdateKey(step.key, shard_apps_[p]->PrepareDelete(step.key));
+        if (st.ok()) {
+          oracle_.AckDelete(step.key);
+        } else {
+          oracle_.PendingDelete(step.key);
+        }
+        return st;
+      }
+      case StepKind::kLookup: {
+        std::size_t p = sdb_->ShardForKey(step.key);
+        return sdb_->EnquireKey(step.key, [&]() -> Status {
+          const auto& state = shard_apps_[p]->state;
+          auto live = state.find(step.key);
+          auto want = oracle_.model().find(step.key);
+          bool live_has = live != state.end();
+          bool want_has = want != oracle_.model().end();
+          if (live_has != want_has ||
+              (live_has && live->second != want->second)) {
+            violation_ = InternalError(
+                "oracle: lookup of " + step.key + " on shard " + std::to_string(p) +
+                " saw " + (live_has ? "\"" + live->second + "\"" : "nothing") +
+                ", expected " +
+                (want_has ? "\"" + want->second + "\"" : "nothing"));
+          }
+          return OkStatus();
+        });
+      }
+      case StepKind::kEnumerate:
+        // EnquireAll holds every shard's shared lock: the merged view is a
+        // consistent cross-shard instant, comparable against the oracle.
+        return sdb_->EnquireAll([&]() -> Status {
+          Status live = oracle_.CheckLive(MergedState());
+          if (!live.ok()) {
+            violation_ = live;
+          }
+          return OkStatus();
+        });
+      case StepKind::kCheckpoint:
+        return sdb_->Checkpoint(checkpoint_cursor_++ % options_.shards);
+      case StepKind::kBackup: {
+        // Rotation attempt. Shards checkpoint sequentially on this thread (not
+        // CheckpointAll — its background persist thread would interleave disk ops
+        // nondeterministically against the fault schedule's op ordinals).
+        for (int p = 0; p < options_.shards; ++p) {
+          SDB_RETURN_IF_ERROR(sdb_->Checkpoint(p));
+        }
+        return sdb_->MaybeRotateLog().status();
+      }
+      case StepKind::kRestart: {
+        Status st = Reboot();
+        if (!st.ok()) {
+          violation_ = st;
+        }
+        return OkStatus();
+      }
+    }
+    return InternalError("unknown step kind");
+  }
+
   const std::vector<WorkloadStep>& steps_;
   const HarnessOptions& options_;
   SimClock clock_;
@@ -320,6 +474,10 @@ class Runner {
   SimFs fs_;
   std::unique_ptr<KvApp> app_;
   std::unique_ptr<Database> db_;
+  // Sharded mode (options_.shards > 1): the ensemble replaces app_/db_.
+  std::vector<std::unique_ptr<KvApp>> shard_apps_;
+  std::unique_ptr<ShardedDatabase> sdb_;
+  std::size_t checkpoint_cursor_ = 0;
   ModelOracle oracle_;
   TraceHasher trace_;
   RunReport report_;
@@ -337,6 +495,7 @@ RunReport RunSeed(std::uint64_t seed, const HarnessOptions& options) {
   RunReport report = runner.Run(schedule.AsInjector());
   report.seed = seed;
   report.schedule = options.schedule;
+  report.shards = options.shards;
   report.fired_points = schedule.fired_points();
   return report;
 }
@@ -349,6 +508,7 @@ RunReport RunScript(const std::vector<WorkloadStep>& steps,
   RunReport report = runner.Run(schedule.AsInjector());
   report.seed = seed;
   report.schedule = options.schedule;
+  report.shards = options.shards;
   report.fired_points = points;
   return report;
 }
@@ -358,6 +518,7 @@ std::string ReportToString(const RunReport& report) {
   if (report.ok) {
     out = "ok seed=" + std::to_string(report.seed) +
           " schedule=" + ScheduleKindName(report.schedule) +
+          (report.shards > 1 ? " shards=" + std::to_string(report.shards) : "") +
           " steps=" + std::to_string(report.steps_executed) +
           " reboots=" + std::to_string(report.reboots) +
           " trace=" + Hex(report.trace_hash);
@@ -368,6 +529,7 @@ std::string ReportToString(const RunReport& report) {
         "\n  repro: sim_fuzz --seed=" + std::to_string(report.seed) +
         " --schedule=" + ScheduleKindName(report.schedule) +
         " --steps=" + std::to_string(report.steps.size()) +
+        (report.shards > 1 ? " --shards=" + std::to_string(report.shards) : "") +
         "\n  trace=" + Hex(report.trace_hash) + "\n  fault script (" +
         std::to_string(report.fired_points.size()) + " points):";
   for (const FaultPoint& point : report.fired_points) {

@@ -65,6 +65,16 @@ struct HarnessOptions {
   WorkloadOptions workload;
   ScheduleKind schedule = ScheduleKind::kMixed;
   std::size_t disk_page_size = 512;
+
+  // > 1 runs the workload against ShardedDatabase: keys hash across `shards`
+  // key-routed shards over one shared log and the cross-shard coalescer. The
+  // oracle checks the MERGED per-shard state after every crash/recover, plus the
+  // routing invariant (every recovered key lives on its home shard). Checkpoint
+  // steps rotate through shards; backup steps become log-rotation attempts (the
+  // sharded flushing rule under fault fire). Everything stays deterministic:
+  // recovery is forced sequential and rotation attempts checkpoint shards in
+  // index order on the harness thread.
+  int shards = 1;
   // Safety rails; fault budgets make runs terminate long before these.
   int max_reboots = 64;
   int max_recovery_attempts = 64;
@@ -79,6 +89,7 @@ struct RunReport {
 
   std::uint64_t seed = 0;
   ScheduleKind schedule = ScheduleKind::kNone;
+  int shards = 1;  // engine the run drove: 1 = Database, > 1 = ShardedDatabase
   std::uint64_t trace_hash = 0;
 
   std::uint64_t reboots = 0;             // power cycles, incl. the boot and final verify

@@ -136,6 +136,71 @@ TEST(HarnessTest, ScriptedReplayReproducesSeededRun) {
   EXPECT_EQ(seeded.trace_hash, replayed.trace_hash);
 }
 
+// --- sharded mode: the same harness driving ShardedDatabase (options.shards > 1) ---
+
+HarnessOptions ShardedOptionsFor(ScheduleKind schedule, int shards) {
+  HarnessOptions options = SmallOptions(schedule);
+  options.shards = shards;
+  return options;
+}
+
+TEST(ShardedHarnessTest, SameSeedSameTraceHash) {
+  // Determinism must survive the sharded engine: sequential recovery, index-order
+  // rotation attempts, and a coalescer that sees no concurrent arrivals from the
+  // single-threaded harness.
+  for (ScheduleKind schedule :
+       {ScheduleKind::kMultiCrash, ScheduleKind::kTornSwitch, ScheduleKind::kMixed}) {
+    HarnessOptions options = ShardedOptionsFor(schedule, 4);
+    RunReport first = RunSeed(3, options);
+    RunReport second = RunSeed(3, options);
+    ASSERT_TRUE(first.ok) << first.failure;
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_EQ(first.trace_hash, second.trace_hash)
+        << "schedule " << ScheduleKindName(schedule);
+    EXPECT_EQ(first.fired_points.size(), second.fired_points.size());
+  }
+}
+
+TEST(ShardedHarnessTest, SurvivesMultiCrashSchedules) {
+  // Every recovery reopens all four shards off the shared log and must satisfy
+  // the merged-state oracle plus the routing invariant.
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_reboots = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunReport report = RunSeed(seed, ShardedOptionsFor(ScheduleKind::kMultiCrash, 4));
+    ASSERT_TRUE(report.ok) << ReportToString(report);
+    total_faults += report.fired_points.size();
+    total_reboots += report.reboots;
+  }
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GT(total_reboots, 2u * 8);
+}
+
+TEST(ShardedHarnessTest, ScriptedReplayReproducesSeededRun) {
+  HarnessOptions options = ShardedOptionsFor(ScheduleKind::kMixed, 4);
+  RunReport seeded = RunSeed(11, options);
+  ASSERT_TRUE(seeded.ok) << ReportToString(seeded);
+  RunReport replayed = RunScript(seeded.steps, seeded.fired_points, options, 11);
+  ASSERT_TRUE(replayed.ok) << ReportToString(replayed);
+  EXPECT_EQ(seeded.trace_hash, replayed.trace_hash);
+}
+
+TEST(ShardedHarnessTest, CheckpointHeavyMixAimsFaultsAtRotation) {
+  // The checkpoint-heavy mix raises kCheckpoint/kBackup frequency; in sharded mode
+  // those are per-shard checkpoints and full rotation attempts, so the torn-switch
+  // schedule concentrates faults on the shared-log swap protocol.
+  std::uint64_t total_faults = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    HarnessOptions options = ShardedOptionsFor(ScheduleKind::kTornSwitch, 3);
+    options.workload = CheckpointHeavyWorkload();
+    options.workload.steps = 40;
+    RunReport report = RunSeed(seed, options);
+    ASSERT_TRUE(report.ok) << ReportToString(report);
+    total_faults += report.fired_points.size();
+  }
+  EXPECT_GT(total_faults, 0u);
+}
+
 TEST(HarnessTest, CanaryRecoveryBugIsCaughtAndShrinks) {
   // SDB_SIM_CANARY=1 plants a real lost-acknowledged-update bug in log replay
   // (src/core/log_reader.cc drops the final entry). The oracle must catch it within

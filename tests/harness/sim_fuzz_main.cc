@@ -37,6 +37,7 @@ struct Flags {
   std::string schedule = "all";  // one ScheduleKindName, or "all"
   std::string mix = "default";   // "default" or "checkpoint-heavy"
   int steps = 40;
+  int shards = 1;  // > 1 fuzzes ShardedDatabase (merged-state + routing oracle)
   int recheck = 0;        // re-run the first N seeds and assert identical trace hashes
   std::string artifacts;  // directory for per-failure repro files
   bool quiet = false;
@@ -70,6 +71,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->mix = v;
     } else if ((v = value_of("--steps")) != nullptr) {
       flags->steps = std::atoi(v);
+    } else if ((v = value_of("--shards")) != nullptr) {
+      flags->shards = std::atoi(v);
+      if (flags->shards < 1) {
+        std::fprintf(stderr, "--shards wants a positive count, got %s\n", v);
+        return false;
+      }
     } else if ((v = value_of("--recheck")) != nullptr) {
       flags->recheck = std::atoi(v);
     } else if ((v = value_of("--artifacts")) != nullptr) {
@@ -144,6 +151,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.workload.steps = flags.steps;
+  options.shards = flags.shards;
 
   int failures = 0;
   std::uint64_t runs = 0;

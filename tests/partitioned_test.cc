@@ -93,6 +93,9 @@ TEST_F(PartitionedTest, AggregateStatsSumPartitions) {
   auto stats = db->aggregate_stats();
   EXPECT_EQ(stats.updates, 2u);
   EXPECT_EQ(stats.enquiries, 1u);
+  // Serial partitions on private logs: exactly one physical fsync per update.
+  EXPECT_EQ(stats.fsyncs, 2u);
+  EXPECT_DOUBLE_EQ(stats.fsyncs_per_update(), 1.0);
 }
 
 TEST_F(PartitionedTest, EmptySpecRejected) {

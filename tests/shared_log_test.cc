@@ -418,5 +418,171 @@ TEST_F(SharedLogTest, ConcurrentCheckpointsAndUpdates) {
   EXPECT_GE(db->stats().checkpoints, 12u);
 }
 
+TEST_F(SharedLogTest, ConcurrentCheckpointsRacingRotation) {
+  // Checkpoints, rotation attempts, and updates all race: the flushing rule decides
+  // each rotation under log_mutex_, so whatever interleaving occurs, acknowledged
+  // updates must survive a crash and partitions stay disjoint.
+  constexpr int kPartitions = 3;
+  constexpr int kPerPartition = 60;
+  std::vector<std::map<std::string, std::string>> models(kPartitions);
+  {
+    auto db = *OpenEnsemble(kPartitions);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> writers;
+    for (int p = 0; p < kPartitions; ++p) {
+      writers.emplace_back([&, p] {
+        for (int i = 0; i < kPerPartition; ++i) {
+          std::string key = "k" + std::to_string(i);
+          if (!db->Update(static_cast<std::size_t>(p),
+                          apps_[static_cast<std::size_t>(p)]->PreparePut(key, "v"))
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread checkpointer([&] {
+      for (int round = 0; round < 9; ++round) {
+        if (!db->Checkpoint(static_cast<std::size_t>(round % kPartitions)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+    std::thread rotator([&] {
+      for (int attempt = 0; attempt < 20; ++attempt) {
+        if (!db->MaybeRotateLog().ok()) {  // false (rule says no) is fine; errors not
+          failures.fetch_add(1);
+        }
+      }
+    });
+    for (auto& writer : writers) {
+      writer.join();
+    }
+    checkpointer.join();
+    rotator.join();
+    ASSERT_EQ(failures.load(), 0);
+    for (int p = 0; p < kPartitions; ++p) {
+      models[p] = apps_[static_cast<std::size_t>(p)]->state;
+      EXPECT_EQ(models[p].size(), static_cast<std::size_t>(kPerPartition));
+    }
+    // Quiesced: every partition checkpoints, then rotation must be permitted.
+    for (int p = 0; p < kPartitions; ++p) {
+      ASSERT_TRUE(db->Checkpoint(static_cast<std::size_t>(p)).ok());
+    }
+    ASSERT_TRUE(*db->MaybeRotateLog());
+  }
+  CrashAndRecoverFs();
+  auto db = *OpenEnsemble(kPartitions);
+  for (int p = 0; p < kPartitions; ++p) {
+    EXPECT_EQ(apps_[static_cast<std::size_t>(p)]->state, models[p]) << "partition " << p;
+  }
+  (void)db;
+}
+
+// Targeted sweep over rotation's commit window: every durable op from the fresh
+// log's creation through the manifest rename to the old log's deletion. A crash
+// between the manifest commit and the old-log delete must leave a recoverable
+// directory where reopen adopts the new generation and sweeps the stray file.
+TEST_F(SharedLogTest, CrashBetweenRotationCommitAndOldLogDeleteRecovers) {
+  struct Script {
+    // Durable-op ordinals bracketing MaybeRotateLog in a fault-free run.
+    std::uint64_t before_rotation = 0;
+    std::uint64_t after_rotation = 0;
+  };
+  auto run_script = [](SimEnv& env, std::vector<std::unique_ptr<TestApp>>& apps,
+                       Script* script) -> bool {
+    apps.clear();
+    std::vector<Application*> raw;
+    for (int i = 0; i < 2; ++i) {
+      apps.push_back(std::make_unique<TestApp>());
+      raw.push_back(apps.back().get());
+    }
+    SharedLogOptions options;
+    options.vfs = &env.fs();
+    options.dir = "ensemble";
+    auto db_or = SharedLogDatabase::Open(raw, options);
+    if (!db_or.ok()) {
+      return false;
+    }
+    auto db = std::move(*db_or);
+    if (!db->Update(0, apps[0]->PreparePut("a", "1")).ok() ||
+        !db->Update(1, apps[1]->PreparePut("b", "2")).ok()) {
+      return false;
+    }
+    if (!db->Checkpoint(0).ok() || !db->Checkpoint(1).ok()) {
+      return false;
+    }
+    if (script != nullptr) {
+      script->before_rotation = env.disk().next_durable_op_sequence();
+    }
+    auto rotated = db->MaybeRotateLog();
+    if (!rotated.ok() || !*rotated) {
+      return false;
+    }
+    if (script != nullptr) {
+      script->after_rotation = env.disk().next_durable_op_sequence();
+    }
+    return true;
+  };
+
+  Script script;
+  {
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv dry(env_options);
+    std::vector<std::unique_ptr<TestApp>> apps;
+    ASSERT_TRUE(run_script(dry, apps, &script));
+    ASSERT_GT(script.after_rotation, script.before_rotation);
+  }
+
+  for (std::uint64_t crash_at = script.before_rotation;
+       crash_at < script.after_rotation; ++crash_at) {
+    SCOPED_TRACE("crash at rotation durable op " + std::to_string(crash_at));
+    SimEnvOptions env_options;
+    env_options.microvax_cost_model = false;
+    SimEnv env(env_options);
+    CrashPlan plan(crash_at, FaultAction::kCrashAfter);
+    env.disk().SetFaultInjector(plan.AsInjector());
+    std::vector<std::unique_ptr<TestApp>> apps;
+    run_script(env, apps, nullptr);
+    env.disk().SetFaultInjector(nullptr);
+    env.fs().Crash();
+    ASSERT_TRUE(env.fs().Recover().ok());
+
+    std::vector<std::unique_ptr<TestApp>> recovered;
+    std::vector<Application*> raw;
+    for (int i = 0; i < 2; ++i) {
+      recovered.push_back(std::make_unique<TestApp>());
+      raw.push_back(recovered.back().get());
+    }
+    SharedLogOptions options;
+    options.vfs = &env.fs();
+    options.dir = "ensemble";
+    auto db = SharedLogDatabase::Open(raw, options);
+    ASSERT_TRUE(db.ok()) << "reopen failed: " << db.status();
+    // Checkpointed data survives whichever side of the commit the crash landed on.
+    EXPECT_EQ(recovered[0]->state["a"], "1");
+    EXPECT_EQ(recovered[1]->state["b"], "2");
+    // Exactly one log file remains: reopen swept whichever generation lost. In
+    // particular a crash after the manifest rename but before the old log's delete
+    // leaves both files on disk, and the stale generation-1 file must go.
+    std::uint64_t generation = (*db)->log_generation();
+    auto old_exists = env.fs().Exists("ensemble/logfile1");
+    auto new_exists =
+        env.fs().Exists("ensemble/logfile" + std::to_string(generation));
+    ASSERT_TRUE(old_exists.ok());
+    ASSERT_TRUE(new_exists.ok());
+    EXPECT_TRUE(*new_exists);
+    if (generation > 1) {
+      EXPECT_FALSE(*old_exists) << "stale pre-rotation log not swept";
+    }
+    // And the ensemble keeps accepting updates and can rotate again.
+    ASSERT_TRUE((*db)->Update(0, recovered[0]->PreparePut("post", "crash")).ok());
+    ASSERT_TRUE((*db)->Checkpoint(0).ok());
+    ASSERT_TRUE((*db)->Checkpoint(1).ok());
+    ASSERT_TRUE((*db)->MaybeRotateLog().ok());
+  }
+}
+
 }  // namespace
 }  // namespace sdb
