@@ -1,6 +1,7 @@
 #include "src/core/database.h"
 
 #include "src/common/logging.h"
+#include "src/core/parallel_replay.h"
 
 namespace sdb {
 
@@ -120,7 +121,20 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
   LogReplayOptions replay_options;
   replay_options.skip_damaged_entries = options_.skip_damaged_log_entries;
   replay_options.page_size = options_.log_replay_page_size;
-  auto apply = [this](ByteSpan record) { return app_.ApplyUpdate(record); };
+
+  // Every replayed entry — hard-error previous log, current log, pending chain —
+  // funnels through one replayer in chain order, so per-key ordering holds across
+  // log generations. With recovery_threads = 1 this is exactly the old serial
+  // apply; with > 1 the entries buffer during the sequential read pass and apply
+  // on the worker pool at Finish.
+  ParallelReplayOptions parallel_options;
+  parallel_options.threads = options_.recovery_threads;
+  parallel_options.clock = clock_;
+  ParallelReplayer replayer(parallel_options);
+  const std::size_t replay_app = replayer.AddApplication(app_);
+  auto apply = [&replayer, replay_app](ByteSpan record) {
+    return replayer.Add(replay_app, record);
+  };
 
   // Step 1+2 of the paper's restart: read the current checkpoint to obtain an old
   // version of the virtual memory structure.
@@ -183,13 +197,35 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
     stats_.restart.partial_tail_discarded |= pending_replay.partial_tail_discarded;
     ++stats_.restart.pending_logs_replayed;
   }
+  SDB_RETURN_IF_ERROR(replayer.Finish().WithContext("parallel log replay"));
+  // Wall-clock elapsed for the whole phase (the stopwatch spans reads, batch
+  // apply and merge); the CPU aggregate is reported separately so parallel
+  // replay never inflates the elapsed number.
   stats_.restart.replay_micros = replay_watch.ElapsedMicros();
+  const ParallelReplayStats& parallel = replayer.stats();
+  stats_.restart.replay_batches = parallel.batches;
+  stats_.restart.replay_threads_used = parallel.threads_used;
+  stats_.restart.partition_pass_micros = parallel.partition_pass_micros;
+  stats_.restart.batch_apply_micros = parallel.batch_apply_micros;
+  stats_.restart.replay_cpu_micros =
+      parallel.batches > 0
+          ? parallel.partition_pass_micros + parallel.batch_apply_micros
+          : stats_.restart.replay_micros;  // serial: one thread, CPU == wall
   counters_.log_entries_since_checkpoint->Set(
       static_cast<std::int64_t>(entries_since_checkpoint));
   // Restart timings, mirrored into the registry for MetricsReport.
   registry_.GetGauge("restart.checkpoint_read_us")
       .Set(stats_.restart.checkpoint_read_micros);
   registry_.GetGauge("restart.replay_us").Set(stats_.restart.replay_micros);
+  registry_.GetGauge("restart.replay_cpu_us").Set(stats_.restart.replay_cpu_micros);
+  registry_.GetGauge("restart.replay.batches")
+      .Set(static_cast<std::int64_t>(stats_.restart.replay_batches));
+  registry_.GetGauge("restart.replay.threads_used")
+      .Set(static_cast<std::int64_t>(stats_.restart.replay_threads_used));
+  registry_.GetGauge("restart.replay.partition_pass_us")
+      .Set(stats_.restart.partition_pass_micros);
+  registry_.GetGauge("restart.replay.batch_apply_us")
+      .Set(stats_.restart.batch_apply_micros);
   registry_.GetGauge("restart.entries_replayed")
       .Set(static_cast<std::int64_t>(stats_.restart.entries_replayed));
   registry_.GetGauge("restart.pending_logs_replayed")

@@ -74,6 +74,44 @@ class Application {
   // a failure here poisons the database (see Database::Update).
   virtual Status ApplyUpdate(ByteSpan record) = 0;
 
+  // --- parallel replay (optional; see src/core/parallel_replay.h) ---
+  //
+  // A REDO-only log admits key-partitioned parallel replay: entries touching
+  // different keys commute, so restart can apply key-disjoint batches on multiple
+  // cores and still land on the exact serial-replay state. An application opts in
+  // by overriding the three hooks below; the defaults keep replay fully serial.
+
+  // A private apply context for one key-batch. Workers call Apply concurrently on
+  // DIFFERENT contexts (never the live state); each context sees its batch's
+  // records in log order. Implementations accumulate effects locally — typically a
+  // key -> last-effect map — for MergeReplayBatch to fold in later.
+  class ReplayBatch {
+   public:
+    virtual ~ReplayBatch() = default;
+    virtual Status Apply(ByteSpan record) = 0;
+  };
+
+  // Extracts the logged update's target key into *key. Returning false declares
+  // the record's footprint unknown; the replayer then applies this application's
+  // whole stream in log order (correct for any record mix, just not parallel).
+  virtual bool ReplayKeyOf(ByteSpan record, std::string* key) {
+    (void)record;
+    (void)key;
+    return false;
+  }
+
+  // Creates an empty per-batch context. Null (the default) means the application
+  // does not support batched replay.
+  virtual std::unique_ptr<ReplayBatch> StartReplayBatch() { return nullptr; }
+
+  // Folds one batch's effects into the live state. Called single-threaded, only
+  // after every batch of the replay applied cleanly (fail-stop: a failed replay
+  // merges nothing). Batches are key-disjoint, so merge order cannot matter.
+  virtual Status MergeReplayBatch(ReplayBatch& batch) {
+    (void)batch;
+    return UnimplementedError("application does not support batched replay");
+  }
+
   // Captures a consistent snapshot under the update lock and returns a closure that
   // produces the checkpoint bytes later, with no engine lock held (the concurrent
   // checkpoint's background phase). The default captures eagerly: it serializes the
@@ -129,6 +167,15 @@ struct DatabaseOptions {
   LogWriterOptions log_writer;
   std::size_t log_replay_page_size = 512;
 
+  // Restart replay worker pool (src/core/parallel_replay.h). 1 = the paper's serial
+  // replay, entry by entry in log order — also the deterministic mode the sim
+  // harness's sharded runs require. > 1 partitions the log into key-disjoint
+  // batches applied on up to this many threads; the recovered state is byte-
+  // identical to serial replay (tests/parallel_recovery_test.cc proves it).
+  // Applications that do not override the replay-batch hooks replay serially
+  // regardless.
+  int recovery_threads = 1;
+
   // Capacity of the per-commit trace ring buffer (DumpTrace). 0 disables raw trace
   // capture; per-stage histograms keep aggregating either way.
   std::size_t trace_ring_capacity = 256;
@@ -151,7 +198,19 @@ struct CheckpointBreakdown {
 
 struct RestartBreakdown {
   Micros checkpoint_read_micros = 0;
+  // Wall-clock elapsed across the whole replay phase (partition pass + batch apply
+  // + merge). NOT a per-worker sum: under parallel replay, summed worker time would
+  // overstate elapsed time by up to the thread count — that aggregate is
+  // replay_cpu_micros below.
   Micros replay_micros = 0;
+  // Aggregate replay work: the sequential partition pass plus apply time summed
+  // across all workers. Equals replay_micros under serial replay; exceeds it when
+  // parallel replay achieves real overlap (the ratio is the effective speedup).
+  Micros replay_cpu_micros = 0;
+  std::uint64_t replay_batches = 0;       // key-batches dispatched (0 = serial)
+  std::uint64_t replay_threads_used = 0;  // workers the replay actually ran on
+  Micros partition_pass_micros = 0;       // sequential pass: read + key partition
+  Micros batch_apply_micros = 0;          // worker apply time, summed (CPU aggregate)
   std::uint64_t entries_replayed = 0;
   bool partial_tail_discarded = false;
   std::uint64_t entries_skipped = 0;

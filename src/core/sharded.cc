@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/log_reader.h"
+#include "src/core/parallel_replay.h"
 #include "src/pickle/pickle.h"
 #include "src/pickle/traits.h"
 
@@ -395,11 +396,20 @@ Status ShardedDatabase::ReplayShardedLog() {
   SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> log_file,
                        options_.vfs->Open(LogPath(log_generation_), OpenMode::kRead));
 
-  // One sequential pass buckets entries per shard (the disk read order is fixed —
-  // and deterministic under the sim harness); the per-shard applies then run in
-  // parallel, each in its own shard's log order.
-  std::vector<std::vector<Bytes>> buckets(units_.size());
-  std::uint64_t replayed = 0;
+  // One sequential pass routes entries into the replayer (the disk read order is
+  // fixed — and deterministic under the sim harness). The replayer partitions each
+  // shard's stream into key-disjoint batches and applies every (shard, key-batch)
+  // task on ONE pool of recovery_threads workers: within-shard parallelism composes
+  // with across-shard parallelism instead of competing, so a hot shard no longer
+  // bounds recovery. Shard apps without batch support replay as one in-order task
+  // per shard — the previous per-shard behaviour.
+  ParallelReplayOptions parallel_options;
+  parallel_options.threads = options_.recovery_threads;
+  parallel_options.clock = clock_;
+  ParallelReplayer replayer(parallel_options);
+  for (auto& unit : units_) {
+    (void)replayer.AddApplication(*unit->app);
+  }
   std::uint64_t skipped = 0;
   SDB_ASSIGN_OR_RETURN(
       LogReplayStats replay_stats,
@@ -416,24 +426,24 @@ Status ShardedDatabase::ReplayShardedLog() {
               ++skipped;  // the shard's checkpoint already covers this entry
               return OkStatus();
             }
-            buckets[pid].emplace_back(record.begin(), record.end());
-            ++replayed;
-            return OkStatus();
+            return replayer.Add(pid, record);
           }));
   (void)replay_stats;
   SDB_RETURN_IF_ERROR(log_file->Close());
+  SDB_RETURN_IF_ERROR(replayer.Finish().WithContext("replaying sharded log"));
 
-  Status applied = ForEachShardParallel([&](std::size_t p) -> Status {
-    for (const Bytes& record : buckets[p]) {
-      SDB_RETURN_IF_ERROR(units_[p]->app->ApplyUpdate(AsSpan(record))
-                              .WithContext("replaying shard " + std::to_string(p)));
-    }
-    return OkStatus();
-  });
-  SDB_RETURN_IF_ERROR(applied);
-
-  stats_.replayed_entries = replayed;
+  const ParallelReplayStats& parallel = replayer.stats();
+  stats_.replayed_entries = parallel.entries;
   stats_.replay_skipped_entries = skipped;
+  stats_.replay_batches = parallel.batches;
+  stats_.replay_threads_used = parallel.threads_used;
+  registry_.GetGauge("restart.replay.batches")
+      .Set(static_cast<std::int64_t>(parallel.batches));
+  registry_.GetGauge("restart.replay.threads_used")
+      .Set(static_cast<std::int64_t>(parallel.threads_used));
+  registry_.GetGauge("restart.replay.partition_pass_us")
+      .Set(parallel.partition_pass_micros);
+  registry_.GetGauge("restart.replay.batch_apply_us").Set(parallel.batch_apply_micros);
   return OkStatus();
 }
 

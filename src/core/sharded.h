@@ -93,9 +93,13 @@ struct ShardedOptions {
   // allows and the log exceeds this size (0 = only rotate explicitly).
   std::uint64_t rotate_log_bytes = 0;
 
-  // Threads used to open shards in parallel at restart (checkpoint loads and log
-  // replay). 1 = fully sequential — required under the deterministic sim harness,
-  // where parallel disk reads would permute SimDisk op ordinals.
+  // Restart worker-pool bound, used twice: checkpoint loads run per-shard on it,
+  // and shared-log replay dispatches (shard, key-batch) apply tasks onto ONE pool
+  // of this size (src/core/parallel_replay.h) — so within-shard parallelism
+  // composes with across-shard parallelism instead of competing for threads, and
+  // one hot shard no longer bounds recovery time. 1 = fully sequential — required
+  // under the deterministic sim harness, where parallel disk reads would permute
+  // SimDisk op ordinals.
   int recovery_threads = 4;
 
   // Ring points per shard for the consistent-hash router.
@@ -109,6 +113,8 @@ struct ShardedStats {
   std::uint64_t log_rotations = 0;
   std::uint64_t replayed_entries = 0;
   std::uint64_t replay_skipped_entries = 0;
+  std::uint64_t replay_batches = 0;       // (shard, key-batch) tasks last restart
+  std::uint64_t replay_threads_used = 0;  // pool width the replay actually used
 
   // The coalescer's truth, not a per-shard sum (satellite of ISSUE 6: summing
   // per-shard fsync counters would overstate physical syncs under coalescing —

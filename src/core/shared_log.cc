@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "src/core/log_reader.h"
+#include "src/core/parallel_replay.h"
 #include "src/pickle/pickle.h"
 #include "src/pickle/traits.h"
 
@@ -139,16 +140,25 @@ Status SharedLogDatabase::Recover(std::vector<Application*>& apps) {
     }
 
     // Replay the shared log: route each entry to its partition, skipping entries the
-    // partition's checkpoint already covers.
+    // partition's checkpoint already covers. All partitions share one replayer (and
+    // thus one worker pool); with recovery_threads = 1 entries apply serially in
+    // shared-log order, exactly as before.
     LogReplayOptions replay_options;
     replay_options.page_size = options_.log_replay_page_size;
+    ParallelReplayOptions parallel_options;
+    parallel_options.threads = options_.recovery_threads;
+    parallel_options.clock = clock_;
+    ParallelReplayer replayer(parallel_options);
+    for (Partition& partition : partitions_) {
+      (void)replayer.AddApplication(*partition.app);
+    }
     SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> log_file,
                          vfs.Open(LogPath(log_generation_), OpenMode::kRead));
     SDB_ASSIGN_OR_RETURN(
         LogReplayStats replay_stats,
         ReplayLogWithOffsets(
             *log_file, replay_options,
-            [this](std::uint64_t offset, ByteSpan payload) -> Status {
+            [this, &replayer](std::uint64_t offset, ByteSpan payload) -> Status {
               ByteReader in(payload);
               SDB_ASSIGN_OR_RETURN(std::uint64_t pid, in.ReadVarint());
               if (pid >= partitions_.size()) {
@@ -166,10 +176,11 @@ Status SharedLogDatabase::Recover(std::vector<Application*>& apps) {
                 std::lock_guard<std::mutex> stats_lock(stats_mutex_);
                 ++stats_.replayed_entries;
               }
-              return partitions_[pid].app->ApplyUpdate(record);
+              return replayer.Add(pid, record);
             }));
     (void)replay_stats;
     SDB_RETURN_IF_ERROR(log_file->Close());
+    SDB_RETURN_IF_ERROR(replayer.Finish().WithContext("replaying shared log"));
   }
 
   // Delete stray files from interrupted checkpoints/rotations (anything versioned but

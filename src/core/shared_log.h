@@ -49,6 +49,11 @@ struct SharedLogOptions {
   // Rotate the shared log automatically inside Checkpoint() when the rule allows and
   // the log exceeds this size (0 = only rotate explicitly).
   std::uint64_t rotate_log_bytes = 0;
+
+  // Restart replay worker pool shared across all partitions (the unit of
+  // parallelism is (partition, key-batch); see src/core/parallel_replay.h).
+  // 1 = fully serial replay in shared-log order.
+  int recovery_threads = 1;
 };
 
 struct SharedLogStats {

@@ -170,6 +170,7 @@ class Runner {
     o.clock = &clock_;
     o.log_writer.page_size = options_.disk_page_size;
     o.log_replay_page_size = options_.disk_page_size;
+    o.recovery_threads = options_.recovery_threads;
     return o;
   }
 

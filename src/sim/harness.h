@@ -75,6 +75,14 @@ struct HarnessOptions {
   // recovery is forced sequential and rotation attempts checkpoint shards in
   // index order on the harness thread.
   int shards = 1;
+  // Database-mode replay thread count. Parallel replay is deterministic under the
+  // simulation: the log (and its faultable page reads) is consumed sequentially on
+  // the recovery thread, workers only apply already-read records in memory, and the
+  // recovered state is equivalent to serial replay by construction — so the trace
+  // hash is a pure function of the seed at ANY thread count. Sharded mode ignores
+  // this and stays sequential (parallel checkpoint loads would permute SimDisk op
+  // ordinals).
+  int recovery_threads = 1;
   // Safety rails; fault budgets make runs terminate long before these.
   int max_reboots = 64;
   int max_recovery_attempts = 64;

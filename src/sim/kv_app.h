@@ -5,6 +5,8 @@
 #define SMALLDB_SRC_SIM_KV_APP_H_
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "src/core/database.h"
@@ -48,6 +50,48 @@ class KvApp final : public Application {
       state.erase(update.key);
     } else {
       state.insert_or_assign(update.key, update.value);
+    }
+    return OkStatus();
+  }
+
+  // Parallel replay: each batch folds its records to a per-key last effect (value
+  // or tombstone); the merge replays those effects onto the live map. Correct
+  // because the replayer keeps same-key records in one batch, in log order, so the
+  // last effect in a batch IS the key's final state.
+  class Batch final : public ReplayBatch {
+   public:
+    Status Apply(ByteSpan record) override {
+      SDB_ASSIGN_OR_RETURN(KvRecord update, PickleRead<KvRecord>(record));
+      if (update.op == kDelete) {
+        effects.insert_or_assign(std::move(update.key), std::nullopt);
+      } else {
+        effects.insert_or_assign(std::move(update.key), std::move(update.value));
+      }
+      return OkStatus();
+    }
+    std::map<std::string, std::optional<std::string>> effects;
+  };
+
+  bool ReplayKeyOf(ByteSpan record, std::string* key) override {
+    Result<KvRecord> update = PickleRead<KvRecord>(record);
+    if (!update.ok()) {
+      return false;  // undecodable: force the in-order path, which surfaces the error
+    }
+    *key = std::move(update->key);
+    return true;
+  }
+
+  std::unique_ptr<ReplayBatch> StartReplayBatch() override {
+    return std::make_unique<Batch>();
+  }
+
+  Status MergeReplayBatch(ReplayBatch& batch) override {
+    for (auto& [key, value] : static_cast<Batch&>(batch).effects) {
+      if (value.has_value()) {
+        state.insert_or_assign(key, std::move(*value));
+      } else {
+        state.erase(key);
+      }
     }
     return OkStatus();
   }

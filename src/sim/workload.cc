@@ -90,6 +90,18 @@ WorkloadOptions CheckpointHeavyWorkload() {
   return options;
 }
 
+WorkloadOptions RestartHeavyWorkload() {
+  WorkloadOptions options;
+  options.put_weight = 0.48;
+  options.delete_weight = 0.16;
+  options.lookup_weight = 0.08;
+  options.enumerate_weight = 0.04;
+  options.checkpoint_weight = 0.03;  // rare: logs stay long, replays stay deep
+  options.backup_weight = 0.01;
+  options.restart_weight = 0.20;
+  return options;
+}
+
 std::string StepKindName(StepKind kind) {
   switch (kind) {
     case StepKind::kPut:

@@ -60,6 +60,12 @@ std::vector<WorkloadStep> GenerateWorkload(std::uint64_t seed,
 // write / switch window instead of almost always on update commits.
 WorkloadOptions CheckpointHeavyWorkload();
 
+// A mix that reboots constantly (one step in five is a restart) over a long put /
+// delete stream and almost no checkpoints, so every reboot replays a deep log tail.
+// Run with recovery_threads > 1 this aims fault schedules (transient read faults in
+// particular — recovery's own page reads) at the parallel replay pipeline.
+WorkloadOptions RestartHeavyWorkload();
+
 std::string StepKindName(StepKind kind);
 std::string StepToString(const WorkloadStep& step);
 

@@ -35,9 +35,10 @@ struct Flags {
   std::uint64_t seed_hi = 50;
   bool single_seed = false;
   std::string schedule = "all";  // one ScheduleKindName, or "all"
-  std::string mix = "default";   // "default" or "checkpoint-heavy"
+  std::string mix = "default";   // "default", "checkpoint-heavy" or "restart-heavy"
   int steps = 40;
   int shards = 1;  // > 1 fuzzes ShardedDatabase (merged-state + routing oracle)
+  int recovery_threads = 0;  // 0 = mix default (restart-heavy: 4, otherwise 1)
   int recheck = 0;        // re-run the first N seeds and assert identical trace hashes
   std::string artifacts;  // directory for per-failure repro files
   bool quiet = false;
@@ -75,6 +76,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::atoi(v);
       if (flags->shards < 1) {
         std::fprintf(stderr, "--shards wants a positive count, got %s\n", v);
+        return false;
+      }
+    } else if ((v = value_of("--recovery-threads")) != nullptr) {
+      flags->recovery_threads = std::atoi(v);
+      if (flags->recovery_threads < 1) {
+        std::fprintf(stderr, "--recovery-threads wants a positive count, got %s\n", v);
         return false;
       }
     } else if ((v = value_of("--recheck")) != nullptr) {
@@ -145,13 +152,22 @@ int main(int argc, char** argv) {
   HarnessOptions options;
   if (flags.mix == "checkpoint-heavy") {
     options.workload = sdb::sim::CheckpointHeavyWorkload();
+  } else if (flags.mix == "restart-heavy") {
+    options.workload = sdb::sim::RestartHeavyWorkload();
+    // The restart-heavy mix exists to fuzz the parallel replay pipeline: every fifth
+    // step reboots, and recovery runs multi-threaded unless overridden.
+    options.recovery_threads = 4;
   } else if (flags.mix != "default") {
-    std::fprintf(stderr, "unknown mix %s (want default or checkpoint-heavy)\n",
+    std::fprintf(stderr,
+                 "unknown mix %s (want default, checkpoint-heavy or restart-heavy)\n",
                  flags.mix.c_str());
     return 2;
   }
   options.workload.steps = flags.steps;
   options.shards = flags.shards;
+  if (flags.recovery_threads > 0) {
+    options.recovery_threads = flags.recovery_threads;
+  }
 
   int failures = 0;
   std::uint64_t runs = 0;

@@ -4,6 +4,7 @@
 #define SMALLDB_TESTS_TEST_APP_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "src/core/database.h"
@@ -47,6 +48,42 @@ class TestApp : public Application {
     SDB_ASSIGN_OR_RETURN(TestRecord update, PickleRead<TestRecord>(record));
     state.insert_or_assign(update.key, update.value);
     ++applies;
+    return OkStatus();
+  }
+
+  // Parallel replay: per-batch key -> last-value effects, merged after all batches
+  // succeed. fail_next_apply is deliberately NOT consulted on this path — it is a
+  // single-shot flag and racing workers over it would be both a data race and a
+  // nondeterministic test; recovery-failure tests use serial replay (threads = 1).
+  class Batch final : public ReplayBatch {
+   public:
+    Status Apply(ByteSpan record) override {
+      SDB_ASSIGN_OR_RETURN(TestRecord update, PickleRead<TestRecord>(record));
+      effects.insert_or_assign(std::move(update.key), std::move(update.value));
+      return OkStatus();
+    }
+    std::map<std::string, std::string> effects;
+  };
+
+  bool ReplayKeyOf(ByteSpan record, std::string* key) override {
+    Result<TestRecord> update = PickleRead<TestRecord>(record);
+    if (!update.ok()) {
+      return false;
+    }
+    *key = std::move(update->key);
+    return true;
+  }
+
+  std::unique_ptr<ReplayBatch> StartReplayBatch() override {
+    return std::make_unique<Batch>();
+  }
+
+  Status MergeReplayBatch(ReplayBatch& batch) override {
+    Batch& effects = static_cast<Batch&>(batch);
+    applies += static_cast<int>(effects.effects.size());
+    for (auto& [key, value] : effects.effects) {
+      state.insert_or_assign(key, std::move(value));
+    }
     return OkStatus();
   }
 
