@@ -9,6 +9,11 @@
 // mode (concurrent_checkpoint=false) vs the snapshot-and-rotate mode, against a
 // quiesced baseline. `--enforce` fails the run unless the max in-checkpoint update
 // latency drops by at least 10x.
+// The third section measures what delta checkpoints buy: with a large heap and a
+// small churn window, checkpoint bytes written must track the churn, not the
+// database. `--section=churn --enforce` fails the run unless delta bytes stay
+// within 2x of the churned bytes and at least 10x below a full checkpoint at 1%
+// churn.
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -16,6 +21,7 @@
 
 #include "bench/bench_common.h"
 #include "src/common/clock.h"
+#include "src/sim/kv_app.h"
 
 namespace sdb::bench {
 namespace {
@@ -362,16 +368,187 @@ int RunStallSection(bool enforce) {
   return 0;
 }
 
+// --- delta-checkpoint churn sweep ---
+
+struct ChurnPoint {
+  double pct = 0;
+  std::uint64_t dirtied = 0;
+  std::uint64_t churn_bytes = 0;  // raw key+value bytes rewritten between checkpoints
+  std::uint64_t delta_bytes = 0;  // the delta checkpoint file those rewrites cost
+  std::uint64_t full_bytes = 0;   // what a full checkpoint of the same heap costs
+};
+
+// One churn fraction: build a fresh heap of `total_keys`, checkpoint it (the first
+// delta swallows the whole populate window), rewrite `pct` percent of the keys, and
+// measure the next delta checkpoint's file size against a full serialization.
+ChurnPoint MeasureChurn(double pct, std::size_t total_keys, std::size_t value_size) {
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  SimEnv env(env_options);
+
+  sim::KvApp app;
+  DatabaseOptions options;
+  options.vfs = &env.fs();
+  options.dir = "db";
+  options.clock = &env.clock();
+  // No compaction mid-measurement: the point under test is one delta's size.
+  options.delta_checkpoint.background_compaction = false;
+  options.delta_checkpoint.compact_after_deltas = 1000;
+  options.delta_checkpoint.compact_delta_base_ratio = 0;
+  auto db_or = Database::Open(app, options);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db_or.status().ToString().c_str());
+    std::abort();
+  }
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  Rng rng(11);
+  for (std::size_t i = 0; i < total_keys; ++i) {
+    Status status =
+        db->Update(app.PreparePut("key" + std::to_string(i), rng.NextString(value_size)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "populate failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (Status status = db->Checkpoint(); !status.ok()) {
+    std::fprintf(stderr, "baseline checkpoint failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+
+  ChurnPoint point;
+  point.pct = pct;
+  point.dirtied = static_cast<std::uint64_t>(
+      static_cast<double>(total_keys) * pct / 100.0);
+  std::size_t stride = std::max<std::size_t>(total_keys / std::max<std::uint64_t>(point.dirtied, 1), 1);
+  for (std::uint64_t i = 0; i < point.dirtied; ++i) {
+    std::string key = "key" + std::to_string((i * stride) % total_keys);
+    std::string value = rng.NextString(value_size);
+    point.churn_bytes += key.size() + value.size();
+    Status status = db->Update(app.PreparePut(std::move(key), std::move(value)));
+    if (!status.ok()) {
+      std::fprintf(stderr, "churn failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (Status status = db->Checkpoint(); !status.ok()) {
+    std::fprintf(stderr, "churn checkpoint failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+
+  std::string delta_path = "db/delta" + std::to_string(db->current_version());
+  auto delta_file = env.fs().Open(delta_path, OpenMode::kRead);
+  if (!delta_file.ok()) {
+    std::fprintf(stderr, "expected a delta checkpoint at %s: %s\n", delta_path.c_str(),
+                 delta_file.status().ToString().c_str());
+    std::abort();
+  }
+  point.delta_bytes = *(*delta_file)->Size();
+  point.full_bytes = (*app.SerializeState()).size();
+  return point;
+}
+
+int RunDeltaChurnSection(bool enforce) {
+  Banner("Delta checkpoints: cost tracks the churn, not the database",
+         "a checkpoint 'converts the entire virtual memory structure' — the delta "
+         "extension writes only what changed since the previous checkpoint");
+
+  const std::size_t total_keys = QuickMode() ? 20'000 : 100'000;
+  const std::size_t value_size = 100;
+
+  Table table({"churn", "keys dirtied", "churn bytes", "delta checkpoint",
+               "full checkpoint", "full/delta"});
+  std::vector<ChurnPoint> points;
+  for (double pct : {1.0, 10.0, 50.0}) {
+    ChurnPoint point = MeasureChurn(pct, total_keys, value_size);
+    double reduction = point.delta_bytes > 0
+                           ? static_cast<double>(point.full_bytes) /
+                                 static_cast<double>(point.delta_bytes)
+                           : 0;
+    table.AddRow({Num(point.pct, "%"), Count(point.dirtied), Count(point.churn_bytes),
+                  Count(point.delta_bytes) + " B", Count(point.full_bytes) + " B",
+                  Num(reduction, "x")});
+    points.push_back(point);
+  }
+  table.Print();
+
+  const ChurnPoint& low = points.front();  // the 1% point carries the headline claim
+  double delta_vs_churn = low.churn_bytes > 0
+                              ? static_cast<double>(low.delta_bytes) /
+                                    static_cast<double>(low.churn_bytes)
+                              : 0;
+  double full_vs_delta = low.delta_bytes > 0
+                             ? static_cast<double>(low.full_bytes) /
+                                   static_cast<double>(low.delta_bytes)
+                             : 0;
+  std::printf("\nat 1%% churn: delta writes %.2fx the churned bytes and 1/%.0fth of a "
+              "full checkpoint\n",
+              delta_vs_churn, full_vs_delta);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"checkpoint_delta\",\n";
+  json += "  \"total_keys\": " + std::to_string(total_keys) + ",\n";
+  json += "  \"churn\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ChurnPoint& p = points[i];
+    json += "    {\"pct\": " + Num(p.pct) + ", \"dirtied\": " + std::to_string(p.dirtied) +
+            ", \"churn_bytes\": " + std::to_string(p.churn_bytes) +
+            ", \"delta_bytes\": " + std::to_string(p.delta_bytes) +
+            ", \"full_bytes\": " + std::to_string(p.full_bytes) + "}";
+    json += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"delta_vs_churn_at_1pct\": " + Num(delta_vs_churn) + ",\n";
+  json += "  \"full_vs_delta_at_1pct\": " + Num(full_vs_delta) + "\n";
+  json += "}";
+  MaybeWriteBenchJson("checkpoint_delta", json);
+
+  if (enforce) {
+    // The acceptance bars: delta bytes track churn (within pickle + tombstone
+    // overhead), and at 1% churn a delta beats a full checkpoint by >= 10x.
+    if (delta_vs_churn > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: delta checkpoint wrote %.2fx the churned bytes (want <= 2x: "
+                   "%llu delta bytes vs %llu churned)\n",
+                   delta_vs_churn, static_cast<unsigned long long>(low.delta_bytes),
+                   static_cast<unsigned long long>(low.churn_bytes));
+      return 1;
+    }
+    if (full_vs_delta < 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: at 1%% churn the delta is only %.1fx below a full checkpoint "
+                   "(want >= 10x)\n",
+                   full_vs_delta);
+      return 1;
+    }
+    std::printf("enforce: OK (delta/churn %.2fx <= 2x, full/delta %.0fx >= 10x)\n",
+                delta_vs_churn, full_vs_delta);
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace sdb::bench
 
 int main(int argc, char** argv) {
   bool enforce = false;
+  std::string section = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--enforce") == 0) {
       enforce = true;
+    } else if (std::strncmp(argv[i], "--section=", 10) == 0) {
+      section = argv[i] + 10;
     }
   }
-  sdb::bench::RunCheckpointCostTable();
-  return sdb::bench::RunStallSection(enforce);
+  int rc = 0;
+  if (section == "all" || section == "cost") {
+    sdb::bench::RunCheckpointCostTable();
+  }
+  if (section == "all" || section == "stall") {
+    rc |= sdb::bench::RunStallSection(enforce);
+  }
+  if (section == "all" || section == "churn") {
+    rc |= sdb::bench::RunDeltaChurnSection(enforce);
+  }
+  return rc;
 }

@@ -34,6 +34,18 @@ int main(int argc, char** argv) {
               report->checkpoint_ok ? "OK" : "DAMAGED",
               static_cast<unsigned long long>(report->checkpoint_bytes),
               report->checkpoint_type.c_str());
+  if (!report->chain_deltas.empty() || !report->chain_ok) {
+    std::printf("  delta chain        : %s, base checkpoint%llu + %zu delta(s), "
+                "%llu delta bytes:",
+                report->chain_ok ? "OK" : "DAMAGED",
+                static_cast<unsigned long long>(report->chain_base),
+                report->chain_deltas.size(),
+                static_cast<unsigned long long>(report->chain_delta_bytes));
+    for (std::uint64_t version : report->chain_deltas) {
+      std::printf(" delta%llu", static_cast<unsigned long long>(version));
+    }
+    std::printf("\n");
+  }
   std::printf("  log                : %s, %llu entries, %llu bytes%s\n",
               report->log_ok ? "OK" : "DAMAGED",
               static_cast<unsigned long long>(report->log_entries),

@@ -48,9 +48,46 @@ Result<BackupInfo> CopyGeneration(Vfs& src_vfs, const std::string& src_dir, Vfs&
 
   BackupInfo info;
   info.version = version;
-  SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.CheckpointPath(version), dst_vfs,
-                               dst_names.CheckpointPath(version), &info.checkpoint_bytes)
+
+  // Resolve the generation's delta chain: with a live manifest covering `version`,
+  // the checkpoint is checkpoint(base) + delta files, all of which must travel.
+  // (Same rules as recovery: a manifest whose top is below `version` was superseded
+  // by a full switch; `version` outside the chain is corruption.)
+  DeltaChain chain{version, {}};
+  SDB_ASSIGN_OR_RETURN(std::optional<DeltaChain> manifest, src_names.ReadManifest());
+  if (manifest.has_value() && manifest->top() >= version) {
+    if (version < manifest->base) {
+      return CorruptionError("delta manifest in " + src_dir +
+                             " names a base beyond the current version");
+    }
+    chain.base = manifest->base;
+    bool found = version == manifest->base;
+    for (std::uint64_t v : manifest->deltas) {
+      if (v <= version) {
+        chain.deltas.push_back(v);
+        found |= v == version;
+      }
+    }
+    if (!found) {
+      return CorruptionError("delta manifest in " + src_dir +
+                             " skips the current version");
+    }
+  }
+
+  SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.CheckpointPath(chain.base), dst_vfs,
+                               dst_names.CheckpointPath(chain.base), &info.checkpoint_bytes)
                           .WithContext("copying checkpoint"));
+  for (std::uint64_t v : chain.deltas) {
+    std::uint64_t delta_bytes = 0;
+    SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.DeltaPath(v), dst_vfs,
+                                 dst_names.DeltaPath(v), &delta_bytes)
+                            .WithContext("copying chain delta"));
+    info.checkpoint_bytes += delta_bytes;
+  }
+  if (chain.has_deltas()) {
+    SDB_RETURN_IF_ERROR(
+        dst_names.PublishManifest(chain).WithContext("publishing backup manifest"));
+  }
   SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(version), dst_vfs,
                                dst_names.LogPath(version), &info.log_bytes)
                           .WithContext("copying log"));
@@ -122,8 +159,20 @@ Result<IncrementalBackupInfo> IncrementalBackupDatabaseDir(Vfs& src_vfs,
   VersionStore src_names(src_vfs, src_dir);
   VersionStore dst_names(dst_vfs, dst_dir);
 
+  // Same version is only "checkpoint unchanged" if the delta chain also matches:
+  // compaction collapses a chain without bumping the version, so a stale backup
+  // manifest could otherwise reference files the refresh never copied.
+  bool chain_matches = false;
   if (dst_version.has_value() && *dst_version == *src_version) {
-    // Incremental: the checkpoint is unchanged; only the log grew.
+    SDB_ASSIGN_OR_RETURN(std::optional<DeltaChain> src_manifest, src_names.ReadManifest());
+    SDB_ASSIGN_OR_RETURN(std::optional<DeltaChain> dst_manifest, dst_names.ReadManifest());
+    chain_matches = src_manifest.has_value() == dst_manifest.has_value() &&
+                    (!src_manifest.has_value() ||
+                     (src_manifest->base == dst_manifest->base &&
+                      src_manifest->deltas == dst_manifest->deltas));
+  }
+  if (chain_matches) {
+    // Incremental: the checkpoint (chain) is unchanged; only the log grew.
     result.incremental = true;
     result.info.version = *src_version;
     SDB_RETURN_IF_ERROR(CopyFile(src_vfs, src_names.LogPath(*src_version), dst_vfs,
@@ -153,7 +202,8 @@ Result<IncrementalBackupInfo> IncrementalBackupDatabaseDir(Vfs& src_vfs,
   SDB_ASSIGN_OR_RETURN(std::vector<std::string> names, dst_vfs.List(dst_dir));
   for (const std::string& name : names) {
     if (name.rfind("checkpoint", 0) == 0 || name.rfind("logfile", 0) == 0 ||
-        name == "version" || name == "newversion" || name == "pending") {
+        name.rfind("delta", 0) == 0 || name == "manifest" || name == "version" ||
+        name == "newversion" || name == "pending") {
       SDB_RETURN_IF_ERROR(dst_vfs.Delete(JoinPath(dst_dir, name)));
     }
   }

@@ -27,10 +27,32 @@ Database::Database(Application& app, DatabaseOptions options)
   auto_checkpoints_ = &registry_.GetCounter("db.auto_checkpoints");
   checkpoint_in_progress_ = &registry_.GetGauge("checkpoint.in_progress");
   checkpoint_failures_ = &registry_.GetCounter("db.checkpoint_failures");
+  delta_checkpoints_ = &registry_.GetCounter("db.delta_checkpoints");
+  compaction_runs_ = &registry_.GetCounter("compaction.runs");
+  compaction_bytes_ = &registry_.GetCounter("compaction.bytes");
+  compaction_failures_ = &registry_.GetCounter("db.compaction_failures");
+  // Delta mode needs self-contained-checkpoint retention OFF: the previous-
+  // generation hard-error fallback reloads checkpoint(N-1) directly, which a delta
+  // file is not. Application support is probed per rotation (a null capture closure
+  // falls back to a full snapshot).
+  delta_effective_ = options_.delta_checkpoint.enabled &&
+                     !options_.keep_previous_checkpoint &&
+                     !options_.fallback_to_previous_checkpoint;
 }
 
 Database::~Database() {
-  // Drain the checkpoint slot first: a background persist may still be streaming the
+  shutting_down_.store(true, std::memory_order_relaxed);
+  // Join the compactor before draining the checkpoint slot: the compaction thread
+  // acquires the slot itself, so it must be gone before the slot can drain for good.
+  // If it is still waiting on the slot it will acquire it, see shutting_down_, and
+  // exit without compacting.
+  {
+    std::lock_guard<std::mutex> gate(compaction_mu_);
+    if (compaction_thread_.joinable()) {
+      compaction_thread_.join();
+    }
+  }
+  // Drain the checkpoint slot next: a background persist may still be streaming the
   // snapshot, and it must finish (and be joined) before the log and committer go.
   {
     std::unique_lock<std::mutex> gate(checkpoint_mu_);
@@ -112,6 +134,12 @@ Status Database::InitFreshDatabase() {
       WriteWholeFile(*options_.vfs, version_store_.CheckpointPath(1), AsSpan(snapshot)));
   SDB_RETURN_IF_ERROR(WriteWholeFile(*options_.vfs, version_store_.LogPath(1), ByteSpan{}));
   SDB_RETURN_IF_ERROR(options_.vfs->SyncDir(options_.dir));
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    chain_ = DeltaChain{1, {}};
+    chain_base_bytes_ = snapshot.size();
+    chain_delta_bytes_ = 0;
+  }
   return version_store_.InitFresh();
 }
 
@@ -137,17 +165,58 @@ Status Database::LoadCheckpointAndReplay(const VersionState& state) {
   };
 
   // Step 1+2 of the paper's restart: read the current checkpoint to obtain an old
-  // version of the virtual memory structure.
+  // version of the virtual memory structure. With a delta chain, "the checkpoint"
+  // is checkpoint(base) composed with each delta in manifest order — the
+  // application's ComposeCheckpoint must land on bytes identical to the full
+  // checkpoint it replaces, so everything downstream (replay, parallel or serial)
+  // is oblivious to how the state got here.
   Status load_status = OkStatus();
-  {
+  if (state.chain.has_deltas()) {
+    SDB_ASSIGN_OR_RETURN(
+        Bytes base,
+        ReadWholeFile(*options_.vfs, version_store_.CheckpointPath(state.chain.base)));
+    std::vector<Bytes> delta_bytes;
+    delta_bytes.reserve(state.chain.deltas.size());
+    std::uint64_t delta_total = 0;
+    for (std::uint64_t delta_version : state.chain.deltas) {
+      SDB_ASSIGN_OR_RETURN(
+          Bytes delta,
+          ReadWholeFile(*options_.vfs, version_store_.DeltaPath(delta_version)));
+      delta_total += delta.size();
+      delta_bytes.push_back(std::move(delta));
+    }
+    std::vector<ByteSpan> delta_spans;
+    delta_spans.reserve(delta_bytes.size());
+    for (const Bytes& delta : delta_bytes) {
+      delta_spans.push_back(AsSpan(delta));
+    }
+    Result<Bytes> composed = app_.ComposeCheckpoint(AsSpan(base), delta_spans);
+    if (!composed.ok()) {
+      return composed.status().WithContext("composing delta checkpoint chain");
+    }
+    SDB_RETURN_IF_ERROR(app_.ResetState());
+    load_status = app_.DeserializeState(AsSpan(*composed));
+    {
+      std::lock_guard<std::mutex> chain_lock(chain_mu_);
+      chain_ = state.chain;
+      chain_base_bytes_ = base.size();
+      chain_delta_bytes_ = delta_total;
+    }
+  } else {
     Result<Bytes> snapshot = ReadWholeFile(*options_.vfs, state.checkpoint_path);
     if (snapshot.ok()) {
       SDB_RETURN_IF_ERROR(app_.ResetState());
       load_status = app_.DeserializeState(AsSpan(*snapshot));
+      std::lock_guard<std::mutex> chain_lock(chain_mu_);
+      chain_ = state.chain;
+      chain_base_bytes_ = snapshot->size();
+      chain_delta_bytes_ = 0;
     } else {
       load_status = snapshot.status();
     }
   }
+  registry_.GetGauge("restart.chain_deltas_composed")
+      .Set(static_cast<std::int64_t>(state.chain.deltas.size()));
 
   bool used_previous = false;
   if (!load_status.ok()) {
@@ -442,7 +511,9 @@ Status Database::ReplaceState(ByteSpan state) {
     guard.Downgrade();
     poisoned_ = false;
     CheckpointRotation rotation;
-    SDB_RETURN_IF_ERROR(RotateForCheckpointLocked(&rotation));
+    // Forced full: the replacement state shares no ancestry with the old chain, so
+    // a delta over it would compose garbage.
+    SDB_RETURN_IF_ERROR(RotateForCheckpointLocked(&rotation, /*force_full=*/true));
     // Persist while still holding the update lock, even with concurrent_checkpoint:
     // an update committed against the replacement state must never land in a log
     // that a pre-switch recovery would replay on top of the OLD state.
@@ -486,13 +557,33 @@ Status Database::Checkpoint() {
 // recoverable; on failure the engine keeps running on whatever log was live (a
 // durable marker with an aborted rotation is harmless: it only extends the replay
 // chain with logs that already exist).
-Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation) {
+Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation, bool force_full) {
   Stopwatch stall_watch(*clock_);
   rotation->start_micros = clock_->NowMicros();
 
-  // Capture a consistent snapshot — the only O(state) work updates must wait for.
+  // Delta or full? Delta when the mode is effective, the caller didn't force full,
+  // and the chain hasn't hit its hard length ceiling (repeatedly failed compaction);
+  // then the application gets the final say — a null capture closure means it can't
+  // produce deltas and the full path runs as before.
+  bool want_delta = delta_effective_ && !force_full;
+  if (want_delta &&
+      options_.delta_checkpoint.force_full_at_chain_length > 0) {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    if (chain_.length() >= options_.delta_checkpoint.force_full_at_chain_length) {
+      want_delta = false;
+    }
+  }
+
+  // Capture a consistent snapshot — the only O(state) work updates must wait for
+  // (O(churn) in delta mode).
   Stopwatch capture_watch(*clock_);
-  SDB_ASSIGN_OR_RETURN(rotation->serialize, app_.CaptureSnapshot());
+  if (want_delta) {
+    SDB_ASSIGN_OR_RETURN(rotation->serialize_delta, app_.CaptureDeltaSnapshot());
+    rotation->is_delta = static_cast<bool>(rotation->serialize_delta);
+  }
+  if (!rotation->is_delta) {
+    SDB_ASSIGN_OR_RETURN(rotation->serialize, app_.CaptureSnapshot());
+  }
   rotation->capture_micros = capture_watch.ElapsedMicros();
 
   rotation->base = version_.load(std::memory_order_relaxed);
@@ -501,16 +592,38 @@ Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation) {
   // Durably create the next log generation and record it as live before any update
   // can commit to it: recovery must know to replay it on top of the base generation
   // while checkpoint `target` does not exist yet. The marker's directory sync also
-  // makes the new log's name durable.
-  SDB_RETURN_IF_ERROR(
+  // makes the new log's name durable. On any failure from here the rotation aborts
+  // with the old log still live — a staged delta window must be abandoned back into
+  // the application's dirty set, or the keys it covers would vanish from every
+  // future delta (found by the simulation harness: a transient marker-write error
+  // during a delta rotation silently lost acknowledged updates from later chains).
+  auto abort_rotation = [&](Status status) {
+    if (rotation->is_delta) {
+      app_.AbandonDeltaCapture();
+      rotation->is_delta = false;
+      rotation->serialize_delta = nullptr;
+    }
+    return status;
+  };
+  Status rotated_log =
       WriteWholeFile(*options_.vfs, version_store_.LogPath(rotation->target), ByteSpan{})
-          .WithContext("creating rotated log"));
-  SDB_RETURN_IF_ERROR(version_store_.WritePendingMarker(rotation->target)
-                          .WithContext("recording pending checkpoint rotation"));
+          .WithContext("creating rotated log");
+  if (!rotated_log.ok()) {
+    return abort_rotation(std::move(rotated_log));
+  }
+  Status marked = version_store_.WritePendingMarker(rotation->target)
+                      .WithContext("recording pending checkpoint rotation");
+  if (!marked.ok()) {
+    return abort_rotation(std::move(marked));
+  }
 
   // Swap the live writer. The pipeline is paused, so no batch holds the old one.
-  SDB_ASSIGN_OR_RETURN(std::unique_ptr<LogWriter> new_log,
-                       OpenLogForAppend(version_store_.LogPath(rotation->target)));
+  Result<std::unique_ptr<LogWriter>> new_log_result =
+      OpenLogForAppend(version_store_.LogPath(rotation->target));
+  if (!new_log_result.ok()) {
+    return abort_rotation(new_log_result.status());
+  }
+  std::unique_ptr<LogWriter> new_log = std::move(*new_log_result);
   Status closed = log_->Close();
   if (!closed.ok()) {
     SDB_LOG(kWarning) << "closing rotated-out log: " << closed;
@@ -538,6 +651,9 @@ Status Database::RotateForCheckpointLocked(CheckpointRotation* rotation) {
 // update lock (legacy mode, ReplaceState), or on the background thread (automatic
 // checkpoints).
 Status Database::PersistCheckpoint(CheckpointRotation rotation) {
+  if (rotation.is_delta) {
+    return PersistDeltaCheckpoint(std::move(rotation));
+  }
   CheckpointBreakdown breakdown;
   breakdown.stall_micros = rotation.stall_micros;
 
@@ -595,6 +711,14 @@ Status Database::PersistCheckpoint(CheckpointRotation rotation) {
   }
 
   version_.store(rotation.target, std::memory_order_relaxed);
+  // A full switch collapses any delta chain: CommitSwitch already deleted the
+  // manifest and the superseded chain files before this point.
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    chain_ = DeltaChain{rotation.target, {}};
+    chain_base_bytes_ = snapshot->size();
+    chain_delta_bytes_ = 0;
+  }
   breakdown.disk_micros = disk_watch.ElapsedMicros();
   breakdown.total_micros = clock_->NowMicros() - rotation.start_micros;
 
@@ -605,12 +729,317 @@ Status Database::PersistCheckpoint(CheckpointRotation rotation) {
     registry_.GetHistogram("checkpoint.switch_us").Record(switch_micros);
     registry_.GetHistogram("checkpoint.disk_us").Record(breakdown.disk_micros);
     registry_.GetHistogram("checkpoint.total_us").Record(breakdown.total_micros);
+    registry_.GetGauge("checkpoint.delta.chain_len").Set(1);
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.last_checkpoint = breakdown;
   }
   return OkStatus();
+}
+
+// Phase B, delta flavour: writes delta<target> extending the current chain instead
+// of a self-contained checkpoint. Durable ordering is what makes it crash-safe:
+//   1. delta<target> written + synced (content durable, unreferenced);
+//   2. manifest republished naming chain + target (atomic rename, durable) — from
+//      here any resolution of the switch has its composition recipe on disk;
+//   3. CommitSwitch(base, target) — the ordinary commit point.
+// A crash after 2 but before 3 leaves target as a manifest orphan, truncated and
+// swept by the next open. The staged dirty window is committed only after 3
+// succeeds; every failure path abandons it back into the application's dirty set.
+Status Database::PersistDeltaCheckpoint(CheckpointRotation rotation) {
+  CheckpointBreakdown breakdown;
+  breakdown.stall_micros = rotation.stall_micros;
+
+  Stopwatch serialize_watch(*clock_);
+  Result<Application::DeltaSnapshot> delta = rotation.serialize_delta();
+  if (!delta.ok()) {
+    checkpoint_failures_->Increment();
+    app_.AbandonDeltaCapture();
+    return delta.status().WithContext("serializing delta snapshot");
+  }
+  breakdown.serialize_micros = rotation.capture_micros + serialize_watch.ElapsedMicros();
+
+  Stopwatch disk_watch(*clock_);
+  const std::string delta_path = version_store_.DeltaPath(rotation.target);
+  Stopwatch write_watch(*clock_);
+  Status written = WriteWholeFile(*options_.vfs, delta_path, AsSpan(delta->bytes));
+  Micros write_micros = write_watch.ElapsedMicros();
+  if (!written.ok()) {
+    checkpoint_failures_->Increment();
+    Result<bool> partial = options_.vfs->Exists(delta_path);
+    if (partial.ok() && *partial) {
+      Status removed = options_.vfs->Delete(delta_path);
+      if (!removed.ok()) {
+        SDB_LOG(kWarning) << "removing partial delta checkpoint: " << removed;
+      }
+    }
+    app_.AbandonDeltaCapture();
+    return written.WithContext("writing delta checkpoint");
+  }
+
+  DeltaChain extended;
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    extended = chain_;
+  }
+  extended.deltas.push_back(rotation.target);
+  Status published = version_store_.PublishManifest(extended);
+  if (!published.ok()) {
+    checkpoint_failures_->Increment();
+    // The manifest may or may not name target now, but either way the switch never
+    // happened, so target is at worst an orphan delta entry — truncated by the next
+    // open, never corruption. Deleting the delta file under it is therefore safe.
+    Status removed = options_.vfs->Delete(delta_path);
+    if (!removed.ok()) {
+      SDB_LOG(kWarning) << "removing delta after failed manifest publish: " << removed;
+    }
+    app_.AbandonDeltaCapture();
+    return published.WithContext("publishing delta chain manifest");
+  }
+
+  bool switch_ambiguous = false;
+  Stopwatch switch_watch(*clock_);
+  Status switched =
+      version_store_.CommitSwitch(rotation.base, rotation.target, &switch_ambiguous);
+  Micros switch_micros = switch_watch.ElapsedMicros();
+  if (!switched.ok()) {
+    checkpoint_failures_->Increment();
+    if (switch_ambiguous) {
+      // Same fail-stop as the full path. Both resolutions stay consistent: the
+      // manifest names target, so a restart that resolves to the new generation
+      // composes through the delta, and one that resolves to the old generation
+      // truncates it as an orphan. Abandon so a post-reopen capture re-covers the
+      // window (replay re-marks it dirty anyway).
+      poisoned_ = true;
+      app_.AbandonDeltaCapture();
+      return switched.WithContext(
+          "delta checkpoint switch outcome ambiguous; database fail-stops until reopened");
+    }
+    // Clean abort: roll the manifest back BEFORE deleting the delta file — the
+    // durable manifest must never reference a file we already deleted. A crash in
+    // between leaves an orphan manifest entry (truncated), never a broken chain.
+    DeltaChain rollback;
+    {
+      std::lock_guard<std::mutex> chain_lock(chain_mu_);
+      rollback = chain_;
+    }
+    Status unpublished = OkStatus();
+    if (rollback.has_deltas()) {
+      unpublished = version_store_.PublishManifest(rollback);
+    } else {
+      // First delta over a bare base: canonical rollback is "no manifest".
+      Result<bool> manifest_exists = options_.vfs->Exists(version_store_.ManifestPath());
+      if (manifest_exists.ok() && *manifest_exists) {
+        unpublished = options_.vfs->Delete(version_store_.ManifestPath());
+      }
+    }
+    if (!unpublished.ok()) {
+      SDB_LOG(kWarning) << "rolling back delta manifest after aborted switch: "
+                        << unpublished;
+    }
+    Status removed = options_.vfs->Delete(delta_path);
+    if (!removed.ok()) {
+      SDB_LOG(kWarning) << "removing delta after aborted switch: " << removed;
+    }
+    app_.AbandonDeltaCapture();
+    return switched.WithContext("delta checkpoint switch aborted");
+  }
+
+  version_.store(rotation.target, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    chain_ = extended;
+    chain_delta_bytes_ += delta->bytes.size();
+  }
+  app_.CommitDeltaCapture();
+  breakdown.disk_micros = disk_watch.ElapsedMicros();
+  breakdown.total_micros = clock_->NowMicros() - rotation.start_micros;
+
+  checkpoints_->Increment();
+  delta_checkpoints_->Increment();
+  if (obs::Enabled()) {
+    registry_.GetHistogram("checkpoint.serialize_us").Record(breakdown.serialize_micros);
+    registry_.GetHistogram("checkpoint.write_us").Record(write_micros);
+    registry_.GetHistogram("checkpoint.switch_us").Record(switch_micros);
+    registry_.GetHistogram("checkpoint.disk_us").Record(breakdown.disk_micros);
+    registry_.GetHistogram("checkpoint.total_us").Record(breakdown.total_micros);
+    registry_.GetHistogram("checkpoint.delta.bytes")
+        .Record(static_cast<Micros>(delta->bytes.size()));
+    registry_.GetHistogram("checkpoint.delta.objects")
+        .Record(static_cast<Micros>(delta->objects));
+    registry_.GetGauge("checkpoint.delta.chain_len")
+        .Set(static_cast<std::int64_t>(extended.length()));
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.last_checkpoint = breakdown;
+  }
+
+  if (options_.delta_checkpoint.background_compaction) {
+    MaybeScheduleCompaction();
+  } else if (CompactionDue()) {
+    // Inline (deterministic) mode: compact right here, while the checkpoint slot —
+    // which the compactor needs exclusively — is still held by this persist.
+    Status compacted = CompactChain();
+    if (!compacted.ok()) {
+      compaction_failures_->Increment();
+      SDB_LOG(kWarning) << "inline chain compaction failed: " << compacted;
+    }
+  }
+  return OkStatus();
+}
+
+bool Database::CompactionDue() const {
+  const DeltaCheckpointOptions& opts = options_.delta_checkpoint;
+  std::lock_guard<std::mutex> chain_lock(chain_mu_);
+  if (!chain_.has_deltas()) {
+    return false;
+  }
+  if (opts.compact_after_deltas > 0 && chain_.deltas.size() >= opts.compact_after_deltas) {
+    return true;
+  }
+  return opts.compact_delta_base_ratio > 0 && chain_base_bytes_ > 0 &&
+         static_cast<double>(chain_delta_bytes_) >=
+             opts.compact_delta_base_ratio * static_cast<double>(chain_base_bytes_);
+}
+
+// Collapses base + deltas into a self-contained checkpoint(top). Caller holds the
+// checkpoint slot, so the chain cannot move underneath. Durable ordering:
+//   1. checkpoint(top) written from the ON-DISK chain (ComposeCheckpoint is pure —
+//      the live state has moved on) + directory sync;
+//   2. delete the manifest — the commit point: checkpoint(top) is now the
+//      generation's authority (before this, it is an orphan the next open sweeps);
+//   3. reclaim the old base and delta files (failures just leave swept-later
+//      garbage).
+// No step poisons: until 2 the chain stays authoritative, after 2 the collapsed
+// base is, and both describe the same state.
+Status Database::CompactChain() {
+  DeltaChain chain;
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    chain = chain_;
+  }
+  if (!chain.has_deltas()) {
+    return OkStatus();
+  }
+
+  Stopwatch compact_watch(*clock_);
+  SDB_ASSIGN_OR_RETURN(
+      Bytes base, ReadWholeFile(*options_.vfs, version_store_.CheckpointPath(chain.base)));
+  std::vector<Bytes> delta_bytes;
+  delta_bytes.reserve(chain.deltas.size());
+  for (std::uint64_t delta_version : chain.deltas) {
+    SDB_ASSIGN_OR_RETURN(
+        Bytes delta, ReadWholeFile(*options_.vfs, version_store_.DeltaPath(delta_version)));
+    delta_bytes.push_back(std::move(delta));
+  }
+  std::vector<ByteSpan> delta_spans;
+  delta_spans.reserve(delta_bytes.size());
+  for (const Bytes& delta : delta_bytes) {
+    delta_spans.push_back(AsSpan(delta));
+  }
+  Result<Bytes> composed = app_.ComposeCheckpoint(AsSpan(base), delta_spans);
+  if (!composed.ok()) {
+    return composed.status().WithContext("composing chain for compaction");
+  }
+
+  const std::string new_base_path = version_store_.CheckpointPath(chain.top());
+  auto remove_partial = [&] {
+    Status removed = options_.vfs->Delete(new_base_path);
+    if (!removed.ok()) {
+      SDB_LOG(kWarning) << "removing partial compacted checkpoint: " << removed;
+    }
+  };
+  Status written = WriteWholeFile(*options_.vfs, new_base_path, AsSpan(*composed));
+  if (!written.ok()) {
+    Result<bool> partial = options_.vfs->Exists(new_base_path);
+    if (partial.ok() && *partial) {
+      remove_partial();
+    }
+    return written.WithContext("writing compacted checkpoint");
+  }
+  Status synced = options_.vfs->SyncDir(options_.dir);
+  if (!synced.ok()) {
+    remove_partial();
+    return synced.WithContext("syncing compacted checkpoint");
+  }
+
+  // The commit point. On failure the manifest — and with it the chain — simply
+  // stays authoritative; checkpoint(top) is an orphan the next open sweeps.
+  Status committed = options_.vfs->Delete(version_store_.ManifestPath());
+  if (!committed.ok()) {
+    remove_partial();
+    return committed.WithContext("retiring delta manifest after compaction");
+  }
+  Status commit_synced = options_.vfs->SyncDir(options_.dir);
+  if (!commit_synced.ok()) {
+    // The deletion may or may not be durable, but BOTH resolutions now describe the
+    // same state (chain composition == checkpoint(top)), so don't fail the engine —
+    // just skip reclamation: the chain files must survive in case the manifest does.
+    SDB_LOG(kWarning) << "syncing manifest retirement: " << commit_synced
+                      << " (chain files retained)";
+  } else {
+    for (std::uint64_t delta_version : chain.deltas) {
+      Status removed = options_.vfs->Delete(version_store_.DeltaPath(delta_version));
+      if (!removed.ok()) {
+        SDB_LOG(kWarning) << "reclaiming chain delta: " << removed;
+      }
+    }
+    Status removed = options_.vfs->Delete(version_store_.CheckpointPath(chain.base));
+    if (!removed.ok()) {
+      SDB_LOG(kWarning) << "reclaiming chain base: " << removed;
+    }
+    Status reclaim_synced = options_.vfs->SyncDir(options_.dir);
+    if (!reclaim_synced.ok()) {
+      SDB_LOG(kWarning) << "syncing chain reclamation: " << reclaim_synced;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> chain_lock(chain_mu_);
+    chain_ = DeltaChain{chain.top(), {}};
+    chain_base_bytes_ = composed->size();
+    chain_delta_bytes_ = 0;
+  }
+  compaction_runs_->Increment();
+  compaction_bytes_->Add(composed->size());
+  if (obs::Enabled()) {
+    registry_.GetHistogram("compaction.duration_us").Record(compact_watch.ElapsedMicros());
+    registry_.GetGauge("checkpoint.delta.chain_len").Set(1);
+  }
+  SDB_LOG(kDebug) << "compacted delta chain of " << chain.length() << " levels into "
+                  << new_base_path;
+  return OkStatus();
+}
+
+void Database::MaybeScheduleCompaction() {
+  if (read_only_ || shutting_down_.load(std::memory_order_relaxed) || !CompactionDue()) {
+    return;
+  }
+  // Single-flight: the flag is cleared as the compaction thread's LAST action, after
+  // it released the checkpoint slot — so winning the exchange proves the previous
+  // thread is past everything that could block, and joining it here (possibly while
+  // this caller holds the slot) cannot deadlock.
+  if (compaction_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // one already running; the next delta persist re-checks
+  }
+  std::lock_guard<std::mutex> gate(compaction_mu_);
+  if (compaction_thread_.joinable()) {
+    compaction_thread_.join();
+  }
+  compaction_thread_ = std::thread([this] {
+    AcquireCheckpointSlot();
+    if (!shutting_down_.load(std::memory_order_relaxed) && CompactionDue()) {
+      Status compacted = CompactChain();
+      if (!compacted.ok()) {
+        compaction_failures_->Increment();
+        SDB_LOG(kWarning) << "background chain compaction failed: " << compacted;
+      }
+    }
+    ReleaseCheckpointSlot();
+    compaction_in_flight_.store(false, std::memory_order_release);
+  });
 }
 
 bool Database::AutoCheckpointDue() const {
@@ -706,6 +1135,11 @@ std::uint64_t Database::current_version() const {
 
 std::uint64_t Database::live_log_version() const {
   return live_log_version_.load(std::memory_order_relaxed);
+}
+
+DeltaChain Database::delta_chain() const {
+  std::lock_guard<std::mutex> chain_lock(chain_mu_);
+  return chain_;
 }
 
 std::uint64_t Database::log_bytes() const {

@@ -126,6 +126,56 @@ class Application {
     return std::function<Result<Bytes>()>(
         [holder]() -> Result<Bytes> { return std::move(*holder); });
   }
+
+  // --- incremental (delta) checkpoints (optional; see DESIGN.md delta chains) ---
+  //
+  // An application that tracks which objects changed since the last capture can make
+  // checkpoints O(churn): CaptureDeltaSnapshot stages just the dirty window and the
+  // engine writes it as a delta composing over the previous checkpoint chain. The
+  // dirty-tracking contract:
+  //   - ApplyUpdate AND MergeReplayBatch mark touched objects dirty (replay at
+  //     recovery must repopulate the window: the first post-restart delta covers
+  //     exactly the log entries replayed on top of the chain).
+  //   - DeserializeState clears the tracking (the loaded state is chain-covered).
+  //   - A full CaptureSnapshot leaves the window untouched — a later delta may then
+  //     be a superset of the churn, which is harmless (re-captured objects carry
+  //     their current values; deletions are idempotent tombstones).
+  // Commit/Abandon may run on a background persist thread concurrently with
+  // ApplyUpdate, so implementations guard their dirty structures with a small mutex.
+
+  struct DeltaSnapshot {
+    Bytes bytes;
+    std::uint64_t objects = 0;  // dirty objects captured (metrics only)
+  };
+
+  // Stages the dirty window under the update lock and returns a closure producing
+  // the delta bytes later with no engine lock held (same shape as CaptureSnapshot —
+  // the closure must copy values at capture time, never read live state). Clears the
+  // dirty tracking: the staged window is now the engine's to persist. Returning a
+  // null function (the default) declares delta capture unsupported; the engine falls
+  // back to a full CaptureSnapshot.
+  virtual Result<std::function<Result<DeltaSnapshot>()>> CaptureDeltaSnapshot() {
+    return std::function<Result<DeltaSnapshot>()>{};
+  }
+
+  // The staged delta is durable and referenced by the chain; drop the staged window.
+  virtual void CommitDeltaCapture() {}
+
+  // The persist failed or aborted: fold the staged window back into the dirty set so
+  // the next capture re-covers it.
+  virtual void AbandonDeltaCapture() {}
+
+  // Pure composition: applies each delta (in order) over the base checkpoint bytes
+  // and returns the equivalent full-checkpoint bytes. Must not touch live state —
+  // both background compaction and restart use it, and the result must be
+  // byte-identical to what SerializeState would have produced for the composed
+  // state. Required once CaptureDeltaSnapshot returns a closure.
+  virtual Result<Bytes> ComposeCheckpoint(ByteSpan base,
+                                          const std::vector<ByteSpan>& deltas) {
+    (void)base;
+    (void)deltas;
+    return UnimplementedError("application does not support delta checkpoints");
+  }
 };
 
 // When to take an automatic checkpoint (checked after each update). All triggers are
@@ -135,6 +185,35 @@ struct CheckpointPolicy {
   std::uint64_t every_n_updates = 0;
   std::uint64_t log_bytes_threshold = 0;
   Micros interval_micros = 0;
+};
+
+// Incremental (delta) checkpointing: when the application supports
+// CaptureDeltaSnapshot, checkpoints write only the dirty window as delta<N>
+// composing over the previous base (see version_store.h for the on-disk chain
+// protocol), and a background compactor collapses the chain into a new full base
+// when it grows past the thresholds below.
+struct DeltaCheckpointOptions {
+  // Master switch. Even when true, delta mode only engages if the application
+  // supports delta capture AND neither keep_previous_checkpoint nor
+  // fallback_to_previous_checkpoint is set (the previous-generation hard-error
+  // fallback assumes self-contained checkpoints).
+  bool enabled = true;
+
+  // Compact once the chain holds this many deltas...
+  std::uint64_t compact_after_deltas = 8;
+  // ...or once accumulated delta bytes reach this fraction of the base's bytes.
+  double compact_delta_base_ratio = 0.5;
+
+  // Hard ceiling: if a chain somehow reaches this length (compaction kept
+  // failing), the next checkpoint is forced full, collapsing the chain through
+  // the ordinary full-switch path.
+  std::uint64_t force_full_at_chain_length = 32;
+
+  // Run compaction on a background thread (sharing the single-flight checkpoint
+  // slot). When false, compaction runs synchronously at the end of the
+  // checkpoint that crossed the threshold — the deterministic mode the sim
+  // harness uses.
+  bool background_compaction = true;
 };
 
 struct DatabaseOptions {
@@ -187,6 +266,9 @@ struct DatabaseOptions {
   // behaviour — the lock is held across the whole serialize + write + switch — which
   // is the benchmark baseline and an escape hatch.
   bool concurrent_checkpoint = true;
+
+  // Incremental checkpoints (delta chains + background compaction).
+  DeltaCheckpointOptions delta_checkpoint;
 };
 
 struct CheckpointBreakdown {
@@ -306,6 +388,9 @@ class Database : private GroupCommitHost {
   // The log generation updates are committing to: current_version() normally, one
   // (or more, after failed persists) ahead while a checkpoint rotation is pending.
   std::uint64_t live_log_version() const;
+  // Snapshot of the live delta chain: base == current_version() with no deltas
+  // when the current checkpoint is self-contained.
+  DeltaChain delta_chain() const;
   std::uint64_t log_bytes() const;
   DatabaseStats stats() const;
 
@@ -358,6 +443,11 @@ class Database : private GroupCommitHost {
     std::uint64_t base = 0;    // generation the version files name (unchanged by A)
     std::uint64_t target = 0;  // new generation; the live log after A
     std::function<Result<Bytes>()> serialize;
+    // Delta mode: `target` will be written as delta<target> extending the chain
+    // instead of a self-contained checkpoint; serialize_delta is set, serialize is
+    // null. Phase B publishes the extended manifest before committing the switch.
+    bool is_delta = false;
+    std::function<Result<Application::DeltaSnapshot>()> serialize_delta;
     Micros start_micros = 0;
     Micros stall_micros = 0;
     Micros capture_micros = 0;
@@ -368,8 +458,19 @@ class Database : private GroupCommitHost {
   Status LoadCheckpointAndReplay(const VersionState& state);
   Result<std::unique_ptr<LogWriter>> OpenLogForAppend(const std::string& path);
   Status UpdateSerial(const std::vector<std::function<Result<Bytes>()>>& prepares);
-  Status RotateForCheckpointLocked(CheckpointRotation* rotation);
+  Status RotateForCheckpointLocked(CheckpointRotation* rotation, bool force_full = false);
   Status PersistCheckpoint(CheckpointRotation rotation);
+  Status PersistDeltaCheckpoint(CheckpointRotation rotation);
+  // Delta-chain compaction: with the checkpoint slot held, composes the current
+  // base + deltas into a full checkpoint(top) via Application::ComposeCheckpoint,
+  // deletes the manifest (the commit point), and reclaims the old chain files.
+  // Never poisons: a failure at any point leaves the chain authoritative and at
+  // worst some swept-at-next-open garbage.
+  Status CompactChain();
+  bool CompactionDue() const;  // thresholds vs the chain, under chain_mu_
+  // Launches the background compaction thread if compaction is due and none is in
+  // flight. Called after a successful delta persist.
+  void MaybeScheduleCompaction();
   void MaybeAutoCheckpoint();
   bool AutoCheckpointDue() const;
   // The single-flight checkpoint slot. Acquire blocks until no checkpoint is in
@@ -437,6 +538,32 @@ class Database : private GroupCommitHost {
   std::thread checkpoint_thread_;
   obs::Gauge* checkpoint_in_progress_ = nullptr;
   obs::Counter* checkpoint_failures_ = nullptr;
+
+  // The live delta chain (mirrors the on-disk manifest) and its byte accounting
+  // for the compaction thresholds. chain_mu_ is a leaf lock: held only around
+  // reads/writes of these fields, never while doing I/O.
+  mutable std::mutex chain_mu_;
+  DeltaChain chain_;
+  std::uint64_t chain_base_bytes_ = 0;
+  std::uint64_t chain_delta_bytes_ = 0;
+  // Delta mode resolved at Open: options + application support + no previous-
+  // generation retention. Immutable afterwards.
+  bool delta_effective_ = false;
+
+  // Single-flight background compactor. compaction_in_flight_ is exchanged
+  // BEFORE joining compaction_thread_, so only a finished thread (the flag is
+  // cleared as its last action, after releasing the checkpoint slot) is ever
+  // joined — the joiner can therefore hold the checkpoint slot safely.
+  // compaction_mu_ guards the thread handle itself.
+  std::atomic<bool> compaction_in_flight_{false};
+  std::mutex compaction_mu_;
+  std::thread compaction_thread_;
+  std::atomic<bool> shutting_down_{false};
+
+  obs::Counter* delta_checkpoints_ = nullptr;
+  obs::Counter* compaction_runs_ = nullptr;
+  obs::Counter* compaction_bytes_ = nullptr;
+  obs::Counter* compaction_failures_ = nullptr;
 
   // Guards only the cold breakdown structs and checkpoint counters.
   mutable std::mutex stats_mutex_;

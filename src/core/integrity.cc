@@ -66,9 +66,58 @@ Result<IntegrityReport> VerifyDatabaseDir(Vfs& vfs, const std::string& dir,
     report.version = *from_version;
   }
 
-  // Checkpoint: envelope CRC + stored type name.
+  // Delta chain resolution: the same read-only rules recovery uses. A live
+  // manifest redirects checkpoint verification to the chain's base, and every
+  // delta in the chain must be present with an intact envelope — a missing or
+  // damaged link makes the whole composed state unrecoverable.
+  report.chain_base = report.version;
   {
-    Result<Bytes> snapshot = ReadWholeFile(vfs, names.CheckpointPath(report.version));
+    Result<std::optional<DeltaChain>> manifest = names.ReadManifest();
+    if (!manifest.ok()) {
+      report.chain_ok = false;
+      report.problems.push_back("delta manifest unreadable or garbled: " +
+                                manifest.status().ToString());
+    } else if (manifest->has_value()) {
+      const DeltaChain& chain = **manifest;
+      if (chain.top() < report.version) {
+        // Superseded by a later full checkpoint; recovery sweeps it silently.
+        report.problems.push_back(
+            "stale delta manifest (superseded by a full checkpoint); swept at next open");
+      } else if (report.version < chain.base) {
+        report.chain_ok = false;
+        report.problems.push_back("delta manifest names base " +
+                                  std::to_string(chain.base) +
+                                  " beyond the current version");
+      } else {
+        report.chain_base = chain.base;
+        bool found = chain.base == report.version;
+        std::uint64_t orphans = 0;
+        for (std::uint64_t v : chain.deltas) {
+          if (v <= report.version) {
+            report.chain_deltas.push_back(v);
+            found |= v == report.version;
+          } else {
+            ++orphans;  // beyond the committed version: truncated at next open
+          }
+        }
+        if (!found) {
+          report.chain_ok = false;
+          report.problems.push_back("delta manifest skips the current version " +
+                                    std::to_string(report.version));
+        }
+        if (orphans > 0) {
+          report.problems.push_back(
+              std::to_string(orphans) +
+              " orphan delta(s) beyond the current version; truncated at next open");
+        }
+      }
+    }
+  }
+
+  // Checkpoint: envelope CRC + stored type name (the chain's base when a manifest
+  // is live, the self-contained checkpoint otherwise).
+  {
+    Result<Bytes> snapshot = ReadWholeFile(vfs, names.CheckpointPath(report.chain_base));
     if (!snapshot.ok()) {
       report.problems.push_back("checkpoint unreadable: " + snapshot.status().ToString());
     } else {
@@ -80,6 +129,25 @@ Result<IntegrityReport> VerifyDatabaseDir(Vfs& vfs, const std::string& dir,
         report.checkpoint_ok = true;
         report.checkpoint_type = *type_name;
       }
+    }
+  }
+
+  // Chain deltas: every link must be present and pass its envelope CRC, in
+  // composition order.
+  for (std::uint64_t v : report.chain_deltas) {
+    Result<Bytes> delta = ReadWholeFile(vfs, names.DeltaPath(v));
+    if (!delta.ok()) {
+      report.chain_ok = false;
+      report.problems.push_back("chain delta" + std::to_string(v) +
+                                " unreadable: " + delta.status().ToString());
+      continue;
+    }
+    report.chain_delta_bytes += delta->size();
+    Result<std::string> type_name = PeekEnvelopeType(AsSpan(*delta));
+    if (!type_name.ok()) {
+      report.chain_ok = false;
+      report.problems.push_back("chain delta" + std::to_string(v) +
+                                " damaged: " + type_name.status().ToString());
     }
   }
 

@@ -26,6 +26,15 @@ struct IntegrityReport {
   std::uint64_t checkpoint_bytes = 0;
   std::string checkpoint_type;  // the pickled type name stored in the envelope
 
+  // Delta chain: with a live manifest the current state is checkpoint<chain_base>
+  // composed with each delta<v> in chain_deltas (ascending, ending at `version`).
+  // Without one, chain_base == version and chain_deltas is empty. chain_ok covers
+  // manifest consistency AND every chain file's presence + envelope CRC.
+  std::uint64_t chain_base = 0;
+  std::vector<std::uint64_t> chain_deltas;
+  std::uint64_t chain_delta_bytes = 0;
+  bool chain_ok = true;
+
   bool log_ok = false;
   std::uint64_t log_bytes = 0;
   std::uint64_t log_entries = 0;
@@ -44,7 +53,9 @@ struct IntegrityReport {
   std::vector<std::uint64_t> audit_logs;          // retained audit trail versions
   std::vector<std::string> problems;              // human-readable findings
 
-  bool healthy() const { return checkpoint_ok && log_ok && log_damaged_entries == 0; }
+  bool healthy() const {
+    return checkpoint_ok && chain_ok && log_ok && log_damaged_entries == 0;
+  }
 };
 
 // Verifies the database in `dir`. Returns a report even when damage is found; fails

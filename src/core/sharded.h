@@ -50,6 +50,7 @@
 #include "src/core/group_commit.h"
 #include "src/core/log_writer.h"
 #include "src/core/sue_lock.h"
+#include "src/core/version_store.h"
 #include "src/obs/metrics.h"
 #include "src/storage/vfs.h"
 
@@ -104,12 +105,23 @@ struct ShardedOptions {
 
   // Ring points per shard for the consistent-hash router.
   std::size_t vnodes_per_shard = 64;
+
+  // Incremental (delta) checkpoints, per shard: when the shard app supports
+  // CaptureDeltaSnapshot, Checkpoint(p) writes p<p>.delta<v> composing over the
+  // shard's base checkpoint, and the chain is recorded in the ensemble manifest.
+  // Unlike the single-engine database there is no background compactor:
+  // compaction runs inline at the end of the shard's Phase B when a threshold
+  // crosses (the persist already runs off the stall path, so inline compaction
+  // costs no extra stall) — background_compaction is ignored.
+  DeltaCheckpointOptions delta_checkpoint;
 };
 
 struct ShardedStats {
   std::uint64_t updates = 0;
   std::uint64_t enquiries = 0;
   std::uint64_t checkpoints = 0;
+  std::uint64_t delta_checkpoints = 0;  // checkpoints written as delta levels
+  std::uint64_t compactions = 0;        // chains collapsed back into full bases
   std::uint64_t log_rotations = 0;
   std::uint64_t replayed_entries = 0;
   std::uint64_t replay_skipped_entries = 0;
@@ -232,6 +244,9 @@ class ShardedDatabase {
     UpdateCounters counters;
     obs::Counter* enquiries = nullptr;
     obs::Counter* checkpoints = nullptr;
+    obs::Counter* delta_checkpoints = nullptr;
+    obs::Counter* compaction_runs = nullptr;
+    obs::Counter* compaction_bytes = nullptr;
 
     ShardSink sink;
     std::unique_ptr<GroupCommitter> committer;
@@ -254,6 +269,12 @@ class ShardedDatabase {
     // Guarded by the ensemble's manifest_mu_ (except during single-threaded Open).
     std::uint64_t checkpoint_version = 0;
     std::uint64_t replay_from = 0;  // shared-log offset this shard is current to
+    // The shard's checkpoint chain: p<p>.checkpoint<chain.base> plus
+    // p<p>.delta<v> for each v in chain.deltas. Invariant: chain.top() ==
+    // checkpoint_version. Byte tallies feed the compaction ratio trigger.
+    DeltaChain chain;
+    std::uint64_t chain_base_bytes = 0;
+    std::uint64_t chain_delta_bytes = 0;
 
     Result<std::uint64_t> BatchBegin() override;
     Status BatchApply(ByteSpan record) override;
@@ -266,6 +287,11 @@ class ShardedDatabase {
   // Checkpoint Phase A output: what Phase B needs to persist and publish.
   struct ShardRotation {
     std::function<Result<Bytes>()> serialize;
+    // Delta capture: when the shard app granted a delta closure in Phase A,
+    // Phase B writes p<p>.delta<v> instead of a full checkpoint. Every Phase B
+    // failure path before the manifest mutation must AbandonDeltaCapture.
+    bool is_delta = false;
+    std::function<Result<Application::DeltaSnapshot>()> serialize_delta;
     // The (generation, offset) instant the snapshot is current to. Phase B only
     // raises replay_from if the generation is unchanged — a rotation in between
     // already reset the offset for the fresh log.
@@ -277,6 +303,7 @@ class ShardedDatabase {
 
   std::string LogPath(std::uint64_t generation) const;
   std::string CheckpointPath(std::size_t p, std::uint64_t version) const;
+  std::string DeltaPath(std::size_t p, std::uint64_t version) const;
   std::string ManifestPath() const;
 
   Status Recover(std::vector<Application*>& apps);
@@ -288,6 +315,13 @@ class ShardedDatabase {
   Result<std::unique_ptr<LogWriter>> OpenLogForAppend(std::uint64_t generation);
   Status CheckpointPhaseA(std::size_t p, ShardRotation* rotation);
   Status CheckpointPhaseB(std::size_t p, ShardRotation rotation);
+  Status PersistShardDelta(std::size_t p, ShardRotation rotation);
+  // True iff shard p's chain crossed a compaction threshold (caller holds
+  // manifest_mu_).
+  bool CompactionDueLocked(const ShardUnit& unit) const;
+  // Collapses shard p's chain into a full base at chain.top(). Called with p's
+  // checkpoint slot held; failures leave the chain intact (retried next time).
+  Status CompactShardChain(std::size_t p);
   Status CheckPoisoned() const;
 
   ShardedOptions options_;

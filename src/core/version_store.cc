@@ -9,9 +9,11 @@ namespace {
 constexpr std::string_view kVersionFile = "version";
 constexpr std::string_view kNewVersionFile = "newversion";
 constexpr std::string_view kPendingFile = "pending";
+constexpr std::string_view kManifestFile = "manifest";
 constexpr std::string_view kCheckpointPrefix = "checkpoint";
 constexpr std::string_view kLogPrefix = "logfile";
 constexpr std::string_view kAuditPrefix = "audit";
+constexpr std::string_view kDeltaPrefix = "delta";
 
 std::optional<std::uint64_t> ParseDecimal(std::string_view text) {
   if (text.empty() || text.size() > 19) {
@@ -49,6 +51,12 @@ std::string VersionStore::LogPath(std::uint64_t version) const {
 std::string VersionStore::AuditPath(std::uint64_t version) const {
   return JoinPath(dir_, std::string(kAuditPrefix) + std::to_string(version));
 }
+
+std::string VersionStore::DeltaPath(std::uint64_t version) const {
+  return JoinPath(dir_, std::string(kDeltaPrefix) + std::to_string(version));
+}
+
+std::string VersionStore::ManifestPath() const { return JoinPath(dir_, kManifestFile); }
 
 Result<std::vector<std::uint64_t>> VersionStore::ListAuditLogs() {
   SDB_ASSIGN_OR_RETURN(std::vector<std::string> entries, vfs_.List(dir_));
@@ -105,6 +113,117 @@ Result<std::optional<std::uint64_t>> VersionStore::ReadPendingMarker() {
   return {value};
 }
 
+Result<std::optional<DeltaChain>> VersionStore::ReadManifest() {
+  std::string path = ManifestPath();
+  SDB_ASSIGN_OR_RETURN(bool exists, vfs_.Exists(path));
+  if (!exists) {
+    return {std::optional<DeltaChain>{}};
+  }
+  // Published atomically (content synced before the rename), so never torn; anything
+  // unreadable or unparseable is media decay and must fail loudly — guessing would
+  // recover the base checkpoint as if it were the whole current state.
+  Result<Bytes> content = ReadWholeFile(vfs_, path);
+  if (!content.ok()) {
+    if (content.status().Is(ErrorCode::kUnreadable)) {
+      return CorruptionError("delta manifest " + path + " is unreadable");
+    }
+    return content.status();
+  }
+  DeltaChain chain;
+  std::string_view text = AsStringView(AsSpan(*content));
+  bool first = true;
+  std::uint64_t last = 0;
+  while (!text.empty()) {
+    std::size_t eol = text.find('\n');
+    std::string_view line = text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{} : text.substr(eol + 1);
+    if (line.empty()) {
+      continue;
+    }
+    std::string_view keyword = first ? "base " : "delta ";
+    if (line.size() <= keyword.size() || line.compare(0, keyword.size(), keyword) != 0) {
+      return CorruptionError("delta manifest " + path + " is garbled");
+    }
+    std::optional<std::uint64_t> value = ParseDecimal(line.substr(keyword.size()));
+    if (!value.has_value() || (!first && *value <= last)) {
+      return CorruptionError("delta manifest " + path + " is garbled");
+    }
+    if (first) {
+      chain.base = *value;
+      first = false;
+    } else {
+      chain.deltas.push_back(*value);
+    }
+    last = *value;
+  }
+  if (first) {
+    return CorruptionError("delta manifest " + path + " is empty");
+  }
+  return {std::optional<DeltaChain>(std::move(chain))};
+}
+
+Status VersionStore::PublishManifest(const DeltaChain& chain) {
+  std::string text = "base " + std::to_string(chain.base) + "\n";
+  for (std::uint64_t v : chain.deltas) {
+    text += "delta " + std::to_string(v) + "\n";
+  }
+  return AtomicWriteFile(vfs_, dir_, ManifestPath(), AsSpan(text));
+}
+
+// Resolves the composition chain for state.version from the manifest, applying the
+// protocol rules (header comment): absent or superseded manifest => self-contained
+// full checkpoint; deltas beyond `version` are truncated as orphans; a version the
+// chain cannot produce, or a missing referenced file, is corruption.
+Status VersionStore::ResolveDeltaChain(const std::optional<DeltaChain>& manifest,
+                                       VersionState& state) {
+  state.chain.base = state.version;
+  state.chain.deltas.clear();
+  if (!manifest.has_value()) {
+    return OkStatus();
+  }
+  if (manifest->top() < state.version) {
+    // A full-checkpoint switch committed after the chain was last extended:
+    // checkpoint(version) is self-contained and the manifest is stale.
+    state.manifest_superseded = true;
+    return OkStatus();
+  }
+  if (state.version < manifest->base) {
+    return CorruptionError("delta manifest claims base " +
+                           std::to_string(manifest->base) +
+                           " ahead of resolved version " + std::to_string(state.version));
+  }
+  state.chain.base = manifest->base;
+  bool found = state.version == manifest->base;
+  for (std::uint64_t v : manifest->deltas) {
+    if (v <= state.version) {
+      state.chain.deltas.push_back(v);
+      found |= v == state.version;
+    } else {
+      state.orphan_deltas.push_back(v);
+    }
+  }
+  if (!found) {
+    return CorruptionError("delta manifest chain skips resolved version " +
+                           std::to_string(state.version));
+  }
+  // The manifest was durable before any switch that references it, so every chain
+  // file it names at or below `version` must exist.
+  SDB_ASSIGN_OR_RETURN(bool base_ok, vfs_.Exists(CheckpointPath(state.chain.base)));
+  if (!base_ok) {
+    return CorruptionError("delta manifest names base checkpoint " +
+                           std::to_string(state.chain.base) + " but " +
+                           CheckpointPath(state.chain.base) + " is missing");
+  }
+  for (std::uint64_t v : state.chain.deltas) {
+    SDB_ASSIGN_OR_RETURN(bool delta_ok, vfs_.Exists(DeltaPath(v)));
+    if (!delta_ok) {
+      return CorruptionError("delta manifest names delta " + std::to_string(v) +
+                             " but " + DeltaPath(v) + " is missing");
+    }
+  }
+  return OkStatus();
+}
+
 Status VersionStore::ResolvePendingChain(VersionState& state) {
   state.live_log_version = state.version;
   SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> pending, ReadPendingMarker());
@@ -140,6 +259,7 @@ Status VersionStore::InitFresh() {
 
 Result<VersionState> VersionStore::PeekCurrent() {
   VersionState state;
+  SDB_ASSIGN_OR_RETURN(std::optional<DeltaChain> manifest, ReadManifest());
 
   SDB_ASSIGN_OR_RETURN(std::optional<std::uint64_t> from_newversion,
                        ReadVersionFile(kNewVersionFile));
@@ -147,8 +267,13 @@ Result<VersionState> VersionStore::PeekCurrent() {
   if (from_newversion.has_value()) {
     // The switch to *from_newversion committed but was not finished. Verify the new
     // generation actually exists before trusting it (defense in depth; the protocol
-    // guarantees it does).
+    // guarantees it does). A delta switch has no checkpoint file of its own — its
+    // state lives at the top of the manifest chain.
     SDB_ASSIGN_OR_RETURN(bool checkpoint_ok, vfs_.Exists(CheckpointPath(*from_newversion)));
+    if (!checkpoint_ok && manifest.has_value() && manifest->top() == *from_newversion &&
+        manifest->has_deltas()) {
+      SDB_ASSIGN_OR_RETURN(checkpoint_ok, vfs_.Exists(DeltaPath(*from_newversion)));
+    }
     SDB_ASSIGN_OR_RETURN(bool log_ok, vfs_.Exists(LogPath(*from_newversion)));
     if (checkpoint_ok && log_ok) {
       chosen = from_newversion;
@@ -174,6 +299,7 @@ Result<VersionState> VersionStore::PeekCurrent() {
       state.previous_version = prev;
     }
   }
+  SDB_RETURN_IF_ERROR(ResolveDeltaChain(manifest, state));
   SDB_RETURN_IF_ERROR(ResolvePendingChain(state));
   return state;
 }
@@ -188,6 +314,21 @@ Result<VersionState> VersionStore::Recover() {
     if (stale_marker) {
       SDB_RETURN_IF_ERROR(vfs_.Delete(PendingMarkerPath()));
       state.removed_files.push_back(PendingMarkerPath());
+    }
+  }
+
+  // Repair the manifest before any file is swept: republish the truncated chain (or
+  // delete a superseded/empty one) so the durable manifest never references a file a
+  // later step removes. Orphan delta files themselves fall to RemoveStaleFiles.
+  if (state.manifest_superseded || !state.orphan_deltas.empty()) {
+    if (state.chain.has_deltas()) {
+      SDB_RETURN_IF_ERROR(PublishManifest(state.chain));
+    } else {
+      SDB_ASSIGN_OR_RETURN(bool manifest_exists, vfs_.Exists(ManifestPath()));
+      if (manifest_exists) {
+        SDB_RETURN_IF_ERROR(vfs_.Delete(ManifestPath()));
+        state.removed_files.push_back(ManifestPath());
+      }
     }
   }
 
@@ -229,14 +370,29 @@ Status VersionStore::RemoveStaleFiles(std::uint64_t current, VersionState& state
   for (const std::string& name : entries) {
     std::optional<std::uint64_t> version = ParseVersionedName(name, kCheckpointPrefix);
     bool is_log = false;
+    bool is_delta = false;
     if (!version.has_value()) {
       version = ParseVersionedName(name, kLogPrefix);
       is_log = version.has_value();
     }
+    if (!version.has_value()) {
+      version = ParseVersionedName(name, kDeltaPrefix);
+      is_delta = version.has_value();
+    }
     bool is_tmp = name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
     bool stale = false;
-    if (version.has_value()) {
-      bool keep = *version == current ||
+    if (is_delta) {
+      // A delta is live only while the resolved chain references it (orphans beyond
+      // `current` and files of a compacted-away chain are garbage).
+      stale = std::find(state.chain.deltas.begin(), state.chain.deltas.end(), *version) ==
+              state.chain.deltas.end();
+    } else if (version.has_value()) {
+      // Under a delta chain the base checkpoint is the live one; a checkpoint file at
+      // `current` is then an orphan from a compaction that crashed before its
+      // manifest-delete commit point (possibly torn — the chain stays authoritative).
+      bool keep = (is_log && *version == current) ||
+                  (!is_log && *version == current && !state.chain.has_deltas()) ||
+                  (!is_log && *version == state.chain.base) ||
                   (options_.keep_previous_checkpoint && *version + 1 == current) ||
                   // Rotated-but-unswitched logs hold acknowledged updates.
                   (is_log && *version > current && *version <= state.live_log_version);
@@ -264,6 +420,22 @@ Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t n
   if (switch_ambiguous != nullptr) {
     *switch_ambiguous = false;
   }
+  // Read the manifest before the commit point. A *delta* switch (the manifest's top
+  // names the new generation) must keep every chain file it references; a *full*
+  // switch over an existing chain supersedes the whole chain, manifest included.
+  SDB_ASSIGN_OR_RETURN(std::optional<DeltaChain> manifest, ReadManifest());
+  bool delta_switch = manifest.has_value() && manifest->has_deltas() &&
+                      manifest->top() == new_version;
+  auto chain_references = [&](std::uint64_t v, bool as_delta) {
+    if (!delta_switch) {
+      return false;
+    }
+    if (as_delta) {
+      return std::find(manifest->deltas.begin(), manifest->deltas.end(), v) !=
+             manifest->deltas.end();
+    }
+    return v == manifest->base;
+  };
   // The new checkpoint and log files exist and are synced; make their directory
   // entries durable before committing to them.
   SDB_RETURN_IF_ERROR(vfs_.SyncDir(dir_));
@@ -291,8 +463,12 @@ Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t n
     if (options_.keep_previous_checkpoint && v + 1 == new_version && checkpoint_exists) {
       continue;  // this generation becomes the retained previous one
     }
-    if (checkpoint_exists) {
+    if (checkpoint_exists && !chain_references(v, /*as_delta=*/false)) {
       SDB_RETURN_IF_ERROR(vfs_.Delete(CheckpointPath(v)));
+    }
+    SDB_ASSIGN_OR_RETURN(bool delta_exists, vfs_.Exists(DeltaPath(v)));
+    if (delta_exists && !chain_references(v, /*as_delta=*/true)) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(DeltaPath(v)));  // orphan from an aborted persist
     }
     SDB_ASSIGN_OR_RETURN(bool log_exists, vfs_.Exists(LogPath(v)));
     if (log_exists) {
@@ -300,6 +476,22 @@ Status VersionStore::CommitSwitch(std::uint64_t current_version, std::uint64_t n
         SDB_RETURN_IF_ERROR(vfs_.Rename(LogPath(v), AuditPath(v)));
       } else {
         SDB_RETURN_IF_ERROR(vfs_.Delete(LogPath(v)));
+      }
+    }
+  }
+  if (manifest.has_value() && !delta_switch) {
+    // The new full checkpoint supersedes the chain. Manifest first (so a crash never
+    // leaves it referencing deleted files), then the chain files the loop above could
+    // not reach (base and deltas below the doomed range).
+    SDB_RETURN_IF_ERROR(vfs_.Delete(ManifestPath()));
+    SDB_ASSIGN_OR_RETURN(bool base_exists, vfs_.Exists(CheckpointPath(manifest->base)));
+    if (base_exists && manifest->base != new_version) {
+      SDB_RETURN_IF_ERROR(vfs_.Delete(CheckpointPath(manifest->base)));
+    }
+    for (std::uint64_t v : manifest->deltas) {
+      SDB_ASSIGN_OR_RETURN(bool delta_exists, vfs_.Exists(DeltaPath(v)));
+      if (delta_exists && v != new_version) {
+        SDB_RETURN_IF_ERROR(vfs_.Delete(DeltaPath(v)));
       }
     }
   }

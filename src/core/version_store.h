@@ -25,6 +25,23 @@
 // CommitSwitch removes the marker (and every superseded generation in [C, P)) after
 // its commit point; a crash in between leaves a stale marker (P <= C) that recovery
 // deletes.
+//
+// Incremental checkpoints generalize the same invariant to the checkpoint itself: a
+// generation may be a *delta* over an earlier base instead of a full snapshot. A text
+// `manifest` file (atomic-rename published, so never torn) records the composition
+// chain: base version B plus delta versions d1 < ... < dk, all > B. The authoritative
+// state for resolved version V is then checkpoint(B) composed with delta(d1)..delta(V)
+// plus logs V.. replayed on top. The manifest is published durably BEFORE each delta
+// switch commits, so a committed switch always has its composition recipe on disk.
+// Rules: no manifest, or manifest top < V, means checkpoint(V) is a self-contained
+// full snapshot (a full switch supersedes the chain; recovery sweeps the stale
+// manifest and its now-unreferenced chain files). Manifest deltas beyond V are
+// orphans from persists that never switched; recovery truncates them. A V strictly
+// inside (B, top] that the chain does not list — or an unreadable/garbled manifest,
+// or a referenced chain file that is missing — is loud kCorruption: guessing would
+// silently drop committed state. Compaction collapses the chain in place: it writes
+// a full checkpoint(top), deletes the manifest (the commit point), then reclaims the
+// old base and delta files.
 #ifndef SMALLDB_SRC_CORE_VERSION_STORE_H_
 #define SMALLDB_SRC_CORE_VERSION_STORE_H_
 
@@ -49,6 +66,17 @@ struct VersionStoreOptions {
   bool retain_logs_for_audit = false;
 };
 
+// The checkpoint composition chain for one generation. With no deltas the generation
+// is an ordinary self-contained full checkpoint (base == the resolved version).
+struct DeltaChain {
+  std::uint64_t base = 0;
+  std::vector<std::uint64_t> deltas;  // ascending, every element > base
+
+  std::uint64_t top() const { return deltas.empty() ? base : deltas.back(); }
+  std::size_t length() const { return 1 + deltas.size(); }
+  bool has_deltas() const { return !deltas.empty(); }
+};
+
 struct VersionState {
   std::uint64_t version = 0;
   std::string checkpoint_path;
@@ -66,6 +94,16 @@ struct VersionState {
   // The generation updates were last committing to: `version` normally, the marker's
   // value while a rotation is pending.
   std::uint64_t live_log_version = 0;
+  // Composition recipe for `version`: chain.base == version with no deltas when the
+  // checkpoint is self-contained, else checkpoint(chain.base) + delta(chain.deltas...)
+  // composed in order. Every referenced file verified present during resolution.
+  DeltaChain chain;
+  // Deltas the manifest listed beyond `version` (persists that never switched);
+  // Recover truncates the manifest past them and sweeps their files.
+  std::vector<std::uint64_t> orphan_deltas;
+  // The manifest's whole chain was superseded by a full-checkpoint switch (its top is
+  // below `version`); Recover deletes the manifest and its unreferenced chain files.
+  bool manifest_superseded = false;
 };
 
 class VersionStore {
@@ -76,6 +114,8 @@ class VersionStore {
   std::string CheckpointPath(std::uint64_t version) const;
   std::string LogPath(std::uint64_t version) const;
   std::string AuditPath(std::uint64_t version) const;
+  std::string DeltaPath(std::uint64_t version) const;
+  std::string ManifestPath() const;
 
   // Versions with a retained audit log, ascending. Empty unless retain_logs_for_audit
   // has been producing them.
@@ -113,6 +153,17 @@ class VersionStore {
   Status CommitSwitch(std::uint64_t current_version, std::uint64_t new_version,
                       bool* switch_ambiguous = nullptr);
 
+  // The delta-chain manifest, or nullopt if absent. Like the pending marker, the
+  // manifest is always published atomically (never torn), so an unreadable or garbled
+  // one is loud kCorruption: treating it as absent would recover checkpoint(base) as
+  // if it were the full current state, silently dropping every delta.
+  Result<std::optional<DeltaChain>> ReadManifest();
+
+  // Durably publishes `chain` as the manifest (write tmp, fsync, rename, sync dir).
+  // Callers publish BEFORE committing a delta switch — once `newversion` names the
+  // delta generation, the manifest is the only composition recipe.
+  Status PublishManifest(const DeltaChain& chain);
+
   // Durably records (write tmp, fsync, rename, sync dir) that LogPath(live_version)
   // is the live log while the version files still name an older generation. Must be
   // called after LogPath(live_version) has been created and synced: the marker's
@@ -132,6 +183,7 @@ class VersionStore {
   Result<std::optional<std::uint64_t>> ReadVersionFile(std::string_view name);
   Status RemoveStaleFiles(std::uint64_t current, VersionState& state);
   Status ResolvePendingChain(VersionState& state);
+  Status ResolveDeltaChain(const std::optional<DeltaChain>& manifest, VersionState& state);
 
   Vfs& vfs_;
   std::string dir_;

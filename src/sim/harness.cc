@@ -171,6 +171,11 @@ class Runner {
     o.log_writer.page_size = options_.disk_page_size;
     o.log_replay_page_size = options_.disk_page_size;
     o.recovery_threads = options_.recovery_threads;
+    // Determinism: compaction must run inline at the checkpoint that crossed the
+    // threshold, never on a background thread racing the workload's disk ops.
+    o.delta_checkpoint.background_compaction = false;
+    o.delta_checkpoint.compact_after_deltas = options_.compact_after_deltas;
+    o.delta_checkpoint.compact_delta_base_ratio = options_.compact_delta_base_ratio;
     return o;
   }
 
@@ -186,6 +191,9 @@ class Runner {
     // Determinism: parallel shard recovery would permute SimDisk op ordinals, so
     // fault points would fire at different ops across identical runs.
     o.recovery_threads = 1;
+    // Sharded compaction is always inline (no background thread to race).
+    o.delta_checkpoint.compact_after_deltas = options_.compact_after_deltas;
+    o.delta_checkpoint.compact_delta_base_ratio = options_.compact_delta_base_ratio;
     return o;
   }
 

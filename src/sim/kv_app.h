@@ -6,7 +6,9 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "src/core/database.h"
@@ -22,6 +24,14 @@ struct KvRecord {
   SDB_PICKLE_FIELDS(KvRecord, op, key, value)
 };
 
+// One delta level: the keys dirtied since the previous capture, as last-effect
+// upserts + tombstones. Composition over a base map is apply-in-order.
+struct KvDelta {
+  std::map<std::string, std::string> puts;
+  std::set<std::string> deletes;
+  SDB_PICKLE_FIELDS(KvDelta, puts, deletes)
+};
+
 class KvApp final : public Application {
  public:
   static constexpr std::uint8_t kPut = 0;
@@ -29,6 +39,9 @@ class KvApp final : public Application {
 
   Status ResetState() override {
     state.clear();
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.clear();
+    staged_.reset();
     return OkStatus();
   }
 
@@ -41,7 +54,12 @@ class KvApp final : public Application {
   Status DeserializeState(ByteSpan data) override {
     SDB_ASSIGN_OR_RETURN(PickleReader reader,
                          PickleReader::FromEnvelope(data, "sim.KvApp.state"));
-    return reader.Read(state);
+    SDB_RETURN_IF_ERROR(reader.Read(state));
+    // The loaded state is chain-covered: nothing is dirty relative to it.
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.clear();
+    staged_.reset();
+    return OkStatus();
   }
 
   Status ApplyUpdate(ByteSpan record) override {
@@ -51,6 +69,7 @@ class KvApp final : public Application {
     } else {
       state.insert_or_assign(update.key, update.value);
     }
+    MarkDirty(update.key);
     return OkStatus();
   }
 
@@ -92,8 +111,79 @@ class KvApp final : public Application {
       } else {
         state.erase(key);
       }
+      MarkDirty(key);
     }
     return OkStatus();
+  }
+
+  // Delta checkpoints: the dirty window is the keys ApplyUpdate / replay touched
+  // since the last successful capture. Capture copies their live effect (value or
+  // tombstone) under the update lock, so the closure never reads live state.
+  Result<std::function<Result<DeltaSnapshot>()>> CaptureDeltaSnapshot() override {
+    auto staged = std::make_shared<KvDelta>();
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      for (const std::string& key : dirty_) {
+        auto it = state.find(key);
+        if (it != state.end()) {
+          staged->puts.emplace(key, it->second);
+        } else {
+          staged->deletes.insert(key);
+        }
+      }
+      dirty_.clear();
+      staged_ = staged;
+    }
+    return std::function<Result<DeltaSnapshot>()>([staged]() -> Result<DeltaSnapshot> {
+      PickleWriter writer;
+      writer.Write(*staged);
+      DeltaSnapshot snapshot;
+      snapshot.bytes = std::move(writer).FinishEnvelope("sim.KvApp.delta");
+      snapshot.objects = staged->puts.size() + staged->deletes.size();
+      return snapshot;
+    });
+  }
+
+  void CommitDeltaCapture() override {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    staged_.reset();
+  }
+
+  void AbandonDeltaCapture() override {
+    // Fold the staged window back so the next capture re-covers it (keys touched
+    // since the failed capture are already dirty again; union is exactly right).
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    if (staged_ == nullptr) {
+      return;
+    }
+    for (const auto& [key, value] : staged_->puts) {
+      dirty_.insert(key);
+    }
+    dirty_.insert(staged_->deletes.begin(), staged_->deletes.end());
+    staged_.reset();
+  }
+
+  Result<Bytes> ComposeCheckpoint(ByteSpan base,
+                                  const std::vector<ByteSpan>& deltas) override {
+    SDB_ASSIGN_OR_RETURN(PickleReader reader,
+                         PickleReader::FromEnvelope(base, "sim.KvApp.state"));
+    std::map<std::string, std::string> composed;
+    SDB_RETURN_IF_ERROR(reader.Read(composed));
+    for (ByteSpan delta_bytes : deltas) {
+      SDB_ASSIGN_OR_RETURN(PickleReader delta_reader,
+                           PickleReader::FromEnvelope(delta_bytes, "sim.KvApp.delta"));
+      KvDelta delta;
+      SDB_RETURN_IF_ERROR(delta_reader.Read(delta));
+      for (auto& [key, value] : delta.puts) {
+        composed.insert_or_assign(key, std::move(value));
+      }
+      for (const std::string& key : delta.deletes) {
+        composed.erase(key);
+      }
+    }
+    PickleWriter writer;
+    writer.Write(composed);
+    return std::move(writer).FinishEnvelope("sim.KvApp.state");
   }
 
   std::function<Result<Bytes>()> PreparePut(std::string key, std::string value) {
@@ -109,6 +199,19 @@ class KvApp final : public Application {
   }
 
   std::map<std::string, std::string> state;
+
+ private:
+  void MarkDirty(const std::string& key) {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.insert(key);
+  }
+
+  // Guards the dirty window and the staged delta: ApplyUpdate runs under the
+  // engine's exclusive lock, but Commit/AbandonDeltaCapture run on the background
+  // persist thread with no engine lock held.
+  std::mutex dirty_mu_;
+  std::set<std::string> dirty_;
+  std::shared_ptr<KvDelta> staged_;
 };
 
 }  // namespace sdb::sim

@@ -102,6 +102,19 @@ WorkloadOptions RestartHeavyWorkload() {
   return options;
 }
 
+WorkloadOptions CompactionHeavyWorkload() {
+  WorkloadOptions options;
+  options.keyspace = 8;  // small: each delta re-dirties keys the chain already holds
+  options.put_weight = 0.42;
+  options.delete_weight = 0.08;
+  options.lookup_weight = 0.05;
+  options.enumerate_weight = 0.05;
+  options.checkpoint_weight = 0.25;  // chains grow fast, compaction fires often
+  options.backup_weight = 0.05;      // backups must copy live chains, not just bases
+  options.restart_weight = 0.10;     // every reboot recomposes base ∘ deltas + log
+  return options;
+}
+
 std::string StepKindName(StepKind kind) {
   switch (kind) {
     case StepKind::kPut:

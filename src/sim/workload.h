@@ -66,6 +66,13 @@ WorkloadOptions CheckpointHeavyWorkload();
 // particular — recovery's own page reads) at the parallel replay pipeline.
 WorkloadOptions RestartHeavyWorkload();
 
+// A mix for the delta-checkpoint chain: a dense put stream over a small keyspace
+// with one step in four a checkpoint and regular restarts. Paired with tiny
+// compaction thresholds (the harness's compact_after_deltas / ratio knobs) every
+// run grows, collapses and recovers delta chains many times, so fault schedules
+// land on delta publication, the compaction rewrite and chain reclamation.
+WorkloadOptions CompactionHeavyWorkload();
+
 std::string StepKindName(StepKind kind);
 std::string StepToString(const WorkloadStep& step);
 

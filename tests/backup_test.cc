@@ -1,8 +1,11 @@
 // Tests for offline backup/restore and the page-size robustness sweep.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "src/core/backup.h"
 #include "src/core/integrity.h"
+#include "src/sim/kv_app.h"
 #include "src/storage/sim_env.h"
 #include "tests/test_app.h"
 
@@ -96,6 +99,56 @@ TEST_F(BackupTest, BackupSurvivesSourceDestruction) {
   auto db = Database::Open(saved, Options("backup"));
   ASSERT_TRUE(db.ok());
   EXPECT_EQ(saved.state.size(), 10u);
+}
+
+TEST_F(BackupTest, BackupCopiesLiveDeltaChainWhole) {
+  // ISSUE 9 regression: a generation whose checkpoint is a delta chain must travel
+  // as base + every delta + manifest — copying only checkpoint(version) (which does
+  // not even exist) or only the base would quietly drop committed churn.
+  DatabaseOptions live_options = Options("live");
+  live_options.delta_checkpoint.enabled = true;
+  live_options.delta_checkpoint.background_compaction = false;
+  live_options.delta_checkpoint.compact_after_deltas = 1000;  // keep the chain live
+  live_options.delta_checkpoint.compact_delta_base_ratio = 0;
+
+  std::map<std::string, std::string> expected;
+  sim::KvApp app;
+  {
+    auto db = *Database::Open(app, live_options);
+    ASSERT_TRUE(db->Update(app.PreparePut("a", "a-v1")).ok());
+    ASSERT_TRUE(db->Update(app.PreparePut("b", "b-v1")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // delta2
+    ASSERT_TRUE(db->Update(app.PreparePut("a", "a-v2")).ok());
+    ASSERT_TRUE(db->Update(app.PrepareDelete("b")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // delta3
+    ASSERT_TRUE(db->Update(app.PreparePut("tail", "t-v1")).ok());
+    expected = app.state;
+  }
+  ASSERT_TRUE(*env_->fs().Exists("live/manifest"));
+
+  BackupInfo info = *BackupDatabaseDir(env_->fs(), "live", env_->fs(), "backup");
+  EXPECT_EQ(info.version, 3u);
+
+  // The whole chain travelled.
+  EXPECT_TRUE(*env_->fs().Exists("backup/checkpoint1"));
+  EXPECT_TRUE(*env_->fs().Exists("backup/delta2"));
+  EXPECT_TRUE(*env_->fs().Exists("backup/delta3"));
+  EXPECT_TRUE(*env_->fs().Exists("backup/manifest"));
+
+  // The backup verifies healthy as a chained directory in its own right...
+  auto report = *VerifyDatabaseDir(env_->fs(), "backup");
+  EXPECT_TRUE(report.healthy());
+  EXPECT_EQ(report.chain_base, 1u);
+  EXPECT_EQ(report.chain_deltas, (std::vector<std::uint64_t>{2, 3}));
+
+  // ...and restores to the exact source state, log tail included.
+  ASSERT_TRUE(RestoreDatabaseDir(env_->fs(), "backup", env_->fs(), "restored").ok());
+  sim::KvApp restored;
+  DatabaseOptions restored_options = Options("restored");
+  restored_options.delta_checkpoint.enabled = true;
+  auto db = Database::Open(restored, restored_options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(restored.state, expected);
 }
 
 TEST_F(BackupTest, IncrementalBackupCopiesOnlyTheLog) {

@@ -1,0 +1,434 @@
+// Tests for O(changes) incremental checkpoints (ISSUE 9): delta chains published
+// over a base checkpoint, background / inline compaction collapsing them, and
+// recovery composing base ∘ deltas + log replay — byte-identical to full-checkpoint
+// recovery at every recovery_threads count, single-DB and sharded.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/core/integrity.h"
+#include "src/core/sharded.h"
+#include "src/sim/kv_app.h"
+#include "src/storage/sim_env.h"
+
+namespace sdb {
+namespace {
+
+class DeltaCheckpointTest : public ::testing::Test {
+ protected:
+  DeltaCheckpointTest() {
+    SimEnvOptions options;
+    options.microvax_cost_model = false;
+    env_ = std::make_unique<SimEnv>(options);
+  }
+
+  // Delta mode on, compaction triggers off unless a test dials them in.
+  DatabaseOptions Options(std::string dir = "db") {
+    DatabaseOptions options;
+    options.vfs = &env_->fs();
+    options.dir = std::move(dir);
+    options.clock = &env_->clock();
+    options.delta_checkpoint.enabled = true;
+    options.delta_checkpoint.background_compaction = false;
+    options.delta_checkpoint.compact_after_deltas = 1000;
+    options.delta_checkpoint.compact_delta_base_ratio = 0;
+    return options;
+  }
+
+  bool Exists(std::string_view path) { return *env_->fs().Exists(path); }
+
+  Status Put(Database& db, sim::KvApp& app, const std::string& key,
+             const std::string& value) {
+    return db.Update(app.PreparePut(key, value));
+  }
+
+  std::unique_ptr<SimEnv> env_;
+};
+
+TEST_F(DeltaCheckpointTest, DeltaChainSurvivesRestart) {
+  std::map<std::string, std::string> expected;
+  {
+    sim::KvApp app;
+    auto db = *Database::Open(app, Options());
+    ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+    ASSERT_TRUE(Put(*db, app, "b", "b-v1").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // delta2 on base checkpoint1
+    ASSERT_TRUE(Put(*db, app, "a", "a-v2").ok());
+    ASSERT_TRUE(db->Update(app.PrepareDelete("b")).ok());
+    ASSERT_TRUE(Put(*db, app, "c", "c-v1").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // delta3
+    ASSERT_TRUE(Put(*db, app, "d", "d-v1").ok());  // log tail on top of the chain
+    expected = app.state;
+  }
+  // The chain is the persistent representation: no full checkpoint beyond the base.
+  EXPECT_TRUE(Exists("db/checkpoint1"));
+  EXPECT_TRUE(Exists("db/delta2"));
+  EXPECT_TRUE(Exists("db/delta3"));
+  EXPECT_TRUE(Exists("db/manifest"));
+  EXPECT_FALSE(Exists("db/checkpoint2"));
+  EXPECT_FALSE(Exists("db/checkpoint3"));
+
+  sim::KvApp recovered;
+  auto db = Database::Open(recovered, Options());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(recovered.state, expected);
+}
+
+TEST_F(DeltaCheckpointTest, InlineCompactionCollapsesChainAtThreshold) {
+  DatabaseOptions options = Options();
+  options.delta_checkpoint.compact_after_deltas = 2;
+
+  sim::KvApp app;
+  auto db = *Database::Open(app, options);
+  ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());  // chain: 1 + [2]
+  ASSERT_TRUE(Put(*db, app, "a", "a-v2").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());  // chain: 1 + [2, 3] -> compacts inline
+
+  EXPECT_TRUE(Exists("db/checkpoint3"));
+  EXPECT_FALSE(Exists("db/manifest"));
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_FALSE(Exists("db/delta2"));
+  EXPECT_FALSE(Exists("db/delta3"));
+  EXPECT_EQ(db->metrics().GetCounter("compaction.runs").value(), 1u);
+
+  // The collapsed checkpoint is self-contained: recovery needs no chain.
+  db.reset();
+  sim::KvApp recovered;
+  auto reopened = Database::Open(recovered, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(recovered.state["a"], "a-v2");
+}
+
+TEST_F(DeltaCheckpointTest, DeltaBytesRatioAlsoTriggersCompaction) {
+  DatabaseOptions options = Options();
+  // A tiny base with deltas quickly outgrowing it: the byte-ratio trigger fires
+  // even though the chain-length trigger never would.
+  options.delta_checkpoint.compact_after_deltas = 1000;
+  options.delta_checkpoint.compact_delta_base_ratio = 0.01;
+
+  sim::KvApp app;
+  auto db = *Database::Open(app, options);
+  ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  ASSERT_TRUE(Put(*db, app, "b", std::string(512, 'x')).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  EXPECT_FALSE(Exists("db/manifest"));
+  EXPECT_GE(db->metrics().GetCounter("compaction.runs").value(), 1u);
+}
+
+TEST_F(DeltaCheckpointTest, BackgroundCompactionCollapsesChainByClose) {
+  DatabaseOptions options = Options();
+  options.delta_checkpoint.background_compaction = true;
+  options.delta_checkpoint.compact_after_deltas = 2;
+
+  {
+    sim::KvApp app;
+    auto db = *Database::Open(app, options);
+    ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(Put(*db, app, "a", "a-v2").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());  // schedules the compactor thread
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(Put(*db, app, "k" + std::to_string(i), "v").ok());
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    // A compaction was certainly scheduled (the chain crossed the threshold more
+    // than once); wait for the single-flight compactor to land at least one run.
+    obs::Counter& runs = db->metrics().GetCounter("compaction.runs");
+    for (int i = 0; i < 5000 && runs.value() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(runs.value(), 1u);
+    // Destruction joins any in-flight compactor thread before closing the slot.
+  }
+  sim::KvApp recovered;
+  auto db = Database::Open(recovered, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(recovered.state["a"], "a-v2");
+  EXPECT_EQ(recovered.state["k3"], "v");
+  auto report = VerifyDatabaseDir(env_->fs(), "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->healthy());
+}
+
+TEST_F(DeltaCheckpointTest, ForceFullCeilingCollapsesThroughFullSwitch) {
+  DatabaseOptions options = Options();
+  options.delta_checkpoint.compact_after_deltas = 1000;  // compaction never fires
+  options.delta_checkpoint.force_full_at_chain_length = 3;
+
+  sim::KvApp app;
+  auto db = *Database::Open(app, options);
+  ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());  // delta2: chain length 2
+  ASSERT_TRUE(Put(*db, app, "a", "a-v2").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());  // delta3: chain length 3 == ceiling
+  ASSERT_TRUE(Put(*db, app, "a", "a-v3").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());  // forced full: ordinary switch to checkpoint4
+
+  EXPECT_TRUE(Exists("db/checkpoint4"));
+  EXPECT_FALSE(Exists("db/delta4"));
+  // The full switch superseded the chain; its files are reclaimed.
+  EXPECT_FALSE(Exists("db/manifest"));
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_FALSE(Exists("db/delta2"));
+  EXPECT_FALSE(Exists("db/delta3"));
+}
+
+TEST_F(DeltaCheckpointTest, KeepPreviousCheckpointDisablesDeltaMode) {
+  DatabaseOptions options = Options();
+  options.keep_previous_checkpoint = true;  // hard-error fallback wants full files
+
+  sim::KvApp app;
+  auto db = *Database::Open(app, options);
+  ASSERT_TRUE(Put(*db, app, "a", "a-v1").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  EXPECT_TRUE(Exists("db/checkpoint2"));
+  EXPECT_FALSE(Exists("db/delta2"));
+  EXPECT_FALSE(Exists("db/manifest"));
+}
+
+TEST_F(DeltaCheckpointTest, ChainRecoveryByteIdenticalToFullAtEveryThreadCount) {
+  // The same update/checkpoint sequence lands in a delta-chained directory and a
+  // full-checkpoint twin. Recovery from the chain must serialize byte-identically
+  // to recovery from the full checkpoints, at every recovery_threads count.
+  auto run_script = [&](Database& db, sim::KvApp& app) {
+    for (int i = 0; i < 24; ++i) {
+      std::string key = "k" + std::to_string(i % 7);
+      ASSERT_TRUE(Put(db, app, key, "v" + std::to_string(i)).ok());
+      if (i == 9 || i == 17) {
+        ASSERT_TRUE(db.Checkpoint().ok());
+      }
+    }
+    ASSERT_TRUE(db.Update(app.PrepareDelete("k2")).ok());
+  };
+
+  {
+    sim::KvApp app;
+    auto db = *Database::Open(app, Options("chain"));
+    run_script(*db, app);
+  }
+  {
+    DatabaseOptions full_options = Options("full");
+    full_options.delta_checkpoint.enabled = false;
+    sim::KvApp app;
+    auto db = *Database::Open(app, full_options);
+    run_script(*db, app);
+  }
+  ASSERT_TRUE(Exists("chain/manifest"));  // the chain really is the representation
+  ASSERT_FALSE(Exists("full/manifest"));
+
+  Bytes full_snapshot;
+  {
+    sim::KvApp app;
+    DatabaseOptions options = Options("full");
+    auto db = Database::OpenReadOnly(app, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    full_snapshot = *app.SerializeState();
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("recovery_threads " + std::to_string(threads));
+    sim::KvApp app;
+    DatabaseOptions options = Options("chain");
+    options.recovery_threads = threads;
+    auto db = Database::OpenReadOnly(app, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_EQ(*app.SerializeState(), full_snapshot)
+        << "chain recovery diverged from full-checkpoint recovery";
+  }
+}
+
+// Named *Concurrent* so CI's TSan gtest filter runs it: writer threads race the
+// checkpoint/compaction pipeline with background_compaction on, then a reopen
+// proves no acknowledged update was lost by a delta capture or a chain collapse.
+TEST_F(DeltaCheckpointTest, ConcurrentWritersWithBackgroundCompaction) {
+  DatabaseOptions options = Options();
+  options.delta_checkpoint.background_compaction = true;
+  options.delta_checkpoint.compact_after_deltas = 2;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 24;
+  std::vector<std::string> acknowledged;
+  std::mutex mu;
+  {
+    sim::KvApp app;
+    auto db = *Database::Open(app, options);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+          if (db->Update(app.PreparePut(key, "value-of-" + key)).ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            acknowledged.push_back(key);
+          }
+        }
+      });
+    }
+    // Checkpoints race the writers: every one publishes a delta of whatever churn
+    // it caught, and every second one crosses the compaction threshold.
+    for (int c = 0; c < 6; ++c) {
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    for (std::thread& w : writers) {
+      w.join();
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());  // final delta covers the stragglers
+  }
+
+  sim::KvApp recovered;
+  auto db = Database::Open(recovered, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(acknowledged.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& key : acknowledged) {
+    ASSERT_EQ(recovered.state.count(key), 1u) << "acknowledged update " << key << " lost";
+    EXPECT_EQ(recovered.state[key], "value-of-" + key);
+  }
+  // And the survivor directory verifies healthy, chain or no chain.
+  auto report = VerifyDatabaseDir(env_->fs(), "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->healthy());
+}
+
+// --- sharded: per-shard chains behind the shared log ---
+
+class ShardedDeltaTest : public DeltaCheckpointTest {
+ protected:
+  ShardedOptions Options() {
+    ShardedOptions options;
+    options.vfs = &env_->fs();
+    options.dir = "ensemble";
+    options.clock = &env_->clock();
+    options.delta_checkpoint.enabled = true;
+    options.delta_checkpoint.compact_after_deltas = 1000;
+    options.delta_checkpoint.compact_delta_base_ratio = 0;
+    return options;
+  }
+
+  Result<std::unique_ptr<ShardedDatabase>> OpenEnsemble(int k, ShardedOptions options) {
+    apps_.clear();
+    std::vector<Application*> raw;
+    for (int i = 0; i < k; ++i) {
+      apps_.push_back(std::make_unique<sim::KvApp>());
+      raw.push_back(apps_.back().get());
+    }
+    return ShardedDatabase::Open(raw, std::move(options));
+  }
+
+  std::map<std::string, std::string> MergedState() const {
+    std::map<std::string, std::string> merged;
+    for (const auto& app : apps_) {
+      merged.insert(app->state.begin(), app->state.end());
+    }
+    return merged;
+  }
+
+  std::vector<std::unique_ptr<sim::KvApp>> apps_;
+};
+
+TEST_F(ShardedDeltaTest, PerShardChainsSurviveRestart) {
+  std::map<std::string, std::string> expected;
+  {
+    auto db = *OpenEnsemble(2, Options());
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        std::string key = "k" + std::to_string(i);
+        std::string value = "r" + std::to_string(round) + "-v" + std::to_string(i);
+        ASSERT_TRUE(
+            db->UpdateKey(key, apps_[db->ShardForKey(key)]->PreparePut(key, value)).ok());
+        expected[key] = value;
+      }
+      ASSERT_TRUE(db->CheckpointAll().ok());  // each shard publishes a delta
+    }
+    EXPECT_GE(db->stats().delta_checkpoints, 2u);
+  }
+  auto db = OpenEnsemble(2, Options());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(MergedState(), expected);
+}
+
+TEST_F(ShardedDeltaTest, ShardCompactionCollapsesAndStaleSweepKeepsLiveChains) {
+  ShardedOptions options = Options();
+  options.delta_checkpoint.compact_after_deltas = 2;
+
+  std::map<std::string, std::string> expected;
+  {
+    auto db = *OpenEnsemble(2, options);
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        std::string key = "k" + std::to_string(i);
+        std::string value = "r" + std::to_string(round) + "-v" + std::to_string(i);
+        ASSERT_TRUE(
+            db->UpdateKey(key, apps_[db->ShardForKey(key)]->PreparePut(key, value)).ok());
+        expected[key] = value;
+      }
+      ASSERT_TRUE(db->CheckpointAll().ok());
+    }
+    // Two compaction rounds per shard: deltas accumulate to 2, collapse, repeat.
+    EXPECT_GE(db->stats().compactions, 2u);
+  }
+  // Reopen twice: the first recover sweeps anything an interrupted compaction might
+  // have left, the second proves the sweep never reclaimed a live chain file.
+  {
+    auto db = OpenEnsemble(2, options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_EQ(MergedState(), expected);
+  }
+  auto db = OpenEnsemble(2, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(MergedState(), expected);
+}
+
+TEST_F(ShardedDeltaTest, ShardedConcurrentUpdatesDeltaCheckpointsAndCompaction) {
+  // TSan target (matches the *Concurrent* filter): writers on every shard race
+  // CheckpointAll's per-shard delta captures and inline compactions.
+  ShardedOptions options = Options();
+  options.delta_checkpoint.compact_after_deltas = 2;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::string> acknowledged;
+  std::mutex mu;
+  std::map<std::string, std::string> final_state;
+  {
+    auto db = *OpenEnsemble(4, options);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+          std::size_t p = db->ShardForKey(key);
+          if (db->UpdateKey(key, apps_[p]->PreparePut(key, "value-of-" + key)).ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            acknowledged.push_back(key);
+          }
+        }
+      });
+    }
+    for (int c = 0; c < 4; ++c) {
+      ASSERT_TRUE(db->CheckpointAll().ok());
+    }
+    for (std::thread& w : writers) {
+      w.join();
+    }
+    final_state = MergedState();
+  }
+
+  auto db = OpenEnsemble(4, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(MergedState(), final_state);
+  for (const std::string& key : acknowledged) {
+    ASSERT_EQ(MergedState().count(key), 1u) << "acknowledged update " << key << " lost";
+  }
+}
+
+}  // namespace
+}  // namespace sdb

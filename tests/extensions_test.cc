@@ -5,8 +5,10 @@
 #include "src/core/audit.h"
 #include "src/core/integrity.h"
 #include "src/core/log_format.h"
+#include "src/core/version_store.h"
 #include "src/nameserver/name_server.h"
 #include "src/nameserver/updates.h"
+#include "src/sim/kv_app.h"
 #include "src/storage/sim_env.h"
 #include "tests/test_app.h"
 
@@ -187,6 +189,68 @@ TEST_F(ExtensionsTest, IntegrityDetectsPendingSwitch) {
 TEST_F(ExtensionsTest, IntegrityEmptyDirFails) {
   ASSERT_TRUE(env_->fs().CreateDir("db").ok());
   EXPECT_TRUE(VerifyDatabaseDir(env_->fs(), "db").status().Is(ErrorCode::kNotFound));
+}
+
+// --- offline integrity: delta chains ---
+
+class IntegrityChainTest : public ExtensionsTest {
+ protected:
+  // Two delta checkpoints on top of the fresh base, compaction disabled, so the
+  // directory holds checkpoint1 + delta2 + delta3 + a manifest.
+  void BuildChain() {
+    DatabaseOptions options = Options();
+    options.delta_checkpoint.background_compaction = false;
+    options.delta_checkpoint.compact_after_deltas = 100;
+    options.delta_checkpoint.compact_delta_base_ratio = 0;
+    auto db = *Database::Open(app_, options);
+    ASSERT_TRUE(db->Update(app_.PreparePut("a", "1")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Update(app_.PreparePut("b", "2")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+
+  sim::KvApp app_;
+};
+
+TEST_F(IntegrityChainTest, VerifiesHealthyDeltaChain) {
+  BuildChain();
+  auto report = *VerifyDatabaseDir(env_->fs(), "db");
+  EXPECT_TRUE(report.healthy());
+  EXPECT_TRUE(report.chain_ok);
+  EXPECT_EQ(report.version, 3u);
+  EXPECT_EQ(report.chain_base, 1u);
+  EXPECT_EQ(report.chain_deltas, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_GT(report.chain_delta_bytes, 0u);
+  EXPECT_EQ(report.checkpoint_type, "sim.KvApp.state");
+  EXPECT_TRUE(report.problems.empty());
+}
+
+TEST_F(IntegrityChainTest, DetectsMissingChainDelta) {
+  BuildChain();
+  ASSERT_TRUE(env_->fs().Delete("db/delta2").ok());
+  auto report = *VerifyDatabaseDir(env_->fs(), "db");
+  EXPECT_FALSE(report.healthy());
+  EXPECT_FALSE(report.chain_ok);
+  EXPECT_FALSE(report.problems.empty());
+}
+
+TEST_F(IntegrityChainTest, DetectsDamagedChainDelta) {
+  BuildChain();
+  ASSERT_TRUE(env_->fs().InjectBadFilePage("db/delta3", 0).ok());
+  auto report = *VerifyDatabaseDir(env_->fs(), "db");
+  EXPECT_FALSE(report.healthy());
+  EXPECT_FALSE(report.chain_ok);
+}
+
+TEST_F(IntegrityChainTest, DetectsManifestSkippingCurrentVersion) {
+  BuildChain();
+  // Fabricate a manifest whose chain jumps past the committed version: base 1
+  // with a single delta at 5 cannot compose version 3.
+  VersionStore names(env_->fs(), "db");
+  ASSERT_TRUE(names.PublishManifest(DeltaChain{1, {2, 5}}).ok());
+  auto report = *VerifyDatabaseDir(env_->fs(), "db");
+  EXPECT_FALSE(report.healthy());
+  EXPECT_FALSE(report.chain_ok);
 }
 
 // --- name-server export and compare-and-set ---

@@ -35,7 +35,8 @@ struct Flags {
   std::uint64_t seed_hi = 50;
   bool single_seed = false;
   std::string schedule = "all";  // one ScheduleKindName, or "all"
-  std::string mix = "default";   // "default", "checkpoint-heavy" or "restart-heavy"
+  std::string mix = "default";   // default, checkpoint-heavy, restart-heavy
+                                 // or compaction-heavy
   int steps = 40;
   int shards = 1;  // > 1 fuzzes ShardedDatabase (merged-state + routing oracle)
   int recovery_threads = 0;  // 0 = mix default (restart-heavy: 4, otherwise 1)
@@ -157,9 +158,17 @@ int main(int argc, char** argv) {
     // The restart-heavy mix exists to fuzz the parallel replay pipeline: every fifth
     // step reboots, and recovery runs multi-threaded unless overridden.
     options.recovery_threads = 4;
+  } else if (flags.mix == "compaction-heavy") {
+    options.workload = sdb::sim::CompactionHeavyWorkload();
+    // Tiny thresholds so delta chains collapse every couple of checkpoints: the
+    // fault schedules then land on compaction's rewrite / publish / reclaim steps,
+    // not only on delta publication.
+    options.compact_after_deltas = 2;
+    options.compact_delta_base_ratio = 0.25;
   } else if (flags.mix != "default") {
     std::fprintf(stderr,
-                 "unknown mix %s (want default, checkpoint-heavy or restart-heavy)\n",
+                 "unknown mix %s (want default, checkpoint-heavy, restart-heavy or "
+                 "compaction-heavy)\n",
                  flags.mix.c_str());
     return 2;
   }

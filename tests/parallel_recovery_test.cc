@@ -191,7 +191,8 @@ TEST(ParallelRecoveryTest, PendingChainRecoversByteIdenticalAtEveryThreadCount) 
       std::string key = "k" + std::to_string(i % 12);
       ASSERT_TRUE((*db)->Update(app.PreparePut(key, "gen1-" + std::to_string(i))).ok());
     }
-    vfs.fail_open_path = "db/checkpoint2";
+    // Checkpoint 2 is a delta (KvApp supports delta capture), so fail its file.
+    vfs.fail_open_path = "db/delta2";
     EXPECT_FALSE((*db)->Checkpoint().ok());
     vfs.fail_open_path.clear();
     for (int i = 0; i < 60; ++i) {

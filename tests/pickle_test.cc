@@ -177,6 +177,9 @@ TEST(PickleTest, CyclicStructureRoundTrips) {
   EXPECT_EQ((*back)->label, "a");
   EXPECT_EQ((*back)->next->label, "b");
   EXPECT_EQ((*back)->next->next.get(), back->get());  // the cycle is closed
+  // Break both cycles so the shared_ptr rings can actually be freed (LSan).
+  a->next = nullptr;
+  (*back)->next->next = nullptr;
 }
 
 TEST(PickleTest, UniquePtr) {

@@ -185,6 +185,161 @@ TEST_F(VersionStoreTest, RetentionKeepsPreviousGeneration) {
   EXPECT_EQ(*state.previous_version, 2u);
 }
 
+// --- delta-chain manifest ---
+
+TEST_F(VersionStoreTest, ManifestRoundTripsAndAbsenceIsNullopt) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(env_->fs().CreateDir("db").ok());
+  EXPECT_FALSE((*store.ReadManifest()).has_value());
+
+  DeltaChain chain;
+  chain.base = 2;
+  chain.deltas = {3, 5};
+  ASSERT_TRUE(store.PublishManifest(chain).ok());
+
+  auto read = *store.ReadManifest();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->base, 2u);
+  EXPECT_EQ(read->deltas, (std::vector<std::uint64_t>{3, 5}));
+  EXPECT_EQ(read->top(), 5u);
+  EXPECT_EQ(read->length(), 3u);
+}
+
+TEST_F(VersionStoreTest, RecoverResolvesDeltaChain) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/delta3", "d3").ok());
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+  ASSERT_TRUE(PutFile("db/logfile4", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "4").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {3, 4}}).ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 4u);
+  EXPECT_EQ(state.chain.base, 2u);
+  EXPECT_EQ(state.chain.deltas, (std::vector<std::uint64_t>{3, 4}));
+  // checkpoint_path stays the nominal path for `version`; readers follow the chain
+  // (CheckpointPath(chain.base) + DeltaPath(...)) when it has deltas.
+  EXPECT_EQ(state.checkpoint_path, "db/checkpoint4");
+  // Every chain file survived cleanup.
+  EXPECT_TRUE(Exists("db/checkpoint2"));
+  EXPECT_TRUE(Exists("db/delta3"));
+  EXPECT_TRUE(Exists("db/delta4"));
+}
+
+TEST_F(VersionStoreTest, RecoverTruncatesOrphanDeltasPastCurrentVersion) {
+  // delta6 was persisted but its switch never committed: the manifest lists it, the
+  // version files do not. Recovery truncates the manifest and sweeps the orphan.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/delta3", "d3").ok());
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+  ASSERT_TRUE(PutFile("db/delta6", "orphan").ok());
+  ASSERT_TRUE(PutFile("db/logfile4", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "4").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {3, 4, 6}}).ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 4u);
+  EXPECT_EQ(state.chain.deltas, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(state.orphan_deltas, (std::vector<std::uint64_t>{6}));
+  EXPECT_FALSE(Exists("db/delta6"));
+  // The truncated manifest is what a second recovery reads.
+  auto read = *store.ReadManifest();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->deltas, (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST_F(VersionStoreTest, RecoverSweepsManifestSupersededByFullSwitch) {
+  // A full-checkpoint switch (or a completed compaction) left the chain behind:
+  // checkpoint5 is self-contained, the manifest still describes versions <= 4.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint5", "full").ok());
+  ASSERT_TRUE(PutFile("db/logfile5", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "5").ok());
+  ASSERT_TRUE(PutFile("db/checkpoint2", "old base").ok());
+  ASSERT_TRUE(PutFile("db/delta3", "d3").ok());
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {3, 4}}).ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 5u);
+  EXPECT_TRUE(state.manifest_superseded);
+  EXPECT_FALSE(state.chain.has_deltas());
+  EXPECT_EQ(state.chain.base, 5u);
+  EXPECT_FALSE(Exists("db/manifest"));
+  EXPECT_FALSE(Exists("db/checkpoint2"));
+  EXPECT_FALSE(Exists("db/delta3"));
+  EXPECT_FALSE(Exists("db/delta4"));
+}
+
+TEST_F(VersionStoreTest, GarbledManifestIsLoudCorruption) {
+  // The manifest is atomic-rename published, so garbled content is damage, not a
+  // torn write: treating it as absent would recover checkpoint(base) as the full
+  // state and silently drop every delta.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/delta3", "d3").ok());
+  ASSERT_TRUE(PutFile("db/logfile3", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "3").ok());
+  ASSERT_TRUE(PutFile("db/manifest", "not a manifest").ok());
+
+  EXPECT_TRUE(store.Recover().status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(VersionStoreTest, MissingChainDeltaIsLoudCorruption) {
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/logfile4", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "4").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {3, 4}}).ok());
+  // delta3 never written (or lost): the recipe references a file that is gone.
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+
+  EXPECT_TRUE(store.Recover().status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(VersionStoreTest, VersionInsideChainButUnlistedIsLoudCorruption) {
+  // version 3 sits strictly inside (base, top] but the manifest does not list it —
+  // no composition recipe can reach it; guessing would drop committed state.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+  ASSERT_TRUE(PutFile("db/logfile3", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "3").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {4}}).ok());
+
+  EXPECT_TRUE(store.Recover().status().Is(ErrorCode::kCorruption));
+}
+
+TEST_F(VersionStoreTest, StaleSweepNeverReclaimsChainReferencedFiles) {
+  // Regression for the stale sweep: generation-numbered files BELOW the current
+  // version are normally stale, but a delta chain legitimately references them
+  // (checkpoint2 and delta3 here, under version 4). The sweep must remove the truly
+  // stale generations and tmp litter while keeping every chain-referenced file.
+  VersionStore store = NewStore();
+  ASSERT_TRUE(PutFile("db/checkpoint2", "base").ok());
+  ASSERT_TRUE(PutFile("db/delta3", "d3").ok());
+  ASSERT_TRUE(PutFile("db/delta4", "d4").ok());
+  ASSERT_TRUE(PutFile("db/logfile4", "").ok());
+  ASSERT_TRUE(PutFile("db/version", "4").ok());
+  ASSERT_TRUE(store.PublishManifest({2, {3, 4}}).ok());
+  // Truly stale litter: a pre-chain generation and interrupted temp files.
+  ASSERT_TRUE(PutFile("db/checkpoint1", "ancient").ok());
+  ASSERT_TRUE(PutFile("db/logfile1", "ancient").ok());
+  ASSERT_TRUE(PutFile("db/checkpoint5.tmp", "partial").ok());
+
+  VersionState state = *store.Recover();
+  EXPECT_EQ(state.version, 4u);
+  EXPECT_FALSE(Exists("db/checkpoint1"));
+  EXPECT_FALSE(Exists("db/logfile1"));
+  EXPECT_FALSE(Exists("db/checkpoint5.tmp"));
+  EXPECT_TRUE(Exists("db/checkpoint2"));
+  EXPECT_TRUE(Exists("db/delta3"));
+  EXPECT_TRUE(Exists("db/delta4"));
+  EXPECT_TRUE(Exists("db/manifest"));
+}
+
 TEST_F(VersionStoreTest, UnreadableVersionFileFallsBackToNewversion) {
   VersionStore store = NewStore();
   ASSERT_TRUE(PutFile("db/checkpoint2", "v2").ok());
