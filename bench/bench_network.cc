@@ -1,0 +1,472 @@
+// Experiment: the real network transport — pipelined RPC over TCP feeding group
+// commit.
+//
+// The paper's server is single-machine with remote clients over RPC; this bench
+// measures what the TCP transport adds on top of the engine's group commit: many
+// sockets' decoded updates entering the commit pipeline as shared ingest batches, so
+// one fsync covers requests from many connections.
+//
+// Two sweeps, both against a real NetServer on a loopback socket:
+//
+//   1. Pipelining depth. One connection keeps D updates in flight (sliding window of
+//      Submit/Await). D=1 is the paper's serial remote client: every update pays a
+//      full device-latency fsync window. Deeper pipelines let the dispatch pool carry
+//      queued updates into shared ingest batches, so throughput multiplies while the
+//      client still sees every ack only after ITS record is durable.
+//   2. Connection count. C channels (up to 1024, quick mode included — the transport
+//      must sustain >= 1000 concurrent sockets) each pipeline a few updates; the
+//      sweep reports aggregate throughput and physical fsyncs per update.
+//
+// Device latency is a wall-clock dilation of File::Sync (same idiom as
+// bench_shard_scaling: SimDisk charges simulated time but returns instantly in wall
+// time), which makes the serial-vs-pipelined ratio a property of commit-path
+// batching, not host core count — it holds on a single-core CI runner.
+//
+// `--enforce` fails the run unless depth-16 pipelining delivers >= 3x the throughput
+// of the serial client on the same socket AND the 1024-connection sweep commits at
+// < 1 fsync per update.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/core/database.h"
+#include "src/net/client.h"
+#include "src/net/ingest.h"
+#include "src/net/server.h"
+#include "src/obs/metrics.h"
+#include "src/rpc/client.h"
+
+namespace sdb::bench {
+namespace {
+
+// Wraps a Vfs so every File::Sync also takes ~`delay` of wall time, standing in for
+// device latency (same idiom as bench_shard_scaling / bench_group_commit).
+class WallDelaySyncFile final : public File {
+ public:
+  WallDelaySyncFile(std::unique_ptr<File> inner, std::chrono::microseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+
+  Result<Bytes> ReadAt(std::uint64_t offset, std::size_t length) override {
+    return inner_->ReadAt(offset, length);
+  }
+  Status Append(ByteSpan data) override { return inner_->Append(data); }
+  Status WriteAt(std::uint64_t offset, ByteSpan data) override {
+    return inner_->WriteAt(offset, data);
+  }
+  Status Truncate(std::uint64_t new_size) override { return inner_->Truncate(new_size); }
+  Status Sync() override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->Sync();
+  }
+  Result<std::uint64_t> Size() override { return inner_->Size(); }
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  std::unique_ptr<File> inner_;
+  std::chrono::microseconds delay_;
+};
+
+class WallDelaySyncFs final : public Vfs {
+ public:
+  WallDelaySyncFs(Vfs& inner, std::chrono::microseconds delay)
+      : inner_(inner), delay_(delay) {}
+
+  Result<std::unique_ptr<File>> Open(std::string_view path, OpenMode mode) override {
+    SDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file, inner_.Open(path, mode));
+    return std::unique_ptr<File>(new WallDelaySyncFile(std::move(file), delay_));
+  }
+  Status Delete(std::string_view path) override { return inner_.Delete(path); }
+  Status Rename(std::string_view from, std::string_view to) override {
+    return inner_.Rename(from, to);
+  }
+  Result<bool> Exists(std::string_view path) override { return inner_.Exists(path); }
+  Result<std::vector<std::string>> List(std::string_view dir) override {
+    return inner_.List(dir);
+  }
+  Status CreateDir(std::string_view path) override { return inner_.CreateDir(path); }
+  Status SyncDir(std::string_view dir) override { return inner_.SyncDir(dir); }
+
+ private:
+  Vfs& inner_;
+  std::chrono::microseconds delay_;
+};
+
+struct PutRequest {
+  std::string key;
+  std::string value;
+  SDB_PICKLE_FIELDS(PutRequest, key, value)
+};
+struct PutAck {
+  std::uint8_t applied = 0;
+  SDB_PICKLE_FIELDS(PutAck, applied)
+};
+
+int DepthUpdates() { return QuickMode() ? 256 : 1024; }
+int PutsPerConnection() { return QuickMode() ? 4 : 8; }
+std::chrono::microseconds SyncDelay() {
+  return std::chrono::microseconds(QuickMode() ? 300 : 1000);
+}
+std::vector<int> Depths() { return {1, 4, 16, 64}; }
+// 1024 stays in quick mode: sustaining >= 1000 concurrent connections is part of the
+// transport's contract, not a tuning point.
+std::vector<int> ConnectionCounts() {
+  return QuickMode() ? std::vector<int>{64, 1024} : std::vector<int>{64, 256, 1024};
+}
+
+// A complete server stack: simulated filesystem with wall-dilated syncs, a KV
+// database, and a NetServer exposing Kv.Put as a batchable update method.
+struct NetFixture {
+  std::unique_ptr<SimEnv> env;
+  std::unique_ptr<WallDelaySyncFs> vfs;
+  std::unique_ptr<BenchKvApp> app;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<rpc::RpcServer> rpc;
+  std::unique_ptr<net::NetServer> server;  // declared last: stops before the rest dies
+};
+
+NetFixture StartFixture() {
+  NetFixture fixture;
+  SimEnvOptions env_options;
+  env_options.microvax_cost_model = false;
+  fixture.env = std::make_unique<SimEnv>(env_options);
+  fixture.vfs = std::make_unique<WallDelaySyncFs>(fixture.env->fs(), SyncDelay());
+  fixture.app = std::make_unique<BenchKvApp>();
+
+  DatabaseOptions options;
+  options.vfs = fixture.vfs.get();
+  options.dir = "bench";
+  options.clock = &fixture.env->clock();
+  auto db = Database::Open(*fixture.app, std::move(options));
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  fixture.db = std::move(*db);
+
+  fixture.rpc = std::make_unique<rpc::RpcServer>();
+  BenchKvApp* app = fixture.app.get();
+  rpc::RegisterUpdateMethod<PutRequest, PutAck>(
+      *fixture.rpc, "Kv", "Put", std::make_shared<net::DatabaseUpdateSink>(*fixture.db),
+      [app](const PutRequest& request) -> Result<rpc::TypedUpdatePlan<PutAck>> {
+        return rpc::TypedUpdatePlan<PutAck>{app->PreparePut(request.key, request.value),
+                                            PutAck{1}};
+      });
+
+  auto server = net::NetServer::Start(*fixture.rpc);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", server.status().ToString().c_str());
+    std::abort();
+  }
+  fixture.server = std::move(*server);
+  return fixture;
+}
+
+std::unique_ptr<net::NetChannel> MustConnect(std::uint16_t port) {
+  auto channel = net::NetChannel::Connect("127.0.0.1", port);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", channel.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*channel);
+}
+
+std::uint64_t MustSubmit(net::NetChannel& channel, const std::string& key,
+                         const std::string& value) {
+  auto id = net::SubmitCall<PutRequest>(channel, "Kv", "Put", PutRequest{key, value});
+  if (!id.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", id.status().ToString().c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+void MustAwait(net::NetChannel& channel, std::uint64_t id) {
+  auto ack = net::AwaitCall<PutAck>(channel, id);
+  if (!ack.ok() || ack->applied != 1) {
+    std::fprintf(stderr, "await failed: %s\n", ack.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+double Percentile(std::vector<double>& sorted_micros, double q) {
+  if (sorted_micros.empty()) {
+    return 0;
+  }
+  std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_micros.size() - 1) + 0.5);
+  return sorted_micros[std::min(index, sorted_micros.size() - 1)];
+}
+
+struct DepthResult {
+  int depth = 0;
+  std::uint64_t updates = 0;
+  double updates_per_sec = 0;
+  std::uint64_t syncs = 0;
+  double fsyncs_per_update = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+// One connection, `depth` updates kept in flight via a Submit/Await sliding window.
+DepthResult RunDepth(int depth) {
+  NetFixture fixture = StartFixture();
+  std::unique_ptr<net::NetChannel> channel = MustConnect(fixture.server->port());
+
+  const int total = DepthUpdates();
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(total));
+  std::deque<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>> window;
+
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < total; ++i) {
+    std::string key = "k" + std::to_string(i);
+    window.emplace_back(MustSubmit(*channel, key, "value-" + key),
+                        std::chrono::steady_clock::now());
+    if (window.size() >= static_cast<std::size_t>(depth)) {
+      auto [id, submitted] = window.front();
+      window.pop_front();
+      MustAwait(*channel, id);
+      latencies.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - submitted)
+              .count()));
+    }
+  }
+  while (!window.empty()) {
+    auto [id, submitted] = window.front();
+    window.pop_front();
+    MustAwait(*channel, id);
+    latencies.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - submitted)
+            .count()));
+  }
+  double wall_micros = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+
+  const DatabaseStats stats = fixture.db->stats();
+  std::sort(latencies.begin(), latencies.end());
+  DepthResult result;
+  result.depth = depth;
+  result.updates = stats.updates;
+  result.updates_per_sec =
+      wall_micros == 0 ? 0 : static_cast<double>(stats.updates) * 1e6 / wall_micros;
+  result.syncs = stats.group_commit.syncs;
+  result.fsyncs_per_update = stats.group_commit.fsyncs_per_record();
+  result.p50_us = Percentile(latencies, 0.50);
+  result.p95_us = Percentile(latencies, 0.95);
+  result.p99_us = Percentile(latencies, 0.99);
+  return result;
+}
+
+struct ConnResult {
+  int connections = 0;
+  std::uint64_t updates = 0;
+  double updates_per_sec = 0;
+  std::uint64_t syncs = 0;
+  double fsyncs_per_update = 0;
+  std::uint64_t ingest_batches = 0;
+  double updates_per_batch = 0;
+};
+
+// C concurrent connections, each pipelining PutsPerConnection() updates. Submits go
+// round-robin across the sockets so the dispatch pool sees interleaved traffic from
+// every connection — the shape the ingest batcher exists for.
+ConnResult RunConnections(int conns) {
+  NetFixture fixture = StartFixture();
+  std::vector<std::unique_ptr<net::NetChannel>> channels;
+  channels.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    channels.push_back(MustConnect(fixture.server->port()));
+  }
+
+  const int per_conn = PutsPerConnection();
+  std::vector<std::vector<std::uint64_t>> ids(channels.size());
+  auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < per_conn; ++i) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::string key = "c" + std::to_string(c) + "-k" + std::to_string(i);
+      ids[c].push_back(MustSubmit(*channels[c], key, "value-" + key));
+    }
+  }
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    for (std::uint64_t id : ids[c]) {
+      MustAwait(*channels[c], id);
+    }
+  }
+  double wall_micros = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+
+  const DatabaseStats stats = fixture.db->stats();
+  const net::NetServer::Stats net_stats = fixture.server->stats();
+  if (net_stats.connections_accepted != static_cast<std::uint64_t>(conns)) {
+    std::fprintf(stderr, "expected %d connections, server saw %llu\n", conns,
+                 static_cast<unsigned long long>(net_stats.connections_accepted));
+    std::abort();
+  }
+  ConnResult result;
+  result.connections = conns;
+  result.updates = stats.updates;
+  result.updates_per_sec =
+      wall_micros == 0 ? 0 : static_cast<double>(stats.updates) * 1e6 / wall_micros;
+  result.syncs = stats.group_commit.syncs;
+  result.fsyncs_per_update = stats.group_commit.fsyncs_per_record();
+  result.ingest_batches = net_stats.ingest_batches;
+  result.updates_per_batch =
+      net_stats.ingest_batches == 0
+          ? 0
+          : static_cast<double>(net_stats.ingest_updates) /
+                static_cast<double>(net_stats.ingest_batches);
+  return result;
+}
+
+std::string Format(const char* fmt, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, v);
+  return buffer;
+}
+
+int Run(bool enforce) {
+  Banner("Network transport: pipelined TCP clients feeding group commit",
+         "remote clients over RPC; group commit lets concurrent updates share one "
+         "log force (Sections 5 and 7)");
+  std::printf("\n%d updates per depth, %d connections peak, %lld us device sync "
+              "latency%s\n",
+              DepthUpdates(), ConnectionCounts().back(),
+              static_cast<long long>(SyncDelay().count()),
+              QuickMode() ? " (quick mode)" : "");
+
+  std::printf("\nPipelining depth (one connection, sliding Submit/Await window):\n");
+  Table depth_table(
+      {"depth", "updates/s", "fsyncs/update", "p50", "p95", "p99"});
+  std::vector<DepthResult> depth_results;
+  for (int depth : Depths()) {
+    DepthResult r = RunDepth(depth);
+    depth_results.push_back(r);
+    depth_table.AddRow({std::to_string(r.depth), Format("%.0f", r.updates_per_sec),
+                        Format("%.3f", r.fsyncs_per_update), Ms(r.p50_us),
+                        Ms(r.p95_us), Ms(r.p99_us)});
+  }
+  depth_table.Print();
+
+  std::printf("\nConnection count (each pipelines %d updates):\n", PutsPerConnection());
+  Table conn_table({"connections", "updates", "updates/s", "fsyncs/update",
+                    "updates/ingest batch"});
+  std::vector<ConnResult> conn_results;
+  for (int conns : ConnectionCounts()) {
+    ConnResult r = RunConnections(conns);
+    conn_results.push_back(r);
+    conn_table.AddRow({std::to_string(r.connections), Count(r.updates),
+                       Format("%.0f", r.updates_per_sec),
+                       Format("%.3f", r.fsyncs_per_update),
+                       Format("%.1f", r.updates_per_batch)});
+  }
+  conn_table.Print();
+
+  const DepthResult* serial = nullptr;
+  const DepthResult* deep = nullptr;
+  for (const DepthResult& r : depth_results) {
+    if (r.depth == 1) {
+      serial = &r;
+    }
+    if (r.depth == 16) {
+      deep = &r;
+    }
+  }
+  double ratio = (serial != nullptr && deep != nullptr && serial->updates_per_sec > 0)
+                     ? deep->updates_per_sec / serial->updates_per_sec
+                     : 0;
+  const ConnResult& widest = conn_results.back();
+  std::printf("\ndepth 16 vs serial on one socket: %.1fx throughput; %d connections: "
+              "%.3f fsyncs/update\n",
+              ratio, widest.connections, widest.fsyncs_per_update);
+
+  // The client-side round-trip histogram every NetChannel feeds (docs/OBSERVABILITY.md).
+  const obs::HistogramSnapshot rpc_us =
+      obs::GlobalRegistry().GetHistogram("net.client.rpc_us").Snapshot();
+  std::printf("net.client.rpc_us: count=%llu p50=%s p95=%s p99=%s\n",
+              static_cast<unsigned long long>(rpc_us.count), Ms(rpc_us.p50()).c_str(),
+              Ms(rpc_us.p95()).c_str(), Ms(rpc_us.p99()).c_str());
+
+  std::string json = "{\n  \"bench\": \"network\",\n  \"depth_rows\": [\n";
+  for (std::size_t i = 0; i < depth_results.size(); ++i) {
+    const DepthResult& r = depth_results[i];
+    json += "    {\"depth\": " + std::to_string(r.depth) +
+            ", \"updates\": " + std::to_string(r.updates) +
+            ", \"updates_per_sec\": " + Format("%.1f", r.updates_per_sec) +
+            ", \"syncs\": " + std::to_string(r.syncs) +
+            ", \"fsyncs_per_update\": " + Format("%.4f", r.fsyncs_per_update) +
+            ", \"p50_us\": " + Format("%.1f", r.p50_us) +
+            ", \"p95_us\": " + Format("%.1f", r.p95_us) +
+            ", \"p99_us\": " + Format("%.1f", r.p99_us) + "}";
+    json += (i + 1 < depth_results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"connection_rows\": [\n";
+  for (std::size_t i = 0; i < conn_results.size(); ++i) {
+    const ConnResult& r = conn_results[i];
+    json += "    {\"connections\": " + std::to_string(r.connections) +
+            ", \"updates\": " + std::to_string(r.updates) +
+            ", \"updates_per_sec\": " + Format("%.1f", r.updates_per_sec) +
+            ", \"syncs\": " + std::to_string(r.syncs) +
+            ", \"fsyncs_per_update\": " + Format("%.4f", r.fsyncs_per_update) +
+            ", \"updates_per_ingest_batch\": " + Format("%.2f", r.updates_per_batch) +
+            "}";
+    json += (i + 1 < conn_results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"depth16_vs_serial\": " + Format("%.3f", ratio) + ",\n";
+  json += "  \"fsyncs_per_update_" + std::to_string(widest.connections) +
+          "conns\": " + Format("%.4f", widest.fsyncs_per_update) + ",\n";
+  json += "  \"client_rpc_p99_us\": " + Format("%.1f", rpc_us.p99()) + ",\n";
+  json += "  \"registry\": " + obs::GlobalRegistry().DumpJson() + "\n}";
+  MaybeWriteBenchJson("network", json);
+
+  if (enforce) {
+    bool ok = true;
+    if (ratio < 3.0) {
+      std::printf("enforce: FAIL (depth-16 pipelining %.2fx < 3x serial)\n", ratio);
+      ok = false;
+    }
+    if (widest.fsyncs_per_update >= 1.0) {
+      std::printf("enforce: FAIL (fsyncs/update %.3f >= 1 at %d connections)\n",
+                  widest.fsyncs_per_update, widest.connections);
+      ok = false;
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::printf("enforce: OK (%.1fx >= 3x, %.3f fsyncs/update < 1 at %d connections)\n",
+                ratio, widest.fsyncs_per_update, widest.connections);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdb::bench
+
+int main(int argc, char** argv) {
+  // 1024 channel fds + 1024 server-side fds + epoll/eventfd overhead: lift the
+  // soft nofile limit to whatever the hard limit allows before sweeping.
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 && limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+  }
+  bool enforce = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
+    }
+  }
+  return sdb::bench::Run(enforce);
+}

@@ -387,6 +387,31 @@ Status Database::UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& 
   return UpdateSerial(prepares);
 }
 
+std::vector<Status> Database::UpdateMany(
+    const std::vector<std::function<Result<Bytes>()>>& prepares) {
+  std::vector<Status> out;
+  if (prepares.empty()) {
+    return out;
+  }
+  if (read_only_) {
+    out.assign(prepares.size(), ReadOnlyError());
+    return out;
+  }
+  if (committer_ != nullptr) {
+    out = committer_->SubmitMany({prepares.data(), prepares.size()});
+    MaybeAutoCheckpoint();
+    return out;
+  }
+  // Serial fallback: each update is its own one-fsync commit, so per-update
+  // outcomes stay independent exactly as they do in the pipeline.
+  out.reserve(prepares.size());
+  for (const auto& prepare : prepares) {
+    std::vector<std::function<Result<Bytes>()>> one{prepare};
+    out.push_back(UpdateSerial(one));
+  }
+  return out;
+}
+
 // The paper's base protocol: one commit fsync per UpdateBatch call, the update lock
 // held across the disk write. Used when group commit is disabled. Stage timings are
 // recorded exactly like the pipeline's (queue wait is structurally zero here).

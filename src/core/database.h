@@ -365,6 +365,15 @@ class Database : private GroupCommitHost {
   // in order under the update lock; if any fails, the whole batch aborts unlogged.
   Status UpdateBatch(const std::vector<std::function<Result<Bytes>()>>& prepares);
 
+  // Batch ingest: N *independent* updates — decoded requests from many client
+  // connections, carried into the engine by one transport thread — entering the
+  // commit pipeline together so one fsync covers all of them. Unlike UpdateBatch,
+  // each update succeeds or fails on its own (statuses returned in input order): a
+  // precondition failure drops only that update from the sealed batch. With group
+  // commit disabled, each update runs the serial one-fsync-per-update path.
+  std::vector<Status> UpdateMany(
+      const std::vector<std::function<Result<Bytes>()>>& prepares);
+
   // Writes a checkpoint of the current state and resets the log. With
   // concurrent_checkpoint (the default) the update lock is held only while a
   // consistent snapshot is captured and the log is rotated to the next generation;

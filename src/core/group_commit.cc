@@ -45,6 +45,59 @@ Status GroupCommitter::Submit(std::span<const PrepareFn> prepares) {
   }
 }
 
+std::vector<Status> GroupCommitter::SubmitMany(std::span<const PrepareFn> prepares) {
+  std::vector<Status> out(prepares.size());
+  if (prepares.empty()) {
+    return out;
+  }
+  // One Request per prepare: each is acknowledged independently (a precondition
+  // failure drops only its own update from the batch). A deque keeps the addresses
+  // stable while they sit in queue_.
+  std::deque<Request> requests;
+  const bool timing = obs::Enabled();
+  Micros enqueued = timing ? clock_.NowMicros() : 0;
+  for (std::size_t i = 0; i < prepares.size(); ++i) {
+    requests.emplace_back(std::span<const PrepareFn>(&prepares[i], 1));
+    requests.back().enqueued_micros = enqueued;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (Request& request : requests) {
+    queue_.push_back(&request);
+  }
+  for (;;) {
+    Request* undone = nullptr;
+    for (Request& request : requests) {
+      if (!request.done) {
+        undone = &request;
+        break;
+      }
+    }
+    if (undone == nullptr) {
+      break;
+    }
+    if (!batch_in_progress_ && !paused_) {
+      LeadBatch(lock, *undone);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+  Micros now = timing ? clock_.NowMicros() : 0;
+  obs::Histogram* ack_hist =
+      stage_metrics_.stage[static_cast<int>(obs::CommitStage::kAck)];
+  for (std::size_t i = 0; i < prepares.size(); ++i) {
+    Request& request = requests[i];
+    out[i] = request.status;
+    if (request.rode_along) {
+      ++stats_.sync_waits;
+      if (timing && request.completed_micros != 0) {
+        ack_hist->Record(now - request.completed_micros);
+      }
+    }
+  }
+  return out;
+}
+
 void GroupCommitter::LeadBatch(std::unique_lock<std::mutex>& lock, Request& self) {
   std::vector<Request*> batch;
   std::size_t records = 0;

@@ -306,6 +306,14 @@ class GroupCommitter {
   // the database was poisoned before/while applying.
   Status Submit(std::span<const PrepareFn> prepares);
 
+  // The transport-side batch ingest hook: submits N *independent* single-prepare
+  // requests — decoded updates from many client connections, carried by one server
+  // thread — enqueued under one lock acquisition so a single seal catches them all
+  // and one fsync covers every socket's request. Unlike Submit's all-or-nothing
+  // span, each request succeeds or fails on its own; the returned statuses are in
+  // input order. Blocks until every request is durable and applied, or failed.
+  std::vector<Status> SubmitMany(std::span<const PrepareFn> prepares);
+
   // Quiesces the pipeline: returns once no batch is in flight, and prevents new
   // batches from starting until Resume(). Queued requests simply wait. Used by
   // checkpoint/state-replacement so the log is never switched under an in-flight

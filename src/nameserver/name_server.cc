@@ -131,28 +131,46 @@ Result<Bytes> NameServer::PrepareLocalUpdate(UpdateKind kind, std::string_view p
   return EncodeUpdate(update, options_.cost);
 }
 
-Status NameServer::Set(std::string_view path, std::string_view value) {
+std::function<Result<Bytes>()> NameServer::PlanSet(std::string path, std::string value) {
   Metrics().sets->Increment();
-  return db_->Update(
-      [this, path, value] { return PrepareLocalUpdate(UpdateKind::kSet, path, value); });
+  return [this, path = std::move(path), value = std::move(value)] {
+    return PrepareLocalUpdate(UpdateKind::kSet, path, value);
+  };
+}
+
+std::function<Result<Bytes>()> NameServer::PlanRemove(std::string path) {
+  Metrics().removes->Increment();
+  return [this, path = std::move(path)] {
+    return PrepareLocalUpdate(UpdateKind::kRemove, path, "");
+  };
+}
+
+std::function<Result<Bytes>()> NameServer::PlanCompareAndSet(std::string path,
+                                                             std::string expected,
+                                                             std::string value) {
+  Metrics().compare_and_sets->Increment();
+  return [this, path = std::move(path), expected = std::move(expected),
+          value = std::move(value)]() -> Result<Bytes> {
+    SDB_ASSIGN_OR_RETURN(std::string current, tree_.Lookup(path));
+    if (current != expected) {
+      return FailedPreconditionError("value mismatch at " + path);
+    }
+    return PrepareLocalUpdate(UpdateKind::kSet, path, value);
+  };
+}
+
+Status NameServer::Set(std::string_view path, std::string_view value) {
+  return db_->Update(PlanSet(std::string(path), std::string(value)));
 }
 
 Status NameServer::Remove(std::string_view path) {
-  Metrics().removes->Increment();
-  return db_->Update(
-      [this, path] { return PrepareLocalUpdate(UpdateKind::kRemove, path, ""); });
+  return db_->Update(PlanRemove(std::string(path)));
 }
 
 Status NameServer::CompareAndSet(std::string_view path, std::string_view expected,
                                  std::string_view value) {
-  Metrics().compare_and_sets->Increment();
-  return db_->Update([this, path, expected, value]() -> Result<Bytes> {
-    SDB_ASSIGN_OR_RETURN(std::string current, tree_.Lookup(path));
-    if (current != expected) {
-      return FailedPreconditionError("value mismatch at " + std::string(path));
-    }
-    return PrepareLocalUpdate(UpdateKind::kSet, path, value);
-  });
+  return db_->Update(PlanCompareAndSet(std::string(path), std::string(expected),
+                                       std::string(value)));
 }
 
 Result<std::vector<std::pair<std::string, std::string>>> NameServer::Export(

@@ -12,6 +12,7 @@
 #define SMALLDB_SRC_NAMESERVER_NAME_SERVER_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +66,19 @@ class NameServer final : public Application {
   // Enquiry: every (path, value) binding under `path`, sorted ("" = the whole
   // database). The browsing/export operation.
   Result<std::vector<std::pair<std::string, std::string>>> Export(std::string_view path);
+
+  // --- batchable-update planners ---
+  // Each returns exactly the prepare closure the corresponding client operation
+  // hands to Database::Update, with its arguments captured by value. Set/Remove/
+  // CompareAndSet are one-liners over these; batching transports instead collect
+  // many planned closures (possibly from many connections) into one
+  // Database::UpdateMany call so a single fsync covers them all. The closure runs
+  // under the engine's update lock; every precondition check lives inside it.
+  std::function<Result<Bytes>()> PlanSet(std::string path, std::string value);
+  std::function<Result<Bytes>()> PlanRemove(std::string path);
+  std::function<Result<Bytes>()> PlanCompareAndSet(std::string path,
+                                                   std::string expected,
+                                                   std::string value);
 
   Status Checkpoint() { return db_->Checkpoint(); }
 

@@ -66,6 +66,35 @@ void RegisterNameService(rpc::RpcServer& rpc_server, NameServer& server) {
       });
 }
 
+void RegisterNameService(rpc::RpcServer& rpc_server, NameServer& server,
+                         std::shared_ptr<rpc::UpdateSink> update_sink) {
+  RegisterNameService(rpc_server, server);
+  // Re-register the local update methods as batchable: the planner only decodes
+  // and captures (preconditions run inside the prepare, under the update lock), so
+  // a transport worker can plan requests from many sockets and commit them in one
+  // UpdateSink::CommitMany call. ApplyRemoteUpdate stays Dispatch-only: its
+  // AlreadyExists-is-OK dedup semantics live above Database::Update.
+  rpc::RegisterUpdateMethod<SetRequest, Ack>(
+      rpc_server, std::string(kNameService), "Set", update_sink,
+      [&server](const SetRequest& request) -> Result<rpc::TypedUpdatePlan<Ack>> {
+        return rpc::TypedUpdatePlan<Ack>{server.PlanSet(request.path, request.value),
+                                         Ack{}};
+      });
+  rpc::RegisterUpdateMethod<RemoveRequest, Ack>(
+      rpc_server, std::string(kNameService), "Remove", update_sink,
+      [&server](const RemoveRequest& request) -> Result<rpc::TypedUpdatePlan<Ack>> {
+        return rpc::TypedUpdatePlan<Ack>{server.PlanRemove(request.path), Ack{}};
+      });
+  rpc::RegisterUpdateMethod<CompareAndSetRequest, Ack>(
+      rpc_server, std::string(kNameService), "CompareAndSet", update_sink,
+      [&server](const CompareAndSetRequest& request)
+          -> Result<rpc::TypedUpdatePlan<Ack>> {
+        return rpc::TypedUpdatePlan<Ack>{
+            server.PlanCompareAndSet(request.path, request.expected, request.value),
+            Ack{}};
+      });
+}
+
 Result<std::string> NameServiceClient::Lookup(std::string_view path) {
   SDB_ASSIGN_OR_RETURN(LookupResponse response,
                        (rpc::CallMethod<LookupRequest, LookupResponse>(

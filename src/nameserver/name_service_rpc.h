@@ -101,6 +101,14 @@ struct FullStateResponse {
 // outlive the RpcServer's use.
 void RegisterNameService(rpc::RpcServer& rpc_server, NameServer& server);
 
+// Like the above, but registers Set/Remove/CompareAndSet as *batchable updates*
+// (RpcServer::RegisterUpdate) whose plans commit through `update_sink` — normally a
+// net::DatabaseUpdateSink over server.database(), so a batching transport coalesces
+// updates from many connections into one group-commit batch. Dispatch-based
+// transports still serve the methods identically (batch of one).
+void RegisterNameService(rpc::RpcServer& rpc_server, NameServer& server,
+                         std::shared_ptr<rpc::UpdateSink> update_sink);
+
 // Typed client stub.
 class NameServiceClient {
  public:

@@ -1,0 +1,283 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace sdb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+struct ClientObs {
+  obs::Counter* submits;
+  obs::Counter* responses;
+  obs::Counter* broken;
+  obs::Histogram* rpc_us;  // submit -> response completed (includes queue + batch)
+};
+
+ClientObs& Obs() {
+  static ClientObs o = [] {
+    obs::Registry& r = obs::GlobalRegistry();
+    return ClientObs{&r.GetCounter("net.client.submits"),
+                     &r.GetCounter("net.client.responses"),
+                     &r.GetCounter("net.client.broken_channels"),
+                     &r.GetHistogram("net.client.rpc_us")};
+  }();
+  return o;
+}
+
+Micros NowMicros() {
+  static WallClock clock;
+  return clock.NowMicros();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NetChannel>> NetChannel::Connect(const std::string& host,
+                                                        std::uint16_t port,
+                                                        NetChannelOptions options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  // Non-blocking connect so the timeout is enforceable, then back to blocking:
+  // the channel's reads and writes intentionally block (waiters ARE the reader).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int timeout_ms =
+        static_cast<int>(options.connect_timeout_micros / kMicrosPerMilli);
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return UnavailableError("connect " + host + ":" + std::to_string(port) +
+                              ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return IoError("connect " + host + ":" + std::to_string(port) + ": " +
+                     std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<NetChannel>(new NetChannel(fd, std::move(options)));
+}
+
+NetChannel::NetChannel(int fd, NetChannelOptions options)
+    : options_(std::move(options)), fd_(fd), decoder_(options_.max_frame_payload) {}
+
+NetChannel::~NetChannel() {
+  Close();
+  // By contract no call may be in flight during destruction, so the fd can be
+  // released for real now (Close only shuts it down, keeping the descriptor
+  // number alive for any reader mid-recv).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void NetChannel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    // shutdown(), not close(): an elected reader blocked in recv() wakes with
+    // EOF, and the descriptor number cannot be reused out from under it.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (broken_.ok()) {
+    broken_ = UnavailableError("channel closed");
+  }
+  cv_.notify_all();
+}
+
+void NetChannel::CondemnLocked(const Status& status) {
+  if (broken_.ok()) {
+    broken_ = status;
+    Obs().broken->Increment();
+  }
+  cv_.notify_all();
+}
+
+Result<std::uint64_t> NetChannel::Submit(ByteSpan request) {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.payload.assign(request.begin(), request.end());
+  const bool timing = obs::Enabled();
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!broken_.ok()) {
+      return broken_;
+    }
+    frame.request_id = next_id_++;
+    pending_.insert(frame.request_id);
+    if (timing) {
+      submitted_[frame.request_id] = NowMicros();
+    }
+    fd = fd_;
+  }
+  Bytes wire = EncodeFrame(frame);
+  {
+    std::lock_guard<std::mutex> write_lock(write_mu_);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        Status status = Errno("send");
+        std::lock_guard<std::mutex> lock(mu_);
+        CondemnLocked(status);
+        return broken_;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+  Obs().submits->Increment();
+  return frame.request_id;
+}
+
+Result<Bytes> NetChannel::Await(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = completed_.find(id);
+    if (it != completed_.end()) {
+      Bytes response = std::move(it->second);
+      completed_.erase(it);
+      if (obs::Enabled()) {
+        auto sub = submitted_.find(id);
+        if (sub != submitted_.end()) {
+          Obs().rpc_us->Record(NowMicros() - sub->second);
+          submitted_.erase(sub);
+        }
+      } else {
+        submitted_.erase(id);
+      }
+      Obs().responses->Increment();
+      if (options_.charge_clock != nullptr) {
+        options_.charge_clock->Charge(options_.charge_micros);
+      }
+      return response;
+    }
+    if (!broken_.ok()) {
+      return broken_;
+    }
+    if (!reader_active_) {
+      // Reader election: this waiter takes a turn at the socket. Others sleep on
+      // the cv and are woken when deposits (or the channel's death) arrive.
+      reader_active_ = true;
+      lock.unlock();
+      Status read = ReadAndDeposit();
+      lock.lock();
+      reader_active_ = false;
+      if (!read.ok()) {
+        CondemnLocked(read);
+      } else {
+        cv_.notify_all();
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+Status NetChannel::ReadAndDeposit() {
+  std::uint8_t buf[64 * 1024];
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fd = fd_;
+  }
+  if (fd < 0) {
+    return UnavailableError("channel closed");
+  }
+  ssize_t n;
+  for (;;) {
+    n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n >= 0 || errno != EINTR) {
+      break;
+    }
+  }
+  if (n == 0) {
+    return UnavailableError("connection closed by peer");
+  }
+  if (n < 0) {
+    return Errno("recv");
+  }
+  decoder_.Feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+  for (;;) {
+    Result<std::optional<Frame>> next = decoder_.Next();
+    if (!next.ok()) {
+      return next.status();
+    }
+    if (!next->has_value()) {
+      return OkStatus();
+    }
+    Frame frame = std::move(**next);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.find(frame.request_id) == pending_.end()) {
+      return InternalError("wire frame: response for unknown request id " +
+                           std::to_string(frame.request_id));
+    }
+    switch (frame.type) {
+      case FrameType::kResponse:
+        pending_.erase(frame.request_id);
+        partial_.erase(frame.request_id);
+        completed_[frame.request_id] = std::move(frame.payload);
+        break;
+      case FrameType::kResponseChunk: {
+        Bytes& assembly = partial_[frame.request_id];
+        assembly.insert(assembly.end(), frame.payload.begin(), frame.payload.end());
+        if (frame.final_chunk()) {
+          pending_.erase(frame.request_id);
+          completed_[frame.request_id] = std::move(assembly);
+          partial_.erase(frame.request_id);
+        }
+        break;
+      }
+      case FrameType::kRequest:
+        return InternalError("wire frame: server sent a request frame");
+    }
+  }
+}
+
+Result<Bytes> NetChannel::RoundTrip(ByteSpan request) {
+  SDB_ASSIGN_OR_RETURN(std::uint64_t id, Submit(request));
+  return Await(id);
+}
+
+}  // namespace sdb::net

@@ -1,0 +1,129 @@
+// NetChannel: the async client side of the TCP transport.
+//
+// One connection, many requests in flight. Submit() frames a request, assigns it a
+// fresh frame id, and writes it out; Await(id) blocks until that id's response
+// arrives. RoundTrip() = Submit + Await, which is the synchronous rpc::Channel
+// contract every existing client stub (NameServiceClient, DirectoryServiceClient)
+// already speaks — point them at a NetChannel and they work over a real socket.
+//
+// There is no background reader thread. Await'ers elect a reader: whoever is waiting
+// when the socket has undelivered bytes takes a turn at recv(), deposits whatever
+// frames arrive into the completion map (reassembling chunked responses), wakes the
+// other waiters, and goes back to checking for its own id. A thousand channels cost
+// a thousand fds, not a thousand threads — which matters on the bench machine.
+//
+// Any socket or protocol error condemns the channel: every pending and future call
+// fails with the same status. A lost response is indistinguishable from a lost
+// request (the half-open failure LoopbackChannel::SetDropResponses simulates), so
+// callers must treat kUnavailable as "effects unknown".
+#ifndef SMALLDB_SRC_NET_CLIENT_H_
+#define SMALLDB_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <set>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/net/frame.h"
+#include "src/pickle/pickle.h"
+#include "src/rpc/message.h"
+#include "src/rpc/transport.h"
+
+namespace sdb::net {
+
+struct NetChannelOptions {
+  Micros connect_timeout_micros = 5 * kMicrosPerSecond;
+
+  // When set, every completed round trip charges `charge_micros` to this clock —
+  // the loopback transport's simulated-latency contract, reproduced over a real
+  // socket so bench_remote_ops --transport=tcp still does the paper's 8 ms
+  // arithmetic while real bytes cross a real connection.
+  Clock* charge_clock = nullptr;
+  Micros charge_micros = 0;
+
+  std::size_t max_frame_payload = kMaxFramePayload;
+};
+
+class NetChannel final : public rpc::Channel {
+ public:
+  static Result<std::unique_ptr<NetChannel>> Connect(const std::string& host,
+                                                     std::uint16_t port,
+                                                     NetChannelOptions options = {});
+
+  ~NetChannel() override;
+  NetChannel(const NetChannel&) = delete;
+  NetChannel& operator=(const NetChannel&) = delete;
+
+  // The synchronous Channel contract: one request, wait for its response.
+  Result<Bytes> RoundTrip(ByteSpan request) override;
+
+  // The pipelined API. Submit sends an encoded rpc::Request and returns the frame id
+  // to await; many submits may be outstanding. Await blocks until that id completes
+  // (responses complete in any order) and returns the encoded rpc::Response bytes.
+  Result<std::uint64_t> Submit(ByteSpan request);
+  Result<Bytes> Await(std::uint64_t id);
+
+  // Closes the socket; every pending and future call fails with kUnavailable.
+  void Close();
+
+ private:
+  explicit NetChannel(int fd, NetChannelOptions options);
+
+  // Performs one blocking recv + decode pass, depositing completed responses.
+  // Called only by the elected reader (reader_active_ true, no lock held).
+  Status ReadAndDeposit();
+
+  void CondemnLocked(const Status& status);
+
+  const NetChannelOptions options_;
+
+  std::mutex write_mu_;  // serializes frame writes from concurrent Submit()s
+  int fd_ = -1;          // written only under BOTH write_mu_ and mu_ (in Close)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_id_ = 1;
+  bool reader_active_ = false;
+  Status broken_;                              // sticky once the channel dies
+  std::set<std::uint64_t> pending_;            // submitted, not yet completed
+  std::map<std::uint64_t, Bytes> partial_;     // chunked responses mid-reassembly
+  std::map<std::uint64_t, Bytes> completed_;   // ready for Await to collect
+  std::map<std::uint64_t, Micros> submitted_;  // id -> submit time (obs only)
+  FrameDecoder decoder_;                       // touched only by the elected reader
+};
+
+// Typed pipelined helpers mirroring rpc::CallMethod: SubmitCall marshals the request
+// and submits it; AwaitCall awaits, unmarshals, and surfaces the response status.
+template <typename Req>
+Result<std::uint64_t> SubmitCall(NetChannel& channel, const std::string& service,
+                                 const std::string& method, const Req& request) {
+  rpc::Request wire;
+  wire.service = service;
+  wire.method = method;
+  PickleWriter writer;
+  writer.Write(request);
+  wire.payload = std::move(writer).TakeRaw();
+  return channel.Submit(AsSpan(rpc::EncodeRequest(wire)));
+}
+
+template <typename Resp>
+Result<Resp> AwaitCall(NetChannel& channel, std::uint64_t id) {
+  SDB_ASSIGN_OR_RETURN(Bytes encoded, channel.Await(id));
+  SDB_ASSIGN_OR_RETURN(rpc::Response response, rpc::DecodeResponse(AsSpan(encoded)));
+  SDB_RETURN_IF_ERROR(response.status);
+  PickleReader reader = PickleReader::Raw(AsSpan(response.payload));
+  Resp result{};
+  SDB_RETURN_IF_ERROR(reader.Read(result).WithContext("unmarshalling RPC response"));
+  return result;
+}
+
+}  // namespace sdb::net
+
+#endif  // SMALLDB_SRC_NET_CLIENT_H_

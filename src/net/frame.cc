@@ -1,0 +1,159 @@
+#include "src/net/frame.h"
+
+#include <array>
+
+namespace sdb::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+Status CorruptError(const std::string& what) {
+  return CorruptionError("wire frame: " + what);
+}
+
+}  // namespace
+
+std::uint32_t FrameCrc32(ByteSpan data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(const Frame& frame, Bytes& out) {
+  ByteWriter writer(std::move(out));
+  std::size_t start = writer.size();
+  writer.PutU32(kFrameMagic);
+  writer.PutU8(kFrameVersion);
+  writer.PutU8(static_cast<std::uint8_t>(frame.type));
+  writer.PutU16(frame.flags);
+  writer.PutU64(frame.request_id);
+  writer.PutU32(static_cast<std::uint32_t>(frame.payload.size()));
+  std::size_t crc_offset = writer.size();
+  writer.PutU32(0);  // backpatched below
+  writer.PutBytes(AsSpan(frame.payload));
+  ByteSpan written(writer.buffer().data() + start, writer.size() - start);
+  std::uint32_t crc = FrameCrc32(written.subspan(0, crc_offset - start));
+  crc = FrameCrc32(written.subspan(kFrameHeaderSize), crc);
+  writer.OverwriteU32(crc_offset, crc);
+  out = std::move(writer).Take();
+}
+
+Bytes EncodeFrame(const Frame& frame) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  AppendFrame(frame, out);
+  return out;
+}
+
+std::vector<Frame> ChunkResponse(std::uint64_t request_id, ByteSpan encoded_response,
+                                 std::size_t chunk_payload) {
+  std::vector<Frame> frames;
+  if (chunk_payload == 0 || encoded_response.size() <= chunk_payload) {
+    Frame frame;
+    frame.type = FrameType::kResponse;
+    frame.request_id = request_id;
+    frame.payload.assign(encoded_response.begin(), encoded_response.end());
+    frames.push_back(std::move(frame));
+    return frames;
+  }
+  for (std::size_t offset = 0; offset < encoded_response.size();
+       offset += chunk_payload) {
+    std::size_t len = std::min(chunk_payload, encoded_response.size() - offset);
+    Frame frame;
+    frame.type = FrameType::kResponseChunk;
+    frame.request_id = request_id;
+    if (offset + len == encoded_response.size()) {
+      frame.flags |= kFlagFinalChunk;
+    }
+    ByteSpan piece = encoded_response.subspan(offset, len);
+    frame.payload.assign(piece.begin(), piece.end());
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+void FrameDecoder::Feed(ByteSpan data) {
+  if (!corrupt_.ok()) {
+    return;  // the stream is already condemned; don't grow the buffer
+  }
+  // Compact before appending so the buffer never retains consumed prefixes across
+  // a long-lived connection.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!corrupt_.ok()) {
+    return corrupt_;
+  }
+  ByteSpan pending(buffer_.data() + consumed_, buffer_.size() - consumed_);
+  if (pending.size() < kFrameHeaderSize) {
+    return std::optional<Frame>();  // need more bytes
+  }
+  ByteReader header(pending.subspan(0, kFrameHeaderSize));
+  // Reads from a 24-byte span at fixed offsets cannot underflow; errors are
+  // structural (bad magic/version/type), and all of them condemn the stream.
+  std::uint32_t magic = header.ReadU32().value();
+  std::uint8_t version = header.ReadU8().value();
+  std::uint8_t type = header.ReadU8().value();
+  std::uint16_t flags = header.ReadU16().value();
+  std::uint64_t request_id = header.ReadU64().value();
+  std::uint32_t payload_len = header.ReadU32().value();
+  std::uint32_t wire_crc = header.ReadU32().value();
+  if (magic != kFrameMagic) {
+    corrupt_ = CorruptError("bad magic");
+    return corrupt_;
+  }
+  if (version != kFrameVersion) {
+    corrupt_ = CorruptError("unsupported version " + std::to_string(version));
+    return corrupt_;
+  }
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponseChunk)) {
+    corrupt_ = CorruptError("unknown frame type " + std::to_string(type));
+    return corrupt_;
+  }
+  if (payload_len > max_payload_ || payload_len > kMaxFramePayload) {
+    corrupt_ = CorruptError("oversized payload (" + std::to_string(payload_len) +
+                            " bytes)");
+    return corrupt_;
+  }
+  if (pending.size() < kFrameHeaderSize + payload_len) {
+    return std::optional<Frame>();  // header plausible; wait for the payload
+  }
+  ByteSpan payload = pending.subspan(kFrameHeaderSize, payload_len);
+  std::uint32_t crc = FrameCrc32(pending.subspan(0, kFrameHeaderSize - 4));
+  crc = FrameCrc32(payload, crc);
+  if (crc != wire_crc) {
+    corrupt_ = CorruptError("CRC mismatch");
+    return corrupt_;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.flags = flags;
+  frame.request_id = request_id;
+  frame.payload.assign(payload.begin(), payload.end());
+  consumed_ += kFrameHeaderSize + payload_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace sdb::net

@@ -1,0 +1,104 @@
+// The wire format: length-prefixed frames over a TCP byte stream.
+//
+// Every message — request or response — travels as one or more frames:
+//
+//   offset  size  field
+//   0       4     magic  "SDBF" (0x46424453 little-endian)
+//   4       1     version (currently 1)
+//   5       1     type    (kRequest / kResponse / kResponseChunk)
+//   6       2     flags   (bit 0: kFlagFinalChunk)
+//   8       8     request id (assigned by the client; echoed by the server)
+//   16      4     payload length
+//   20      4     CRC32 over bytes [0,20) + the payload
+//   24      len   payload
+//
+// The request id is the multiplexing key: a client may pipeline many requests on one
+// connection and the server completes them in ANY order; responses are matched by id,
+// never by position. The CRC covers the header fields too, so a bit flip anywhere —
+// including in the id or the length — is caught, not silently mis-routed. Responses
+// larger than a transport-chosen chunk size are split into kResponseChunk frames
+// (same id, last one flagged final), so one giant Enumerate reply never monopolizes a
+// connection's buffers; the payload concatenation is the encoded rpc::Response.
+//
+// FrameDecoder consumes the stream incrementally and is deliberately strict: any
+// malformed header or failed CRC is a hard error, because a byte stream that has
+// lost framing cannot be resynchronized — the connection must be torn down. Every
+// decode path is bounds-checked; garbage must produce a clean error, never a crash
+// or an accepted bogus frame (tests/net_frame_fuzz_test.cc holds it to that).
+#ifndef SMALLDB_SRC_NET_FRAME_H_
+#define SMALLDB_SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace sdb::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46424453;  // "SDBF" on the wire
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 24;
+
+// Frames larger than this are rejected at decode time: a corrupted length field must
+// not make the decoder buffer gigabytes waiting for a frame that never completes.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,        // payload: encoded rpc::Request
+  kResponse = 2,       // payload: complete encoded rpc::Response
+  kResponseChunk = 3,  // payload: a fragment of an encoded rpc::Response
+};
+
+// Set on the last kResponseChunk of a chunked response.
+inline constexpr std::uint16_t kFlagFinalChunk = 0x0001;
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint16_t flags = 0;
+  std::uint64_t request_id = 0;
+  Bytes payload;
+
+  bool final_chunk() const { return (flags & kFlagFinalChunk) != 0; }
+};
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib convention). `seed` chains incremental
+// computation: FrameCrc32(b, FrameCrc32(a)) == FrameCrc32(a+b).
+std::uint32_t FrameCrc32(ByteSpan data, std::uint32_t seed = 0);
+
+Bytes EncodeFrame(const Frame& frame);
+void AppendFrame(const Frame& frame, Bytes& out);
+
+// Splits an encoded response into one kResponse frame (when it fits) or a run of
+// kResponseChunk frames of at most `chunk_payload` bytes, the last flagged final.
+std::vector<Frame> ChunkResponse(std::uint64_t request_id, ByteSpan encoded_response,
+                                 std::size_t chunk_payload);
+
+// Incremental decoder over a connection's inbound bytes. Feed() appends; Next()
+// yields complete frames until it returns ok+nullopt (need more bytes) or an error
+// (stream corrupt — unrecoverable, close the connection; every later call returns
+// the same error).
+class FrameDecoder {
+ public:
+  // Caps accepted payload length (≤ kMaxFramePayload); transports set it to their
+  // own limit so an oversized request is refused before it is buffered.
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(ByteSpan data);
+  Result<std::optional<Frame>> Next();
+
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  Bytes buffer_;
+  std::size_t consumed_ = 0;
+  Status corrupt_ = OkStatus();  // sticky once a decode fails
+};
+
+}  // namespace sdb::net
+
+#endif  // SMALLDB_SRC_NET_FRAME_H_

@@ -1,0 +1,35 @@
+// Glue between the rpc layer's batch-ingest contract and the engine: a
+// rpc::UpdateSink whose CommitMany is Database::UpdateMany, i.e. one call carries
+// decoded updates from many connections into the group-commit pipeline where a
+// single fsync covers them all. Lives in src/net because the rpc layer deliberately
+// does not link src/core.
+#ifndef SMALLDB_SRC_NET_INGEST_H_
+#define SMALLDB_SRC_NET_INGEST_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/database.h"
+#include "src/rpc/server.h"
+
+namespace sdb::net {
+
+class DatabaseUpdateSink final : public rpc::UpdateSink {
+ public:
+  // `db` must outlive the sink (and every RpcServer registration holding it).
+  explicit DatabaseUpdateSink(Database& db) : db_(db) {}
+
+  std::vector<Status> CommitMany(
+      std::span<const std::function<Result<Bytes>()>> prepares) override {
+    return db_.UpdateMany(
+        std::vector<std::function<Result<Bytes>()>>(prepares.begin(), prepares.end()));
+  }
+
+ private:
+  Database& db_;
+};
+
+}  // namespace sdb::net
+
+#endif  // SMALLDB_SRC_NET_INGEST_H_

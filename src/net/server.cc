@@ -1,0 +1,683 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/frame.h"
+#include "src/obs/metrics.h"
+#include "src/rpc/message.h"
+
+namespace sdb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+// Process-wide server metrics ("net.server.*" in obs::GlobalRegistry()). Counters
+// are always live; the latency histograms record only while obs::Enabled().
+struct ServerObs {
+  obs::Counter* accepted;
+  obs::Counter* closed;
+  obs::Gauge* active;
+  obs::Counter* frames_in;
+  obs::Counter* frames_out;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* decode_errors;
+  obs::Counter* chunked_responses;
+  obs::Counter* ingest_batches;
+  obs::Counter* ingest_updates;
+  obs::Counter* read_pauses;
+  obs::Histogram* queue_us;       // frame decoded -> worker picked it up
+  obs::Histogram* commit_us;      // one ingest CommitMany call
+  obs::Histogram* dispatch_us;    // one non-batchable Dispatch call
+  obs::Histogram* ingest_batch;   // updates per CommitMany call
+};
+
+ServerObs& Obs() {
+  static ServerObs o = [] {
+    obs::Registry& r = obs::GlobalRegistry();
+    return ServerObs{&r.GetCounter("net.server.connections_accepted"),
+                     &r.GetCounter("net.server.connections_closed"),
+                     &r.GetGauge("net.server.connections_active"),
+                     &r.GetCounter("net.server.frames_in"),
+                     &r.GetCounter("net.server.frames_out"),
+                     &r.GetCounter("net.server.bytes_in"),
+                     &r.GetCounter("net.server.bytes_out"),
+                     &r.GetCounter("net.server.decode_errors"),
+                     &r.GetCounter("net.server.chunked_responses"),
+                     &r.GetCounter("net.server.ingest_batches"),
+                     &r.GetCounter("net.server.ingest_updates"),
+                     &r.GetCounter("net.server.read_pauses"),
+                     &r.GetHistogram("net.server.queue_us"),
+                     &r.GetHistogram("net.server.commit_us"),
+                     &r.GetHistogram("net.server.dispatch_us"),
+                     &r.GetHistogram("net.server.ingest_batch")};
+  }();
+  return o;
+}
+
+Micros NowMicros() {
+  static WallClock clock;
+  return clock.NowMicros();
+}
+
+}  // namespace
+
+class NetServer::Impl {
+ public:
+  Impl(rpc::RpcServer& rpc, NetServerOptions options)
+      : rpc_(rpc), options_(std::move(options)) {}
+
+  ~Impl() { Stop(); }
+
+  Status Start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return Errno("socket");
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgumentError("bad listen address: " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind " + options_.host + ":" + std::to_string(options_.port));
+    }
+    if (::listen(listen_fd_, 1024) != 0) {
+      return Errno("listen");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Errno("epoll_create1");
+    }
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) {
+      return Errno("eventfd");
+    }
+    SDB_RETURN_IF_ERROR(Arm(listen_fd_, EPOLLIN));
+    SDB_RETURN_IF_ERROR(Arm(wake_fd_, EPOLLIN));
+
+    loop_ = std::thread([this] { EventLoop(); });
+    int workers = options_.dispatch_threads > 0 ? options_.dispatch_threads : 1;
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+    return OkStatus();
+  }
+
+  void Stop() {
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true)) {
+      return;
+    }
+    Wake();
+    if (loop_.joinable()) {
+      loop_.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      draining_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (wake_fd_ >= 0) {
+      ::close(wake_fd_);
+      wake_fd_ = -1;
+    }
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const {
+    Stats s;
+    s.connections_accepted = accepted_.load();
+    s.connections_closed = closed_.load();
+    s.frames_in = frames_in_.load();
+    s.frames_out = frames_out_.load();
+    s.bytes_in = bytes_in_.load();
+    s.bytes_out = bytes_out_.load();
+    s.decode_errors = decode_errors_.load();
+    s.chunked_responses = chunked_.load();
+    s.ingest_batches = ingest_batches_.load();
+    s.ingest_updates = ingest_updates_.load();
+    s.read_pauses = read_pauses_.load();
+    return s;
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int conn_fd, std::size_t max_payload)
+        : fd(conn_fd), decoder(max_payload) {}
+
+    // Event-loop-only state.
+    const int fd;
+    FrameDecoder decoder;
+    bool reading_paused = false;
+    bool want_write = false;
+
+    // Requests decoded but not yet answered (loop increments, workers decrement).
+    std::atomic<std::size_t> in_flight{0};
+
+    // Workers append encoded response bytes; the loop drains them to the socket.
+    std::mutex mu;
+    std::deque<Bytes> outbox;
+    std::size_t outbox_head = 0;   // bytes of outbox.front() already sent
+    std::size_t outbox_bytes = 0;  // total unsent bytes across the deque
+    bool closed = false;
+  };
+
+  struct Work {
+    std::shared_ptr<Connection> conn;
+    Frame frame;
+    Micros enqueued = 0;
+  };
+
+  Status Arm(int fd, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl add");
+    }
+    return OkStatus();
+  }
+
+  void Rearm(Connection& conn) {
+    epoll_event ev{};
+    ev.events = (conn.reading_paused ? 0u : EPOLLIN) |
+                (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  void Wake() {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  // --- event loop ---
+
+  void EventLoop() {
+    std::vector<epoll_event> events(256);
+    while (!stopped_.load(std::memory_order_acquire)) {
+      int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == listen_fd_) {
+          AcceptAll();
+        } else if (fd == wake_fd_) {
+          std::uint64_t drain;
+          while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+          }
+          FlushDirty();
+        } else {
+          auto it = conns_.find(fd);
+          if (it == conns_.end()) {
+            continue;  // closed earlier in this same wait batch
+          }
+          std::shared_ptr<Connection> conn = it->second;
+          if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+            CloseConn(conn);
+            continue;
+          }
+          if ((events[i].events & EPOLLOUT) != 0) {
+            FlushConn(conn);
+          }
+          if ((events[i].events & EPOLLIN) != 0) {
+            ReadConn(conn);
+          }
+        }
+      }
+      if (stopped_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+    // Loop exit: tear down every connection so blocked client reads fail fast.
+    std::vector<std::shared_ptr<Connection>> all;
+    all.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) {
+      all.push_back(conn);
+    }
+    for (auto& conn : all) {
+      CloseConn(conn);
+    }
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        return;  // EAGAIN or a transient accept error; epoll will re-report
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Connection>(fd, options_.max_frame_payload);
+      conns_.emplace(fd, conn);
+      if (!Arm(fd, EPOLLIN).ok()) {
+        conns_.erase(fd);
+        ::close(fd);
+        continue;
+      }
+      accepted_.fetch_add(1);
+      Obs().accepted->Increment();
+      Obs().active->Add(1);
+    }
+  }
+
+  void ReadConn(const std::shared_ptr<Connection>& conn) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        bytes_in_.fetch_add(static_cast<std::uint64_t>(n));
+        Obs().bytes_in->Add(static_cast<std::uint64_t>(n));
+        conn->decoder.Feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+        if (!DrainFrames(conn)) {
+          return;  // connection closed on protocol error
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) {
+          break;  // short read: the socket is drained
+        }
+        continue;
+      }
+      if (n == 0) {
+        CloseConn(conn);
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseConn(conn);
+      return;
+    }
+    MaybePauseReads(*conn);
+  }
+
+  // Decodes every complete frame into work items. Returns false when the
+  // connection was closed (corrupt stream or a non-request frame).
+  bool DrainFrames(const std::shared_ptr<Connection>& conn) {
+    std::size_t enqueued = 0;
+    for (;;) {
+      Result<std::optional<Frame>> next = conn->decoder.Next();
+      if (!next.ok()) {
+        decode_errors_.fetch_add(1);
+        Obs().decode_errors->Increment();
+        CloseConn(conn);
+        return false;
+      }
+      if (!next->has_value()) {
+        break;
+      }
+      Frame frame = std::move(**next);
+      if (frame.type != FrameType::kRequest) {
+        decode_errors_.fetch_add(1);
+        Obs().decode_errors->Increment();
+        CloseConn(conn);
+        return false;
+      }
+      frames_in_.fetch_add(1);
+      Obs().frames_in->Increment();
+      conn->in_flight.fetch_add(1);
+      Work work;
+      work.conn = conn;
+      work.frame = std::move(frame);
+      work.enqueued = obs::Enabled() ? NowMicros() : 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        work_.push_back(std::move(work));
+      }
+      ++enqueued;
+    }
+    if (enqueued == 1) {
+      queue_cv_.notify_one();
+    } else if (enqueued > 1) {
+      queue_cv_.notify_all();
+    }
+    return true;
+  }
+
+  void MaybePauseReads(Connection& conn) {
+    std::size_t outbox_bytes;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      outbox_bytes = conn.outbox_bytes;
+    }
+    bool overloaded = conn.in_flight.load() >= options_.max_pipelined_requests ||
+                      outbox_bytes >= options_.max_outbox_bytes;
+    if (overloaded && !conn.reading_paused) {
+      conn.reading_paused = true;
+      read_pauses_.fetch_add(1);
+      Obs().read_pauses->Increment();
+      Rearm(conn);
+    } else if (!overloaded && conn.reading_paused) {
+      conn.reading_paused = false;
+      Rearm(conn);
+    }
+  }
+
+  void FlushConn(const std::shared_ptr<Connection>& conn) {
+    bool fatal = false;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      while (!conn->outbox.empty()) {
+        Bytes& front = conn->outbox.front();
+        const std::uint8_t* data = front.data() + conn->outbox_head;
+        std::size_t len = front.size() - conn->outbox_head;
+        ssize_t n = ::send(conn->fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            break;
+          }
+          fatal = true;
+          break;
+        }
+        bytes_out_.fetch_add(static_cast<std::uint64_t>(n));
+        Obs().bytes_out->Add(static_cast<std::uint64_t>(n));
+        conn->outbox_bytes -= static_cast<std::size_t>(n);
+        conn->outbox_head += static_cast<std::size_t>(n);
+        if (conn->outbox_head == front.size()) {
+          conn->outbox.pop_front();
+          conn->outbox_head = 0;
+        }
+      }
+      conn->want_write = !conn->outbox.empty() && !fatal;
+    }
+    if (fatal) {
+      CloseConn(conn);
+      return;
+    }
+    Rearm(*conn);
+    MaybePauseReads(*conn);
+  }
+
+  void FlushDirty() {
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      dirty.swap(flush_list_);
+    }
+    for (const auto& conn : dirty) {
+      bool closed;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        closed = conn->closed;
+      }
+      if (!closed) {
+        FlushConn(conn);
+      }
+    }
+  }
+
+  void CloseConn(const std::shared_ptr<Connection>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed) {
+        return;
+      }
+      conn->closed = true;
+      conn->outbox.clear();
+      conn->outbox_bytes = 0;
+      conn->outbox_head = 0;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conns_.erase(conn->fd);
+    closed_.fetch_add(1);
+    Obs().closed->Increment();
+    Obs().active->Add(-1);
+  }
+
+  // --- dispatch pool ---
+
+  void WorkerLoop() {
+    for (;;) {
+      std::vector<Work> gulp;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [this] { return draining_ || !work_.empty(); });
+        if (work_.empty()) {
+          return;  // draining and dry
+        }
+        std::size_t n = std::min(work_.size(), options_.ingest_drain);
+        gulp.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          gulp.push_back(std::move(work_.front()));
+          work_.pop_front();
+        }
+      }
+      ProcessGulp(gulp);
+    }
+  }
+
+  // One ingest cycle: plan every batchable update in the gulp, commit each sink's
+  // plans through ONE CommitMany call (one group-commit ingest batch covering
+  // requests from many sockets), dispatch everything else individually.
+  void ProcessGulp(std::vector<Work>& gulp) {
+    const bool timing = obs::Enabled();
+    if (timing) {
+      Micros now = NowMicros();
+      for (const Work& work : gulp) {
+        Obs().queue_us->Record(now - work.enqueued);
+      }
+    }
+
+    struct Planned {
+      Work* work = nullptr;
+      std::uint64_t call_id = 0;
+      rpc::PlannedUpdate plan;
+    };
+    struct SinkGroup {
+      std::shared_ptr<rpc::UpdateSink> sink;
+      std::vector<Planned> items;
+    };
+    std::map<rpc::UpdateSink*, SinkGroup> groups;
+
+    for (Work& work : gulp) {
+      ByteSpan payload = AsSpan(work.frame.payload);
+      Result<rpc::Request> request = rpc::DecodeRequest(payload);
+      if (!request.ok()) {
+        rpc::Response response;
+        response.status = request.status();
+        Respond(work, rpc::EncodeResponse(response));
+        continue;
+      }
+      std::optional<rpc::UpdateEntry> entry =
+          rpc_.FindUpdate(request->service, request->method);
+      if (!entry.has_value()) {
+        Micros start = timing ? NowMicros() : 0;
+        Bytes response = rpc_.Dispatch(payload);
+        if (timing) {
+          Obs().dispatch_us->Record(NowMicros() - start);
+        }
+        Respond(work, std::move(response));
+        continue;
+      }
+      Result<rpc::PlannedUpdate> plan = entry->planner(AsSpan(request->payload));
+      if (!plan.ok()) {
+        rpc::Response response;
+        response.call_id = request->call_id;
+        response.status = plan.status();
+        Respond(work, rpc::EncodeResponse(response));
+        continue;
+      }
+      SinkGroup& group = groups[entry->sink.get()];
+      group.sink = entry->sink;
+      group.items.push_back(Planned{&work, request->call_id, std::move(*plan)});
+    }
+
+    for (auto& [key, group] : groups) {
+      std::vector<std::function<Result<Bytes>()>> prepares;
+      prepares.reserve(group.items.size());
+      for (Planned& planned : group.items) {
+        prepares.push_back(std::move(planned.plan.prepare));
+      }
+      Micros start = timing ? NowMicros() : 0;
+      std::vector<Status> outcomes =
+          group.sink->CommitMany({prepares.data(), prepares.size()});
+      if (timing) {
+        Obs().commit_us->Record(NowMicros() - start);
+        Obs().ingest_batch->Record(static_cast<Micros>(group.items.size()));
+      }
+      ingest_batches_.fetch_add(1);
+      ingest_updates_.fetch_add(group.items.size());
+      Obs().ingest_batches->Increment();
+      Obs().ingest_updates->Add(group.items.size());
+      for (std::size_t i = 0; i < group.items.size(); ++i) {
+        Planned& planned = group.items[i];
+        rpc::Response response;
+        response.call_id = planned.call_id;
+        if (i < outcomes.size()) {
+          response.status = outcomes[i];
+        } else {
+          response.status = InternalError("ingest sink returned too few outcomes");
+        }
+        if (response.status.ok()) {
+          response.payload = std::move(planned.plan.response_payload);
+        }
+        Respond(*planned.work, rpc::EncodeResponse(response));
+      }
+    }
+  }
+
+  // Frames the encoded response (chunking large ones), queues it on the
+  // connection's outbox, and wakes the event loop to write it out.
+  void Respond(Work& work, Bytes encoded_response) {
+    std::shared_ptr<Connection>& conn = work.conn;
+    std::vector<Frame> frames = ChunkResponse(
+        work.frame.request_id, AsSpan(encoded_response), options_.chunk_payload);
+    if (frames.size() > 1) {
+      chunked_.fetch_add(1);
+      Obs().chunked_responses->Increment();
+    }
+    Bytes wire;
+    for (const Frame& frame : frames) {
+      AppendFrame(frame, wire);
+    }
+    frames_out_.fetch_add(frames.size());
+    Obs().frames_out->Add(frames.size());
+    conn->in_flight.fetch_sub(1);
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->outbox_bytes += wire.size();
+        conn->outbox.push_back(std::move(wire));
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        flush_list_.push_back(conn);
+      }
+      Wake();
+    }
+  }
+
+  rpc::RpcServer& rpc_;
+  const NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+
+  // Event-loop-owned connection table (fd -> connection).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Work> work_;
+  bool draining_ = false;
+
+  std::mutex flush_mu_;
+  std::vector<std::shared_ptr<Connection>> flush_list_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> chunked_{0};
+  std::atomic<std::uint64_t> ingest_batches_{0};
+  std::atomic<std::uint64_t> ingest_updates_{0};
+  std::atomic<std::uint64_t> read_pauses_{0};
+};
+
+NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+NetServer::~NetServer() = default;
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(rpc::RpcServer& rpc,
+                                                    NetServerOptions options) {
+  auto impl = std::make_unique<Impl>(rpc, std::move(options));
+  SDB_RETURN_IF_ERROR(impl->Start());
+  return std::unique_ptr<NetServer>(new NetServer(std::move(impl)));
+}
+
+void NetServer::Stop() { impl_->Stop(); }
+
+std::uint16_t NetServer::port() const { return impl_->port(); }
+
+NetServer::Stats NetServer::stats() const { return impl_->stats(); }
+
+}  // namespace sdb::net

@@ -38,6 +38,12 @@ Result<Bytes> LoopbackChannel::RoundTrip(ByteSpan request) {
     options_.clock->Charge(options_.round_trip_micros / 2);
   }
   Bytes response = server_.Dispatch(request);
+  if (drop_responses_.load()) {
+    // Half-open connection: the server executed the request, the reply died on the
+    // way back. No return-leg latency — the caller times out, it doesn't wait.
+    dropped_responses_.fetch_add(1);
+    return UnavailableError("connection lost after send: response dropped");
+  }
   if (options_.clock != nullptr) {
     options_.clock->Charge(options_.round_trip_micros - options_.round_trip_micros / 2);
   }

@@ -115,6 +115,36 @@ void RegisterMethod(RpcServer& server, std::string service, std::string method,
                   });
 }
 
+// A typed planner's result: the prepare closure destined for the commit pipeline
+// plus the response body to send when it commits.
+template <typename Resp>
+struct TypedUpdatePlan {
+  std::function<Result<Bytes>()> prepare;
+  Resp response{};
+};
+
+// Server-side stub for a *batchable* update method (see RpcServer::RegisterUpdate):
+// unpickles the request, asks `plan` for a prepare + response, and pre-pickles the
+// success response so the transport can answer straight from the commit outcome.
+template <typename Req, typename Resp, typename Planner>
+void RegisterUpdateMethod(RpcServer& server, std::string service, std::string method,
+                          std::shared_ptr<UpdateSink> sink, Planner plan) {
+  server.RegisterUpdate(
+      std::move(service), std::move(method),
+      [plan = std::move(plan)](ByteSpan payload) -> Result<PlannedUpdate> {
+        PickleReader reader = PickleReader::Raw(payload);
+        Req request{};
+        SDB_RETURN_IF_ERROR(
+            reader.Read(request).WithContext("unmarshalling RPC request"));
+        Result<TypedUpdatePlan<Resp>> planned = plan(request);
+        SDB_RETURN_IF_ERROR(planned.status());
+        PickleWriter writer;
+        writer.Write(planned->response);
+        return PlannedUpdate{std::move(planned->prepare), std::move(writer).TakeRaw()};
+      },
+      std::move(sink));
+}
+
 }  // namespace sdb::rpc
 
 #endif  // SMALLDB_SRC_RPC_CLIENT_H_

@@ -31,6 +31,34 @@ void RpcServer::Register(std::string service, std::string method, RawHandler han
   handlers_.insert_or_assign({std::move(service), std::move(method)}, std::move(handler));
 }
 
+void RpcServer::RegisterUpdate(std::string service, std::string method,
+                               UpdatePlanner planner, std::shared_ptr<UpdateSink> sink) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    updates_.insert_or_assign({service, method}, UpdateEntry{planner, sink});
+  }
+  // The Dispatch path serves the method as a batch of one: same plan, same commit
+  // pipeline, so loopback and socket transports agree on semantics exactly.
+  Register(std::move(service), std::move(method),
+           [planner = std::move(planner),
+            sink = std::move(sink)](ByteSpan payload) -> Result<Bytes> {
+             SDB_ASSIGN_OR_RETURN(PlannedUpdate plan, planner(payload));
+             std::vector<Status> outcomes = sink->CommitMany({&plan.prepare, 1});
+             SDB_RETURN_IF_ERROR(outcomes.front());
+             return std::move(plan.response_payload);
+           });
+}
+
+std::optional<UpdateEntry> RpcServer::FindUpdate(const std::string& service,
+                                                 const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = updates_.find({service, method});
+  if (it == updates_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
 Bytes RpcServer::Dispatch(ByteSpan request_bytes) const {
   Response response;
   Result<Request> request = DecodeRequest(request_bytes);

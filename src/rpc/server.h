@@ -9,7 +9,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,39 @@
 namespace sdb::rpc {
 
 using RawHandler = std::function<Result<Bytes>(ByteSpan payload)>;
+
+// Where batchable update methods go to commit. Implemented over the engine
+// (net::DatabaseUpdateSink wraps Database::UpdateMany); the interface lives here so
+// the rpc layer stays independent of src/core. CommitMany blocks until every prepare
+// is durable and applied or failed, returning per-prepare outcomes in input order —
+// the transport may put plans from many connections into ONE call, which is how one
+// fsync comes to cover requests from many sockets.
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+  virtual std::vector<Status> CommitMany(
+      std::span<const std::function<Result<Bytes>()>> prepares) = 0;
+};
+
+// A decoded update request turned into engine terms: the prepare closure that will
+// run under the update lock inside the commit pipeline, and the response payload to
+// send if the commit succeeds (updates answer with small acks, so the success
+// payload is known at plan time).
+struct PlannedUpdate {
+  std::function<Result<Bytes>()> prepare;
+  Bytes response_payload;
+};
+
+// Converts a raw request payload into a PlannedUpdate. Runs on a transport thread
+// with no engine lock held: it must only decode and capture, deferring every
+// precondition check into the prepare closure.
+using UpdatePlanner = std::function<Result<PlannedUpdate>(ByteSpan payload)>;
+
+// A batchable update method's registration, as seen by transports.
+struct UpdateEntry {
+  UpdatePlanner planner;
+  std::shared_ptr<UpdateSink> sink;
+};
 
 // Per-method serving statistics (calls, application errors, handler time).
 struct MethodMetrics {
@@ -39,6 +75,19 @@ class RpcServer {
   // Registers the handler for service.method; replaces any previous registration.
   void Register(std::string service, std::string method, RawHandler handler);
 
+  // Registers a *batchable* update method: `planner` turns the request payload into
+  // a prepare + success response, `sink` is where plans commit. Also installs a
+  // normal handler (plan, commit a batch of one, answer), so Dispatch-based
+  // transports serve the method identically; batching transports instead call
+  // FindUpdate and coalesce many plans into one CommitMany.
+  void RegisterUpdate(std::string service, std::string method, UpdatePlanner planner,
+                      std::shared_ptr<UpdateSink> sink);
+
+  // The batchable-update registration for service.method, if any. Copies the entry
+  // (planner + sink handle), so the caller holds no lock while planning.
+  std::optional<UpdateEntry> FindUpdate(const std::string& service,
+                                        const std::string& method) const;
+
   // Decodes `request`, invokes the handler, encodes the response. Never fails at the
   // transport level: all errors travel inside the encoded response.
   Bytes Dispatch(ByteSpan request) const;
@@ -52,6 +101,7 @@ class RpcServer {
   Clock* clock_;
   mutable std::mutex mutex_;
   std::map<std::pair<std::string, std::string>, RawHandler> handlers_;
+  std::map<std::pair<std::string, std::string>, UpdateEntry> updates_;
   mutable std::map<std::pair<std::string, std::string>, MethodMetrics> metrics_;
   mutable std::uint64_t dispatched_ = 0;
 };

@@ -41,16 +41,27 @@ class LoopbackChannel final : public Channel {
   Result<Bytes> RoundTrip(ByteSpan request) override;
 
   // Simulates a network partition: while disconnected, calls fail with kUnavailable.
+  // The request never reaches the server — the symmetric, easy case.
   void SetConnected(bool connected) { connected_.store(connected); }
   bool connected() const { return connected_.load(); }
 
+  // The asymmetric failure a real socket produces: the request IS delivered and
+  // executed, but the response is lost (peer died after processing, half-open
+  // connection). The caller sees kUnavailable with no way to tell this apart from
+  // SetConnected(false) — which is exactly what makes retry/idempotency testable.
+  void SetDropResponses(bool drop) { drop_responses_.store(drop); }
+  bool dropping_responses() const { return drop_responses_.load(); }
+
   std::uint64_t calls() const { return calls_.load(); }
+  std::uint64_t dropped_responses() const { return dropped_responses_.load(); }
 
  private:
   RpcServer& server_;
   LoopbackOptions options_;
   std::atomic<bool> connected_{true};
+  std::atomic<bool> drop_responses_{false};
   std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> dropped_responses_{0};
 };
 
 }  // namespace sdb::rpc

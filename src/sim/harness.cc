@@ -9,7 +9,10 @@
 #include "src/core/backup.h"
 #include "src/core/database.h"
 #include "src/core/sharded.h"
+#include "src/net/ingest.h"
+#include "src/rpc/client.h"
 #include "src/sim/kv_app.h"
+#include "src/sim/net_sim.h"
 #include "src/sim/oracle.h"
 #include "src/storage/sim_disk.h"
 #include "src/storage/sim_fs.h"
@@ -81,7 +84,78 @@ RandomFaultOptions FaultOptionsFor(ScheduleKind kind) {
   return o;
 }
 
+NetFaultOptions NetFaultOptionsFor(ScheduleKind kind) {
+  NetFaultOptions o;
+  switch (kind) {
+    case ScheduleKind::kNone:
+      break;
+    case ScheduleKind::kMultiCrash:
+      // Power failures stay the star; the network adds mild symmetric loss so
+      // crash recovery also runs with pending (unacknowledged) operations around.
+      o.drop_request = 0.02;
+      o.drop_response = 0.02;
+      break;
+    case ScheduleKind::kTransient:
+      // Loss-heavy: drops on both legs plus slow peers — the half-open and retry
+      // territory.
+      o.drop_request = 0.03;
+      o.drop_response = 0.04;
+      o.slow_peer = 0.03;
+      break;
+    case ScheduleKind::kTornSwitch:
+      // Corruption-heavy: flipped and truncated frames aim at the decoder's
+      // reject-never-crash contract (canary-checked).
+      o.corrupt_frame = 0.04;
+      o.truncate_frame = 0.04;
+      break;
+    case ScheduleKind::kMixed:
+      o.partition_start = 0.010;
+      o.drop_request = 0.015;
+      o.drop_response = 0.020;
+      o.corrupt_frame = 0.015;
+      o.truncate_frame = 0.015;
+      o.slow_peer = 0.010;
+      break;
+  }
+  return o;
+}
+
 namespace {
+
+// The KV workload's RPC surface, used only in network mode. Put/Delete register as
+// batchable updates (the planner defers everything to the app's prepare closures),
+// so each dispatched update flows through plan -> CommitMany -> Database::UpdateMany
+// — the same ingest path the TCP server drives.
+struct KvPutRequest {
+  std::string key;
+  std::string value;
+  SDB_PICKLE_FIELDS(KvPutRequest, key, value)
+};
+struct KvDeleteRequest {
+  std::string key;
+  SDB_PICKLE_FIELDS(KvDeleteRequest, key)
+};
+struct KvAck {
+  std::uint8_t ok = 1;
+  SDB_PICKLE_FIELDS(KvAck, ok)
+};
+struct KvLookupRequest {
+  std::string key;
+  SDB_PICKLE_FIELDS(KvLookupRequest, key)
+};
+struct KvLookupResponse {
+  std::uint8_t found = 0;
+  std::string value;
+  SDB_PICKLE_FIELDS(KvLookupResponse, found, value)
+};
+struct KvEnumerateRequest {
+  std::uint8_t unused = 0;
+  SDB_PICKLE_FIELDS(KvEnumerateRequest, unused)
+};
+struct KvEnumerateResponse {
+  std::map<std::string, std::string> state;
+  SDB_PICKLE_FIELDS(KvEnumerateResponse, state)
+};
 
 std::string Hex(std::uint64_t value) {
   char buf[19];
@@ -92,13 +166,24 @@ std::string Hex(std::uint64_t value) {
 
 class Runner {
  public:
-  Runner(const std::vector<WorkloadStep>& steps, const HarnessOptions& options)
-      : steps_(steps), options_(options), disk_(DiskOptions()), fs_(&disk_) {}
+  Runner(const std::vector<WorkloadStep>& steps, const HarnessOptions& options,
+         std::uint64_t seed)
+      : steps_(steps), options_(options), disk_(DiskOptions()), fs_(&disk_) {
+    if (options_.network && options_.shards <= 1) {
+      channel_ = std::make_unique<SimNetChannel>(
+          seed, NetFaultOptionsFor(options_.schedule), nullptr, &clock_);
+    }
+  }
 
   RunReport Run(FaultInjector injector) {
     report_.steps = steps_;
     (void)fs_.CreateDir("/db");
     disk_.SetFaultInjector(std::move(injector));
+    if (channel_ != nullptr) {
+      // Fault firings are observable events: mix them so the trace hash covers the
+      // network schedule too.
+      channel_->SetEventHook([this](std::string_view event) { trace_.Mix(event); });
+    }
 
     Status boot = Reboot();
     if (!boot.ok()) {
@@ -241,6 +326,10 @@ class Runner {
     if (static_cast<int>(++report_.reboots) > options_.max_reboots) {
       return InternalError("exceeded max_reboots — fault schedule never went quiet");
     }
+    if (channel_ != nullptr) {
+      channel_->SetServer(nullptr);  // the server dies with the power
+    }
+    rpc_server_.reset();
     db_.reset();
     sdb_.reset();
     Status last_error = OkStatus();
@@ -295,6 +384,9 @@ class Runner {
         trace_.Mix(key);
         trace_.Mix(value);
       }
+      if (channel_ != nullptr) {
+        RebuildServer();
+      }
       return OkStatus();
     }
     return InternalError("recovery did not converge after " +
@@ -302,11 +394,135 @@ class Runner {
                          " attempts; last error: " + last_error.ToString());
   }
 
+  // Network mode: a fresh RpcServer fronts the just-recovered database. Handlers
+  // capture `this` and read the CURRENT app_/db_, so a later reboot's rebuild never
+  // leaves them dangling. Ordinals inside channel_ keep counting across reboots.
+  void RebuildServer() {
+    rpc_server_ = std::make_unique<rpc::RpcServer>();
+    update_sink_ = std::make_shared<net::DatabaseUpdateSink>(*db_);
+    rpc::RegisterUpdateMethod<KvPutRequest, KvAck>(
+        *rpc_server_, "KvService", "Put", update_sink_,
+        [this](const KvPutRequest& request) -> Result<rpc::TypedUpdatePlan<KvAck>> {
+          return rpc::TypedUpdatePlan<KvAck>{
+              app_->PreparePut(request.key, request.value), KvAck{}};
+        });
+    rpc::RegisterUpdateMethod<KvDeleteRequest, KvAck>(
+        *rpc_server_, "KvService", "Delete", update_sink_,
+        [this](const KvDeleteRequest& request) -> Result<rpc::TypedUpdatePlan<KvAck>> {
+          return rpc::TypedUpdatePlan<KvAck>{app_->PrepareDelete(request.key), KvAck{}};
+        });
+    rpc::RegisterMethod<KvLookupRequest, KvLookupResponse>(
+        *rpc_server_, "KvService", "Lookup",
+        [this](const KvLookupRequest& request) -> Result<KvLookupResponse> {
+          KvLookupResponse response;
+          SDB_RETURN_IF_ERROR(db_->Enquire([&]() -> Status {
+            auto it = app_->state.find(request.key);
+            if (it != app_->state.end()) {
+              response.found = 1;
+              response.value = it->second;
+            }
+            return OkStatus();
+          }));
+          return response;
+        });
+    rpc::RegisterMethod<KvEnumerateRequest, KvEnumerateResponse>(
+        *rpc_server_, "KvService", "Enumerate",
+        [this](const KvEnumerateRequest&) -> Result<KvEnumerateResponse> {
+          KvEnumerateResponse response;
+          SDB_RETURN_IF_ERROR(db_->Enquire([&]() -> Status {
+            response.state = app_->state;
+            return OkStatus();
+          }));
+          return response;
+        });
+    channel_->SetServer(rpc_server_.get());
+  }
+
+  // A canary is SimNetChannel reporting a codec bug (accepted corrupt frame, decoded
+  // truncation); unlike an injected network failure it must fail the run.
+  static bool IsCanary(const Status& status) {
+    return status.ToString().find("canary:") != std::string::npos;
+  }
+
+  // The network interpretation of the KV steps. Updates that fail on the wire are
+  // PENDING for the oracle — a dropped response means executed-but-unacknowledged,
+  // and a dropped request is indistinguishable to the client, so both downgrade to
+  // "may or may not be durable". Enquiries that fail on the wire verify nothing.
+  Status ExecuteStepNetwork(const WorkloadStep& step) {
+    switch (step.kind) {
+      case StepKind::kPut: {
+        Result<KvAck> ack = rpc::CallMethod<KvPutRequest, KvAck>(
+            *channel_, "KvService", "Put", KvPutRequest{step.key, step.value});
+        if (ack.ok()) {
+          oracle_.AckPut(step.key, step.value);
+        } else if (IsCanary(ack.status())) {
+          violation_ = ack.status();
+        } else {
+          oracle_.PendingPut(step.key, step.value);
+        }
+        return ack.status();
+      }
+      case StepKind::kDelete: {
+        Result<KvAck> ack = rpc::CallMethod<KvDeleteRequest, KvAck>(
+            *channel_, "KvService", "Delete", KvDeleteRequest{step.key});
+        if (ack.ok()) {
+          oracle_.AckDelete(step.key);
+        } else if (IsCanary(ack.status())) {
+          violation_ = ack.status();
+        } else {
+          oracle_.PendingDelete(step.key);
+        }
+        return ack.status();
+      }
+      case StepKind::kLookup: {
+        Result<KvLookupResponse> response = rpc::CallMethod<KvLookupRequest, KvLookupResponse>(
+            *channel_, "KvService", "Lookup", KvLookupRequest{step.key});
+        if (!response.ok()) {
+          if (IsCanary(response.status())) {
+            violation_ = response.status();
+          }
+          return response.status();
+        }
+        Status check =
+            oracle_.CheckKeyRelaxed(step.key, response->found != 0, response->value);
+        if (!check.ok()) {
+          violation_ = check;
+        }
+        return OkStatus();
+      }
+      case StepKind::kEnumerate: {
+        // The full-state response is large relative to the sim chunk size, so this
+        // leg exercises chunked streaming + reassembly on nearly every enumerate.
+        Result<KvEnumerateResponse> response =
+            rpc::CallMethod<KvEnumerateRequest, KvEnumerateResponse>(
+                *channel_, "KvService", "Enumerate", KvEnumerateRequest{});
+        if (!response.ok()) {
+          if (IsCanary(response.status())) {
+            violation_ = response.status();
+          }
+          return response.status();
+        }
+        Status live = oracle_.CheckLiveRelaxed(response->state);
+        if (!live.ok()) {
+          violation_ = live;
+        }
+        return OkStatus();
+      }
+      default:
+        return InternalError("step is not a network step");
+    }
+  }
+
   // Returns the engine's verdict on the step. Oracle violations (and terminal reboot
   // failures inside a restart step) land in violation_ instead — they fail the run.
   Status ExecuteStep(const WorkloadStep& step) {
     if (sharded()) {
       return ExecuteStepSharded(step);
+    }
+    if (channel_ != nullptr &&
+        (step.kind == StepKind::kPut || step.kind == StepKind::kDelete ||
+         step.kind == StepKind::kLookup || step.kind == StepKind::kEnumerate)) {
+      return ExecuteStepNetwork(step);
     }
     switch (step.kind) {
       case StepKind::kPut: {
@@ -486,6 +702,12 @@ class Runner {
   // Sharded mode (options_.shards > 1): the ensemble replaces app_/db_.
   std::vector<std::unique_ptr<KvApp>> shard_apps_;
   std::unique_ptr<ShardedDatabase> sdb_;
+  // Network mode (options_.network, Database mode only): the simulated transport.
+  // The channel outlives reboots (its fault ordinals must keep counting); the
+  // RpcServer + ingest sink are rebuilt with each recovered database.
+  std::unique_ptr<SimNetChannel> channel_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  std::shared_ptr<rpc::UpdateSink> update_sink_;
   std::size_t checkpoint_cursor_ = 0;
   ModelOracle oracle_;
   TraceHasher trace_;
@@ -500,11 +722,12 @@ class Runner {
 RunReport RunSeed(std::uint64_t seed, const HarnessOptions& options) {
   std::vector<WorkloadStep> steps = GenerateWorkload(seed, options.workload);
   RandomFaultSchedule schedule(seed, FaultOptionsFor(options.schedule));
-  Runner runner(steps, options);
+  Runner runner(steps, options, seed);
   RunReport report = runner.Run(schedule.AsInjector());
   report.seed = seed;
   report.schedule = options.schedule;
   report.shards = options.shards;
+  report.network = options.network && options.shards <= 1;
   report.fired_points = schedule.fired_points();
   return report;
 }
@@ -513,11 +736,12 @@ RunReport RunScript(const std::vector<WorkloadStep>& steps,
                     const std::vector<FaultPoint>& points, const HarnessOptions& options,
                     std::uint64_t seed) {
   ScriptedFaultSchedule schedule(points);
-  Runner runner(steps, options);
+  Runner runner(steps, options, seed);
   RunReport report = runner.Run(schedule.AsInjector());
   report.seed = seed;
   report.schedule = options.schedule;
   report.shards = options.shards;
+  report.network = options.network && options.shards <= 1;
   report.fired_points = points;
   return report;
 }
@@ -528,6 +752,7 @@ std::string ReportToString(const RunReport& report) {
     out = "ok seed=" + std::to_string(report.seed) +
           " schedule=" + ScheduleKindName(report.schedule) +
           (report.shards > 1 ? " shards=" + std::to_string(report.shards) : "") +
+          (report.network ? " network" : "") +
           " steps=" + std::to_string(report.steps_executed) +
           " reboots=" + std::to_string(report.reboots) +
           " trace=" + Hex(report.trace_hash);
@@ -539,6 +764,7 @@ std::string ReportToString(const RunReport& report) {
         " --schedule=" + ScheduleKindName(report.schedule) +
         " --steps=" + std::to_string(report.steps.size()) +
         (report.shards > 1 ? " --shards=" + std::to_string(report.shards) : "") +
+        (report.network ? " --mix=network" : "") +
         "\n  trace=" + Hex(report.trace_hash) + "\n  fault script (" +
         std::to_string(report.fired_points.size()) + " points):";
   for (const FaultPoint& point : report.fired_points) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/sim/fault_schedule.h"
+#include "src/sim/net_sim.h"
 #include "src/sim/workload.h"
 
 namespace sdb::sim {
@@ -61,6 +62,10 @@ std::string ScheduleKindName(ScheduleKind kind);
 bool ParseScheduleKind(std::string_view name, ScheduleKind* out);
 RandomFaultOptions FaultOptionsFor(ScheduleKind kind);
 
+// The network-fault preset each schedule maps to when options.network is set (the
+// disk-fault preset above still applies — network runs fuzz both at once).
+NetFaultOptions NetFaultOptionsFor(ScheduleKind kind);
+
 struct HarnessOptions {
   WorkloadOptions workload;
   ScheduleKind schedule = ScheduleKind::kMixed;
@@ -75,6 +80,14 @@ struct HarnessOptions {
   // recovery is forced sequential and rotation attempts checkpoint shards in
   // index order on the harness thread.
   int shards = 1;
+  // Routes the KV workload's puts/deletes/lookups/enumerates through a SimNetChannel
+  // + RpcServer pair instead of direct engine calls: every op crosses the real wire
+  // codec and the batch-ingest registration (RegisterUpdate -> Database::UpdateMany)
+  // under the schedule's NetFaultOptionsFor() preset — drops, half-open connections
+  // (executed but unacknowledged, the oracle's pending state), corrupt and truncated
+  // frames (decoder-rejection canaries), partitions, slow peers. Checkpoint, backup
+  // and restart steps stay local. Database mode only (shards must be 1).
+  bool network = false;
   // Database-mode replay thread count. Parallel replay is deterministic under the
   // simulation: the log (and its faultable page reads) is consumed sequentially on
   // the recovery thread, workers only apply already-read records in memory, and the
@@ -107,6 +120,7 @@ struct RunReport {
   std::uint64_t seed = 0;
   ScheduleKind schedule = ScheduleKind::kNone;
   int shards = 1;  // engine the run drove: 1 = Database, > 1 = ShardedDatabase
+  bool network = false;  // KV steps crossed the simulated wire
   std::uint64_t trace_hash = 0;
 
   std::uint64_t reboots = 0;             // power cycles, incl. the boot and final verify

@@ -1,0 +1,152 @@
+#include "src/sim/net_sim.h"
+
+namespace sdb::sim {
+
+namespace {
+
+// SplitMix64 finalizer, as in RandomFaultSchedule: decisions are pure functions of
+// (seed, op ordinal, lane), independent of call timing.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double SimNetChannel::Draw(std::uint64_t ordinal, std::uint64_t lane) const {
+  std::uint64_t h = Mix64(seed_ ^ Mix64(ordinal ^ (lane << 56)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void SimNetChannel::Fire(std::string_view event) {
+  ++faults_;
+  if (on_event_) {
+    on_event_(event);
+  }
+}
+
+Result<Bytes> SimNetChannel::RoundTrip(ByteSpan request) {
+  const std::uint64_t n = ++ops_;
+
+  // An open partition swallows the op before anything is sent.
+  if (partition_left_ > 0) {
+    --partition_left_;
+    if (on_event_) {
+      on_event_("net-partitioned");
+    }
+    return UnavailableError("network partition");
+  }
+  const bool budget = faults_ < options_.max_faults;
+  if (budget && Draw(n, 1) < options_.partition_start) {
+    partition_left_ = options_.partition_ops;
+    Fire("net-partition-start");
+    if (partition_left_ > 0) {
+      --partition_left_;
+    }
+    return UnavailableError("network partition");
+  }
+
+  // The request leg: encode through the real codec.
+  net::Frame out;
+  out.type = net::FrameType::kRequest;
+  out.request_id = n;
+  out.payload.assign(request.begin(), request.end());
+  Bytes wire = net::EncodeFrame(out);
+
+  if (budget && Draw(n, 2) < options_.drop_request) {
+    // Lost before delivery: the server never saw it; the op did NOT execute.
+    Fire("net-drop-request");
+    return UnavailableError("request lost in transit");
+  }
+  if (budget && Draw(n, 4) < options_.corrupt_frame) {
+    // A byte flips in flight. The server-side decoder must reject the frame and
+    // condemn the stream; if it ever accepts the mutated bytes as a frame, that is
+    // a codec bug and the canary InternalError fails the run.
+    Fire("net-corrupt-frame");
+    std::size_t pos = static_cast<std::size_t>(Draw(n, 5) * static_cast<double>(wire.size()));
+    if (pos >= wire.size()) {
+      pos = wire.size() - 1;
+    }
+    std::uint8_t flip =
+        static_cast<std::uint8_t>(1u << (static_cast<unsigned>(Draw(n, 6) * 8) & 7));
+    wire[pos] ^= flip;
+    net::FrameDecoder decoder;
+    decoder.Feed(AsSpan(wire));
+    Result<std::optional<net::Frame>> decoded = decoder.Next();
+    if (decoded.ok() && decoded->has_value()) {
+      // The flip landed somewhere the CRC should have caught. Never acceptable.
+      return InternalError("canary: corrupted wire frame was accepted by the decoder");
+    }
+    return UnavailableError("connection reset: peer rejected corrupt frame");
+  }
+  if (budget && Draw(n, 7) < options_.truncate_frame) {
+    // The connection dies mid-frame. A partial frame must never decode.
+    Fire("net-truncate-frame");
+    std::size_t keep = 1 + static_cast<std::size_t>(Draw(n, 8) *
+                                                    static_cast<double>(wire.size() - 1));
+    net::FrameDecoder decoder;
+    decoder.Feed(ByteSpan(wire.data(), keep));
+    Result<std::optional<net::Frame>> decoded = decoder.Next();
+    if (decoded.ok() && decoded->has_value()) {
+      return InternalError("canary: truncated wire frame decoded as complete");
+    }
+    return UnavailableError("connection closed mid-frame");
+  }
+
+  // Delivery: decode server-side (must round-trip cleanly), dispatch, and carry the
+  // response back through chunking + reassembly.
+  net::FrameDecoder server_decoder;
+  server_decoder.Feed(AsSpan(wire));
+  Result<std::optional<net::Frame>> delivered = server_decoder.Next();
+  if (!delivered.ok()) {
+    return InternalError("canary: clean wire frame failed to decode: " +
+                         delivered.status().ToString());
+  }
+  if (!delivered->has_value()) {
+    return InternalError("canary: clean wire frame decoded as incomplete");
+  }
+  if (server_ == nullptr) {
+    return UnavailableError("server not running");
+  }
+  Bytes encoded_response = server_->Dispatch(AsSpan((**delivered).payload));
+
+  if (budget && Draw(n, 9) < options_.slow_peer) {
+    Fire("net-slow-peer");
+    clock_->Charge(options_.slow_peer_micros);
+  }
+  if (budget && Draw(n, 3) < options_.drop_response) {
+    // The half-open failure: executed and committed server-side, reply lost. The
+    // caller cannot distinguish this from drop_request — that asymmetry is the point.
+    Fire("net-drop-response");
+    return UnavailableError("connection lost after send: response dropped");
+  }
+
+  Bytes response_wire;
+  for (const net::Frame& frame :
+       net::ChunkResponse(n, AsSpan(encoded_response), options_.chunk_payload)) {
+    net::AppendFrame(frame, response_wire);
+  }
+  net::FrameDecoder client_decoder;
+  client_decoder.Feed(AsSpan(response_wire));
+  Bytes assembled;
+  for (;;) {
+    Result<std::optional<net::Frame>> next = client_decoder.Next();
+    if (!next.ok()) {
+      return InternalError("canary: clean response frame failed to decode: " +
+                           next.status().ToString());
+    }
+    if (!next->has_value()) {
+      return InternalError("canary: response stream ended before the final chunk");
+    }
+    net::Frame frame = std::move(**next);
+    assembled.insert(assembled.end(), frame.payload.begin(), frame.payload.end());
+    if (frame.type == net::FrameType::kResponse || frame.final_chunk()) {
+      break;
+    }
+  }
+  return assembled;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,98 @@
+// SimNetChannel: the deterministic network for the simulation harness.
+//
+// A real socket cannot appear inside a simulated run (its timing and failures are
+// not a function of the seed), so the harness's "network" is this channel: every
+// request and response still travels through the REAL wire codec — encoded as a
+// frame, CRC'd, decoded by a FrameDecoder, responses chunked and reassembled — but
+// delivery happens in-process against an RpcServer, and every failure is drawn
+// statelessly from (seed, op ordinal), the RandomFaultSchedule idiom. The failures
+// are the ones real TCP produces, including the asymmetric ones:
+//
+//   drop-request   the request never arrives; the operation did NOT execute
+//   drop-response  the server executed and committed, then the reply was lost —
+//                  the half-open failure; the oracle must treat the op as pending
+//   corrupt-frame  a byte flips in flight; the decoder MUST reject the frame
+//                  (an accepted bogus frame is reported as a canary error)
+//   truncate-frame the peer dies mid-frame; the decoder must keep waiting, never
+//                  yield a partial frame
+//   partition      a window of ops where nothing gets through in either direction
+//   slow-peer      delivery succeeds but charges the SimClock a long delay
+//
+// The server pointer is settable because the harness rebuilds the RpcServer at
+// every reboot; fault ordinals keep counting across reboots, so a run remains a
+// pure function of its seed.
+#ifndef SMALLDB_SRC_SIM_NET_SIM_H_
+#define SMALLDB_SRC_SIM_NET_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/net/frame.h"
+#include "src/rpc/server.h"
+#include "src/rpc/transport.h"
+
+namespace sdb::sim {
+
+struct NetFaultOptions {
+  // Per-round-trip probabilities, drawn independently in the order listed; the
+  // first that fires wins the op.
+  double partition_start = 0;
+  double drop_request = 0;
+  double drop_response = 0;
+  double corrupt_frame = 0;
+  double truncate_frame = 0;
+  double slow_peer = 0;
+
+  // A partition swallows this many consecutive round trips once it starts.
+  std::uint64_t partition_ops = 3;
+  Micros slow_peer_micros = 50 * kMicrosPerMilli;
+  // Budget so every run converges: once this many faults fired, the network goes
+  // quiet (partitions in progress still drain their window).
+  std::uint64_t max_faults = 16;
+
+  // Responses are chunked at this size so reassembly runs constantly (tiny on
+  // purpose — a sim Enumerate response spans many chunks).
+  std::size_t chunk_payload = 48;
+};
+
+class SimNetChannel final : public rpc::Channel {
+ public:
+  SimNetChannel(std::uint64_t seed, NetFaultOptions options, rpc::RpcServer* server,
+                SimClock* clock)
+      : seed_(seed), options_(options), server_(server), clock_(clock) {}
+
+  // The harness rebuilds the RpcServer after every reboot; ordinals continue.
+  void SetServer(rpc::RpcServer* server) { server_ = server; }
+
+  // Called with the event name whenever a fault fires ("net-drop-request", ...);
+  // the harness mixes these into the trace hash.
+  void SetEventHook(std::function<void(std::string_view)> hook) {
+    on_event_ = std::move(hook);
+  }
+
+  Result<Bytes> RoundTrip(ByteSpan request) override;
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t faults_fired() const { return faults_; }
+
+ private:
+  double Draw(std::uint64_t ordinal, std::uint64_t lane) const;
+  void Fire(std::string_view event);
+
+  const std::uint64_t seed_;
+  const NetFaultOptions options_;
+  rpc::RpcServer* server_;
+  SimClock* clock_;
+  std::function<void(std::string_view)> on_event_;
+
+  std::uint64_t ops_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t partition_left_ = 0;
+};
+
+}  // namespace sdb::sim
+
+#endif  // SMALLDB_SRC_SIM_NET_SIM_H_

@@ -39,19 +39,24 @@ Status ModelOracle::CheckLive(const std::map<std::string, std::string>& live) co
   return InternalError("oracle: live state diverged from model");
 }
 
+bool ModelOracle::PendingExplains(const std::string& key,
+                                  const std::string* value) const {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    return false;
+  }
+  for (const PendingOp& op : it->second) {
+    if (value == nullptr ? op.is_delete : (!op.is_delete && op.value == *value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status ModelOracle::CheckRecovered(
     const std::map<std::string, std::string>& recovered) const {
   auto pending_explains = [this](const std::string& key, const std::string* value) {
-    auto it = pending_.find(key);
-    if (it == pending_.end()) {
-      return false;
-    }
-    for (const PendingOp& op : it->second) {
-      if (value == nullptr ? op.is_delete : (!op.is_delete && op.value == *value)) {
-        return true;
-      }
-    }
-    return false;
+    return PendingExplains(key, value);
   };
 
   for (const auto& [key, value] : model_) {
@@ -76,6 +81,47 @@ Status ModelOracle::CheckRecovered(
     }
   }
   return OkStatus();
+}
+
+Status ModelOracle::CheckLiveRelaxed(
+    const std::map<std::string, std::string>& live) const {
+  // Same explanation rule as CheckRecovered — live state may have absorbed
+  // unacknowledged updates, which is exactly what the pending set models.
+  Status status = CheckRecovered(live);
+  if (!status.ok()) {
+    return InternalError("live (network) " + status.ToString());
+  }
+  return OkStatus();
+}
+
+Status ModelOracle::CheckKeyRelaxed(const std::string& key, bool found,
+                                    const std::string& value) const {
+  auto it = model_.find(key);
+  if (it != model_.end()) {
+    if (found && value == it->second) {
+      return OkStatus();
+    }
+    if (found) {
+      if (PendingExplains(key, &value)) {
+        return OkStatus();
+      }
+      return InternalError("oracle: live value of " + key + " is \"" + value +
+                           "\", expected \"" + it->second +
+                           "\" and no unacknowledged update explains it");
+    }
+    if (PendingExplains(key, nullptr)) {
+      return OkStatus();
+    }
+    return InternalError("oracle: live state lost acknowledged key " + key);
+  }
+  if (!found) {
+    return OkStatus();
+  }
+  if (PendingExplains(key, &value)) {
+    return OkStatus();
+  }
+  return InternalError("oracle: live state grew phantom key " + key + " = \"" + value +
+                       "\"");
 }
 
 void ModelOracle::Adopt(const std::map<std::string, std::string>& recovered) {

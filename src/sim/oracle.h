@@ -38,6 +38,16 @@ class ModelOracle {
   // is never applied in memory).
   Status CheckLive(const std::map<std::string, std::string>& live) const;
 
+  // The network-mode live checks. Over a half-open connection an update can execute
+  // and commit while its acknowledgment is lost, so live state may run AHEAD of the
+  // acknowledged model: any divergence is acceptable iff a pending (unacknowledged)
+  // op on that key explains it — the same explanation rule CheckRecovered applies
+  // after a crash. CheckKeyRelaxed is the single-key form for lookups; `found` and
+  // `value` are what the live read returned.
+  Status CheckLiveRelaxed(const std::map<std::string, std::string>& live) const;
+  Status CheckKeyRelaxed(const std::string& key, bool found,
+                         const std::string& value) const;
+
   // Recovered state after a crash: every acknowledged update present with its exact
   // value unless superseded by a pending op for that key; nothing present that neither
   // the model nor the pending set explains.
@@ -54,6 +64,10 @@ class ModelOracle {
     bool is_delete = false;
     std::string value;
   };
+
+  // True when some unacknowledged op on `key` explains the observed state: a pending
+  // delete when value == nullptr (key absent), a pending put of *value otherwise.
+  bool PendingExplains(const std::string& key, const std::string* value) const;
 
   std::map<std::string, std::string> model_;
   std::map<std::string, std::vector<PendingOp>> pending_;

@@ -385,6 +385,123 @@ TEST(GroupCommitTest, SerialPathDoesOneFsyncPerUpdate) {
   EXPECT_EQ(db->log_writer_stats().entries_appended, 2u);
 }
 
+TEST(GroupCommitTest, UpdateManySharesOneFsyncWithIndependentOutcomes) {
+  // The transport-side ingest hook: one UpdateMany call carries N independent
+  // updates (decoded requests from many sockets) into the pipeline, where one seal
+  // catches them all — so the whole batch costs about one fsync, and a precondition
+  // failure drops only its own update.
+  SimEnv env = MakeEnv();
+  TestApp app;
+  auto db_or = Database::Open(app, BaseOptions(env, env.fs()));
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  ASSERT_TRUE(db->Update(app.PreparePut("taken", "old")).ok());
+  const std::uint64_t syncs_before = db->stats().group_commit.syncs;
+
+  std::vector<std::function<Result<Bytes>()>> prepares;
+  for (int i = 0; i < 16; ++i) {
+    prepares.push_back(app.PreparePut("k" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  prepares.push_back(app.PreparePut("taken", "new", /*require_absent=*/true));
+  std::vector<Status> outcomes = db->UpdateMany(prepares);
+
+  ASSERT_EQ(outcomes.size(), prepares.size());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(outcomes[static_cast<std::size_t>(i)].ok()) << i;
+  }
+  EXPECT_TRUE(outcomes.back().Is(ErrorCode::kFailedPrecondition)) << outcomes.back();
+  EXPECT_EQ(app.state.at("taken"), "old");  // the failed update did not apply
+  EXPECT_EQ(app.state.size(), 17u);
+
+  // 16 committed records on (nearly) one fsync: the single-threaded caller enqueued
+  // them under one lock acquisition, so one seal caught them all.
+  DatabaseStats stats = db->stats();
+  EXPECT_EQ(stats.group_commit.records_committed, 17u);
+  EXPECT_LE(stats.group_commit.syncs - syncs_before, 2u);
+
+  // Every acknowledged update (and no unacknowledged one) survives a reopen.
+  db.reset();
+  TestApp recovered;
+  auto reopened = Database::Open(recovered, BaseOptions(env, env.fs()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(recovered.state, app.state);
+}
+
+TEST(GroupCommitTest, UpdateManySerialFallbackKeepsOutcomesIndependent) {
+  // With the pipeline off, UpdateMany degrades to one commit per update — outcomes
+  // stay independent, just without the shared fsync.
+  SimEnv env = MakeEnv();
+  TestApp app;
+  DatabaseOptions options = BaseOptions(env, env.fs());
+  options.group_commit.enabled = false;
+  auto db_or = Database::Open(app, options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  ASSERT_TRUE(db->Update(app.PreparePut("taken", "old")).ok());
+  std::vector<Status> outcomes = db->UpdateMany(
+      {app.PreparePut("a", "1"),
+       app.PreparePut("taken", "clobber", /*require_absent=*/true),
+       app.PreparePut("b", "2")});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_TRUE(outcomes[1].Is(ErrorCode::kFailedPrecondition));
+  EXPECT_TRUE(outcomes[2].ok());
+  EXPECT_EQ(app.state.at("taken"), "old");
+  EXPECT_EQ(db->log_writer_stats().commits, 3u);  // one per successful update
+}
+
+TEST(GroupCommitTest, ConcurrentUpdateManyCallersCoalesceAcrossBatches) {
+  // Several transport threads, each carrying its own ingest batch, still coalesce
+  // onto shared fsyncs — the many-sockets-one-fsync claim, engine side.
+  SimEnv env = MakeEnv();
+  SyncHookFs fs(env.fs());
+  std::atomic<bool> armed{false};
+  fs.set_hook([&armed] {
+    if (armed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 24;
+  TestApp app;
+  auto db_or = Database::Open(app, BaseOptions(env, fs));
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  std::unique_ptr<Database> db = std::move(*db_or);
+  armed.store(true);
+
+  std::vector<std::thread> carriers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    carriers.emplace_back([&, t] {
+      std::vector<std::function<Result<Bytes>()>> prepares;
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string key = "t" + std::to_string(t) + "-k" + std::to_string(i);
+        prepares.push_back(app.PreparePut(key, "v-" + key));
+      }
+      for (const Status& status : db->UpdateMany(prepares)) {
+        if (!status.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& carrier : carriers) {
+    carrier.join();
+  }
+  armed.store(false);
+  ASSERT_EQ(failures.load(), 0);
+
+  DatabaseStats stats = db->stats();
+  EXPECT_EQ(stats.group_commit.records_committed,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_LT(stats.group_commit.syncs, stats.group_commit.records_committed);
+  EXPECT_GT(stats.group_commit.records_per_sync(), 1.0);
+  EXPECT_EQ(app.state.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
 TEST(GroupCommitTest, ConcurrentNameServerSetsMintGapFreeSequences) {
   SimEnv env = MakeEnv();
   SyncHookFs fs(env.fs());

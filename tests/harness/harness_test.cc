@@ -57,6 +57,33 @@ TEST(ModelOracleTest, PendingOpsExplainRecoveryDivergence) {
   EXPECT_FALSE(oracle.CheckRecovered({}).ok());  // "maybe" is acknowledged now
 }
 
+TEST(ModelOracleTest, RelaxedChecksAcceptHalfOpenDivergence) {
+  // Over a half-open connection an update can execute server-side while its
+  // acknowledgment is lost: live state runs AHEAD of the model. The relaxed checks
+  // accept exactly the divergences a pending op explains — nothing more.
+  ModelOracle oracle;
+  oracle.AckPut("k", "acked");
+  oracle.PendingPut("k", "maybe");
+  oracle.PendingPut("x", "phantom");
+
+  EXPECT_TRUE(oracle.CheckLiveRelaxed({{"k", "acked"}}).ok());
+  EXPECT_TRUE(oracle.CheckLiveRelaxed({{"k", "maybe"}, {"x", "phantom"}}).ok());
+  EXPECT_FALSE(oracle.CheckLiveRelaxed({{"k", "garbage"}}).ok());
+  EXPECT_FALSE(oracle.CheckLiveRelaxed({{"k", "acked"}, {"y", "who"}}).ok());
+
+  EXPECT_TRUE(oracle.CheckKeyRelaxed("k", true, "acked").ok());
+  EXPECT_TRUE(oracle.CheckKeyRelaxed("k", true, "maybe").ok());
+  EXPECT_FALSE(oracle.CheckKeyRelaxed("k", true, "garbage").ok());
+  EXPECT_FALSE(oracle.CheckKeyRelaxed("k", false, "").ok());  // no pending delete
+  EXPECT_TRUE(oracle.CheckKeyRelaxed("x", true, "phantom").ok());
+  EXPECT_TRUE(oracle.CheckKeyRelaxed("x", false, "").ok());  // never acknowledged
+  EXPECT_FALSE(oracle.CheckKeyRelaxed("y", true, "who").ok());
+
+  oracle.PendingDelete("k");
+  EXPECT_TRUE(oracle.CheckKeyRelaxed("k", false, "").ok());
+  EXPECT_TRUE(oracle.CheckLiveRelaxed({}).ok());
+}
+
 TEST(WorkloadTest, PureFunctionOfSeed) {
   WorkloadOptions options;
   auto a = GenerateWorkload(7, options);
@@ -199,6 +226,47 @@ TEST(ShardedHarnessTest, CheckpointHeavyMixAimsFaultsAtRotation) {
     total_faults += report.fired_points.size();
   }
   EXPECT_GT(total_faults, 0u);
+}
+
+// --- network mode: every KV step crosses the simulated wire (options.network) ---
+
+HarnessOptions NetworkOptionsFor(ScheduleKind schedule) {
+  HarnessOptions options = SmallOptions(schedule);
+  options.network = true;
+  return options;
+}
+
+TEST(NetworkHarnessTest, SameSeedSameTraceHash) {
+  // Wire-fault draws are stateless hashes of (seed, op ordinal, lane) and every
+  // fired network fault is mixed into the trace, so determinism must survive the
+  // simulated transport end to end.
+  for (ScheduleKind schedule :
+       {ScheduleKind::kMultiCrash, ScheduleKind::kTransient, ScheduleKind::kTornSwitch,
+        ScheduleKind::kMixed}) {
+    HarnessOptions options = NetworkOptionsFor(schedule);
+    RunReport first = RunSeed(3, options);
+    RunReport second = RunSeed(3, options);
+    ASSERT_TRUE(first.ok) << first.failure;
+    ASSERT_TRUE(second.ok) << second.failure;
+    EXPECT_TRUE(first.network);
+    EXPECT_EQ(first.trace_hash, second.trace_hash)
+        << "schedule " << ScheduleKindName(schedule);
+  }
+}
+
+TEST(NetworkHarnessTest, SurvivesNetworkSchedules) {
+  // Across a few seeds each schedule's network preset must actually fire wire
+  // faults (drops, half-open responses, corrupt/truncated frames, partitions) and
+  // every crash/recovery must still satisfy the acknowledged-state oracle.
+  std::uint64_t total_reboots = 0;
+  for (ScheduleKind schedule : {ScheduleKind::kTransient, ScheduleKind::kMixed}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      RunReport report = RunSeed(seed, NetworkOptionsFor(schedule));
+      ASSERT_TRUE(report.ok) << ReportToString(report);
+      total_reboots += report.reboots;
+    }
+  }
+  EXPECT_GT(total_reboots, 0u);
 }
 
 TEST(HarnessTest, CanaryRecoveryBugIsCaughtAndShrinks) {

@@ -35,8 +35,8 @@ struct Flags {
   std::uint64_t seed_hi = 50;
   bool single_seed = false;
   std::string schedule = "all";  // one ScheduleKindName, or "all"
-  std::string mix = "default";   // default, checkpoint-heavy, restart-heavy
-                                 // or compaction-heavy
+  std::string mix = "default";   // default, checkpoint-heavy, restart-heavy,
+                                 // compaction-heavy or network
   int steps = 40;
   int shards = 1;  // > 1 fuzzes ShardedDatabase (merged-state + routing oracle)
   int recovery_threads = 0;  // 0 = mix default (restart-heavy: 4, otherwise 1)
@@ -165,11 +165,21 @@ int main(int argc, char** argv) {
     // not only on delta publication.
     options.compact_after_deltas = 2;
     options.compact_delta_base_ratio = 0.25;
+  } else if (flags.mix == "network") {
+    // The default workload, but every KV step crosses the simulated wire: the
+    // schedule's network preset (drops, half-open responses, corrupt/truncated
+    // frames, partitions, slow peers) runs on top of its disk preset, and the
+    // acknowledged-state oracle treats wire-failed updates as pending.
+    options.network = true;
   } else if (flags.mix != "default") {
     std::fprintf(stderr,
-                 "unknown mix %s (want default, checkpoint-heavy, restart-heavy or "
-                 "compaction-heavy)\n",
+                 "unknown mix %s (want default, checkpoint-heavy, restart-heavy, "
+                 "compaction-heavy or network)\n",
                  flags.mix.c_str());
+    return 2;
+  }
+  if (options.network && flags.shards > 1) {
+    std::fprintf(stderr, "--mix=network supports only --shards=1\n");
     return 2;
   }
   options.workload.steps = flags.steps;

@@ -1,0 +1,206 @@
+// Corruption fuzzing for the wire frame codec, in the style of pickle_fuzz_test:
+// flip every byte, truncate at every length, and feed seeded garbage. FrameDecoder
+// must always return a clean error or the exact original frame — never crash, hang,
+// or accept a bogus frame. The CRC covers header and payload, so unlike the pickle
+// envelope NO single byte flip may ever decode.
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/frame.h"
+
+namespace sdb::net {
+namespace {
+
+Frame SampleFrame() {
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = 0xDEADBEEF12345678ull;
+  const std::string payload = "service.method request body with some entropy \x01\x02";
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+bool SameFrame(const Frame& a, const Frame& b) {
+  return a.type == b.type && a.flags == b.flags && a.request_id == b.request_id &&
+         a.payload == b.payload;
+}
+
+// One decode attempt over a complete buffer: ok+frame, ok+need-more, or error.
+Result<std::optional<Frame>> DecodeOnce(ByteSpan wire) {
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  return decoder.Next();
+}
+
+TEST(NetFrameFuzzTest, EveryByteFlipIsRejected) {
+  const Frame original = SampleFrame();
+  const Bytes wire = EncodeFrame(original);
+  ASSERT_GT(wire.size(), kFrameHeaderSize);
+
+  for (std::size_t index = 0; index < wire.size(); ++index) {
+    for (std::uint8_t flip :
+         {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xFF}}) {
+      Bytes corrupted = wire;
+      corrupted[index] ^= flip;
+      Result<std::optional<Frame>> decoded = DecodeOnce(AsSpan(corrupted));
+      // A flip may condemn the stream (error) or make the header claim a longer
+      // payload than was sent (need-more) — but it must NEVER produce a frame:
+      // the CRC covers every header byte and every payload byte.
+      if (decoded.ok() && decoded->has_value()) {
+        ADD_FAILURE() << "byte " << index << " flipped with 0x" << std::hex
+                      << int{flip} << " still decoded as a complete frame";
+      }
+    }
+  }
+}
+
+TEST(NetFrameFuzzTest, EveryTruncationAsksForMoreOrFails) {
+  const Frame original = SampleFrame();
+  const Bytes wire = EncodeFrame(original);
+
+  for (std::size_t length = 0; length < wire.size(); ++length) {
+    Result<std::optional<Frame>> decoded = DecodeOnce(ByteSpan(wire.data(), length));
+    if (decoded.ok()) {
+      EXPECT_FALSE(decoded->has_value())
+          << "truncation to " << length << " bytes decoded as complete";
+    }
+    // An error is also acceptable once the (complete) header itself is mangled by
+    // the cut — but with an intact prefix the decoder just waits for more bytes.
+    if (length >= kFrameHeaderSize) {
+      ASSERT_TRUE(decoded.ok()) << "intact header at length " << length
+                                << " was condemned: " << decoded.status().ToString();
+    }
+  }
+
+  // The full buffer then decodes to the exact original.
+  Result<std::optional<Frame>> whole = DecodeOnce(AsSpan(wire));
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_TRUE(whole->has_value());
+  EXPECT_TRUE(SameFrame(**whole, original));
+}
+
+TEST(NetFrameFuzzTest, ByteAtATimeFeedReassemblesExactly) {
+  // The decoder is incremental by design: feeding one byte at a time across two
+  // back-to-back frames must produce both frames, in order, bit-identical.
+  Frame first = SampleFrame();
+  Frame second = SampleFrame();
+  second.type = FrameType::kResponse;
+  second.request_id = 7;
+  second.payload.assign(300, std::uint8_t{0xAB});
+  Bytes wire = EncodeFrame(first);
+  AppendFrame(second, wire);
+
+  FrameDecoder decoder;
+  std::vector<Frame> got;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    decoder.Feed(ByteSpan(wire.data() + i, 1));
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << "byte " << i << ": " << next.status().ToString();
+      if (!next->has_value()) {
+        break;
+      }
+      got.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(SameFrame(got[0], first));
+  EXPECT_TRUE(SameFrame(got[1], second));
+}
+
+TEST(NetFrameFuzzTest, SeededGarbageNeverCrashesOrDecodes) {
+  const Frame original = SampleFrame();
+  const Bytes wire = EncodeFrame(original);
+  Rng rng(0xF4A3E5EED);
+
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutant;
+    if (rng.NextBool(0.5)) {
+      mutant.resize(rng.NextBelow(2 * wire.size() + 1));
+      for (auto& byte : mutant) {
+        byte = static_cast<std::uint8_t>(rng.NextBelow(256));
+      }
+    } else {
+      // A valid frame with 1-8 random byte mutations — the adversarial shape.
+      mutant = wire;
+      std::uint64_t mutations = 1 + rng.NextBelow(8);
+      for (std::uint64_t i = 0; i < mutations && !mutant.empty(); ++i) {
+        mutant[rng.NextBelow(mutant.size())] =
+            static_cast<std::uint8_t>(rng.NextBelow(256));
+      }
+    }
+    Result<std::optional<Frame>> decoded = DecodeOnce(AsSpan(mutant));
+    if (decoded.ok() && decoded->has_value()) {
+      // The only acceptable decode is the byte-identical original (possible when
+      // every mutation landed on bytes past a truncation point, i.e. never).
+      EXPECT_TRUE(SameFrame(**decoded, original)) << "round " << round;
+      EXPECT_EQ(mutant.size(), wire.size()) << "round " << round;
+    }
+  }
+}
+
+TEST(NetFrameFuzzTest, CondemnedStreamStaysCondemned) {
+  // After one corrupt frame the stream is unrecoverable by design (length framing
+  // can no longer be trusted): Next keeps returning the same error even if a clean
+  // frame is fed afterwards.
+  Bytes wire = EncodeFrame(SampleFrame());
+  wire[0] ^= 0xFF;  // destroy the magic
+  FrameDecoder decoder;
+  decoder.Feed(AsSpan(wire));
+  Result<std::optional<Frame>> first = decoder.Next();
+  ASSERT_FALSE(first.ok());
+  decoder.Feed(AsSpan(EncodeFrame(SampleFrame())));
+  Result<std::optional<Frame>> second = decoder.Next();
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(NetFrameFuzzTest, OversizedPayloadLengthIsRejectedBeforeBuffering) {
+  // A header claiming a payload beyond the decoder's cap must condemn the stream
+  // immediately — not wait for 16MiB that will never arrive.
+  Frame frame = SampleFrame();
+  Bytes wire = EncodeFrame(frame);
+  FrameDecoder decoder(/*max_payload=*/16);
+  decoder.Feed(AsSpan(wire));
+  Result<std::optional<Frame>> decoded = decoder.Next();
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(NetFrameFuzzTest, ChunkedResponsesRoundTripAtEveryChunkSize) {
+  Bytes payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{256},
+                            std::size_t{999}, std::size_t{1000}, std::size_t{4096}}) {
+    std::vector<Frame> frames = ChunkResponse(42, AsSpan(payload), chunk);
+    ASSERT_FALSE(frames.empty());
+    Bytes wire;
+    for (const Frame& frame : frames) {
+      AppendFrame(frame, wire);
+    }
+    FrameDecoder decoder;
+    decoder.Feed(AsSpan(wire));
+    Bytes assembled;
+    bool final_seen = false;
+    for (;;) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) {
+        break;
+      }
+      EXPECT_FALSE(final_seen) << "frames after the final chunk";
+      EXPECT_EQ((*next)->request_id, 42u);
+      assembled.insert(assembled.end(), (*next)->payload.begin(),
+                       (*next)->payload.end());
+      final_seen = (*next)->type == FrameType::kResponse || (*next)->final_chunk();
+    }
+    EXPECT_TRUE(final_seen) << "chunk size " << chunk;
+    EXPECT_EQ(assembled, payload) << "chunk size " << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace sdb::net

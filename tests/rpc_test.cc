@@ -132,6 +132,33 @@ TEST_F(RpcStackTest, DisconnectedChannelIsUnavailable) {
           .ok());
 }
 
+TEST_F(RpcStackTest, DroppedResponseExecutesButReportsUnavailable) {
+  // The half-open failure a real socket produces: the request is delivered and
+  // EXECUTED, but the response never comes back. The caller must see the same
+  // kUnavailable as a plain partition — and the server-side effect must stand.
+  LoopbackChannel channel(server_, {&clock_, 8000});
+  channel.SetDropResponses(true);
+  auto dropped =
+      CallMethod<EchoRequest, EchoResponse>(channel, "Echo", "Echo", EchoRequest{"a", 1});
+  EXPECT_TRUE(dropped.status().Is(ErrorCode::kUnavailable)) << dropped.status();
+  EXPECT_EQ(server_.dispatched(), 1u) << "the dropped call must still have executed";
+  EXPECT_EQ(channel.dropped_responses(), 1u);
+
+  // Indistinguishable from SetConnected(false) at the caller...
+  channel.SetDropResponses(false);
+  channel.SetConnected(false);
+  auto partitioned =
+      CallMethod<EchoRequest, EchoResponse>(channel, "Echo", "Echo", EchoRequest{"a", 1});
+  EXPECT_EQ(partitioned.status().code(), dropped.status().code());
+  // ...but THAT one never reached the server.
+  EXPECT_EQ(server_.dispatched(), 1u);
+
+  channel.SetConnected(true);
+  EXPECT_TRUE(
+      (CallMethod<EchoRequest, EchoResponse>(channel, "Echo", "Echo", EchoRequest{"a", 1}))
+          .ok());
+}
+
 TEST_F(RpcStackTest, DispatchCountsCalls) {
   LoopbackChannel channel(server_, {&clock_, 0});
   for (int i = 0; i < 5; ++i) {
